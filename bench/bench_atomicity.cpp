@@ -1,0 +1,62 @@
+// E16 — atomicity ablation table: exhaustive verdicts under the paper's
+// atomic write-read rounds vs split (separately scheduled) write / read
+// micro-steps.  Algorithms 1/5 keep wait-freedom without immediate
+// snapshots; Algorithms 2/3 lose it even under singleton scheduling;
+// safety holds everywhere.
+#include <cstdio>
+
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo2_five_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "core/algo5_fast_six_coloring.hpp"
+#include "modelcheck/explorer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+template <typename A>
+void row(Table& table, const char* name, A algo, const IdAssignment& ids,
+         ActivationMode mode, Atomicity atomicity) {
+  ModelCheckOptions<A> options;
+  options.mode = mode;
+  options.atomicity = atomicity;
+  ModelChecker<A> checker(std::move(algo),
+                          make_cycle(static_cast<NodeId>(ids.size())), ids,
+                          options);
+  const auto r = checker.run();
+  table.add_row({name,
+                 atomicity == Atomicity::atomic ? "atomic" : "split",
+                 mode == ActivationMode::sets ? "sets" : "interleaving",
+                 Table::cell(r.configs),
+                 r.completed ? (r.wait_free ? "yes" : "NO") : "budget",
+                 !r.safety_violation ? "yes" : "NO",
+                 r.wait_free ? Table::cell(r.worst_case_rounds()) : "inf"});
+}
+
+}  // namespace
+
+int main() {
+  Table table({"algorithm", "atomicity", "semantics", "configs",
+               "wait-free", "safe", "exact worst rounds"});
+  const IdAssignment ids3 = {10, 20, 30};
+  const IdAssignment idsr = {12, 25, 18};
+  for (auto atomicity : {Atomicity::atomic, Atomicity::split}) {
+    for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
+      row(table, "algo1", SixColoring{}, ids3, mode, atomicity);
+      row(table, "algo2", FiveColoringLinear{}, ids3, mode, atomicity);
+      row(table, "algo3", FiveColoringFast{}, idsr, mode, atomicity);
+      row(table, "algo5 (ext)", SixColoringFast{}, idsr, mode, atomicity);
+    }
+  }
+  table.print(
+      "E16 — atomicity ablation on C_3: the paper's atomic write-read "
+      "rounds vs split micro-steps (exhaustive)");
+  std::printf(
+      "\nSplit semantics let a node sit stale between its write and its "
+      "read.  Algorithms 1/5\nnever needed the immediate-snapshot atomicity;"
+      " Algorithms 2/3 lose wait-freedom even\nunder singleton scheduling "
+      "(staleness emulates lockstep).  Safety holds everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E6 — positioning against the synchronous LOCAL baseline: classical
+// Cole–Vishkin 3-colors the failure-free synchronous cycle in
+// ~log*(n) + 3 rounds; Algorithm 3 pays a constant-factor premium for
+// tolerating full asynchrony and crashes, but scales identically.
+#include "bench_common.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "localmodel/cole_vishkin.hpp"
+#include "util/logstar.hpp"
+
+int main() {
+  using namespace ftcc;
+  using namespace ftcc::bench;
+
+  Table table({"n", "log*(n)", "CV sync rounds (3 colors)",
+               "algo3 max acts sync (5 colors)",
+               "algo3 max acts random (5 colors)"});
+  for (NodeId n : {16u, 256u, 4096u, 65536u}) {
+    Summary cv_rounds;
+    for (std::uint64_t seed = 0; seed < 5; ++seed)
+      cv_rounds.add(
+          static_cast<double>(run_cole_vishkin(random_ids(n, seed)).rounds));
+    const Graph g = make_cycle(n);
+    const auto sync_cell = run_cell(FiveColoringFast{}, g, "random", "sync",
+                                    5, logstar_step_budget(n));
+    const auto rand_cell = run_cell(FiveColoringFast{}, g, "random", "random",
+                                    5, logstar_step_budget(n));
+    table.add_row(
+        {Table::cell(std::uint64_t{n}),
+         Table::cell(std::uint64_t(log_star(static_cast<double>(n)))),
+         Table::cell(cv_rounds.max(), 0),
+         Table::cell(sync_cell.max_activations.max(), 0),
+         Table::cell(rand_cell.max_activations.max(), 0)});
+  }
+  table.print(
+      "E6 — synchronous Cole-Vishkin (LOCAL, failure-free) vs Algorithm 3 "
+      "(asynchronous, crash-prone)");
+  std::printf(
+      "\nBoth scale as O(log* n); the asynchronous algorithm trades 2 extra "
+      "colors and a\nconstant-factor more rounds for wait-freedom under "
+      "crashes and arbitrary scheduling.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E10 — Lemmas 4.1-4.3: the reduction function f of Eq. (6).  Verifies the
+// contraction and properness lemmas over exhaustive ranges, and prints how
+// many envelope iterations identifiers of growing magnitude need to drop
+// below 10 — the O(log*) engine of Theorem 4.4.  Also microbenchmarks
+// cv_reduce itself with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/coin_tossing.hpp"
+#include "util/bits.hpp"
+#include "util/logstar.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+void print_tables() {
+  // Lemma checks over exhaustive ranges.
+  std::uint64_t contraction_checked = 0;
+  bool contraction_ok = true;
+  for (std::uint64_t y = 10; y < 800; ++y)
+    for (std::uint64_t x = y + 1; x < 1600; ++x) {
+      contraction_ok &= cv_reduce(x, y) < y;
+      ++contraction_checked;
+    }
+  std::uint64_t properness_checked = 0;
+  bool properness_ok = true;
+  for (std::uint64_t x = 2; x < 128; ++x)
+    for (std::uint64_t y = 1; y < x; ++y)
+      for (std::uint64_t z = 0; z < y; ++z) {
+        properness_ok &= cv_reduce(x, y) != cv_reduce(y, z);
+        ++properness_checked;
+      }
+  std::printf(
+      "E10 / Lemma 4.2 contraction: %" PRIu64 " pairs checked, %s\n"
+      "E10 / Lemma 4.3 properness:  %" PRIu64 " triples checked, %s\n\n",
+      contraction_checked, contraction_ok ? "all contract" : "VIOLATED",
+      properness_checked, properness_ok ? "all distinct" : "VIOLATED");
+
+  Table table({"identifier magnitude", "bits", "envelope iterations to <10",
+               "log*(x)"});
+  for (std::uint64_t x :
+       {std::uint64_t{100}, std::uint64_t{100000},
+        std::uint64_t{1} << 32, std::uint64_t{1} << 48, ~std::uint64_t{0}})
+    table.add_row({Table::cell(x), Table::cell(std::int64_t{bit_length(x)}),
+                   Table::cell(std::int64_t{envelope_iterations_below_10(x)}),
+                   Table::cell(std::int64_t{
+                       log_star(static_cast<double>(x))})});
+  table.print("E10 / Lemma 4.1 — iterated reduction reaches <10 in O(log*)");
+}
+
+void BM_CvReduce(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::uint64_t x = rng();
+  std::uint64_t y = rng();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cv_reduce(x, y));
+    x = x * 6364136223846793005ULL + 1;
+    y ^= x >> 17;
+  }
+}
+BENCHMARK(BM_CvReduce);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the benchmark harnesses.  Every bench binary prints
+// the paper-style table(s) for one experiment of the EXPERIMENTS.md index.
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "analysis/harness.hpp"
+#include "graph/chains.hpp"
+#include "sched/schedulers.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ftcc::bench {
+
+inline IdAssignment make_ids(const std::string& kind, NodeId n,
+                             std::uint64_t seed) {
+  if (kind == "random") return random_ids(n, seed);
+  if (kind == "sorted") return sorted_ids(n);
+  if (kind == "alternating") return alternating_ids(n);
+  if (kind == "zigzag") return zigzag_ids(n, std::max<NodeId>(2, n / 8));
+  if (kind == "permutation") return permutation_ids(n, seed, 1000);
+  FTCC_EXPECTS(false && "unknown id kind");
+  return {};
+}
+
+/// Aggregate of repeated runs of one algorithm/config cell.
+struct Cell {
+  Summary max_activations;   // per run: max over nodes
+  Summary mean_activations;  // per run: mean over nodes
+  Summary steps;
+  bool all_proper = true;
+  bool all_completed = true;
+  std::size_t palette = 0;  // union over runs
+};
+
+template <typename Algo>
+Cell run_cell(Algo algo, const Graph& g, const std::string& id_kind,
+              const std::string& sched_name, std::uint64_t seeds,
+              std::uint64_t max_steps, const CrashPlan& crashes = {}) {
+  Cell cell;
+  std::set<std::uint64_t> palette;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const auto ids = make_ids(id_kind, g.node_count(), seed);
+    auto sched = make_scheduler(sched_name, g.node_count(), seed * 101 + 7);
+    RunOptions options;
+    options.max_steps = max_steps;
+    options.monitor_invariants = false;  // post-run checks only (speed)
+    const auto outcome =
+        run_simulation(algo, g, ids, *sched, crashes, options);
+    cell.all_completed &= outcome.result.completed;
+    cell.all_proper &= outcome.proper;
+    cell.max_activations.add(
+        static_cast<double>(outcome.result.max_activations()));
+    cell.mean_activations.add(
+        static_cast<double>(outcome.result.total_activations()) /
+        static_cast<double>(g.node_count()));
+    cell.steps.add(static_cast<double>(outcome.result.steps));
+    for (const auto& c : outcome.colors)
+      if (c) palette.insert(*c);
+  }
+  cell.palette = palette.size();
+  return cell;
+}
+
+}  // namespace ftcc::bench

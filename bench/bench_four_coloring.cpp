@@ -1,0 +1,55 @@
+// E19 — Property 2.3, executable: clamp Algorithm 2's palette to
+// {0,...,3} and check exhaustively where the 4-coloring survives.  It is
+// wait-free under interleaved atomic rounds (that semantics is strictly
+// stronger than shared memory — even 3 colors work there), and loses
+// wait-freedom exactly where the renaming lower bound lives: under the
+// paper's simultaneous activations, and under split-atomicity (real
+// read/write).  Safety holds everywhere.
+#include <cstdio>
+
+#include "core/algo_four_coloring_attempt.hpp"
+#include "modelcheck/explorer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcc;
+  const IdAssignment perms[] = {{10, 20, 30}, {10, 30, 20}, {20, 10, 30},
+                                {20, 30, 10}, {30, 10, 20}, {30, 20, 10}};
+
+  Table table({"semantics", "atomicity", "wait-free (all 6 perms)",
+               "safe (all)", "worst rounds", "colors used <="});
+  for (auto atomicity : {Atomicity::atomic, Atomicity::split}) {
+    for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
+      bool all_wf = true;
+      bool all_safe = true;
+      std::uint64_t worst = 0;
+      std::uint64_t colors = 0;
+      for (const auto& ids : perms) {
+        ModelCheckOptions<FourColoringAttempt> options;
+        options.mode = mode;
+        options.atomicity = atomicity;
+        ModelChecker<FourColoringAttempt> mc(FourColoringAttempt{},
+                                             make_cycle(3), ids, options);
+        const auto r = mc.run();
+        all_wf &= r.wait_free;
+        all_safe &= r.outputs_proper && !r.safety_violation;
+        worst = std::max(worst, r.worst_case_rounds());
+        for (auto c : r.colors_used) colors = std::max(colors, c);
+      }
+      table.add_row(
+          {mode == ActivationMode::sets ? "sets (paper)" : "interleaving",
+           atomicity == Atomicity::atomic ? "atomic" : "split (r/w SM)",
+           all_wf ? "yes" : "NO", all_safe ? "yes" : "NO",
+           all_wf ? Table::cell(worst) : "inf", Table::cell(colors)});
+    }
+  }
+  table.print(
+      "E19 / Property 2.3 — 4-color-clamped Algorithm 2 on C_3, "
+      "exhaustively, across semantics");
+  std::printf(
+      "\nThe <5-color impossibility needs concurrency: simultaneous "
+      "activations (the paper's\nsets) or split write/read rounds (real "
+      "shared memory).  Interleaved atomic immediate\nsnapshots are "
+      "strictly stronger — there even 3 colors suffice on C_3.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E7 — Appendix A / Algorithm 4: O(Δ²)-coloring of general graphs.
+// Sweeps graph families and degree caps; reports the palette actually used
+// against the (Δ+1)(Δ+2)/2 bound, activations, and properness.
+#include "bench_common.hpp"
+#include "core/algo4_general_graph.hpp"
+
+int main() {
+  using namespace ftcc;
+  using namespace ftcc::bench;
+
+  struct Family {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Family> families;
+  families.push_back({"cycle C_64", make_cycle(64)});
+  families.push_back({"torus 8x8", make_torus(8, 8)});
+  families.push_back({"petersen", make_petersen()});
+  families.push_back({"complete K_8", make_complete(8)});
+  for (int delta : {4, 8, 16})
+    families.push_back(
+        {"random n=96 Δ<=" + std::to_string(delta),
+         make_random_bounded_degree(96, delta, 1234 + static_cast<std::uint64_t>(delta))});
+
+  Table table({"graph", "Δ", "palette used", "bound (Δ+1)(Δ+2)/2",
+               "max acts", "mean acts", "proper"});
+  for (const auto& family : families) {
+    const auto delta = static_cast<std::uint64_t>(family.graph.max_degree());
+    Summary max_acts;
+    Summary mean_acts;
+    std::set<std::uint64_t> palette;
+    bool proper = true;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto ids = random_ids(family.graph.node_count(), seed);
+      auto sched = make_scheduler(seed % 2 == 0 ? "random" : "single",
+                                  family.graph.node_count(), seed);
+      RunOptions options;
+      options.max_steps = linear_step_budget(family.graph.node_count());
+      options.monitor_invariants = false;
+      const auto outcome = run_simulation(DeltaSquaredColoring{},
+                                          family.graph, ids, *sched, {},
+                                          options);
+      FTCC_ENSURES(outcome.result.completed);
+      proper &= outcome.proper;
+      max_acts.add(static_cast<double>(outcome.result.max_activations()));
+      mean_acts.add(
+          static_cast<double>(outcome.result.total_activations()) /
+          family.graph.node_count());
+      for (const auto& c : outcome.colors)
+        if (c) palette.insert(*c);
+    }
+    table.add_row({family.name, Table::cell(delta),
+                   Table::cell(std::uint64_t{palette.size()}),
+                   Table::cell(pair_palette_size(delta)),
+                   Table::cell(max_acts.max(), 0),
+                   Table::cell(mean_acts.mean(), 2),
+                   proper ? "yes" : "NO"});
+  }
+  table.print(
+      "E7 / Appendix A — Algorithm 4 on general graphs: palette vs O(Δ²) "
+      "bound (10 seeds per family)");
+  return 0;
+}

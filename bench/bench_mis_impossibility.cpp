@@ -1,0 +1,55 @@
+// E11 — Property 2.1: MIS cannot be solved wait-free on the asynchronous
+// cycle.  Sweeps the greedy candidate protocol's patience parameter and,
+// for each value, lets the exhaustive checker find an execution violating
+// the MIS specification on C_3 and C_4 — the impossibility made concrete.
+#include <cstdio>
+
+#include "mis/greedy_mis.hpp"
+#include "modelcheck/explorer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcc;
+
+  Table table({"n", "patience", "configs explored", "violation found",
+               "violation"});
+  for (NodeId n : {3u, 4u}) {
+    const Graph g = make_cycle(n);
+    IdAssignment ids(n);
+    for (NodeId v = 0; v < n; ++v) ids[v] = 10 * (v + 1);
+    for (std::uint64_t patience : {1ull, 2ull, 4ull, 8ull}) {
+      ModelCheckOptions<GreedyMis> options;
+      options.mode = ActivationMode::sets;
+      options.check_output_properness = false;
+      options.safety =
+          [&g](const auto&, const auto&,
+               const std::vector<std::optional<std::uint64_t>>& outputs)
+          -> std::optional<std::string> {
+        bool all_done = true;
+        for (const auto& o : outputs) all_done &= o.has_value();
+        if (all_done) return check_mis(g, outputs);
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          if (!outputs[v] || *outputs[v] != 1) continue;
+          for (NodeId u : g.neighbors(v))
+            if (u > v && outputs[u] && *outputs[u] == 1)
+              return "adjacent nodes both joined the MIS";
+        }
+        return std::nullopt;
+      };
+      ModelChecker<GreedyMis> checker(GreedyMis{patience}, g, ids, options);
+      const auto r = checker.run();
+      table.add_row({Table::cell(std::uint64_t{n}), Table::cell(patience),
+                     Table::cell(r.configs),
+                     r.safety_violation ? "yes" : "NO (unexpected!)",
+                     r.safety_violation ? *r.safety_violation : "-"});
+    }
+  }
+  table.print(
+      "E11 / Property 2.1 — every patience parameterisation of the greedy "
+      "MIS protocol fails on some schedule");
+  std::printf(
+      "\nThe impossibility (reduction to strong symmetry breaking) predicts "
+      "every wait-free\nprotocol has such an execution; the checker "
+      "exhibits one for each candidate.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E14 — self-stabilization contrast (related work §1.4): greedy recoloring
+// recovers a proper coloring from ARBITRARY corruption under a central
+// daemon within |E| moves, oscillates forever under the synchronous
+// daemon (the simultaneity pathology, cf. the Algorithm 2 livelock), and
+// escapes it under a randomized daemon.
+#include <cstdio>
+
+#include "selfstab/greedy_recolor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcc;
+
+  struct Family {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Family> families;
+  families.push_back({"cycle C_64", make_cycle(64)});
+  families.push_back({"torus 8x8", make_torus(8, 8)});
+  families.push_back({"petersen", make_petersen()});
+  families.push_back({"random n=60 Δ<=6", make_random_bounded_degree(60, 6, 2)});
+
+  auto corrupt = [](NodeId n, std::uint64_t bound, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<std::uint64_t> colors(n);
+    for (auto& c : colors) c = rng.below(bound);
+    return colors;
+  };
+
+  Table table({"graph", "|E|", "daemon", "stabilized", "moves (mean)",
+               "moves (max)", "bound |E|"});
+  for (const auto& family : families) {
+    const auto n = family.graph.node_count();
+    const auto delta =
+        static_cast<std::uint64_t>(family.graph.max_degree());
+    for (const std::string daemon : {"central", "randomized"}) {
+      Summary moves;
+      bool stabilized = true;
+      for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        SelfStabColoring system(family.graph, corrupt(n, delta + 5, seed));
+        const auto result =
+            daemon == "central"
+                ? system.run_central(seed, 10 * family.graph.edge_count())
+                : system.run_randomized(seed, 100000);
+        stabilized &= result.stabilized;
+        moves.add(static_cast<double>(result.moves));
+      }
+      table.add_row({family.name, Table::cell(family.graph.edge_count()),
+                     daemon, stabilized ? "yes" : "NO",
+                     Table::cell(moves.mean(), 1),
+                     Table::cell(moves.max(), 0),
+                     Table::cell(family.graph.edge_count())});
+    }
+  }
+  // The synchronous-daemon oscillation row.
+  {
+    const Graph g = make_cycle(64);
+    SelfStabColoring system(g, std::vector<std::uint64_t>(64, 0));
+    const auto result = system.run_synchronous(10000);
+    table.add_row({"cycle C_64 (all-zero start)", Table::cell(g.edge_count()),
+                   "synchronous", result.stabilized ? "yes" : "NO (oscillates)",
+                   Table::cell(static_cast<double>(result.moves), 0), "-",
+                   "-"});
+  }
+  table.print(
+      "E14 — self-stabilizing greedy coloring: corruption recovery vs "
+      "daemon (20 corrupt starts per cell)");
+  std::printf(
+      "\nCentral daemon: <= |E| moves from any corruption.  Synchronous "
+      "daemon: may\noscillate forever — the same simultaneity failure mode "
+      "as the Algorithm 2\nlockstep livelock, in the self-stabilization "
+      "world.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E18 — real concurrency: the coloring algorithms on actual OS threads
+// with seqlock registers (no simulation).  Justified by the atomicity
+// ablation (E16): Algorithms 1/5 are provably wait-free under the split
+// write/read regime that real hardware provides; Algorithms 2/3 are safe
+// with probabilistic termination.  Reports wall-clock, per-node rounds,
+// and properness over repeated runs.
+#include <chrono>
+#include <cstdio>
+
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "core/algo5_fast_six_coloring.hpp"
+#include "graph/coloring.hpp"
+#include "runtime/threaded_executor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+template <typename Algo>
+void sweep(Table& table, const char* name, bool sorted) {
+  for (NodeId n : {8u, 16u, 32u}) {
+    const Graph g = make_cycle(n);
+    Summary rounds;
+    Summary millis;
+    int completed = 0;
+    bool proper = true;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto ids = sorted
+                           ? sorted_ids(n)
+                           : random_ids(n, static_cast<std::uint64_t>(trial));
+      ThreadedExecutor<Algo> ex(Algo{}, g, ids);
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = ex.run(2'000'000);
+      const auto elapsed = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      completed += result.completed;
+      proper &= is_proper_partial(g, to_partial_coloring<Algo>(result.outputs));
+      rounds.add(static_cast<double>(result.max_activations()));
+      millis.add(elapsed);
+    }
+    table.add_row({name, Table::cell(std::uint64_t{n}),
+                   sorted ? "sorted" : "random",
+                   Table::cell(completed) + "/" + Table::cell(trials),
+                   Table::cell(rounds.median(), 0),
+                   Table::cell(rounds.max(), 0),
+                   Table::cell(millis.mean(), 2), proper ? "yes" : "NO"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  Table table({"algorithm", "n (threads)", "ids", "completed",
+               "rounds p50", "rounds max", "wall ms (mean)", "proper"});
+  sweep<SixColoring>(table, "algo1", false);
+  sweep<SixColoringFast>(table, "algo5 (ext)", true);
+  sweep<FiveColoringFast>(table, "algo3", false);
+  table.print(
+      "E18 — real threads + seqlock registers (10 runs per cell; "
+      "algo1/algo5 provably terminate, algo3 probabilistically)");
+  std::printf(
+      "\nRounds here count a thread's spin iterations, most of which read "
+      "unchanged\nneighbour registers — wall-clock, not the model's "
+      "activation complexity, is the\nrelevant column.  Safety must hold "
+      "in every run (E16).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E12 — simulator engineering: activations per second for each algorithm
+// under the synchronous scheduler (the densest activation pattern), via
+// google-benchmark.  Establishes that the substrate comfortably sustains
+// the scales used by E1-E8.
+#include <benchmark/benchmark.h>
+
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo2_five_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "graph/ids.hpp"
+#include "runtime/executor.hpp"
+#include "sched/schedulers.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+template <typename Algo>
+void run_sim(benchmark::State& state, std::uint64_t budget_per_n) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_cycle(n);
+  const auto ids = random_ids(n, 7);
+  std::uint64_t total_activations = 0;
+  for (auto _ : state) {
+    Executor<Algo> ex(Algo{}, g, ids);
+    SynchronousScheduler sched;
+    const auto result = ex.run(sched, budget_per_n);
+    benchmark::DoNotOptimize(result.steps);
+    total_activations += result.total_activations();
+    if (!result.completed) state.SkipWithError("did not complete");
+  }
+  state.counters["activations/s"] = benchmark::Counter(
+      static_cast<double>(total_activations), benchmark::Counter::kIsRate);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_Algo1(benchmark::State& state) {
+  run_sim<SixColoring>(state, 1u << 22);
+}
+void BM_Algo2(benchmark::State& state) {
+  run_sim<FiveColoringLinear>(state, 1u << 22);
+}
+void BM_Algo3(benchmark::State& state) {
+  run_sim<FiveColoringFast>(state, 1u << 22);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Algo1)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+BENCHMARK(BM_Algo2)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+BENCHMARK(BM_Algo3)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// The paper's headline contrast, live: on adversarially sorted identifiers
+// (one monotone chain around the whole cycle) Algorithm 2 needs Θ(n)
+// activations while Algorithm 3's Cole–Vishkin identifier reduction brings
+// it down to O(log* n) — even with half the nodes running at a tenth of
+// the speed.
+//
+//   $ ./adversarial_schedule --n=512
+#include <cstdio>
+
+#include "analysis/harness.hpp"
+#include "core/algo2_five_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "sched/schedulers.hpp"
+#include "util/cli.hpp"
+#include "util/logstar.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+template <typename Algo>
+std::uint64_t worst_activations(ftcc::NodeId n, const std::string& sched_name,
+                                std::uint64_t budget) {
+  using namespace ftcc;
+  const Graph cycle = make_cycle(n);
+  auto scheduler = make_scheduler(sched_name, n, 42);
+  RunOptions options;
+  options.max_steps = budget;
+  options.monitor_invariants = false;
+  const auto outcome =
+      run_simulation(Algo{}, cycle, sorted_ids(n), *scheduler, {}, options);
+  FTCC_ENSURES(outcome.result.completed);
+  FTCC_ENSURES(outcome.proper);
+  return outcome.result.max_activations();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftcc;
+  Cli cli;
+  cli.flag("n", std::uint64_t{512}, "largest cycle length");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto max_n = static_cast<NodeId>(cli.get_u64("n"));
+
+  Table table({"n", "log*(n)", "algo2 sync", "algo2 halfspeed", "algo3 sync",
+               "algo3 halfspeed"});
+  for (NodeId n = 16; n <= max_n; n *= 4) {
+    table.add_row(
+        {Table::cell(std::uint64_t{n}),
+         Table::cell(
+             std::uint64_t(log_star(static_cast<double>(n)))),
+         Table::cell(worst_activations<FiveColoringLinear>(
+             n, "sync", linear_step_budget(n))),
+         Table::cell(worst_activations<FiveColoringLinear>(
+             n, "halfspeed", linear_step_budget(n))),
+         Table::cell(worst_activations<FiveColoringFast>(
+             n, "sync", logstar_step_budget(n))),
+         Table::cell(worst_activations<FiveColoringFast>(
+             n, "halfspeed", logstar_step_budget(n)))});
+  }
+  table.print("max activations on sorted identifiers (worst case input)");
+  std::printf(
+      "\nAlgorithm 2 grows linearly with n; Algorithm 3 stays near-constant"
+      " (O(log* n)),\nas Theorem 4.4 predicts.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Exhaustive verification of the paper's algorithms on small cycles:
+// enumerate EVERY schedule, check safety everywhere, decide wait-freedom,
+// and compute the exact worst-case activation counts.
+//
+// Also demonstrates the reproduction finding: under set-activation
+// semantics (the paper's σ(t) may activate several nodes at once),
+// Algorithms 2 and 3 have a reachable configuration cycle — a lockstep
+// livelock — while Algorithm 1 is wait-free under both semantics.
+//
+//   $ ./model_checking --n=3
+#include <cstdio>
+
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo2_five_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "core/algo5_fast_six_coloring.hpp"
+#include "modelcheck/explorer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+template <typename A>
+void report(Table& table, const char* name, A algo, NodeId n,
+            const IdAssignment& ids, ActivationMode mode) {
+  ModelCheckOptions<A> options;
+  options.mode = mode;
+  ModelChecker<A> checker(std::move(algo), make_cycle(n), ids, options);
+  const auto r = checker.run();
+  table.add_row(
+      {name, mode == ActivationMode::sets ? "sets" : "interleaving",
+       Table::cell(r.configs), Table::cell(r.transitions),
+       r.completed ? (r.wait_free ? "yes" : "NO (livelock)") : "budget",
+       r.outputs_proper && !r.safety_violation ? "yes" : "NO",
+       r.wait_free ? Table::cell(r.worst_case_rounds()) : "∞",
+       Table::cell(r.colors_used.size())});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("n", std::uint64_t{3}, "cycle length to check exhaustively (3-5)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto n = static_cast<NodeId>(cli.get_u64("n"));
+
+  IdAssignment ids(n);
+  for (NodeId v = 0; v < n; ++v) ids[v] = 10 + 7 * ((v * 2) % n) + v;
+
+  Table table({"algorithm", "semantics", "configs", "transitions",
+               "wait-free", "safe", "exact worst rounds", "colors used"});
+  for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
+    report(table, "algo1 (6-coloring)", SixColoring{}, n, ids, mode);
+    report(table, "algo2 (5-coloring)", FiveColoringLinear{}, n, ids, mode);
+    report(table, "algo3 (fast 5-col)", FiveColoringFast{}, n, ids, mode);
+    report(table, "algo5 (fast 6-col)", SixColoringFast{}, n, ids, mode);
+  }
+  table.print("exhaustive model checking on C_" + std::to_string(n) +
+              " — every schedule, every interleaving");
+  std::printf(
+      "\n'NO (livelock)' under set semantics is the reproduction finding "
+      "documented in DESIGN.md:\nthe printed Algorithm 2 (and hence 3) "
+      "admits a lockstep candidate-swap cycle; safety\nis never violated, "
+      "and under interleaving semantics the paper's bounds hold exactly.\n"
+      "Algorithms 1 and 5 (the library's O(log* n) 6-coloring extension) "
+      "are wait-free under\nboth semantics.\n");
+  return 0;
+}

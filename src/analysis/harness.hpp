@@ -1,0 +1,76 @@
+// One-call experiment harness: build an executor, install the standard
+// invariant monitors, run to completion, and package the outcome with its
+// coloring verdicts.  Tests and benches share this path so they can't
+// diverge on semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/invariants.hpp"
+#include "graph/chains.hpp"
+#include "graph/coloring.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/result.hpp"
+
+namespace ftcc {
+
+template <Algorithm A>
+struct RunOutcome {
+  ExecutionResult<typename A::Output> result;
+  PartialColoring colors;
+  /// Proper on the subgraph induced by terminated nodes (the paper's
+  /// correctness condition).
+  bool proper = false;
+  /// Set when an installed invariant tripped mid-run.
+  std::optional<std::string> violation;
+};
+
+struct RunOptions {
+  std::uint64_t max_steps = 1'000'000;
+  /// Install the per-step invariant monitors (O(n) per step — disable for
+  /// large-n throughput benches; correctness is still checked post-run).
+  bool monitor_invariants = true;
+};
+
+/// Run `algo` on (graph, ids) under `sched`, optionally crashing nodes.
+template <Algorithm A>
+RunOutcome<A> run_simulation(A algo, const Graph& graph,
+                             const IdAssignment& ids, Scheduler& sched,
+                             const CrashPlan& crashes = {},
+                             const RunOptions& options = {}) {
+  Executor<A> ex(std::move(algo), graph, ids, crashes);
+  if (options.monitor_invariants) {
+    // The identifier-properness monitor only applies to algorithms whose
+    // registers carry an identifier field x (the coloring algorithms).
+    if constexpr (requires(const typename A::Register r,
+                           const typename A::State s) {
+                    r.x;
+                    s.x;
+                  }) {
+      ex.add_invariant(proper_identifier_invariant<A>());
+    }
+    ex.add_invariant(output_properness_invariant<A>());
+  }
+  RunOutcome<A> outcome;
+  outcome.result = ex.run(sched, options.max_steps);
+  outcome.colors = to_partial_coloring<A>(outcome.result.outputs);
+  outcome.proper = is_proper_partial(graph, outcome.colors);
+  outcome.violation = ex.violation();
+  return outcome;
+}
+
+/// Step budget heuristics: generous upper bounds on the total number of
+/// time steps an execution can need, per algorithm family.
+[[nodiscard]] inline std::uint64_t linear_step_budget(NodeId n) {
+  // Θ(n) activations per node, possibly one node per step.
+  return 64 + 32ull * n * n;
+}
+
+[[nodiscard]] inline std::uint64_t logstar_step_budget(NodeId n) {
+  // O(log* n) activations per node, possibly one node per step; 64 is a
+  // comfortable cap on c * log*(n) + c' for any physical n.
+  return 64 + 512ull * n;
+}
+
+}  // namespace ftcc

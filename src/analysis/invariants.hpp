@@ -1,0 +1,110 @@
+// Runtime invariant monitors, installed into an Executor and checked after
+// every time step of every execution they are attached to.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "runtime/executor.hpp"
+
+namespace ftcc {
+
+/// Lemma 4.5 (and trivially for fixed-identifier algorithms): the published
+/// identifiers X̂ always properly color the graph — two adjacent non-⊥
+/// registers never hold equal x.  Also checks a node's private x against
+/// its neighbours' published x, the stronger form the proof establishes.
+template <Algorithm A>
+typename Executor<A>::Invariant proper_identifier_invariant() {
+  return [](const Executor<A>& ex) -> std::optional<std::string> {
+    const Graph& g = ex.graph();
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (NodeId u : g.neighbors(v)) {
+        if (u < v) continue;
+        const auto& rv = ex.published(v);
+        const auto& ru = ex.published(u);
+        if (rv && ru && rv->x == ru->x) {
+          std::ostringstream os;
+          os << "published identifiers collide on edge (" << v << "," << u
+             << "): X=" << rv->x << " at step " << ex.now();
+          return os.str();
+        }
+        // Private-vs-published form: X_p(t) != X̂_q(t).
+        if (ru && ex.state(v).x == ru->x) {
+          std::ostringstream os;
+          os << "private X of " << v << " equals published X of neighbour "
+             << u << " (X=" << ru->x << ") at step " << ex.now();
+          return os.str();
+        }
+        if (rv && ex.state(u).x == rv->x) {
+          std::ostringstream os;
+          os << "private X of " << u << " equals published X of neighbour "
+             << v << " (X=" << rv->x << ") at step " << ex.now();
+          return os.str();
+        }
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+/// Algorithms 2/3 maintain a_p <= b_p (C+ ⊆ C implies mex(C+) <= mex(C)) —
+/// the ordering Lemma 3.13's parity argument relies on.
+template <Algorithm A>
+typename Executor<A>::Invariant candidates_ordered_invariant() {
+  return [](const Executor<A>& ex) -> std::optional<std::string> {
+    for (NodeId v = 0; v < ex.graph().node_count(); ++v) {
+      if (ex.state(v).a > ex.state(v).b) {
+        std::ostringstream os;
+        os << "candidate order violated at node " << v
+           << ": a=" << ex.state(v).a << " > b=" << ex.state(v).b
+           << " at step " << ex.now();
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+/// Color candidates stay within {0, ..., bound} (palette boundedness while
+/// running, not just at output time).
+template <Algorithm A>
+typename Executor<A>::Invariant candidates_bounded_invariant(
+    std::uint64_t bound) {
+  return [bound](const Executor<A>& ex) -> std::optional<std::string> {
+    for (NodeId v = 0; v < ex.graph().node_count(); ++v) {
+      const auto& s = ex.state(v);
+      if (s.a > bound || s.b > bound) {
+        std::ostringstream os;
+        os << "candidate out of palette at node " << v << ": a=" << s.a
+           << " b=" << s.b << " bound=" << bound << " at step " << ex.now();
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+/// Outputs of already-terminated neighbours never collide — the paper's
+/// correctness condition, enforced continuously rather than post-hoc.
+template <Algorithm A>
+typename Executor<A>::Invariant output_properness_invariant() {
+  return [](const Executor<A>& ex) -> std::optional<std::string> {
+    const Graph& g = ex.graph();
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!ex.output(v)) continue;
+      for (NodeId u : g.neighbors(v)) {
+        if (u < v || !ex.output(u)) continue;
+        if (A::color_code(*ex.output(v)) == A::color_code(*ex.output(u))) {
+          std::ostringstream os;
+          os << "terminated neighbours " << v << " and " << u
+             << " output the same color at step " << ex.now();
+          return os.str();
+        }
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace ftcc

@@ -1,0 +1,38 @@
+#include "core/algo1_six_coloring.hpp"
+
+#include "util/assert.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+SixColoring::State SixColoring::init(NodeId /*node*/, std::uint64_t id,
+                                     int degree) const {
+  FTCC_EXPECTS(degree == 2);  // Algorithm 1 is for the cycle
+  return State{id, 0, 0};
+}
+
+std::optional<SixColoring::Output> SixColoring::step(
+    State& s, NeighborView<Register> view) const {
+  // Return test: c_p not in { c_q : q awake } (a sleeping neighbour's
+  // register holds ⊥, which never equals a color).
+  bool conflict = false;
+  for (const auto& reg : view)
+    if (reg && reg->a == s.a && reg->b == s.b) {
+      conflict = true;
+      break;
+    }
+  if (!conflict) return PairColor{s.a, s.b};
+
+  SmallValueSet<2> higher_a;  // a-components of higher-id awake neighbours
+  SmallValueSet<2> lower_b;   // b-components of lower-id awake neighbours
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    if (reg->x > s.x) higher_a.insert(reg->a);
+    if (reg->x < s.x) lower_b.insert(reg->b);
+  }
+  s.a = higher_a.mex();
+  s.b = lower_b.mex();
+  return std::nullopt;
+}
+
+}  // namespace ftcc

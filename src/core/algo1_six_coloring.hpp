@@ -1,0 +1,70 @@
+// Algorithm 1 of the paper: wait-free 6-coloring of the asynchronous cycle.
+//
+// Every node repeatedly publishes (X_p, c_p) with c_p = (a_p, b_p) and, on
+// each activation, returns c_p if it collides with no awake neighbour's
+// color; otherwise it refreshes
+//     a_p <- mex{ a_u : u ~ p, X_u > X_p }   (dodges higher-id neighbours)
+//     b_p <- mex{ b_u : u ~ p, X_u < X_p }   (dodges lower-id neighbours)
+// Guarantees (Theorem 3.1, verified in tests and the model checker):
+//   - termination within floor(3n/2) + 4 activations per node,
+//   - per-node bound min{3l, 3l', l+l'} + 4 for monotone distances l, l'
+//     to the nearest local extrema (Lemma 3.9),
+//   - palette {(a, b) : a + b <= 2} (6 colors),
+//   - outputs properly color the subgraph of terminated nodes, under every
+//     schedule and crash pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/color.hpp"
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+class SixColoring {
+ public:
+  struct Register {
+    std::uint64_t x = 0;  ///< identifier (never changes in Algorithm 1)
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+  struct State {
+    std::uint64_t x = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+
+  /// Threaded-executor support: fixed register layout (see
+  /// runtime/threaded_executor.hpp).
+  static constexpr std::size_t kRegisterWords = 3;
+  static Register decode_register(std::span<const std::uint64_t> words) {
+    return Register{words[0], words[1], words[2]};
+  }
+
+  using Output = PairColor;
+
+  [[nodiscard]] State init(NodeId node, std::uint64_t id, int degree) const;
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.x, s.a, s.b};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o.code(); }
+};
+
+static_assert(Algorithm<SixColoring>);
+
+}  // namespace ftcc

@@ -1,0 +1,38 @@
+#include "core/algo2_five_coloring.hpp"
+
+#include "util/assert.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+FiveColoringLinear::State FiveColoringLinear::init(NodeId /*node*/,
+                                                   std::uint64_t id,
+                                                   int degree) const {
+  // Cycles and paths: the transition rule only ever inspects at most two
+  // neighbours, and every bound in Section 3 carries over to paths (path
+  // endpoints behave like nodes with one crashed neighbour).
+  FTCC_EXPECTS(degree == 1 || degree == 2);
+  return State{id, 0, 0};
+}
+
+std::optional<FiveColoringLinear::Output> FiveColoringLinear::step(
+    State& s, NeighborView<Register> view) const {
+  SmallValueSet<4> all;     // C  = { a_u, b_u : u awake }
+  SmallValueSet<4> higher;  // C+ = { a_u, b_u : u awake, X_u > X_p }
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    all.insert(reg->a);
+    all.insert(reg->b);
+    if (reg->x > s.x) {
+      higher.insert(reg->a);
+      higher.insert(reg->b);
+    }
+  }
+  if (!all.contains(s.a)) return s.a;
+  if (!all.contains(s.b)) return s.b;
+  s.a = higher.mex();
+  s.b = all.mex();
+  return std::nullopt;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,76 @@
+// Algorithm 2 of the paper: wait-free 5-coloring of the asynchronous cycle
+// in O(n) activations.
+//
+// Each node maintains two color candidates a_p <= b_p.  On an activation it
+// reads C = { a_u, b_u : u awake neighbour } and returns a_p (or, failing
+// that, b_p) if it avoids C; otherwise it refreshes
+//     a_p <- mex(C+)   where C+ = { a_u, b_u : u awake, X_u > X_p }
+//     b_p <- mex(C)
+// Since |C| <= 4, all candidates stay in {0, ..., 4} — the palette that is
+// optimal for the class of all cycles (Property 2.3: on C_3 the model is
+// 3-process immediate-snapshot shared memory, where renaming needs 5
+// names).  Guarantees (Theorem 3.11, Lemma 3.14):
+//   - nodes that are not local id-minima terminate within 3l + 4
+//     activations (l = monotone distance to the nearest local maximum);
+//   - local minima terminate within O(n) activations;
+//   - outputs properly color the terminated subgraph under every schedule.
+// This is the slow-but-safe component that Algorithm 3 accelerates.
+//
+// Topologies: cycles C_n and paths P_n (the model "can directly be
+// extended to any network", §2.1; on paths an endpoint simply has one
+// neighbour, which the ⊥-tolerant transition rule already handles).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+class FiveColoringLinear {
+ public:
+  struct Register {
+    std::uint64_t x = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+  struct State {
+    std::uint64_t x = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+
+  /// Threaded-executor support: fixed register layout (see
+  /// runtime/threaded_executor.hpp).
+  static constexpr std::size_t kRegisterWords = 3;
+  static Register decode_register(std::span<const std::uint64_t> words) {
+    return Register{words[0], words[1], words[2]};
+  }
+
+  using Output = std::uint64_t;  ///< a color in {0, ..., 4}
+
+  [[nodiscard]] State init(NodeId node, std::uint64_t id, int degree) const;
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.x, s.a, s.b};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+
+static_assert(Algorithm<FiveColoringLinear>);
+
+}  // namespace ftcc

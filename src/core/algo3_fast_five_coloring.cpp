@@ -1,0 +1,46 @@
+#include "core/algo3_fast_five_coloring.hpp"
+
+#include "core/id_reduction.hpp"
+#include "util/assert.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+FiveColoringFast::State FiveColoringFast::init(NodeId /*node*/,
+                                               std::uint64_t id,
+                                               int degree) const {
+  FTCC_EXPECTS(degree == 2);  // Algorithm 3 is for the cycle
+  return State{id, 0, 0, 0};
+}
+
+std::optional<FiveColoringFast::Output> FiveColoringFast::step(
+    State& s, NeighborView<Register> view) const {
+  FTCC_EXPECTS(view.size() == 2);
+
+  // --- Algorithm 2 component (lines 6-10), unchanged. -------------------
+  SmallValueSet<4> all;     // { a_u, b_u : u awake }
+  SmallValueSet<4> higher;  // { a_u, b_u : u awake, X_u > X_p }
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    all.insert(reg->a);
+    all.insert(reg->b);
+    if (reg->x > s.x) {
+      higher.insert(reg->a);
+      higher.insert(reg->b);
+    }
+  }
+  if (!all.contains(s.a)) return s.a;
+  if (!all.contains(s.b)) return s.b;
+  s.a = higher.mex();
+  s.b = all.mex();
+
+  // --- Identifier reduction (lines 11-19, shared helper). ----------------
+  // Requires both neighbours awake: X/r comparisons against ⊥ are
+  // meaningless and skipping them preserves Lemma 4.5 (see DESIGN.md §2).
+  if (view[0] && view[1])
+    cv_identifier_update(s.x, s.r, view[0]->x, view[0]->r, view[1]->x,
+                         view[1]->r);
+  return std::nullopt;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,82 @@
+// Algorithm 3 of the paper — the headline result: wait-free 5-coloring of
+// the asynchronous cycle in O(log* n) activations (Theorem 4.4).
+//
+// It runs Algorithm 2 unchanged (the wait-free component) and, in parallel,
+// shrinks the identifiers X_p with the Cole–Vishkin reduction f of Eq. (6)
+// (the starvation-free component), so that monotone identifier chains — the
+// quantity Algorithm 2's runtime is linear in — collapse to length <= 10
+// within O(log* n) activations.  Because neighbours may race, identifier
+// changes are gated by a green-light counter r_p: a node only updates X_p
+// when r_p <= min{r_q, r_q'}; a node that finds itself a local extremum
+// sets r_p = ∞, freezing its identifier forever (local minima may first
+// take one final dodge below the values their neighbours could reduce to).
+//
+// Safety hinges on Lemma 4.5: the evolving X values always properly color
+// the cycle — enforced here by Lemma 4.3 (f is proper along monotone
+// chains) plus the acceptance tests, and monitored at runtime by
+// `analysis::proper_identifier_invariant`.
+//
+// ⊥ semantics (see DESIGN.md §2): a node never touches X_p or r_p until
+// both neighbours have published at least once; the Algorithm 2 component
+// alone guarantees wait-freedom when a neighbour crashed before waking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/id_reduction.hpp"
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+/// r_p = ∞ : the node's identifier is frozen (it is a local extremum).
+inline constexpr std::uint64_t kFrozenRound = kFrozenIdRound;
+
+class FiveColoringFast {
+ public:
+  struct Register {
+    std::uint64_t x = 0;
+    std::uint64_t r = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, r, a, b});
+    }
+  };
+
+  struct State {
+    std::uint64_t x = 0;
+    std::uint64_t r = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, r, a, b});
+    }
+  };
+
+
+  /// Threaded-executor support: fixed register layout (see
+  /// runtime/threaded_executor.hpp).
+  static constexpr std::size_t kRegisterWords = 4;
+  static Register decode_register(std::span<const std::uint64_t> words) {
+    return Register{words[0], words[1], words[2], words[3]};
+  }
+
+  using Output = std::uint64_t;  ///< a color in {0, ..., 4}
+
+  [[nodiscard]] State init(NodeId node, std::uint64_t id, int degree) const;
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.x, s.r, s.a, s.b};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+
+static_assert(Algorithm<FiveColoringFast>);
+
+}  // namespace ftcc

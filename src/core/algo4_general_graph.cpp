@@ -1,0 +1,37 @@
+#include "core/algo4_general_graph.hpp"
+
+#include "util/assert.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+DeltaSquaredColoring::State DeltaSquaredColoring::init(NodeId /*node*/,
+                                                       std::uint64_t id,
+                                                       int degree) const {
+  FTCC_EXPECTS(degree >= 1 && degree <= kMaxDegree);
+  return State{id, 0, 0};
+}
+
+std::optional<DeltaSquaredColoring::Output> DeltaSquaredColoring::step(
+    State& s, NeighborView<Register> view) const {
+  bool conflict = false;
+  for (const auto& reg : view)
+    if (reg && reg->a == s.a && reg->b == s.b) {
+      conflict = true;
+      break;
+    }
+  if (!conflict) return PairColor{s.a, s.b};
+
+  SmallValueSet<kMaxDegree> higher_a;
+  SmallValueSet<kMaxDegree> lower_b;
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    if (reg->x > s.x) higher_a.insert(reg->a);
+    if (reg->x < s.x) lower_b.insert(reg->b);
+  }
+  s.a = higher_a.mex();
+  s.b = lower_b.mex();
+  return std::nullopt;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,66 @@
+// Algorithm 4 (paper, Appendix A): the extension of Algorithm 1 to
+// arbitrary connected graphs of maximum degree Δ.  Identical transition
+// rule, but against up to Δ neighbours, so the components satisfy
+// a_p + b_p <= Δ and the palette is {(a, b) : a + b <= Δ} of size
+// (Δ+1)(Δ+2)/2 = O(Δ²).  Wait-free for the same reason as Algorithm 1:
+// a node whose identifier is a local extremum among its *awake* neighbours
+// locks one component and terminates, and termination propagates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/color.hpp"
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+class DeltaSquaredColoring {
+ public:
+  /// Degrees beyond this are rejected at init; raise if ever needed.
+  static constexpr int kMaxDegree = 64;
+
+  struct Register {
+    std::uint64_t x = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+  struct State {
+    std::uint64_t x = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+
+  /// Threaded-executor support: fixed register layout (see
+  /// runtime/threaded_executor.hpp).
+  static constexpr std::size_t kRegisterWords = 3;
+  static Register decode_register(std::span<const std::uint64_t> words) {
+    return Register{words[0], words[1], words[2]};
+  }
+
+  using Output = PairColor;
+
+  [[nodiscard]] State init(NodeId node, std::uint64_t id, int degree) const;
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.x, s.a, s.b};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o.code(); }
+};
+
+static_assert(Algorithm<DeltaSquaredColoring>);
+
+}  // namespace ftcc

@@ -1,0 +1,45 @@
+#include "core/algo5_fast_six_coloring.hpp"
+
+#include "util/assert.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+SixColoringFast::State SixColoringFast::init(NodeId /*node*/,
+                                             std::uint64_t id,
+                                             int degree) const {
+  FTCC_EXPECTS(degree == 2);  // a cycle algorithm
+  return State{id, 0, 0, 0};
+}
+
+std::optional<SixColoringFast::Output> SixColoringFast::step(
+    State& s, NeighborView<Register> view) const {
+  FTCC_EXPECTS(view.size() == 2);
+
+  // --- Algorithm 1 component, unchanged. ---------------------------------
+  bool conflict = false;
+  for (const auto& reg : view)
+    if (reg && reg->a == s.a && reg->b == s.b) {
+      conflict = true;
+      break;
+    }
+  if (!conflict) return PairColor{s.a, s.b};
+
+  SmallValueSet<2> higher_a;
+  SmallValueSet<2> lower_b;
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    if (reg->x > s.x) higher_a.insert(reg->a);
+    if (reg->x < s.x) lower_b.insert(reg->b);
+  }
+  s.a = higher_a.mex();
+  s.b = lower_b.mex();
+
+  // --- Identifier reduction, shared with Algorithm 3. --------------------
+  if (view[0] && view[1])
+    cv_identifier_update(s.x, s.r, view[0]->x, view[0]->r, view[1]->x,
+                         view[1]->r);
+  return std::nullopt;
+}
+
+}  // namespace ftcc

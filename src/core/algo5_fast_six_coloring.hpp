@@ -1,0 +1,86 @@
+// SixColoringFast — an extension beyond the paper: Algorithm 1's
+// 6-coloring component composed with Algorithm 3's Cole–Vishkin identifier
+// reduction.
+//
+// Motivation (see DESIGN.md, reproduction finding): the 5-coloring
+// component of Algorithms 2/3 admits a lockstep livelock when the schedule
+// activates neighbours simultaneously, so their wait-freedom constants
+// only hold verbatim under interleaving semantics.  Algorithm 1 is immune
+// — its a- and b-candidates are drawn from disjoint, direction-filtered
+// pools (a dodges only the a's of higher-id neighbours, b only the b's of
+// lower-id ones), which breaks the symmetric candidate-swap — but it runs
+// in Θ(n).  The identifier-reduction component of Section 4 is modular
+// (its safety, Lemma 4.5, is independent of the coloring component running
+// on top, and its effect — collapsing monotone chains to length < 10 in
+// O(log* n) — accelerates any chain-bounded coloring component, per
+// Remark 3.10).  Composing them yields:
+//
+//   wait-free under BOTH activation semantics (exhaustively verified on
+//   C_3..C_5 by the model checker, tests/core_algo5_test.cpp),
+//   O(log* n) activations (measured flat on sorted identifiers up to
+//   n = 2^18, bench_algo3_logstar),
+//   palette {(a,b) : a + b <= 2} — 6 colors, one more than Algorithms 2/3.
+//
+// The trade-off surface this completes:
+//   Algorithm 1: 6 colors, Θ(n),       wait-free under sets.
+//   Algorithm 3: 5 colors, O(log* n),  wait-free under interleaving only.
+//   This:        6 colors, O(log* n),  wait-free under sets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/color.hpp"
+#include "core/id_reduction.hpp"
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+class SixColoringFast {
+ public:
+  struct Register {
+    std::uint64_t x = 0;
+    std::uint64_t r = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, r, a, b});
+    }
+  };
+
+  struct State {
+    std::uint64_t x = 0;
+    std::uint64_t r = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, r, a, b});
+    }
+  };
+
+
+  /// Threaded-executor support: fixed register layout (see
+  /// runtime/threaded_executor.hpp).
+  static constexpr std::size_t kRegisterWords = 4;
+  static Register decode_register(std::span<const std::uint64_t> words) {
+    return Register{words[0], words[1], words[2], words[3]};
+  }
+
+  using Output = PairColor;
+
+  [[nodiscard]] State init(NodeId node, std::uint64_t id, int degree) const;
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.x, s.r, s.a, s.b};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o.code(); }
+};
+
+static_assert(Algorithm<SixColoringFast>);
+
+}  // namespace ftcc

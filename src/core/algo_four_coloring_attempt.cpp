@@ -1,0 +1,40 @@
+#include "core/algo_four_coloring_attempt.hpp"
+
+#include "util/assert.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+FourColoringAttempt::State FourColoringAttempt::init(NodeId /*node*/,
+                                                     std::uint64_t id,
+                                                     int degree) const {
+  FTCC_EXPECTS(degree == 2);
+  return State{id, 0, 0};
+}
+
+std::optional<FourColoringAttempt::Output> FourColoringAttempt::step(
+    State& s, NeighborView<Register> view) const {
+  SmallValueSet<4> all;
+  SmallValueSet<4> higher;
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    all.insert(reg->a);
+    all.insert(reg->b);
+    if (reg->x > s.x) {
+      higher.insert(reg->a);
+      higher.insert(reg->b);
+    }
+  }
+  if (!all.contains(s.a)) return s.a;
+  if (!all.contains(s.b)) return s.b;
+  // Algorithm 2's updates, clamped to the 4-color palette: when the mex
+  // escapes {0..3} the node keeps its candidate and waits — the only move
+  // available without a fifth color.
+  const std::uint64_t next_a = higher.mex();
+  if (next_a <= 3) s.a = next_a;
+  const std::uint64_t next_b = all.mex();
+  if (next_b <= 3) s.b = next_b;
+  return std::nullopt;
+}
+
+}  // namespace ftcc

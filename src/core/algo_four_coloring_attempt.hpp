@@ -1,0 +1,65 @@
+// A doomed 4-coloring attempt — executable support for Property 2.3.
+//
+// Property 2.3 proves that no wait-free algorithm colors every cycle with
+// fewer than 5 colors (on C_3 the model is 3-process immediate-snapshot
+// shared memory, where renaming needs 2n-1 = 5 names).  This class makes
+// the impossibility concrete for the natural candidate: Algorithm 2 with
+// its palette clamped to {0,...,3}.  When the mex over the four visible
+// candidate values is 4 — exactly the situation where Algorithm 2 needs
+// its fifth color — the node has no legal candidate and must keep
+// waiting.  The model checker then finds executions in which some node
+// waits forever (tests/core_four_coloring_test.cpp): the algorithm is
+// safe (never emits a conflicting color, never exceeds color 3) but not
+// wait-free, as Property 2.3 forces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+class FourColoringAttempt {
+ public:
+  struct Register {
+    std::uint64_t x = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+  struct State {
+    std::uint64_t x = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {x, a, b});
+    }
+  };
+
+  static constexpr std::size_t kRegisterWords = 3;
+  static Register decode_register(std::span<const std::uint64_t> words) {
+    return Register{words[0], words[1], words[2]};
+  }
+
+  using Output = std::uint64_t;  ///< a color in {0, ..., 3} — if ever
+
+  [[nodiscard]] State init(NodeId node, std::uint64_t id, int degree) const;
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.x, s.a, s.b};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+
+static_assert(Algorithm<FourColoringAttempt>);
+
+}  // namespace ftcc

@@ -1,0 +1,34 @@
+#include "core/coin_tossing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace ftcc {
+
+std::uint64_t cv_reduce(std::uint64_t x, std::uint64_t y) noexcept {
+  const int len_cap = std::min(bit_length(x), bit_length(y));
+  const int diff = lowest_differing_bit(x, y);  // 64 when x == y
+  const int i = std::min(len_cap, diff);
+  return 2 * static_cast<std::uint64_t>(i) + bit_at(x, i);
+}
+
+int cv_chain_rounds_below(std::uint64_t start,
+                          std::uint64_t threshold) noexcept {
+  // Iterate the *worst-case* value a reduction can produce: for inputs
+  // bounded by x, f(·,·) <= 2|x| + 1 (the envelope F of Lemma 4.1).  The
+  // number of envelope iterations until the chain's values must all be
+  // below `threshold` is therefore an upper bound on the rounds a
+  // synchronous chain reduction needs, and it is O(log* start).
+  std::uint64_t x = start;
+  int rounds = 0;
+  while (x >= threshold) {
+    x = 2 * static_cast<std::uint64_t>(bit_length(x)) + 1;
+    ++rounds;
+    FTCC_ENSURES(rounds < 256);
+  }
+  return rounds;
+}
+
+}  // namespace ftcc

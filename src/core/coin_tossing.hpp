@@ -1,0 +1,32 @@
+// The identifier-reduction function f of Eq. (6), adapted from Cole and
+// Vishkin's deterministic coin tossing:
+//
+//   f(X, Y) = 2i + X_i   with   i = min({|X|, |Y|} ∪ {k : X_k ≠ Y_k}),
+//
+// i.e. i is the position of the lowest bit where X and Y differ, capped by
+// the shorter binary length.  Its three key properties (proved in the
+// paper, verified exhaustively in tests/core_coin_tossing_test.cpp):
+//
+//   Envelope  (Lemma 4.1): f(x, y) <= 2|min(x,y)| + 1, so iterating drops
+//             any identifier below 10 in O(log*) rounds.
+//   Contraction (Lemma 4.2): x > y >= 10  =>  f(x, y) < y.
+//   Properness (Lemma 4.3): x > y > z  =>  f(x, y) != f(y, z) — reduced
+//             identifiers along a monotone chain stay properly colored.
+#pragma once
+
+#include <cstdint>
+
+namespace ftcc {
+
+/// f(X, Y) of Eq. (6).  Well-defined for all X, Y (including X == Y, where
+/// i = min(|X|, |Y|) and the indexed bit is 0).
+[[nodiscard]] std::uint64_t cv_reduce(std::uint64_t x, std::uint64_t y) noexcept;
+
+/// Number of reduction steps a monotone chain takes to drive its smallest
+/// element below `threshold` when each element is reduced against its
+/// smaller neighbour once per round — the synchronous intuition behind
+/// Theorem 4.4's O(log* n).  Exposed for the coin-tossing bench.
+[[nodiscard]] int cv_chain_rounds_below(std::uint64_t start,
+                                        std::uint64_t threshold) noexcept;
+
+}  // namespace ftcc

@@ -1,0 +1,37 @@
+#include "core/id_reduction.hpp"
+
+#include <algorithm>
+
+#include "core/coin_tossing.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+void cv_identifier_update(std::uint64_t& x, std::uint64_t& r,
+                          std::uint64_t neighbor_x0, std::uint64_t neighbor_r0,
+                          std::uint64_t neighbor_x1,
+                          std::uint64_t neighbor_r1) noexcept {
+  if (r == kFrozenIdRound) return;
+  if (r > std::min(neighbor_r0, neighbor_r1)) return;  // no green light
+
+  const std::uint64_t lo = std::min(neighbor_x0, neighbor_x1);
+  const std::uint64_t hi = std::max(neighbor_x0, neighbor_x1);
+  if (lo < x && x < hi) {
+    // Middle of a monotone chain: try to jump below the smaller neighbour.
+    r += 1;
+    const std::uint64_t y = cv_reduce(x, lo);
+    if (y < lo) x = y;
+  } else {
+    // Local extremum among the published identifiers: freeze.  A local
+    // minimum takes one final dodge below anything its neighbours could
+    // reduce to (min with the mex keeps it a minimum and properly colored).
+    r = kFrozenIdRound;
+    if (x < lo) {
+      const std::uint64_t f0 = cv_reduce(neighbor_x0, x);
+      const std::uint64_t f1 = cv_reduce(neighbor_x1, x);
+      x = std::min(x, mex({f0, f1}));
+    }
+  }
+}
+
+}  // namespace ftcc

@@ -1,0 +1,33 @@
+// The identifier-reduction component of Algorithm 3 (lines 11-19),
+// factored out so it can be composed with different coloring components:
+// Algorithm 3 = Algorithm 2 + this; SixColoringFast = Algorithm 1 + this.
+//
+// Given the node's identifier x and green-light counter r, plus both
+// neighbours' published (x, r), performs one reduction attempt:
+//   - only under the green light r <= min(r_q, r_q'), and never once
+//     frozen (r = kFrozenIdRound);
+//   - a "middle" node (lo < x < hi) increments r and jumps to
+//     f(x, lo) if that lands strictly below the smaller neighbour;
+//   - a local extremum freezes (r <- ∞); a local minimum first takes one
+//     final dodge below anything its neighbours could reduce to.
+// Safety: by Lemmas 4.2/4.3 the evolving identifiers always properly color
+// the cycle (Lemma 4.5), regardless of which coloring component runs on
+// top.
+#pragma once
+
+#include <cstdint>
+
+namespace ftcc {
+
+/// r = ∞ : the identifier is frozen (the node saw itself locally extremal).
+inline constexpr std::uint64_t kFrozenIdRound = ~std::uint64_t{0};
+
+/// One reduction attempt; mutates x and r in place.  Callers must ensure
+/// both neighbour registers were non-⊥ (the conservative gate of
+/// DESIGN.md §2) before invoking.
+void cv_identifier_update(std::uint64_t& x, std::uint64_t& r,
+                          std::uint64_t neighbor_x0, std::uint64_t neighbor_r0,
+                          std::uint64_t neighbor_x1,
+                          std::uint64_t neighbor_r1) noexcept;
+
+}  // namespace ftcc

@@ -1,0 +1,130 @@
+#include "graph/chains.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+namespace {
+
+constexpr NodeId kUnset = ~NodeId{0};
+
+NodeId next_on_cycle(NodeId v, NodeId n) { return v + 1 == n ? 0 : v + 1; }
+NodeId prev_on_cycle(NodeId v, NodeId n) { return v == 0 ? n - 1 : v - 1; }
+
+}  // namespace
+
+bool is_local_max_on_cycle(const IdAssignment& ids, NodeId v) {
+  const auto n = static_cast<NodeId>(ids.size());
+  return ids[v] > ids[next_on_cycle(v, n)] && ids[v] > ids[prev_on_cycle(v, n)];
+}
+
+bool is_local_min_on_cycle(const IdAssignment& ids, NodeId v) {
+  const auto n = static_cast<NodeId>(ids.size());
+  return ids[v] < ids[next_on_cycle(v, n)] && ids[v] < ids[prev_on_cycle(v, n)];
+}
+
+namespace {
+
+/// Distance from v to the local extremum reached by walking in the
+/// comparator's "ascending" direction, memoised in dist[] for nodes whose
+/// ascending direction is unique (non-minima under `less`).
+template <typename Less>
+NodeId walk_to_extremum(const IdAssignment& ids, NodeId start, NodeId first,
+                        std::vector<NodeId>& dist, Less less) {
+  const auto n = static_cast<NodeId>(ids.size());
+  // Collect the chain start -> first -> ... until an extremum or a memoised
+  // node, then backfill distances.
+  std::vector<NodeId> chain;
+  NodeId prev = start;
+  NodeId cur = first;
+  FTCC_EXPECTS(less(ids[prev], ids[cur]));
+  while (true) {
+    if (dist[cur] != kUnset) break;
+    const NodeId a = next_on_cycle(cur, n);
+    const NodeId b = prev_on_cycle(cur, n);
+    const NodeId other = (a == prev) ? b : a;
+    if (!less(ids[cur], ids[other])) {  // cur is the extremum in this walk
+      dist[cur] = 0;
+      break;
+    }
+    chain.push_back(cur);
+    prev = cur;
+    cur = other;
+    FTCC_EXPECTS(chain.size() <= ids.size());  // proper coloring => no loop
+  }
+  NodeId d = dist[cur];
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    ++d;
+    dist[*it] = d;
+  }
+  return d + 1;  // d == dist[first] after the backfill
+}
+
+/// All nodes' distance-to-extremum in the direction where ids increase
+/// under `less` (less = < gives distance to local max, > to local min).
+template <typename Less>
+std::vector<NodeId> distances(const IdAssignment& ids, Less less) {
+  const auto n = static_cast<NodeId>(ids.size());
+  std::vector<NodeId> dist(n, kUnset);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[v] != kUnset) continue;
+    const NodeId a = next_on_cycle(v, n);
+    const NodeId b = prev_on_cycle(v, n);
+    const bool a_up = less(ids[v], ids[a]);
+    const bool b_up = less(ids[v], ids[b]);
+    if (!a_up && !b_up) {
+      dist[v] = 0;  // v is the extremum itself
+    } else if (a_up != b_up) {
+      // Unique ascending direction: walk and memoise (also fills v).
+      const NodeId first = a_up ? a : b;
+      const NodeId d = walk_to_extremum(ids, v, first, dist, less);
+      if (dist[v] == kUnset) dist[v] = d;
+    } else {
+      // Both directions ascend (v is a minimum under `less`): the distance
+      // is the min over both walks; do not memoise v's value into either
+      // chain (it belongs to both).
+      const NodeId da = walk_to_extremum(ids, v, a, dist, less);
+      const NodeId db = walk_to_extremum(ids, v, b, dist, less);
+      dist[v] = std::min(da, db);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+MonotoneDistances monotone_distances_on_cycle(const IdAssignment& ids) {
+  const auto n = static_cast<NodeId>(ids.size());
+  FTCC_EXPECTS(n >= 3);
+  for (NodeId v = 0; v < n; ++v)
+    FTCC_EXPECTS(ids[v] != ids[next_on_cycle(v, n)]);  // proper precondition
+
+  MonotoneDistances out;
+  out.dist_to_max = distances(ids, std::less<std::uint64_t>{});
+  out.dist_to_min = distances(ids, std::greater<std::uint64_t>{});
+
+  // Longest monotone subpath: the longest run of consecutive increases (or
+  // decreases) walking the cycle in the +1 direction, scanning 2n steps to
+  // handle wrap-around.  Measured in edges.
+  NodeId best = 0;
+  NodeId up = 0;
+  NodeId down = 0;
+  for (NodeId i = 0; i < 2 * n; ++i) {
+    const NodeId v = i % n;
+    const NodeId w = next_on_cycle(v, n);
+    if (ids[w] > ids[v]) {
+      up = std::min<NodeId>(up + 1, n - 1);
+      down = 0;
+    } else {
+      down = std::min<NodeId>(down + 1, n - 1);
+      up = 0;
+    }
+    best = std::max({best, up, down});
+  }
+  out.longest_chain = best;
+  return out;
+}
+
+}  // namespace ftcc

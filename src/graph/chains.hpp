@@ -1,0 +1,38 @@
+// Monotone-chain analysis of an identifier assignment on the cycle.
+// Lemma 3.9 bounds each node's activation count by min{3l, 3l', l+l'} + 4,
+// where l (resp. l') is the node's monotone distance to the nearest local
+// maximum (resp. minimum) along the unique monotone subpath containing it;
+// Theorem 3.11 / Lemma 3.14 use the distance to the nearest maximum.  These
+// helpers compute those distances so tests and benches can check the bounds
+// node by node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace ftcc {
+
+struct MonotoneDistances {
+  /// dist_to_max[v]: steps along the monotone (ascending) path from v to
+  /// its nearest local maximum; 0 when v itself is a local maximum.
+  std::vector<NodeId> dist_to_max;
+  /// dist_to_min[v]: same, descending to the nearest local minimum.
+  std::vector<NodeId> dist_to_min;
+  /// Length (edge count) of the longest identifier-monotone subpath.
+  NodeId longest_chain = 0;
+};
+
+/// True iff v's identifier exceeds both cycle neighbours'.
+[[nodiscard]] bool is_local_max_on_cycle(const IdAssignment& ids, NodeId v);
+/// True iff v's identifier is below both cycle neighbours'.
+[[nodiscard]] bool is_local_min_on_cycle(const IdAssignment& ids, NodeId v);
+
+/// Compute all monotone distances on the cycle C_n (ids must properly color
+/// the cycle, i.e. adjacent values differ).
+[[nodiscard]] MonotoneDistances monotone_distances_on_cycle(
+    const IdAssignment& ids);
+
+}  // namespace ftcc

@@ -1,0 +1,47 @@
+#include "graph/coloring.hpp"
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+std::optional<std::pair<NodeId, NodeId>> find_conflict(
+    const Graph& g, const PartialColoring& colors) {
+  FTCC_EXPECTS(colors.size() == g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!colors[v]) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (u < v) continue;  // visit each edge once
+      if (colors[u] && *colors[u] == *colors[v]) return std::pair{v, u};
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_proper_partial(const Graph& g, const PartialColoring& colors) {
+  return !find_conflict(g, colors).has_value();
+}
+
+bool is_proper_total(const Graph& g, const PartialColoring& colors) {
+  FTCC_EXPECTS(colors.size() == g.node_count());
+  for (const auto& c : colors)
+    if (!c) return false;
+  return is_proper_partial(g, colors);
+}
+
+std::size_t palette_size(const PartialColoring& colors) {
+  std::set<std::uint64_t> used;
+  for (const auto& c : colors)
+    if (c) used.insert(*c);
+  return used.size();
+}
+
+std::optional<std::uint64_t> max_color(const PartialColoring& colors) {
+  std::optional<std::uint64_t> best;
+  for (const auto& c : colors)
+    if (c && (!best || *c > *best)) best = *c;
+  return best;
+}
+
+}  // namespace ftcc

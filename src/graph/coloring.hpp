@@ -1,0 +1,38 @@
+// Output validation: is a (possibly partial) coloring proper on the
+// subgraph induced by the nodes that terminated?  This is exactly the
+// paper's correctness condition ("the outputs properly color the graph
+// induced by the terminating processes").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftcc {
+
+/// A partial coloring: nullopt = the node did not terminate (crashed or
+/// never scheduled enough), otherwise its output color.
+using PartialColoring = std::vector<std::optional<std::uint64_t>>;
+
+/// True iff no edge joins two *terminated* nodes of equal color.
+[[nodiscard]] bool is_proper_partial(const Graph& g,
+                                     const PartialColoring& colors);
+
+/// True iff every node terminated and the coloring is proper.
+[[nodiscard]] bool is_proper_total(const Graph& g,
+                                   const PartialColoring& colors);
+
+/// Number of distinct colors among terminated nodes.
+[[nodiscard]] std::size_t palette_size(const PartialColoring& colors);
+
+/// Largest color value used (terminated nodes only); nullopt if none.
+[[nodiscard]] std::optional<std::uint64_t> max_color(
+    const PartialColoring& colors);
+
+/// The first improperly-colored edge, if any — for diagnostics in tests.
+[[nodiscard]] std::optional<std::pair<NodeId, NodeId>> find_conflict(
+    const Graph& g, const PartialColoring& colors);
+
+}  // namespace ftcc

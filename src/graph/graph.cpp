@@ -1,0 +1,126 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+
+Graph::Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges)
+    : n_(n), offsets_(n + 1, 0) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (auto [u, v] : edges) {
+    FTCC_EXPECTS(u < n && v < n);
+    FTCC_EXPECTS(u != v);  // simple graph: no self-loops
+    auto key = std::minmax(u, v);
+    FTCC_EXPECTS(seen.insert(key).second);  // no duplicate edges
+  }
+  std::vector<int> deg(n, 0);
+  for (auto [u, v] : edges) {
+    ++deg[u];
+    ++deg[v];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + static_cast<std::size_t>(deg[v]);
+    max_degree_ = std::max(max_degree_, deg[v]);
+  }
+  adjacency_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (auto [u, v] : edges) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+Graph make_cycle(NodeId n) {
+  FTCC_EXPECTS(n >= 3);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n);
+  for (NodeId i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph(n, edges);
+}
+
+Graph make_path(NodeId n) {
+  FTCC_EXPECTS(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n - 1);
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, edges);
+}
+
+Graph make_complete(NodeId n) {
+  FTCC_EXPECTS(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return Graph(n, edges);
+}
+
+Graph make_torus(NodeId rows, NodeId cols) {
+  FTCC_EXPECTS(rows >= 3 && cols >= 3);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  return Graph(rows * cols, edges);
+}
+
+Graph make_petersen() {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);          // outer pentagon
+    edges.emplace_back(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    edges.emplace_back(i, 5 + i);                // spokes
+  }
+  return Graph(10, edges);
+}
+
+Graph make_star(NodeId n) {
+  FTCC_EXPECTS(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n - 1);
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return Graph(n, edges);
+}
+
+Graph make_random_bounded_degree(NodeId n, int max_degree,
+                                 std::uint64_t seed) {
+  FTCC_EXPECTS(n >= 3);
+  FTCC_EXPECTS(max_degree >= 2);
+  Xoshiro256 rng(seed);
+  std::vector<int> deg(n, 0);
+  std::set<std::pair<NodeId, NodeId>> edge_set;
+  auto add = [&](NodeId u, NodeId v) {
+    edge_set.insert(std::minmax(u, v));
+    ++deg[u];
+    ++deg[v];
+  };
+  for (NodeId i = 0; i < n; ++i) add(i, (i + 1) % n);
+  // Random chords until the degree budget is mostly consumed; a bounded
+  // number of rejected attempts keeps construction O(n * max_degree).
+  const std::size_t attempts = static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(max_degree) * 4;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v || deg[u] >= max_degree || deg[v] >= max_degree) continue;
+    auto key = std::minmax(u, v);
+    if (edge_set.count(key) != 0) continue;
+    add(u, v);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges(edge_set.begin(),
+                                               edge_set.end());
+  return Graph(n, edges);
+}
+
+}  // namespace ftcc

@@ -1,0 +1,74 @@
+// The communication topology of the state model: a simple undirected graph
+// whose edges mediate register visibility.  The paper's main object is the
+// cycle C_n; Algorithm 4 (appendix) runs on arbitrary bounded-degree graphs,
+// and the complete graph K_n recovers the shared-memory model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ftcc {
+
+using NodeId = std::uint32_t;
+
+/// Immutable simple undirected graph in compressed adjacency form.
+/// Neighbour order is arbitrary but fixed, matching the paper's "each node
+/// assigns an arbitrary order to the registers of its neighbors".
+class Graph {
+ public:
+  /// Build from an edge list over nodes {0, ..., n-1}.  Self-loops and
+  /// duplicate edges are rejected.
+  Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  [[nodiscard]] NodeId node_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return adjacency_.size() / 2;
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] int degree(NodeId v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+  [[nodiscard]] int max_degree() const noexcept { return max_degree_; }
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+ private:
+  NodeId n_;
+  std::vector<std::size_t> offsets_;  // size n_ + 1
+  std::vector<NodeId> adjacency_;
+  int max_degree_ = 0;
+};
+
+// --- Builders ---------------------------------------------------------
+
+/// The n-node cycle C_n (n >= 3), node i adjacent to (i±1) mod n.
+[[nodiscard]] Graph make_cycle(NodeId n);
+
+/// The n-node path P_n (n >= 2).
+[[nodiscard]] Graph make_path(NodeId n);
+
+/// The complete graph K_n; with it the state model coincides with
+/// immediate-snapshot shared memory (paper, Property 2.3).
+[[nodiscard]] Graph make_complete(NodeId n);
+
+/// rows x cols torus (4-regular when rows, cols >= 3).
+[[nodiscard]] Graph make_torus(NodeId rows, NodeId cols);
+
+/// The Petersen graph (10 nodes, 3-regular) — a classic non-cycle testbed.
+[[nodiscard]] Graph make_petersen();
+
+/// The star K_{1,n-1}: node 0 adjacent to all others — the maximum-degree
+/// stress case for Algorithm 4 (Δ = n-1 at the hub, 1 at the leaves).
+[[nodiscard]] Graph make_star(NodeId n);
+
+class Xoshiro256;
+
+/// Connected random graph with maximum degree <= max_degree: a Hamiltonian
+/// cycle for connectivity plus random chords respecting the degree cap.
+[[nodiscard]] Graph make_random_bounded_degree(NodeId n, int max_degree,
+                                               std::uint64_t seed);
+
+}  // namespace ftcc

@@ -1,0 +1,75 @@
+#include "graph/ids.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+
+IdAssignment random_ids(NodeId n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::uint64_t bound =
+      static_cast<std::uint64_t>(n) * n * n + 8;  // poly(n) name space
+  return sample_distinct(bound, n, rng);
+}
+
+IdAssignment sorted_ids(NodeId n, std::uint64_t lowest, std::uint64_t stride) {
+  FTCC_EXPECTS(stride >= 1);
+  IdAssignment ids(n);
+  for (NodeId i = 0; i < n; ++i) ids[i] = lowest + i * stride;
+  return ids;
+}
+
+IdAssignment alternating_ids(NodeId n) {
+  // Low band {100..} on even positions, high band on odd positions.  On an
+  // odd cycle the wrap-around pair (n-1, 0) is low/low-adjacent, so offset
+  // the last node into a middle band to keep the coloring proper.
+  IdAssignment ids(n);
+  for (NodeId i = 0; i < n; ++i)
+    ids[i] = (i % 2 == 0) ? 100 + i : 1'000'000 + i;
+  if (n % 2 == 1) ids[n - 1] = 500'000;
+  return ids;
+}
+
+IdAssignment zigzag_ids(NodeId n, NodeId run_length) {
+  FTCC_EXPECTS(run_length >= 1);
+  IdAssignment ids(n);
+  const std::uint64_t period = 2 * static_cast<std::uint64_t>(run_length);
+  for (NodeId i = 0; i < n; ++i) {
+    // Triangle wave of period 2L: strictly ascends for L steps then
+    // strictly descends for L steps, so monotone chains have length L.
+    const std::uint64_t phase = i % period;
+    const std::uint64_t t =
+        phase <= run_length ? phase : period - phase;
+    // Unique values: order by the wave, ties broken by position.  Ties only
+    // occur between non-adjacent nodes (the wave changes at every step), so
+    // the assignment stays a proper coloring.
+    ids[i] = (100 + t) * (static_cast<std::uint64_t>(n) + 1) + i;
+  }
+  return ids;
+}
+
+IdAssignment permutation_ids(NodeId n, std::uint64_t seed,
+                             std::uint64_t base) {
+  IdAssignment ids(n);
+  for (NodeId i = 0; i < n; ++i) ids[i] = base + i;
+  Xoshiro256 rng(seed);
+  shuffle(ids, rng);
+  return ids;
+}
+
+bool ids_proper(const Graph& g, const IdAssignment& ids) {
+  FTCC_EXPECTS(ids.size() == g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    for (NodeId u : g.neighbors(v))
+      if (ids[u] == ids[v]) return false;
+  return true;
+}
+
+bool ids_unique(const IdAssignment& ids) {
+  std::unordered_set<std::uint64_t> seen(ids.begin(), ids.end());
+  return seen.size() == ids.size();
+}
+
+}  // namespace ftcc

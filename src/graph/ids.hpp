@@ -1,0 +1,47 @@
+// Identifier assignments.  The paper's processes start with unique
+// identifiers in [0, poly(n)]; the *shape* of the assignment around the
+// cycle controls the length of monotone chains and hence the runtime of
+// Algorithms 1 and 2 (Lemma 3.9 / Theorem 3.11), while Algorithm 3 is
+// insensitive to it.  Generators below cover the interesting regimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftcc {
+
+using IdAssignment = std::vector<std::uint64_t>;
+
+/// Unique random identifiers drawn from [0, n^3) — the paper's poly(n)
+/// regime.  Expected longest monotone chain around the cycle is O(log n),
+/// making this the *easy* case for Algorithms 1 and 2.
+[[nodiscard]] IdAssignment random_ids(NodeId n, std::uint64_t seed);
+
+/// Sorted identifiers 'lowest + i * stride' in cycle order: one monotone
+/// chain of length n-1, the worst case driving Theorem 3.1 / 3.11's Θ(n)
+/// bounds, and the showcase for Algorithm 3's O(log* n).
+[[nodiscard]] IdAssignment sorted_ids(NodeId n, std::uint64_t lowest = 100,
+                                      std::uint64_t stride = 1);
+
+/// Alternating low/high identifiers: every node is a local extremum, the
+/// best case (O(1) termination for Algorithms 1 and 2).
+[[nodiscard]] IdAssignment alternating_ids(NodeId n);
+
+/// "Zigzag" with configurable run length L: monotone chains of length
+/// exactly L, interpolating between alternating (L=1) and sorted (L=n-1).
+[[nodiscard]] IdAssignment zigzag_ids(NodeId n, NodeId run_length);
+
+/// Random permutation of {base, ..., base + n - 1}: unique, dense range.
+[[nodiscard]] IdAssignment permutation_ids(NodeId n, std::uint64_t seed,
+                                           std::uint64_t base = 0);
+
+/// True iff the assignment properly colors the graph (the precondition of
+/// all three theorems: identifiers may repeat, but never across an edge).
+[[nodiscard]] bool ids_proper(const Graph& g, const IdAssignment& ids);
+
+/// True iff all identifiers are pairwise distinct.
+[[nodiscard]] bool ids_unique(const IdAssignment& ids);
+
+}  // namespace ftcc

@@ -1,0 +1,60 @@
+#include "localmodel/cole_vishkin.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+std::uint64_t ColeVishkin::reduce_rounds_for(std::uint64_t max_id) {
+  // One reduction maps colors of bit-length L to values <= 2(L-1)+1, i.e.
+  // bit-length |2L - 1|.  Iterate until the length stabilises at 3 (colors
+  // in {0..5} need i <= 2, value 2i+b <= 5), then one extra round for the
+  // fixed point to propagate.
+  std::uint64_t len = static_cast<std::uint64_t>(bit_length(max_id));
+  std::uint64_t rounds = 0;
+  while (len > 3) {
+    len = static_cast<std::uint64_t>(bit_length(2 * len - 1));
+    ++rounds;
+  }
+  return rounds + 1;
+}
+
+void ColeVishkin::round(State& s, const State& pred, const State& succ) const {
+  if (s.done) return;
+  if (s.reducing) {
+    // Phase 1: deterministic coin tossing against the successor.
+    const int diff = lowest_differing_bit(s.color, succ.color);
+    FTCC_EXPECTS(diff < 64);  // properness: colors differ along the cycle
+    s.color = 2 * static_cast<std::uint64_t>(diff) + bit_at(s.color, diff);
+    ++s.round_index;
+    if (s.round_index >= reduce_rounds_) s.reducing = false;
+    return;
+  }
+  // Phase 2: three rounds removing colors 5, 4, 3 in turn.  Nodes of the
+  // target color form an independent set, so simultaneous recoloring to
+  // the local mex over {0,1,2} stays proper.
+  const std::uint64_t target = 5 - (s.round_index - reduce_rounds_);
+  if (s.color == target) {
+    SmallValueSet<2> used;
+    if (pred.color <= 2) used.insert(pred.color);
+    if (succ.color <= 2) used.insert(succ.color);
+    s.color = used.mex();
+  }
+  ++s.round_index;
+  if (s.round_index >= reduce_rounds_ + 3) s.done = true;
+}
+
+ColeVishkinResult run_cole_vishkin(const IdAssignment& ids) {
+  FTCC_EXPECTS(!ids.empty());
+  const std::uint64_t max_id = *std::max_element(ids.begin(), ids.end());
+  ColeVishkin algo(ColeVishkin::reduce_rounds_for(max_id));
+  SyncCycleExecutor<ColeVishkin> ex(algo, ids);
+  const auto rounds = ex.run(10'000);
+  FTCC_ENSURES(rounds.has_value());
+  return {ex.outputs(), *rounds};
+}
+
+}  // namespace ftcc

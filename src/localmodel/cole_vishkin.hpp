@@ -1,0 +1,60 @@
+// Classical Cole–Vishkin 3-coloring of the synchronous oriented cycle:
+//   Phase 1 (reduce): each round, recolor c_v <- 2i + bit_i(c_v) where i is
+//     the lowest bit position at which c_v and c_succ(v) differ.  Colors
+//     stay proper and their bit-length collapses; after O(log* n) rounds
+//     all colors lie in {0, ..., 5}.
+//   Phase 2 (shift-down-free): for each target color t in {5, 4, 3}, one
+//     round in which every node of color t (an independent set) recolors to
+//     the least color unused by its neighbours — ending with 3 colors.
+//
+// This is the algorithm whose deterministic coin tossing the paper adapts
+// (its f of Eq. (6)), and the synchronous baseline for experiment E6.
+#pragma once
+
+#include <cstdint>
+
+#include "localmodel/sync_local.hpp"
+
+namespace ftcc {
+
+class ColeVishkin {
+ public:
+  struct State {
+    std::uint64_t color = 0;
+    std::uint64_t round_index = 0;
+    bool reducing = true;  ///< phase 1 until colors are < 6 cycle-wide
+    bool done = false;
+  };
+
+  /// Number of phase-1 rounds to run; the executor computes it from n via
+  /// reduce_rounds_for(), mirroring the standard assumption that LOCAL
+  /// nodes know n.
+  explicit ColeVishkin(std::uint64_t reduce_rounds)
+      : reduce_rounds_(reduce_rounds) {}
+
+  /// Rounds needed to reduce identifiers < 2^B to colors < 6: iterate the
+  /// length collapse len -> |2*len| until fixed point (colors on 3 bits).
+  [[nodiscard]] static std::uint64_t reduce_rounds_for(std::uint64_t max_id);
+
+  [[nodiscard]] State init(NodeId, std::uint64_t id) const {
+    return State{id, 0, true, false};
+  }
+
+  void round(State& s, const State& /*pred*/, const State& succ) const;
+
+  [[nodiscard]] bool finished(const State& s) const { return s.done; }
+  [[nodiscard]] std::uint64_t output(const State& s) const { return s.color; }
+
+ private:
+  std::uint64_t reduce_rounds_;
+};
+
+/// Convenience: run Cole–Vishkin on the given identifiers; returns the
+/// final colors (all in {0,1,2}) and the number of rounds taken.
+struct ColeVishkinResult {
+  std::vector<std::uint64_t> colors;
+  std::uint64_t rounds = 0;
+};
+[[nodiscard]] ColeVishkinResult run_cole_vishkin(const IdAssignment& ids);
+
+}  // namespace ftcc

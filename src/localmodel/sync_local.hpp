@@ -1,0 +1,89 @@
+// The synchronous, failure-free LOCAL model on the oriented cycle — the
+// classical setting of Cole–Vishkin / Linial that the paper's asynchronous
+// model relaxes.  Rounds are lock-step: every node simultaneously sees its
+// predecessor's and successor's full state from the previous round, then
+// updates.  This substrate exists to baseline Algorithm 3's O(log* n)
+// asynchronous bound against the classical O(log* n) synchronous one (E6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+/// A synchronous cycle algorithm: State + init + round + finished/output.
+/// `round` sees the predecessor and successor states of the previous round
+/// (the cycle is consistently oriented, unlike the asynchronous model).
+template <typename A>
+concept SyncCycleAlgorithm =
+    requires(const A algo, typename A::State s, NodeId v, std::uint64_t id) {
+      typename A::State;
+      { algo.init(v, id) } -> std::same_as<typename A::State>;
+      {
+        algo.round(s, std::as_const(s), std::as_const(s))
+      } -> std::same_as<void>;
+      { algo.finished(std::as_const(s)) } -> std::same_as<bool>;
+      { algo.output(std::as_const(s)) } -> std::same_as<std::uint64_t>;
+    };
+
+template <SyncCycleAlgorithm A>
+class SyncCycleExecutor {
+ public:
+  SyncCycleExecutor(A algo, const IdAssignment& ids)
+      : algo_(std::move(algo)), n_(static_cast<NodeId>(ids.size())) {
+    FTCC_EXPECTS(n_ >= 3);
+    states_.reserve(n_);
+    for (NodeId v = 0; v < n_; ++v) states_.push_back(algo_.init(v, ids[v]));
+  }
+
+  /// One synchronous round: all nodes update from the previous snapshot.
+  void round() {
+    const std::vector<typename A::State> snapshot = states_;
+    for (NodeId v = 0; v < n_; ++v) {
+      const NodeId pred = v == 0 ? n_ - 1 : v - 1;
+      const NodeId succ = v + 1 == n_ ? 0 : v + 1;
+      algo_.round(states_[v], snapshot[pred], snapshot[succ]);
+    }
+    ++rounds_;
+  }
+
+  /// Run until every node reports finished (or the budget runs out);
+  /// returns the number of rounds, or nullopt if the budget was exhausted.
+  std::optional<std::uint64_t> run(std::uint64_t max_rounds) {
+    while (rounds_ < max_rounds) {
+      if (all_finished()) return rounds_;
+      round();
+    }
+    return all_finished() ? std::optional(rounds_) : std::nullopt;
+  }
+
+  [[nodiscard]] bool all_finished() const {
+    for (NodeId v = 0; v < n_; ++v)
+      if (!algo_.finished(states_[v])) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] const typename A::State& state(NodeId v) const {
+    return states_[v];
+  }
+  [[nodiscard]] std::vector<std::uint64_t> outputs() const {
+    std::vector<std::uint64_t> out(n_);
+    for (NodeId v = 0; v < n_; ++v) out[v] = algo_.output(states_[v]);
+    return out;
+  }
+
+ private:
+  A algo_;
+  NodeId n_;
+  std::vector<typename A::State> states_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace ftcc

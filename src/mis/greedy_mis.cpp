@@ -1,0 +1,70 @@
+#include "mis/greedy_mis.hpp"
+
+#include <string>
+
+namespace ftcc {
+
+std::optional<GreedyMis::Output> GreedyMis::step(
+    State& s, NeighborView<Register> view) const {
+  // Decisions are two-phase so neighbours can observe them: an activation
+  // that *resolves* publishes the resolution at the node's next write (the
+  // write precedes the return test), and only then does the node return.
+  if (s.activations == kResolvedIn) return 1;
+  if (s.activations == kResolvedOut) return 0;
+
+  ++s.activations;
+  bool neighbour_in = false;
+  bool all_awake_smaller_undecided = true;
+  for (const auto& reg : view) {
+    if (!reg) continue;  // a sleeping neighbour cannot be waited for
+    if (reg->status == Status::in) neighbour_in = true;
+    if (reg->status != Status::undecided || reg->id > s.id)
+      all_awake_smaller_undecided = false;
+  }
+  if (neighbour_in) {
+    s.activations = kResolvedOut;
+  } else if (all_awake_smaller_undecided || s.activations >= patience_) {
+    // Either locally maximal among awake undecided neighbours, or out of
+    // patience — wait-freedom forbids waiting longer.
+    s.activations = kResolvedIn;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_mis(
+    const Graph& g, const std::vector<std::optional<std::uint64_t>>& outputs) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!outputs[v]) continue;
+    if (*outputs[v] == 1) {
+      for (NodeId u : g.neighbors(v))
+        if (u > v && outputs[u] && *outputs[u] == 1)
+          return "adjacent nodes " + std::to_string(v) + " and " +
+                 std::to_string(u) + " both output 1";
+    } else {
+      bool has_in_neighbour = false;
+      for (NodeId u : g.neighbors(v))
+        if (outputs[u] && *outputs[u] == 1) has_in_neighbour = true;
+      if (!has_in_neighbour)
+        return "node " + std::to_string(v) +
+               " output 0 with no terminated neighbour outputting 1";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_ssb(
+    const std::vector<std::optional<std::uint64_t>>& outputs,
+    bool all_terminated) {
+  bool saw_one = false;
+  bool saw_zero = false;
+  for (const auto& o : outputs) {
+    if (!o) continue;
+    (*o == 1 ? saw_one : saw_zero) = true;
+  }
+  if (!saw_one) return "no process output 1";
+  if (all_terminated && !saw_zero)
+    return "all processes terminated but none output 0";
+  return std::nullopt;
+}
+
+}  // namespace ftcc

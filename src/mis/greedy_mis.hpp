@@ -1,0 +1,97 @@
+// A *candidate* MIS protocol for the asynchronous cycle — deliberately
+// doomed: Property 2.1 proves MIS cannot be solved wait-free in this
+// model (by reduction to strong symmetry breaking).  This module exists to
+// demonstrate that impossibility concretely: the protocol below is the
+// natural greedy attempt, and the tests / model checker exhibit executions
+// where it violates the MIS specification.
+//
+// Protocol: undecided nodes publish (id, undecided).  A node returns
+//   OUT (0) as soon as it sees a neighbour that declared IN;
+//   IN  (1) if every awake neighbour is undecided with a smaller id;
+// and — forced by wait-freedom, since it cannot wait forever for a
+// sleeping or slow neighbour — it gives up after `patience` activations
+// and returns IN if it has seen no IN neighbour.
+//
+// The failure mode (test MisDemo.AdjacentInsUnderAlternation): two
+// adjacent nodes driven in perfect alternation each exhaust patience
+// seeing the other undecided, and both return IN.  Lowering or raising
+// patience only moves the bad schedule around — as the impossibility
+// predicts, no parameter value fixes it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+class GreedyMis {
+ public:
+  enum class Status : std::uint64_t { undecided = 0, in = 1, out = 2 };
+
+  struct Register {
+    std::uint64_t id = 0;
+    Status status = Status::undecided;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, static_cast<std::uint64_t>(status)});
+    }
+  };
+
+  struct State {
+    std::uint64_t id = 0;
+    std::uint64_t activations = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, activations});
+    }
+  };
+
+  using Output = std::uint64_t;  ///< 1 = in the MIS, 0 = out
+
+  explicit GreedyMis(std::uint64_t patience = 8) : patience_(patience) {}
+
+  /// Resolution latches stored in State::activations: a node that resolved
+  /// publishes its decision at its next write and only then returns.
+  static constexpr std::uint64_t kResolvedIn = ~std::uint64_t{0};
+  static constexpr std::uint64_t kResolvedOut = ~std::uint64_t{0} - 1;
+
+  [[nodiscard]] State init(NodeId, std::uint64_t id, int) const {
+    return State{id, 0};
+  }
+  [[nodiscard]] Register publish(const State& s) const {
+    const Status status = s.activations == kResolvedIn    ? Status::in
+                          : s.activations == kResolvedOut ? Status::out
+                                                          : Status::undecided;
+    return {s.id, status};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o; }
+
+ private:
+  std::uint64_t patience_;
+};
+
+static_assert(Algorithm<GreedyMis>);
+
+/// The MIS specification restricted to terminated nodes (Property 2.1):
+///  (1) no two adjacent terminated nodes both output 1;
+///  (2) every terminated node that outputs 0 has a terminated neighbour
+///      that outputs 1.
+/// Returns a violation description, or nullopt if the outputs are valid.
+[[nodiscard]] std::optional<std::string> check_mis(
+    const Graph& g, const std::vector<std::optional<std::uint64_t>>& outputs);
+
+/// The strong-symmetry-breaking (SSB) conditions from the Property 2.1
+/// reduction: (1) at least one process outputs 1 in every execution;
+/// (2) if all processes terminate, at least one outputs 0 and at least one
+/// outputs 1.  Returns a violation description or nullopt.
+[[nodiscard]] std::optional<std::string> check_ssb(
+    const std::vector<std::optional<std::uint64_t>>& outputs,
+    bool all_terminated);
+
+}  // namespace ftcc

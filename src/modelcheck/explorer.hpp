@@ -1,0 +1,423 @@
+// Exhaustive model checker for the state model: explores *every* execution
+// of an Algorithm on a (small) graph by enumerating, at every reachable
+// configuration, all possible activation sets, with memoisation of
+// configurations.  Verifies:
+//
+//   Safety      — a user predicate plus built-in output properness, checked
+//                 at every reachable configuration;
+//   Wait-freedom — the configuration graph restricted to non-terminal
+//                 configurations must be acyclic: a cycle is an infinite
+//                 execution that activates some working node infinitely
+//                 often, i.e. an unbounded round complexity;
+//   Exact bounds — if wait-free, a longest-path DP over the configuration
+//                 DAG computes, per node, the exact worst-case number of
+//                 activations over ALL schedules — the paper's "running
+//                 time" for this instance, computed rather than estimated.
+//
+// Two transition semantics:
+//   singletons — one node per step (atomic interleaving, the classical
+//                shared-memory semantics);
+//   sets       — arbitrary non-empty subsets per step (the paper's σ(t)).
+// Crash failures need no extra branching: a crash is a schedule that never
+// activates the node again, and both semantics quantify over all such
+// schedules (safety at *every* reachable configuration covers every crash
+// prefix, and partial-output properness is checked everywhere).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "runtime/algorithm.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+enum class ActivationMode {
+  singletons,  ///< one node per time step
+  sets,        ///< any non-empty subset per time step (the paper's model)
+};
+
+/// Atomicity ablation (experiment E16): the paper's activation is an
+/// ATOMIC write-then-read round.  `split` semantics breaks it into two
+/// separately-schedulable micro-steps — a node may write, sit stale for
+/// arbitrarily long while neighbours run full rounds, and only then read —
+/// strictly more adversarial than any σ(t) block schedule.  A full round
+/// (for activation counting) completes at the read micro-step.
+enum class Atomicity {
+  atomic,  ///< write+read+update in one indivisible activation
+  split,   ///< write and read+update scheduled independently
+};
+
+template <Algorithm A>
+struct ModelCheckOptions {
+  ActivationMode mode = ActivationMode::sets;
+  Atomicity atomicity = Atomicity::atomic;
+  /// Exploration budget; exceeded => result.completed = false.
+  std::uint64_t max_configs = 4'000'000;
+  /// Check that terminated neighbours never share an output color.  On for
+  /// coloring algorithms; off for tasks with different specs (e.g. MIS).
+  bool check_output_properness = true;
+  /// Extra per-configuration safety predicate over (states, registers,
+  /// outputs); return a description to report a violation.
+  std::function<std::optional<std::string>(
+      const std::vector<typename A::State>&,
+      const std::vector<std::optional<typename A::Register>>&,
+      const std::vector<std::optional<typename A::Output>>&)>
+      safety;
+};
+
+struct ModelCheckResult {
+  bool completed = false;      ///< exploration finished within budget
+  bool wait_free = false;      ///< no cycle among working configurations
+  bool outputs_proper = true;  ///< properness held in every configuration
+  std::optional<std::string> safety_violation;
+  std::uint64_t configs = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t terminal_configs = 0;
+  /// Exact worst-case activations per node over all schedules (valid only
+  /// when wait_free && completed && no safety violation).
+  std::vector<std::uint64_t> worst_case_activations;
+  /// Exact maximum number of time steps any execution can take before all
+  /// nodes terminate (same validity conditions).
+  std::uint64_t worst_case_steps = 0;
+  [[nodiscard]] std::uint64_t worst_case_rounds() const {
+    std::uint64_t m = 0;
+    for (auto a : worst_case_activations) m = std::max(m, a);
+    return m;
+  }
+  /// Every color any node ever output, across all executions.
+  std::vector<std::uint64_t> colors_used;
+  /// When a livelock was found: a concrete witness schedule.  Each entry is
+  /// an activation bitmask over node ids; playing `livelock_prefix` from
+  /// the initial configuration reaches the cycle, and every repetition of
+  /// `livelock_loop` returns to the same configuration — an explicit
+  /// infinite execution.  Empty when wait_free.
+  std::vector<std::uint32_t> livelock_prefix;
+  std::vector<std::uint32_t> livelock_loop;
+};
+
+/// Convert a witness bitmask sequence into explicit activation sets (for
+/// ReplayScheduler or Executor::step).
+[[nodiscard]] inline std::vector<std::vector<NodeId>> witness_to_schedule(
+    const std::vector<std::uint32_t>& bitmasks, NodeId n) {
+  std::vector<std::vector<NodeId>> schedule;
+  schedule.reserve(bitmasks.size());
+  for (std::uint32_t bits : bitmasks) {
+    std::vector<NodeId> sigma;
+    for (NodeId v = 0; v < n; ++v)
+      if (bits & (1u << v)) sigma.push_back(v);
+    schedule.push_back(std::move(sigma));
+  }
+  return schedule;
+}
+
+namespace detail {
+
+struct VecHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& v) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t x : v) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace detail
+
+template <Algorithm A>
+class ModelChecker {
+ public:
+  using Register = typename A::Register;
+  using State = typename A::State;
+  using Output = typename A::Output;
+
+  /// The graph is stored by value: model-checked instances are tiny, and
+  /// callers routinely pass temporaries (make_cycle(3)).
+  ModelChecker(A algo, Graph graph, const IdAssignment& ids,
+               ModelCheckOptions<A> options = {})
+      : algo_(std::move(algo)),
+        graph_(std::move(graph)),
+        options_(std::move(options)) {
+    FTCC_EXPECTS(ids.size() == graph_.node_count());
+    FTCC_EXPECTS(graph_.node_count() <= 16);  // activation bitmasks
+    initial_.states.reserve(graph_.node_count());
+    for (NodeId v = 0; v < graph_.node_count(); ++v)
+      initial_.states.push_back(algo_.init(v, ids[v], graph_.degree(v)));
+    initial_.registers.resize(graph_.node_count());
+    initial_.outputs.resize(graph_.node_count());
+    initial_.mid_round.assign(graph_.node_count(), 0);
+  }
+
+  [[nodiscard]] ModelCheckResult run();
+
+  /// Run one explicit schedule through the checker's own transition
+  /// function and return the outputs.  This is a second, independent
+  /// implementation of the model — used for differential testing against
+  /// the Executor.
+  [[nodiscard]] std::vector<std::optional<Output>> simulate(
+      const std::vector<std::vector<NodeId>>& schedule) const {
+    Config c = initial_;
+    for (const auto& raw_sigma : schedule) {
+      std::vector<NodeId> sigma;
+      for (NodeId v : raw_sigma)
+        if (!c.outputs[v]) sigma.push_back(v);
+      c = apply(c, sigma);
+    }
+    return c.outputs;
+  }
+
+ private:
+  struct Config {
+    std::vector<State> states;
+    std::vector<std::optional<Register>> registers;
+    std::vector<std::optional<Output>> outputs;
+    /// split semantics only: true = the node wrote and has a read pending.
+    std::vector<std::uint8_t> mid_round;
+
+    [[nodiscard]] std::vector<std::uint64_t> key() const {
+      std::vector<std::uint64_t> k;
+      k.reserve(states.size() * 8);
+      for (const auto& s : states) s.encode(k);
+      for (const auto& r : registers) {
+        k.push_back(r.has_value());
+        if (r) r->encode(k);
+      }
+      for (const auto& o : outputs) {
+        k.push_back(o.has_value());
+        if (o) k.push_back(A::color_code(*o));
+      }
+      for (const auto m : mid_round) k.push_back(m);
+      return k;
+    }
+
+    [[nodiscard]] std::vector<NodeId> working() const {
+      std::vector<NodeId> w;
+      for (NodeId v = 0; v < states.size(); ++v)
+        if (!outputs[v]) w.push_back(v);
+      return w;
+    }
+  };
+
+  /// One time step activating `sigma` (all working).  Atomic semantics:
+  /// all write, then all read-and-update — the executor's semantics in
+  /// miniature.  Split semantics: each chosen node performs its NEXT
+  /// micro-step (write if idle, read+update if mid-round); writes land
+  /// before reads within the step.
+  [[nodiscard]] Config apply(const Config& c,
+                             const std::vector<NodeId>& sigma) const {
+    Config next = c;
+    const bool split = options_.atomicity == Atomicity::split;
+    for (NodeId v : sigma) {
+      if (split && next.mid_round[v]) continue;  // read turn, not write
+      next.registers[v] = algo_.publish(next.states[v]);
+      if (split) next.mid_round[v] = 1;
+    }
+    std::vector<std::optional<Register>> view;
+    for (NodeId v : sigma) {
+      if (split) {
+        // A node chosen while idle only wrote this step; its read comes at
+        // a later scheduling of the same node.
+        if (!c.mid_round[v]) continue;
+        next.mid_round[v] = 0;
+      }
+      view.clear();
+      for (NodeId u : graph_.neighbors(v)) view.push_back(next.registers[u]);
+      auto out = algo_.step(next.states[v], NeighborView<Register>(view));
+      if (out) next.outputs[v] = std::move(*out);
+    }
+    return next;
+  }
+
+  A algo_;
+  Graph graph_;
+  ModelCheckOptions<A> options_;
+  Config initial_;
+};
+
+template <Algorithm A>
+ModelCheckResult ModelChecker<A>::run() {
+  ModelCheckResult result;
+  const NodeId n = graph_.node_count();
+
+  std::vector<Config> configs;
+  std::unordered_map<std::vector<std::uint64_t>, std::uint32_t,
+                     detail::VecHash>
+      index_of;
+  std::vector<std::uint8_t> color;  // 0 white, 1 gray (on stack), 2 black
+  // Out-edges per configuration: (child index, activation bitmask over
+  // node ids).  Needed only for the longest-path DP.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> out_edges;
+  // worst[i*n + v]: max future activations of node v from configuration i.
+  std::vector<std::uint64_t> worst;
+  // steps[i]: longest path (in transitions) from configuration i.
+  std::vector<std::uint64_t> steps;
+  std::vector<std::uint64_t> colors_used;
+
+  auto intern = [&](Config&& c) -> std::optional<std::uint32_t> {
+    auto key = c.key();
+    auto it = index_of.find(key);
+    if (it != index_of.end()) return it->second;
+    if (configs.size() >= options_.max_configs) return std::nullopt;
+    const auto idx = static_cast<std::uint32_t>(configs.size());
+    index_of.emplace(std::move(key), idx);
+    configs.push_back(std::move(c));
+    color.push_back(0);
+    out_edges.emplace_back();
+    worst.resize(worst.size() + n, 0);
+    steps.push_back(0);
+    return idx;
+  };
+
+  auto check_config = [&](const Config& c) -> bool {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!c.outputs[v]) continue;
+      const auto code = A::color_code(*c.outputs[v]);
+      if (options_.check_output_properness) {
+        for (NodeId u : graph_.neighbors(v)) {
+          if (u < v || !c.outputs[u]) continue;
+          if (code == A::color_code(*c.outputs[u])) {
+            result.outputs_proper = false;
+            if (!result.safety_violation)
+              result.safety_violation = "improper outputs on edge (" +
+                                        std::to_string(v) + "," +
+                                        std::to_string(u) + ")";
+          }
+        }
+      }
+      bool known = false;
+      for (auto x : colors_used) known |= (x == code);
+      if (!known) colors_used.push_back(code);
+    }
+    if (options_.safety && !result.safety_violation) {
+      if (auto err = options_.safety(c.states, c.registers, c.outputs))
+        result.safety_violation = std::move(err);
+    }
+    return !result.safety_violation.has_value();
+  };
+
+  const auto root = intern(Config(initial_));
+  FTCC_EXPECTS(root.has_value());
+  bool ok = check_config(configs[*root]);
+
+  struct Frame {
+    std::uint32_t config;
+    std::vector<NodeId> working;
+    std::uint32_t next_mask;
+    std::uint32_t incoming_bits;  // activation that entered this frame
+  };
+  bool cycle_found = false;
+  bool budget_exceeded = false;
+  std::vector<std::uint32_t> finish_order;
+  std::vector<Frame> stack;
+  if (ok) {
+    stack.push_back({*root, configs[*root].working(), 1, 0});
+    color[*root] = 1;
+  }
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto wsize = static_cast<std::uint32_t>(f.working.size());
+    const std::uint32_t limit = 1u << wsize;
+
+    if (f.working.empty() || f.next_mask >= limit || budget_exceeded ||
+        result.safety_violation) {
+      if (f.working.empty()) ++result.terminal_configs;
+      color[f.config] = 2;
+      finish_order.push_back(f.config);
+      stack.pop_back();
+      continue;
+    }
+
+    const std::uint32_t mask = f.next_mask;
+    f.next_mask = options_.mode == ActivationMode::sets
+                      ? f.next_mask + 1
+                      : f.next_mask << 1;
+
+    std::vector<NodeId> sigma;
+    std::uint32_t bits = 0;        // DP accounting: completed rounds only
+    std::uint32_t sigma_bits = 0;  // witness replay: the full chosen set
+    for (std::uint32_t b = 0; b < wsize; ++b)
+      if (mask & (1u << b)) {
+        const NodeId v = f.working[b];
+        sigma.push_back(v);
+        sigma_bits |= 1u << v;
+        // Activation accounting: in split semantics a round completes at
+        // the read micro-step, so only read turns contribute.
+        if (options_.atomicity == Atomicity::atomic ||
+            configs[f.config].mid_round[v])
+          bits |= 1u << v;
+      }
+    if (sigma.empty()) continue;
+
+    ++result.transitions;
+    const std::uint32_t fi = f.config;  // f may dangle after push_back
+    auto child = intern(apply(configs[fi], sigma));
+    if (!child) {
+      budget_exceeded = true;
+      continue;
+    }
+    const std::uint32_t ci = *child;
+    out_edges[fi].emplace_back(ci, bits);
+    if (color[ci] == 0) {
+      if (!check_config(configs[ci])) continue;
+      color[ci] = 1;
+      stack.push_back({ci, configs[ci].working(), 1, sigma_bits});
+    } else if (color[ci] == 1) {
+      if (!cycle_found) {
+        // First livelock: extract the witness from the DFS stack.  The
+        // stack spells root -> ... -> fi; the gray child ci sits somewhere
+        // on it, so prefix = activations reaching ci, loop = activations
+        // from ci back around through fi plus this closing edge.
+        std::size_t ci_pos = 0;
+        while (stack[ci_pos].config != ci) ++ci_pos;
+        for (std::size_t i = 1; i <= ci_pos; ++i)
+          result.livelock_prefix.push_back(stack[i].incoming_bits);
+        for (std::size_t i = ci_pos + 1; i < stack.size(); ++i)
+          result.livelock_loop.push_back(stack[i].incoming_bits);
+        result.livelock_loop.push_back(sigma_bits);
+      }
+      cycle_found = true;  // keep exploring to finish counting
+    }
+  }
+
+  result.completed = !budget_exceeded;
+  result.wait_free = !cycle_found && result.completed &&
+                     !result.safety_violation.has_value();
+  result.configs = configs.size();
+  result.colors_used = colors_used;
+
+  if (result.wait_free) {
+    // DFS finish order is a reverse topological order of the DAG: every
+    // descendant finishes before its ancestors, so children's DP values
+    // are final when a node is processed.
+    for (const std::uint32_t u : finish_order) {
+      for (const auto& [child, bits] : out_edges[u]) {
+        for (NodeId v = 0; v < n; ++v) {
+          const std::uint64_t cand =
+              worst[static_cast<std::size_t>(child) * n + v] +
+              ((bits >> v) & 1u);
+          auto& slot = worst[static_cast<std::size_t>(u) * n + v];
+          slot = std::max(slot, cand);
+        }
+        steps[u] = std::max(steps[u], steps[child] + 1);
+      }
+    }
+    result.worst_case_activations.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v)
+      result.worst_case_activations[v] =
+          worst[static_cast<std::size_t>(*root) * n + v];
+    result.worst_case_steps = steps[*root];
+  }
+  return result;
+}
+
+}  // namespace ftcc

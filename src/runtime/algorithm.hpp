@@ -1,0 +1,57 @@
+// The Algorithm concept: every distributed algorithm in this library is a
+// pure transition system over which the executor, the schedulers, the
+// invariant monitors, and the exhaustive model checker are all generic.
+//
+// An algorithm defines:
+//   Register — the value published in the node's single-writer register
+//              (read by neighbours only, per the state model);
+//   State    — the node's full private state;
+//   Output   — what a node returns when it terminates.
+// and the three operations
+//   init(node, id, degree)      -> State   (before the first activation)
+//   publish(state)              -> Register (what a write makes visible)
+//   step(state&, view)          -> optional<Output>
+// where one activation is write(publish(state)); read(view); step(...),
+// exactly the paper's atomic write-read-update round.  `step` sees the
+// neighbour registers *after* all simultaneously-activated nodes wrote.
+//
+// Determinism matters: given the same state and view, `step` must make the
+// same transition — the model checker relies on it.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace ftcc {
+
+/// What a node sees when it reads: one register slot per neighbour, in the
+/// graph's (arbitrary but fixed) neighbour order; nullopt is the initial
+/// value ⊥ of a register whose owner has never been activated.
+template <typename Reg>
+using NeighborView = std::span<const std::optional<Reg>>;
+
+template <typename A>
+concept Algorithm =
+    requires(const A algo, typename A::State state,
+             NeighborView<typename A::Register> view, NodeId node,
+             std::uint64_t id, int degree,
+             const typename A::Output& output) {
+      typename A::Register;
+      typename A::State;
+      typename A::Output;
+      { algo.init(node, id, degree) } -> std::same_as<typename A::State>;
+      {
+        algo.publish(std::as_const(state))
+      } -> std::same_as<typename A::Register>;
+      {
+        algo.step(state, view)
+      } -> std::same_as<std::optional<typename A::Output>>;
+      { A::color_code(output) } -> std::same_as<std::uint64_t>;
+    };
+
+}  // namespace ftcc

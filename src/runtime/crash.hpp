@@ -1,0 +1,58 @@
+// Crash plans.  In the state model a crash is indistinguishable from never
+// being scheduled again, so a crash plan simply removes a node from all
+// future activation sets — either from a fixed time step on, or after a
+// fixed number of activations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftcc {
+
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+  explicit CrashPlan(NodeId n)
+      : at_step_(n, std::nullopt), after_activations_(n, std::nullopt) {}
+
+  /// Node v takes no step at time >= t.
+  CrashPlan& crash_at_step(NodeId v, std::uint64_t t) {
+    grow(v);
+    at_step_[v] = t;
+    return *this;
+  }
+
+  /// Node v performs exactly k activations, then crashes (k may be 0:
+  /// the node never wakes up).
+  CrashPlan& crash_after_activations(NodeId v, std::uint64_t k) {
+    grow(v);
+    after_activations_[v] = k;
+    return *this;
+  }
+
+  [[nodiscard]] bool crashes_at(NodeId v, std::uint64_t t,
+                                std::uint64_t activations_so_far) const {
+    if (v >= at_step_.size()) return false;
+    if (at_step_[v] && t >= *at_step_[v]) return true;
+    if (after_activations_[v] && activations_so_far >= *after_activations_[v])
+      return true;
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return at_step_.empty(); }
+
+ private:
+  void grow(NodeId v) {
+    if (v >= at_step_.size()) {
+      at_step_.resize(v + 1);
+      after_activations_.resize(v + 1);
+    }
+  }
+  std::vector<std::optional<std::uint64_t>> at_step_;
+  std::vector<std::optional<std::uint64_t>> after_activations_;
+};
+
+}  // namespace ftcc

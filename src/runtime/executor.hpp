@@ -1,0 +1,215 @@
+// The asynchronous state-model executor (paper, Section 2).
+//
+// Time is discrete.  At each step t the scheduler hands over σ(t), a set of
+// nodes to activate.  An activation of a *working* node p (not terminated,
+// not crashed) is the atomic write-read-update round of the paper:
+//
+//   1. every activated node writes publish(state) into its register;
+//   2. every activated node reads its neighbours' registers — after ALL
+//      simultaneous writes, matching "the system behaves as if each of
+//      these processes first wrote a value in its own register, then all
+//      processes read all registers" (Section 2.1);
+//   3. every activated node runs its private transition, possibly
+//      returning an output (termination).
+//
+// A node that returns has already written in the same activation (the
+// pseudo-code's write precedes the return test), and its register stays
+// frozen forever after.  A crashed node simply never appears in σ again.
+//
+// The executor is deliberately sequential and deterministic: the paper's
+// model *is* an interleaving semantics, so simulating it with threads
+// would only add nondeterminism we would then have to remove.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "runtime/algorithm.hpp"
+#include "runtime/crash.hpp"
+#include "runtime/result.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/trace.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+template <Algorithm A>
+class Executor {
+ public:
+  using Register = typename A::Register;
+  using State = typename A::State;
+  using Output = typename A::Output;
+
+  /// An invariant is checked after every time step; it returns an error
+  /// description on violation, which aborts the run and is surfaced in the
+  /// result of run() via violation().
+  using Invariant =
+      std::function<std::optional<std::string>(const Executor&)>;
+
+  Executor(A algo, const Graph& graph, const IdAssignment& ids,
+           CrashPlan crash_plan = {})
+      : algo_(std::move(algo)),
+        graph_(&graph),
+        crash_plan_(std::move(crash_plan)),
+        registers_(graph.node_count()),
+        terminated_(graph.node_count(), false),
+        crashed_(graph.node_count(), false),
+        activations_(graph.node_count(), 0),
+        outputs_(graph.node_count()) {
+    FTCC_EXPECTS(ids.size() == graph.node_count());
+    states_.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v)
+      states_.push_back(algo_.init(v, ids[v], graph.degree(v)));
+  }
+
+  void add_invariant(Invariant inv) { invariants_.push_back(std::move(inv)); }
+
+  /// Attach an event log filled for the rest of the execution; the trace
+  /// must outlive the executor (or be detached with attach_trace(nullptr)).
+  void attach_trace(Trace* trace) { trace_ = trace; }
+
+  /// Execute one time step with activation set sigma (non-working nodes are
+  /// ignored).  Returns the number of nodes actually activated.
+  std::size_t step(std::span<const NodeId> sigma) {
+    ++now_;
+    apply_step_crashes();
+    scratch_sigma_.clear();
+    if (in_sigma_.size() < graph_->node_count())
+      in_sigma_.assign(graph_->node_count(), false);
+    for (NodeId v : sigma) {
+      FTCC_EXPECTS(v < graph_->node_count());
+      // σ(t) is a set: a node activates at most once per time step, even
+      // if the scheduler lists it twice.
+      if (is_working(v) && !in_sigma_[v]) {
+        in_sigma_[v] = true;
+        scratch_sigma_.push_back(v);
+      }
+    }
+    for (NodeId v : scratch_sigma_) in_sigma_[v] = false;
+    // Phase 1: all simultaneous writes.
+    for (NodeId v : scratch_sigma_) registers_[v] = algo_.publish(states_[v]);
+    // Phases 2+3: reads and private transitions.  Registers are only
+    // mutated in phase 1, so reading them lazily here is equivalent to a
+    // separate snapshot phase.
+    for (NodeId v : scratch_sigma_) {
+      ++activations_[v];
+      if (trace_) trace_->record(now_, v, TraceEventKind::activated);
+      gather_view(v);
+      auto out = algo_.step(states_[v], NeighborView<Register>(scratch_view_));
+      if (out) {
+        outputs_[v] = std::move(*out);
+        terminated_[v] = true;
+        if (trace_)
+          trace_->record(now_, v, TraceEventKind::returned,
+                         A::color_code(*outputs_[v]));
+      }
+      if (crash_plan_.crashes_at(v, now_, activations_[v])) {
+        crashed_[v] = true;
+        if (trace_) trace_->record(now_, v, TraceEventKind::crashed);
+      }
+    }
+    check_invariants();
+    return scratch_sigma_.size();
+  }
+
+  /// Run under a scheduler until every node terminated or crashed, or the
+  /// step budget is exhausted.
+  ExecutionResult<Output> run(Scheduler& sched, std::uint64_t max_steps) {
+    while (now_ < max_steps) {
+      refresh_working();
+      if (working_.empty() || violation_) break;
+      const auto sigma = sched.next(working_, now_ + 1);
+      step(sigma);
+    }
+    refresh_working();
+    ExecutionResult<Output> result;
+    result.completed = working_.empty() && !violation_;
+    result.steps = now_;
+    result.activations = activations_;
+    result.outputs = outputs_;
+    result.crashed = std::vector<bool>(crashed_.begin(), crashed_.end());
+    return result;
+  }
+
+  // --- Introspection (used by invariants, tests, the model checker) ----
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+  [[nodiscard]] bool is_working(NodeId v) const {
+    return !terminated_[v] && !crashed_[v];
+  }
+  [[nodiscard]] bool has_terminated(NodeId v) const { return terminated_[v]; }
+  [[nodiscard]] bool has_crashed(NodeId v) const { return crashed_[v]; }
+  [[nodiscard]] const State& state(NodeId v) const { return states_[v]; }
+  [[nodiscard]] const std::optional<Register>& published(NodeId v) const {
+    return registers_[v];
+  }
+  [[nodiscard]] std::uint64_t activation_count(NodeId v) const {
+    return activations_[v];
+  }
+  [[nodiscard]] const std::optional<Output>& output(NodeId v) const {
+    return outputs_[v];
+  }
+  [[nodiscard]] const std::optional<std::string>& violation() const noexcept {
+    return violation_;
+  }
+
+  /// Externally crash a node (for tests driving steps by hand).
+  void crash(NodeId v) { crashed_[v] = true; }
+
+ private:
+  void apply_step_crashes() {
+    if (crash_plan_.empty()) return;
+    for (NodeId v = 0; v < graph_->node_count(); ++v)
+      if (!crashed_[v] && crash_plan_.crashes_at(v, now_, activations_[v])) {
+        crashed_[v] = true;
+        if (trace_ && !terminated_[v])
+          trace_->record(now_, v, TraceEventKind::crashed);
+      }
+  }
+
+  void gather_view(NodeId v) {
+    scratch_view_.clear();
+    for (NodeId u : graph_->neighbors(v)) scratch_view_.push_back(registers_[u]);
+  }
+
+  void refresh_working() {
+    working_.clear();
+    for (NodeId v = 0; v < graph_->node_count(); ++v)
+      if (is_working(v)) working_.push_back(v);
+  }
+
+  void check_invariants() {
+    if (violation_) return;
+    for (const auto& inv : invariants_) {
+      if (auto err = inv(*this)) {
+        violation_ = std::move(err);
+        return;
+      }
+    }
+  }
+
+  A algo_;
+  const Graph* graph_;
+  CrashPlan crash_plan_;
+  std::vector<State> states_;
+  std::vector<std::optional<Register>> registers_;
+  std::vector<bool> terminated_;
+  std::vector<bool> crashed_;
+  std::vector<std::uint64_t> activations_;
+  std::vector<std::optional<Output>> outputs_;
+  std::vector<Invariant> invariants_;
+  Trace* trace_ = nullptr;
+  std::optional<std::string> violation_;
+  std::uint64_t now_ = 0;
+  std::vector<NodeId> working_;
+  std::vector<NodeId> scratch_sigma_;
+  std::vector<bool> in_sigma_;
+  std::vector<std::optional<Register>> scratch_view_;
+};
+
+}  // namespace ftcc

@@ -1,0 +1,26 @@
+// The adversary: at each time step t it picks the set σ(t) of nodes to
+// activate, from the list of nodes still working (neither terminated nor
+// crashed).  An execution of the paper's model is exactly (algorithm,
+// graph, identifiers, schedule); concrete schedulers live in src/sched.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftcc {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Return σ(t) ⊆ working.  Nodes outside `working` are filtered out by
+  /// the executor; returning an empty set stalls the step (allowed — the
+  /// adversary may idle, and the executor's step budget bounds the run).
+  [[nodiscard]] virtual std::vector<NodeId> next(
+      std::span<const NodeId> working, std::uint64_t t) = 0;
+};
+
+}  // namespace ftcc

@@ -1,0 +1,56 @@
+#include "runtime/trace.hpp"
+
+#include <optional>
+#include <sstream>
+
+namespace ftcc {
+
+std::vector<TraceEvent> Trace::filter(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+std::optional<std::uint64_t> Trace::return_step(NodeId node) const {
+  for (const auto& e : events_)
+    if (e.kind == TraceEventKind::returned && e.node == node) return e.step;
+  return std::nullopt;
+}
+
+std::vector<std::vector<NodeId>> Trace::to_schedule() const {
+  std::vector<std::vector<NodeId>> schedule;
+  for (const auto& e : events_) {
+    if (e.kind != TraceEventKind::activated) continue;
+    if (schedule.size() < e.step) schedule.resize(e.step);
+    schedule[e.step - 1].push_back(e.node);
+  }
+  return schedule;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  std::uint64_t current_step = 0;
+  for (const auto& e : events_) {
+    if (e.step != current_step) {
+      if (current_step != 0) os << '\n';
+      os << "t=" << e.step << ':';
+      current_step = e.step;
+    }
+    switch (e.kind) {
+      case TraceEventKind::activated:
+        os << ' ' << e.node;
+        break;
+      case TraceEventKind::returned:
+        os << " [" << e.node << " -> color " << e.detail << ']';
+        break;
+      case TraceEventKind::crashed:
+        os << " [" << e.node << " crashed]";
+        break;
+    }
+  }
+  if (current_step != 0) os << '\n';
+  return os.str();
+}
+
+}  // namespace ftcc

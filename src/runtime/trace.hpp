@@ -1,0 +1,64 @@
+// Execution tracing: an optional event log the executor fills as it runs —
+// every activation, return, and crash, in order.  Traces serve three
+// purposes: debugging (pretty-printed timelines), reproducibility (a trace
+// converts back into an explicit schedule for ReplayScheduler), and
+// analysis (per-node timing of termination waves).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftcc {
+
+enum class TraceEventKind : std::uint8_t {
+  activated,  ///< node performed a write-read-update round
+  returned,   ///< node terminated with an output (same step as activated)
+  crashed,    ///< node will never be scheduled again
+};
+
+struct TraceEvent {
+  std::uint64_t step = 0;
+  NodeId node = 0;
+  TraceEventKind kind = TraceEventKind::activated;
+  /// Color code for `returned`, otherwise 0.
+  std::uint64_t detail = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class Trace {
+ public:
+  void record(std::uint64_t step, NodeId node, TraceEventKind kind,
+              std::uint64_t detail = 0) {
+    events_.push_back({step, node, kind, detail});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> filter(TraceEventKind kind) const;
+
+  /// The step at which a node returned, if it did.
+  [[nodiscard]] std::optional<std::uint64_t> return_step(NodeId node) const;
+
+  /// Reconstruct the activation schedule σ(1), σ(2), ... for replay; the
+  /// result feeds ReplayScheduler directly.
+  [[nodiscard]] std::vector<std::vector<NodeId>> to_schedule() const;
+
+  /// Human-readable timeline, one line per time step.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ftcc

@@ -1,0 +1,127 @@
+// Adversarial schedule search: empirical worst-case estimation for sizes
+// beyond the exhaustive model checker's reach.  The model checker computes
+// EXACT worst cases up to C_5; this module searches the schedule space at
+// larger n with randomized restarts over a portfolio of adversary families
+// and reports the worst execution found — a certified *lower bound* on the
+// true worst case (every reported schedule is a real execution).
+//
+// Families searched:
+//   subsets(p)   — i.i.d. activation with probability p per node per step,
+//                  p swept over a grid (covers sparse and dense regimes);
+//   lockstep     — all working nodes every step after a staggered wake-up
+//                  pattern (hunts the simultaneity livelock; runs are
+//                  cut off at the step budget and reported as censored);
+//   laggard      — one uniformly chosen node runs an order of magnitude
+//                  slower than the rest (the "moderately slow process" of
+//                  the paper's Section 4 analysis);
+//   pairs        — adjacent pairs activated together in random order
+//                  (maximal simultaneity with minimal parallelism).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/executor.hpp"
+#include "sched/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+
+struct AdversarySearchOptions {
+  std::uint64_t restarts_per_family = 20;
+  std::uint64_t max_steps = 1'000'000;
+  std::uint64_t seed = 1;
+};
+
+struct AdversarySearchResult {
+  /// Worst max-activations over all completed runs.
+  std::uint64_t worst_rounds = 0;
+  /// The family and seed that produced it (reproducible).
+  std::string worst_family;
+  std::uint64_t worst_seed = 0;
+  /// Number of runs that hit the step budget without terminating —
+  /// censored observations, i.e. candidate livelocks.
+  std::uint64_t censored_runs = 0;
+  std::uint64_t total_runs = 0;
+  /// Properness held in every completed run.
+  bool always_proper = true;
+};
+
+namespace detail {
+
+/// A random working node activated together with one cycle-neighbour:
+/// maximal simultaneity with minimal parallelism (cycle topologies only).
+class AdjacentPairsScheduler final : public Scheduler {
+ public:
+  explicit AdjacentPairsScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::vector<NodeId> next(std::span<const NodeId> working,
+                           std::uint64_t /*t*/) override {
+    if (working.empty()) return {};
+    const NodeId v = working[rng_.below(working.size())];
+    std::vector<NodeId> sigma{v};
+    for (NodeId u : working)
+      if (u == v + 1 || (v > 0 && u == v - 1)) {
+        sigma.push_back(u);
+        break;
+      }
+    return sigma;
+  }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace detail
+
+/// Run the search for one algorithm instance.  Algo must be copyable.
+template <typename Algo>
+AdversarySearchResult search_worst_schedule(
+    const Algo& algo, const Graph& graph, const IdAssignment& ids,
+    const AdversarySearchOptions& options = {}) {
+  AdversarySearchResult result;
+  Xoshiro256 seeder(options.seed);
+
+  auto attempt = [&](const std::string& family, std::uint64_t seed,
+                     Scheduler& sched) {
+    Executor<Algo> ex(algo, graph, ids);
+    const auto run = ex.run(sched, options.max_steps);
+    ++result.total_runs;
+    if (!run.completed) {
+      ++result.censored_runs;
+      return;
+    }
+    result.always_proper &=
+        is_proper_partial(graph, to_partial_coloring<Algo>(run.outputs));
+    if (run.max_activations() > result.worst_rounds) {
+      result.worst_rounds = run.max_activations();
+      result.worst_family = family;
+      result.worst_seed = seed;
+    }
+  };
+
+  for (std::uint64_t i = 0; i < options.restarts_per_family; ++i) {
+    const std::uint64_t seed = seeder();
+    for (const double p : {0.1, 0.3, 0.5, 0.8}) {
+      RandomSubsetScheduler sched(p, seed);
+      attempt("subsets(" + std::to_string(p) + ")", seed, sched);
+    }
+    {
+      StaggeredScheduler sched(1 + seed % 4);
+      attempt("lockstep", seed, sched);
+    }
+    {
+      std::vector<double> speeds(graph.node_count(), 1.0);
+      speeds[seed % graph.node_count()] = 0.05;
+      WeightedScheduler sched(std::move(speeds), seed);
+      attempt("laggard", seed, sched);
+    }
+    {
+      detail::AdjacentPairsScheduler sched(seed);
+      attempt("pairs", seed, sched);
+    }
+  }
+  return result;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,32 @@
+#include "sched/schedulers.hpp"
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name, NodeId n,
+                                          std::uint64_t seed) {
+  if (name == "sync") return std::make_unique<SynchronousScheduler>();
+  if (name == "random")
+    return std::make_unique<RandomSubsetScheduler>(0.5, seed);
+  if (name == "single") return std::make_unique<RandomSingleScheduler>(seed);
+  if (name == "roundrobin") return std::make_unique<RoundRobinScheduler>(1);
+  if (name == "solo") return std::make_unique<SoloRunsScheduler>();
+  if (name == "staggered") return std::make_unique<StaggeredScheduler>(2);
+  if (name == "halfspeed") {
+    std::vector<double> speeds(n, 1.0);
+    for (NodeId v = 0; v < n; v += 2) speeds[v] = 0.1;
+    return std::make_unique<WeightedScheduler>(std::move(speeds), seed);
+  }
+  FTCC_EXPECTS(false && "unknown scheduler name");
+  return nullptr;
+}
+
+const std::vector<std::string>& scheduler_names() {
+  static const std::vector<std::string> names = {
+      "sync",  "random",    "single",   "roundrobin",
+      "solo",  "staggered", "halfspeed"};
+  return names;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,113 @@
+#include "selfstab/greedy_recolor.hpp"
+
+#include "util/assert.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+
+namespace {
+/// Degree cap shared with DeltaSquaredColoring's regime.
+constexpr std::size_t kDegreeCap = 64;
+}  // namespace
+
+SelfStabColoring::SelfStabColoring(const Graph& graph,
+                                   std::vector<std::uint64_t> initial)
+    : graph_(&graph), colors_(std::move(initial)) {
+  FTCC_EXPECTS(colors_.size() == graph.node_count());
+  FTCC_EXPECTS(static_cast<std::size_t>(graph.max_degree()) <= kDegreeCap);
+}
+
+bool SelfStabColoring::is_enabled(NodeId v) const {
+  for (NodeId u : graph_->neighbors(v))
+    if (colors_[u] == colors_[v]) return true;
+  return false;
+}
+
+bool SelfStabColoring::is_legitimate() const {
+  for (NodeId v = 0; v < graph_->node_count(); ++v)
+    if (is_enabled(v)) return false;
+  return true;
+}
+
+std::uint64_t SelfStabColoring::mex_of_neighbors(
+    NodeId v, const std::vector<std::uint64_t>& snapshot) const {
+  SmallValueSet<kDegreeCap> used;
+  for (NodeId u : graph_->neighbors(v)) used.insert(snapshot[u]);
+  return used.mex();
+}
+
+void SelfStabColoring::move(NodeId v) {
+  colors_[v] = mex_of_neighbors(v, colors_);
+  ++moves_;
+}
+
+std::vector<NodeId> SelfStabColoring::enabled_nodes() const {
+  std::vector<NodeId> enabled;
+  for (NodeId v = 0; v < graph_->node_count(); ++v)
+    if (is_enabled(v)) enabled.push_back(v);
+  return enabled;
+}
+
+SelfStabColoring::RunResult SelfStabColoring::run_central(
+    std::uint64_t seed, std::uint64_t max_moves) {
+  Xoshiro256 rng(seed);
+  RunResult result;
+  while (result.moves < max_moves) {
+    const auto enabled = enabled_nodes();
+    if (enabled.empty()) {
+      result.stabilized = true;
+      break;
+    }
+    move(enabled[rng.below(enabled.size())]);
+    ++result.moves;
+    ++result.steps;
+  }
+  result.stabilized = result.stabilized || is_legitimate();
+  return result;
+}
+
+SelfStabColoring::RunResult SelfStabColoring::run_synchronous(
+    std::uint64_t max_steps) {
+  RunResult result;
+  while (result.steps < max_steps) {
+    const auto enabled = enabled_nodes();
+    if (enabled.empty()) {
+      result.stabilized = true;
+      break;
+    }
+    const auto snapshot = colors_;
+    for (NodeId v : enabled) colors_[v] = mex_of_neighbors(v, snapshot);
+    moves_ += enabled.size();
+    result.moves += enabled.size();
+    ++result.steps;
+  }
+  result.stabilized = result.stabilized || is_legitimate();
+  return result;
+}
+
+SelfStabColoring::RunResult SelfStabColoring::run_randomized(
+    std::uint64_t seed, std::uint64_t max_steps) {
+  Xoshiro256 rng(seed);
+  RunResult result;
+  while (result.steps < max_steps) {
+    const auto enabled = enabled_nodes();
+    if (enabled.empty()) {
+      result.stabilized = true;
+      break;
+    }
+    const auto snapshot = colors_;
+    std::uint64_t moved = 0;
+    for (NodeId v : enabled) {
+      if (!rng.chance(0.5)) continue;
+      colors_[v] = mex_of_neighbors(v, snapshot);
+      ++moved;
+    }
+    moves_ += moved;
+    result.moves += moved;
+    ++result.steps;
+  }
+  result.stabilized = result.stabilized || is_legitimate();
+  return result;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,74 @@
+// Self-stabilizing greedy (Δ+1)-coloring — the related-work family of
+// §1.4 ([9, 10, 11, 12]).  Self-stabilization starts from an ARBITRARY
+// (corrupted) configuration and must converge to a proper coloring when
+// failures stop; in exchange it assumes the execution is failure-free from
+// then on, whereas the paper's model starts clean but must survive crashes
+// mid-run.  This substrate makes the contrast executable.
+//
+// Rule (classical greedy recoloring): a node is *enabled* iff its color
+// collides with a neighbour's; an enabled node *moves* by recoloring to
+// the least color unused by its neighbours (<= Δ, so the palette is Δ+1).
+//
+//   Central daemon (one enabled node per step): every move strictly
+//   decreases the number of conflicting edges, so stabilization takes at
+//   most |E| moves from any initial configuration.
+//
+//   Synchronous daemon (all enabled nodes move at once): can oscillate
+//   forever — e.g. the all-zero cycle flips 0 <-> 1 globally — the same
+//   simultaneity pathology as the Algorithm 2 lockstep livelock
+//   (DESIGN.md), in a different model.  A randomized daemon (each enabled
+//   node moves with probability 1/2) converges with probability 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+
+class SelfStabColoring {
+ public:
+  /// The graph is referenced, not copied: it must outlive this object.
+  SelfStabColoring(const Graph& graph, std::vector<std::uint64_t> initial);
+
+  [[nodiscard]] bool is_enabled(NodeId v) const;
+  [[nodiscard]] bool is_legitimate() const;  ///< proper, nobody enabled
+  [[nodiscard]] const std::vector<std::uint64_t>& colors() const noexcept {
+    return colors_;
+  }
+  [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
+
+  /// Recolor v to the least color unused by its neighbours (v need not be
+  /// enabled; the move is then a no-op color-wise but still counted).
+  void move(NodeId v);
+
+  struct RunResult {
+    bool stabilized = false;
+    std::uint64_t moves = 0;
+    std::uint64_t steps = 0;
+  };
+
+  /// Central daemon: one uniformly-chosen enabled node per step.
+  RunResult run_central(std::uint64_t seed, std::uint64_t max_moves);
+
+  /// Synchronous daemon: every enabled node moves, simultaneously (reading
+  /// the pre-step colors).  May oscillate forever.
+  RunResult run_synchronous(std::uint64_t max_steps);
+
+  /// Randomized daemon: each enabled node moves with probability 1/2,
+  /// simultaneously.  Converges with probability 1.
+  RunResult run_randomized(std::uint64_t seed, std::uint64_t max_steps);
+
+ private:
+  [[nodiscard]] std::uint64_t mex_of_neighbors(
+      NodeId v, const std::vector<std::uint64_t>& snapshot) const;
+  [[nodiscard]] std::vector<NodeId> enabled_nodes() const;
+
+  const Graph* graph_;
+  std::vector<std::uint64_t> colors_;
+  std::uint64_t moves_ = 0;
+};
+
+}  // namespace ftcc

@@ -1,0 +1,65 @@
+#include "shm/immediate_snapshot.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+ImmediateSnapshot::State ImmediateSnapshot::init(NodeId, std::uint64_t id,
+                                                 int degree) const {
+  FTCC_EXPECTS(static_cast<std::uint64_t>(degree) + 1 == n_);  // K_n only
+  // The classic protocol starts at level n+1 and decrements before each
+  // write; the first write therefore publishes level n.
+  return State{id, id, n_};
+}
+
+std::optional<ImmediateSnapshot::Output> ImmediateSnapshot::step(
+    State& s, NeighborView<Register> view) const {
+  // The write of this activation published s.level; the snapshot is the
+  // view.  S := {q : level_q <= level_p} ∪ {p}.
+  SnapshotView snapshot;
+  snapshot.entries.emplace_back(s.id, s.value);  // self-inclusion by design
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    if (reg->level <= s.level) snapshot.entries.emplace_back(reg->id,
+                                                             reg->value);
+  }
+  if (snapshot.entries.size() >= s.level) {
+    std::sort(snapshot.entries.begin(), snapshot.entries.end());
+    return snapshot;
+  }
+  s.level -= 1;  // descend; the next activation writes the lower level
+  FTCC_ENSURES(s.level >= 1);  // at level 1, |S| >= 1 always holds
+  return std::nullopt;
+}
+
+std::optional<std::string> check_immediate_snapshot(
+    const std::vector<std::optional<SnapshotView>>& views,
+    const std::vector<std::uint64_t>& ids) {
+  FTCC_EXPECTS(views.size() == ids.size());
+  const auto n = views.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!views[i]) continue;
+    // Self-inclusion.
+    if (!views[i]->contains_id(ids[i]))
+      return "process " + std::to_string(i) + " missing its own value";
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!views[j]) continue;
+      // Containment: views are totally ordered by inclusion.
+      if (!views[i]->contains_all(*views[j]) &&
+          !views[j]->contains_all(*views[i]))
+        return "views of processes " + std::to_string(i) + " and " +
+               std::to_string(j) + " are incomparable";
+      // Immediacy: j's value in i's view => j's view inside i's view.
+      if (views[i]->contains_id(ids[j]) &&
+          !views[i]->contains_all(*views[j]))
+        return "immediacy violated between processes " + std::to_string(i) +
+               " and " + std::to_string(j);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,117 @@
+// One-shot immediate snapshot from single-writer atomic registers —
+// Borowsky & Gafni's classic level-descent construction.
+//
+// The paper's model gives every activation an immediate snapshot of the
+// neighbourhood for free ("local immediate snapshots", §2.1).  This
+// module grounds that primitive: it builds a genuine immediate snapshot
+// for n processes out of nothing but the write-then-read rounds of the
+// executor on K_n, and the tests verify the three defining properties
+// exhaustively over all schedules (tests/shm_immediate_snapshot_test.cpp):
+//
+//   self-inclusion:  p's own value appears in p's returned view;
+//   containment:     any two returned views are ordered by inclusion;
+//   immediacy:       if q's value is in p's view, then q's view is
+//                    contained in p's view.
+//
+// Protocol (each activation is one write-read round):
+//   level_p starts at n+1; each round: level_p -= 1; write (value, level);
+//   read all registers; S := processes observed at level <= level_p
+//   (including p itself); if |S| >= level_p, return the values of S.
+// A process descends at most n levels, so the protocol is wait-free with
+// at most n activations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+/// The returned view: (process id, value) pairs, sorted by id — a value
+/// type so views compare with ==.
+struct SnapshotView {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+
+  friend bool operator==(const SnapshotView&, const SnapshotView&) = default;
+
+  [[nodiscard]] bool contains_id(std::uint64_t id) const {
+    for (const auto& [pid, value] : entries)
+      if (pid == id) return true;
+    return false;
+  }
+  /// True iff every entry of `other` appears here.
+  [[nodiscard]] bool contains_all(const SnapshotView& other) const {
+    for (const auto& e : other.entries) {
+      bool found = false;
+      for (const auto& mine : entries) found |= (mine == e);
+      if (!found) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t size() const { return entries.size(); }
+};
+
+class ImmediateSnapshot {
+ public:
+  struct Register {
+    std::uint64_t id = 0;
+    std::uint64_t value = 0;
+    std::uint64_t level = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, value, level});
+    }
+  };
+
+  struct State {
+    std::uint64_t id = 0;
+    std::uint64_t value = 0;
+    std::uint64_t level = 0;  ///< next write publishes this level
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, value, level});
+    }
+  };
+
+  using Output = SnapshotView;
+
+  /// n_processes fixes the starting level; the input id doubles as the
+  /// snapshotted value's tag and the process's value is derived from it
+  /// (value = id here; a production API would carry a separate payload).
+  explicit ImmediateSnapshot(std::uint64_t n_processes)
+      : n_(n_processes) {}
+
+  [[nodiscard]] State init(NodeId, std::uint64_t id, int degree) const;
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.id, s.value, s.level};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) {
+    // Views are sets, not colors; hash for the generic plumbing only
+    // (checkers of this algorithm disable output-properness).
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const auto& [id, value] : o.entries) {
+      h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= value + 0x517cc1b727220a95ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+ private:
+  std::uint64_t n_;
+};
+
+static_assert(Algorithm<ImmediateSnapshot>);
+
+/// Check the three immediate-snapshot properties over a set of returned
+/// views (indexed by process; nullopt = did not return).  Returns a
+/// violation description or nullopt.
+[[nodiscard]] std::optional<std::string> check_immediate_snapshot(
+    const std::vector<std::optional<SnapshotView>>& views,
+    const std::vector<std::uint64_t>& ids);
+
+}  // namespace ftcc

@@ -1,0 +1,39 @@
+#include "shm/renaming.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+std::optional<RankRenaming::Output> RankRenaming::step(
+    State& s, NeighborView<Register> view) const {
+  // Snapshot: collect every awake process's (id, suggestion).
+  bool collision = false;
+  std::vector<std::uint64_t> others_suggestions;
+  std::uint64_t rank = 1;  // 1-based rank of own id among awake ids
+  others_suggestions.reserve(view.size());
+  for (const auto& reg : view) {
+    if (!reg) continue;
+    FTCC_EXPECTS(reg->id != s.id);  // identifiers are unique
+    others_suggestions.push_back(reg->suggestion);
+    if (reg->suggestion == s.suggestion) collision = true;
+    if (reg->id < s.id) ++rank;
+  }
+  if (!collision) return s.suggestion;
+
+  // Pick the rank-th free name (0-based names; "free" = not suggested by
+  // any other process in the snapshot).
+  std::uint64_t remaining = rank;
+  for (std::uint64_t name = 0;; ++name) {
+    if (std::find(others_suggestions.begin(), others_suggestions.end(),
+                  name) != others_suggestions.end())
+      continue;
+    if (--remaining == 0) {
+      s.suggestion = name;
+      return std::nullopt;
+    }
+  }
+}
+
+}  // namespace ftcc

@@ -1,0 +1,63 @@
+// Wait-free rank-based (2n-1)-renaming (Attiya, Bar-Noy, Dolev, Peleg,
+// Reischuk — [3] in the paper; also Algorithm 55 of Attiya & Welch), the
+// algorithm Algorithm 2 "bears some resemblance to".
+//
+// The paper's state model on the complete graph K_n *is* the asynchronous
+// shared-memory model (every process reads every register), so renaming is
+// implemented as an Algorithm over the generic executor and run on K_n:
+//
+//   suggest := 0
+//   forever: write (id, suggest); snapshot all registers;
+//     if suggest collides with another process's suggestion:
+//        r := rank of own id among all ids seen (1-based)
+//        suggest := r-th natural number not suggested by anyone else
+//     else: return suggest
+//
+// Names are 0-based here, so outputs lie in {0, ..., 2n-2}: 2n-1 names,
+// matching the tight bound for n a prime power (Property 2.3's source).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/algorithm.hpp"
+
+namespace ftcc {
+
+class RankRenaming {
+ public:
+  struct Register {
+    std::uint64_t id = 0;
+    std::uint64_t suggestion = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, suggestion});
+    }
+  };
+
+  struct State {
+    std::uint64_t id = 0;
+    std::uint64_t suggestion = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, suggestion});
+    }
+  };
+
+  using Output = std::uint64_t;  ///< the new name
+
+  [[nodiscard]] State init(NodeId, std::uint64_t id, int) const {
+    return State{id, 0};
+  }
+  [[nodiscard]] Register publish(const State& s) const {
+    return {s.id, s.suggestion};
+  }
+  [[nodiscard]] std::optional<Output> step(State& s,
+                                           NeighborView<Register> view) const;
+
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+
+static_assert(Algorithm<RankRenaming>);
+
+}  // namespace ftcc

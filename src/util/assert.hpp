@@ -1,0 +1,36 @@
+// Lightweight contract checking for the ftcc library.
+//
+// FTCC_EXPECTS / FTCC_ENSURES check pre-/post-conditions and abort with a
+// diagnostic on violation.  They are always on: the library is a research
+// artifact whose primary job is to *demonstrate* invariants, so silently
+// compiling checks out in release builds would defeat the purpose.  The
+// checks guarding hot inner loops are cheap integer comparisons.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftcc {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "ftcc: %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ftcc
+
+#define FTCC_EXPECTS(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::ftcc::contract_violation("precondition", #cond, __FILE__,        \
+                                 __LINE__);                              \
+  } while (false)
+
+#define FTCC_ENSURES(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::ftcc::contract_violation("postcondition", #cond, __FILE__,        \
+                                 __LINE__);                               \
+  } while (false)

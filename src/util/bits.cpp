@@ -1,0 +1,13 @@
+#include "util/bits.hpp"
+
+namespace ftcc {
+
+std::string to_binary_string(std::uint64_t z) {
+  if (z == 0) return "0";
+  std::string s;
+  for (int k = bit_length(z) - 1; k >= 0; --k)
+    s.push_back(bit_at(z, k) != 0 ? '1' : '0');
+  return s;
+}
+
+}  // namespace ftcc

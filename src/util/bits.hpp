@@ -1,0 +1,32 @@
+// Bit-level helpers used by the Cole–Vishkin identifier reduction (Eq. (6)
+// of the paper): binary length |Z| = ceil(log2(Z+1)), individual bit access,
+// and the index of the lowest differing bit of two words.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace ftcc {
+
+/// Binary length |Z| = ceil(log2(Z + 1)): the number of bits in the binary
+/// decomposition of Z, with |0| = 0, |1| = 1, |2| = |3| = 2, ...
+[[nodiscard]] constexpr int bit_length(std::uint64_t z) noexcept {
+  return 64 - std::countl_zero(z);
+}
+
+/// Bit k of z's binary decomposition z = sum_k z_k 2^k (0 for k >= 64).
+[[nodiscard]] constexpr unsigned bit_at(std::uint64_t z, int k) noexcept {
+  return k >= 64 ? 0u : static_cast<unsigned>((z >> k) & 1u);
+}
+
+/// Index of the least-significant bit where x and y differ, or 64 if x == y.
+[[nodiscard]] constexpr int lowest_differing_bit(std::uint64_t x,
+                                                 std::uint64_t y) noexcept {
+  return std::countr_zero(x ^ y);
+}
+
+/// Binary string of z, most-significant bit first ("0" for z == 0).
+[[nodiscard]] std::string to_binary_string(std::uint64_t z);
+
+}  // namespace ftcc

@@ -1,0 +1,43 @@
+// A tiny --flag=value command-line parser shared by the examples.  Not a
+// general-purpose library: flags are uint64/double/string/bool, unknown
+// flags are an error, and --help prints the registered set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ftcc {
+
+class Cli {
+ public:
+  /// Register flags with default values before parse().
+  Cli& flag(const std::string& name, std::uint64_t default_value,
+            const std::string& help);
+  Cli& flag(const std::string& name, double default_value,
+            const std::string& help);
+  Cli& flag(const std::string& name, const std::string& default_value,
+            const std::string& help);
+  Cli& flag(const std::string& name, bool default_value,
+            const std::string& help);
+
+  /// Parse argv; returns false (after printing usage) on --help or error.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+ private:
+  struct Entry {
+    enum class Kind { u64, real, text, boolean } kind;
+    std::string value;
+    std::string help;
+  };
+  const Entry& lookup(const std::string& name, Entry::Kind kind) const;
+  void print_usage(const char* prog) const;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ftcc

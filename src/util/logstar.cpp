@@ -1,0 +1,34 @@
+#include "util/logstar.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace ftcc {
+
+int log_star(double x) noexcept {
+  int k = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++k;
+  }
+  return k;
+}
+
+std::uint64_t reduction_envelope(std::uint64_t x) noexcept {
+  // ceil(log2(x + 1)) is exactly the binary length |x|.
+  return 2 * static_cast<std::uint64_t>(bit_length(x)) + 1;
+}
+
+int envelope_iterations_below_10(std::uint64_t x) noexcept {
+  int k = 0;
+  while (x >= 10) {
+    x = reduction_envelope(x);
+    ++k;
+    FTCC_ENSURES(k < 128);  // F contracts doubly-exponentially; 128 is slack.
+  }
+  return k;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,24 @@
+// The iterated logarithm log* and the reduction-envelope function F of
+// Lemma 4.1: F(x) = 2*ceil(log2(x + 1)) + 1.  Iterating F from any initial
+// identifier reaches a value < 10 after O(log* x) steps, which is the
+// engine behind Algorithm 3's O(log* n) round complexity.
+#pragma once
+
+#include <cstdint>
+
+namespace ftcc {
+
+/// log*(x): the number of times log2 must be applied, starting from x, to
+/// reach a value <= 1.  log_star(1) = 0, log_star(2) = 1, log_star(4) = 2,
+/// log_star(16) = 3, log_star(65536) = 4, log_star(2^65536) = 5.
+[[nodiscard]] int log_star(double x) noexcept;
+
+/// The envelope F(x) = 2*ceil(log2(x + 1)) + 1 of Lemma 4.1, bounding the
+/// value of the reduction function f (Eq. (6)): f(x, y) <= F(min(x, y)).
+[[nodiscard]] std::uint64_t reduction_envelope(std::uint64_t x) noexcept;
+
+/// Number of iterations of F needed to bring x strictly below 10
+/// (Lemma 4.1 guarantees this is <= alpha * log*(x) for a constant alpha).
+[[nodiscard]] int envelope_iterations_below_10(std::uint64_t x) noexcept;
+
+}  // namespace ftcc

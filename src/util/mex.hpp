@@ -1,0 +1,60 @@
+// Minimum excludant over small value collections: mex(S) = min(N \ S).
+// All three cycle algorithms pick colors as the mex of at most four
+// neighbour values, so the sets involved are tiny and a linear scan wins.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+/// mex over a span of values; duplicates and out-of-range values are fine.
+/// Runs in O(|s|^2), which is optimal in practice for |s| <= 8.
+[[nodiscard]] constexpr std::uint64_t mex(
+    std::span<const std::uint64_t> s) noexcept {
+  for (std::uint64_t candidate = 0;; ++candidate) {
+    bool present = false;
+    for (std::uint64_t v : s) {
+      if (v == candidate) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) return candidate;
+  }
+}
+
+[[nodiscard]] constexpr std::uint64_t mex(
+    std::initializer_list<std::uint64_t> s) noexcept {
+  return mex(std::span<const std::uint64_t>(s.begin(), s.size()));
+}
+
+/// A fixed-capacity value set for collecting neighbour colors before a mex.
+/// Avoids heap allocation in the simulator's inner loop.
+template <std::size_t Capacity>
+class SmallValueSet {
+ public:
+  constexpr void insert(std::uint64_t v) noexcept {
+    FTCC_EXPECTS(size_ < Capacity);  // capacity = max total inserts
+    values_[size_++] = v;
+  }
+  [[nodiscard]] constexpr bool contains(std::uint64_t v) const noexcept {
+    for (std::size_t i = 0; i < size_; ++i)
+      if (values_[i] == v) return true;
+    return false;
+  }
+  [[nodiscard]] constexpr std::uint64_t mex() const noexcept {
+    return ftcc::mex(std::span<const std::uint64_t>(values_.data(), size_));
+  }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::array<std::uint64_t, Capacity> values_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftcc

@@ -1,0 +1,50 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  FTCC_EXPECTS(bound > 0);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  __extension__ using u128 = unsigned __int128;
+  for (;;) {
+    const std::uint64_t x = (*this)();
+    const u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (0 - bound) % bound)
+      return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+std::uint64_t Xoshiro256::in_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  FTCC_EXPECTS(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+std::vector<std::uint64_t> sample_distinct(std::uint64_t bound, std::size_t k,
+                                           Xoshiro256& rng) {
+  FTCC_EXPECTS(bound >= k);
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  if (bound <= 2 * k) {
+    // Dense case: shuffle a prefix of the full range.
+    std::vector<std::uint64_t> all(static_cast<std::size_t>(bound));
+    for (std::size_t i = 0; i < all.size(); ++i)
+      all[i] = static_cast<std::uint64_t>(i);
+    shuffle(all, rng);
+    out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+    return out;
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const std::uint64_t v = rng.below(bound);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments: splitmix64 for seeding and xoshiro256** as the workhorse
+// generator.  Both are tiny, fast, and have well-understood statistical
+// quality; std::mt19937 is avoided because its state is large and its
+// seeding from a single word is notoriously poor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftcc {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna.  Satisfies the C++ named requirement
+/// UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform draw from [0, bound) via Lemire rejection.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform draw from the inclusive range [lo, hi].
+  [[nodiscard]] std::uint64_t in_range(std::uint64_t lo,
+                                       std::uint64_t hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double real() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return real() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+/// Fisher–Yates shuffle with the library generator.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+/// k distinct values sampled uniformly from [0, bound), in random order.
+[[nodiscard]] std::vector<std::uint64_t> sample_distinct(std::uint64_t bound,
+                                                         std::size_t k,
+                                                         Xoshiro256& rng);
+
+}  // namespace ftcc

@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+void Summary::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  FTCC_EXPECTS(!empty());
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  FTCC_EXPECTS(!empty());
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Summary::mean() const {
+  FTCC_EXPECTS(!empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  FTCC_EXPECTS(!empty());
+  const auto n = static_cast<double>(samples_.size());
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ - n * m * m) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::quantile(double q) const {
+  FTCC_EXPECTS(!empty());
+  FTCC_EXPECTS(q >= 0.0 && q <= 1.0);
+  sort_if_needed();
+  const auto n = samples_.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+std::string Summary::brief() const {
+  if (empty()) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu min=%.4g mean=%.4g p50=%.4g p95=%.4g max=%.4g", count(),
+                min(), mean(), median(), quantile(0.95), max());
+  return buf;
+}
+
+}  // namespace ftcc

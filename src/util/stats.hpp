@@ -1,0 +1,39 @@
+// Summary statistics for experiment sweeps: online mean/min/max plus exact
+// quantiles from retained samples.  Experiments retain every per-node
+// activation count, so an exact (sort-based) quantile is affordable and
+// avoids sketch-approximation caveats in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftcc {
+
+class Summary {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;  // sample standard deviation
+  /// Exact q-quantile (nearest-rank), q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// "n=5 min=1 mean=2.4 p50=2 p95=4 max=5" — for bench table cells.
+  [[nodiscard]] std::string brief() const;
+
+ private:
+  void sort_if_needed() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace ftcc

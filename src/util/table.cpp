@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FTCC_EXPECTS(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  FTCC_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::cell(std::uint64_t v) { return std::to_string(v); }
+std::string Table::cell(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+
+  std::string out;
+  if (!title.empty()) out += "== " + title + " ==\n";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out += pad(headers_[c], widths[c]) + (c + 1 < headers_.size() ? "  " : "\n");
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out += std::string(widths[c], '-') +
+           (c + 1 < headers_.size() ? "  " : "\n");
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out += pad(row[c], widths[c]) + (c + 1 < row.size() ? "  " : "\n");
+  return out;
+}
+
+void Table::print(const std::string& title) const {
+  std::fputs(to_string(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += csv_escape(row[c]);
+      out += c + 1 < row.size() ? "," : "\n";
+    }
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace ftcc

@@ -1,0 +1,39 @@
+// Minimal ASCII table printer for benchmark harnesses.  Every bench binary
+// prints a paper-style table ("the rows the paper would report") with this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftcc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: format heterogeneous cells.
+  static std::string cell(std::uint64_t v);
+  static std::string cell(unsigned long long v) {
+    return std::to_string(v);
+  }
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  static std::string cell(double v, int precision = 3);
+
+  /// Render with a title, column alignment, and a rule under the header.
+  [[nodiscard]] std::string to_string(const std::string& title = "") const;
+  void print(const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines) —
+  /// for piping bench series into external plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftcc

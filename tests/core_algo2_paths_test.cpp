@@ -1,0 +1,111 @@
+// Algorithm 2 on paths P_n (§2.1: "the model can directly be extended to
+// any network"): endpoints behave like nodes with a permanently crashed
+// neighbour, and all of Section 3's guarantees carry over — verified by
+// sweeps and exhaustively on small paths.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hpp"
+#include "core/algo2_five_coloring.hpp"
+#include "graph/chains.hpp"
+#include "modelcheck/explorer.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ftcc {
+namespace {
+
+TEST(Algo2Paths, ProperFiveColoringOnPaths) {
+  for (NodeId n : {2u, 3u, 5u, 16u, 64u}) {
+    for (const auto& sched_name : scheduler_names()) {
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const Graph g = make_path(n);
+        const auto ids = random_ids(n, seed + 7);
+        auto sched = make_scheduler(sched_name, n, seed);
+        RunOptions options;
+        options.max_steps = linear_step_budget(n);
+        const auto outcome = run_simulation(FiveColoringLinear{}, g, ids,
+                                            *sched, {}, options);
+        ASSERT_TRUE(outcome.result.completed)
+            << "P_" << n << " " << sched_name;
+        EXPECT_TRUE(outcome.proper);
+        for (const auto& c : outcome.colors) {
+          ASSERT_TRUE(c.has_value());
+          EXPECT_LE(*c, 4u);
+        }
+      }
+    }
+  }
+}
+
+TEST(Algo2Paths, EndpointsTerminateFast) {
+  // An endpoint has one neighbour: it is never blocked by more than that
+  // neighbour's candidate pair, so it terminates within a few activations
+  // regardless of n.
+  const NodeId n = 40;
+  const Graph g = make_path(n);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto sched = make_scheduler("random", n, seed);
+    RunOptions options;
+    options.max_steps = linear_step_budget(n);
+    const auto outcome = run_simulation(FiveColoringLinear{}, g,
+                                        sorted_ids(n), *sched, {}, options);
+    ASSERT_TRUE(outcome.result.completed);
+    EXPECT_LE(outcome.result.activations[0], 12u);
+    EXPECT_LE(outcome.result.activations[n - 1], 12u);
+  }
+}
+
+TEST(Algo2Paths, ExhaustiveOnSmallPaths) {
+  // Interleaving semantics: wait-free with small exact worst cases; set
+  // semantics: safety still perfect (the livelock caveat is
+  // topology-independent, so no wait-freedom claim there).
+  for (NodeId n : {2u, 3u, 4u}) {
+    IdAssignment ids(n);
+    for (NodeId v = 0; v < n; ++v) ids[v] = 10 + 13 * ((v * 3) % n) + v;
+    ModelCheckOptions<FiveColoringLinear> options;
+    options.mode = ActivationMode::singletons;
+    ModelChecker<FiveColoringLinear> mc(FiveColoringLinear{}, make_path(n),
+                                        ids, options);
+    const auto r = mc.run();
+    ASSERT_TRUE(r.completed) << n;
+    EXPECT_TRUE(r.wait_free) << n;
+    EXPECT_TRUE(r.outputs_proper) << n;
+    EXPECT_LE(r.worst_case_rounds(), 3ull * n + 8) << n;
+
+    ModelCheckOptions<FiveColoringLinear> set_options;
+    set_options.mode = ActivationMode::sets;
+    ModelChecker<FiveColoringLinear> set_mc(FiveColoringLinear{},
+                                            make_path(n), ids, set_options);
+    const auto rs = set_mc.run();
+    ASSERT_TRUE(rs.completed) << n;
+    EXPECT_TRUE(rs.outputs_proper) << n;
+  }
+}
+
+TEST(Algo2Paths, TwoNodePathIsTwoProcessRenaming) {
+  // P_2 = K_2: two-process shared memory; renaming needs 2*2-1 = 3 names
+  // and Algorithm 2 5-colors it wait-free under interleaving.
+  const IdAssignment ids = {10, 20};
+  ModelCheckOptions<FiveColoringLinear> options;
+  options.mode = ActivationMode::singletons;
+  ModelChecker<FiveColoringLinear> mc(FiveColoringLinear{}, make_path(2),
+                                      ids, options);
+  const auto r = mc.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.wait_free);
+  EXPECT_TRUE(r.outputs_proper);
+  for (auto c : r.colors_used) EXPECT_LE(c, 4u);
+}
+
+TEST(Algo2PathsDeathTest, DegreeAboveTwoRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Graph g = make_star(4);  // hub has degree 3
+  EXPECT_DEATH(
+      {
+        Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g,
+                                        random_ids(4, 1));
+      },
+      "precondition");
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,308 @@
+// Algorithm 2 (wait-free 5-coloring in O(n)): empirical verification of
+// Theorem 3.11 (termination, palette {0..4}, correctness), Lemma 3.14
+// (3l+4 activations for nodes that are not local minima), and the a <= b
+// candidate invariant that Lemma 3.13's parity argument uses.
+#include "core/algo2_five_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "analysis/harness.hpp"
+#include "graph/chains.hpp"
+#include "sched/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+IdAssignment make_ids(const std::string& kind, NodeId n, std::uint64_t seed) {
+  if (kind == "random") return random_ids(n, seed);
+  if (kind == "sorted") return sorted_ids(n);
+  if (kind == "alternating") return alternating_ids(n);
+  if (kind == "zigzag") return zigzag_ids(n, std::max<NodeId>(2, n / 8));
+  if (kind == "permutation") return permutation_ids(n, seed, 1000);
+  return {};
+}
+
+std::uint64_t theorem311_bound(NodeId n) { return 3ull * n + 8; }
+
+using Params = std::tuple<NodeId, std::string, std::string>;
+
+class Algo2Sweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(Algo2Sweep, Theorem311HoldsAcrossSeeds) {
+  const auto& [n, id_kind, sched_name] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_cycle(n);
+    const auto ids = make_ids(id_kind, n, seed);
+    ASSERT_TRUE(ids_proper(g, ids));
+    auto sched = make_scheduler(sched_name, n, seed * 17 + 3);
+
+    Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, ids);
+    ex.add_invariant(proper_identifier_invariant<FiveColoringLinear>());
+    ex.add_invariant(candidates_ordered_invariant<FiveColoringLinear>());
+    ex.add_invariant(candidates_bounded_invariant<FiveColoringLinear>(4));
+    ex.add_invariant(output_properness_invariant<FiveColoringLinear>());
+    const auto result = ex.run(*sched, linear_step_budget(n));
+
+    ASSERT_FALSE(ex.violation().has_value()) << *ex.violation();
+    ASSERT_TRUE(result.completed)
+        << "n=" << n << " ids=" << id_kind << " sched=" << sched_name;
+    EXPECT_EQ(result.terminated_count(), n);
+    EXPECT_LE(result.max_activations(), theorem311_bound(n));
+
+    // Palette {0, ..., 4}.
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_TRUE(result.outputs[v].has_value());
+      EXPECT_LE(*result.outputs[v], 4u) << "node " << v;
+    }
+
+    // Proper coloring of the (total) output.
+    EXPECT_TRUE(is_proper_total(
+        g, to_partial_coloring<FiveColoringLinear>(result.outputs)));
+
+    // Lemma 3.14: non-local-minima return within 3*l + 4 activations.
+    // The paper's constant holds verbatim under interleaving (one node per
+    // step) schedules.  Schedulers that can activate neighbours
+    // simultaneously can sustain the lockstep candidate-swap livelock
+    // documented in LockstepPairLivelockExceedsAnyConstant below for a few
+    // extra rounds before breaking it, so they get a small slack (+8,
+    // calibrated over this deterministic seed set; see EXPERIMENTS.md E3).
+    const bool interleaving = sched_name == "single" ||
+                              sched_name == "roundrobin" ||
+                              sched_name == "solo";
+    const std::uint64_t slack = interleaving ? 0 : 8;
+    const auto md = monotone_distances_on_cycle(ids);
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_local_min_on_cycle(ids, v)) continue;
+      EXPECT_LE(result.activations[v], 3ull * md.dist_to_max[v] + 4 + slack)
+          << "node " << v << " l=" << md.dist_to_max[v] << " n=" << n
+          << " ids=" << id_kind << " sched=" << sched_name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Algo2Sweep,
+    ::testing::Combine(
+        ::testing::Values<NodeId>(3, 4, 5, 7, 16, 33, 64),
+        ::testing::Values("random", "sorted", "alternating", "zigzag",
+                          "permutation"),
+        ::testing::Values("sync", "random", "single", "roundrobin",
+                          "staggered", "halfspeed")),
+    [](const auto& inf) {
+      return "n" + std::to_string(std::get<0>(inf.param)) + "_" +
+             std::get<1>(inf.param) + "_" + std::get<2>(inf.param);
+    });
+
+TEST(Algo2, IsolatedNodeReturnsColorZero) {
+  const Graph g = make_cycle(4);
+  Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, sorted_ids(4));
+  const NodeId only[] = {1};
+  ex.step(only);
+  ASSERT_TRUE(ex.has_terminated(1));
+  EXPECT_EQ(*ex.output(1), 0u);  // a = 0 avoided the empty conflict set
+}
+
+TEST(Algo2, SortedIdsCostLinearInN) {
+  // The worst case of Theorem 3.11 is a single long monotone chain: the
+  // local minimum's activation count grows linearly with n under the
+  // synchronous schedule.  This is the behaviour Algorithm 3 eliminates.
+  std::vector<std::uint64_t> worst;
+  for (NodeId n : {32u, 64u, 128u}) {
+    const Graph g = make_cycle(n);
+    SynchronousScheduler sched;
+    Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, sorted_ids(n));
+    const auto result = ex.run(sched, linear_step_budget(n));
+    ASSERT_TRUE(result.completed);
+    worst.push_back(result.max_activations());
+  }
+  // Linear growth: doubling n should at least multiply the cost by ~1.5.
+  EXPECT_GE(worst[1] * 10, worst[0] * 15);
+  EXPECT_GE(worst[2] * 10, worst[1] * 15);
+  // And it must be genuinely linear-scale, not logarithmic.
+  EXPECT_GE(worst[2], 128u / 2);
+}
+
+TEST(Algo2, RandomIdsCostTracksLongestChain) {
+  // With random identifiers the longest monotone chain is O(log n), so the
+  // worst node terminates in O(log n) activations (Lemma 3.14).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const NodeId n = 256;
+    const Graph g = make_cycle(n);
+    const auto ids = random_ids(n, seed);
+    const auto md = monotone_distances_on_cycle(ids);
+    SynchronousScheduler sched;
+    Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, ids);
+    const auto result = ex.run(sched, linear_step_budget(n));
+    ASSERT_TRUE(result.completed);
+    EXPECT_LE(result.max_activations(), 3ull * md.longest_chain + 8);
+  }
+}
+
+TEST(Algo2, ProperUnderRandomCrashes) {
+  Xoshiro256 rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId n = 16;
+    const Graph g = make_cycle(n);
+    const auto ids = random_ids(n, 300 + static_cast<std::uint64_t>(trial));
+    CrashPlan plan(n);
+    for (NodeId v = 0; v < n; ++v)
+      if (rng.chance(0.3)) plan.crash_after_activations(v, rng.below(5));
+    auto sched = make_scheduler("random", n, static_cast<std::uint64_t>(trial));
+    RunOptions options;
+    options.max_steps = linear_step_budget(n);
+    const auto outcome = run_simulation(FiveColoringLinear{}, g, ids, *sched,
+                                        plan, options);
+    ASSERT_TRUE(outcome.result.completed);
+    EXPECT_TRUE(outcome.proper) << "trial " << trial;
+    for (const auto& c : outcome.colors) {
+      if (c) {
+        EXPECT_LE(*c, 4u);
+      }
+    }
+  }
+}
+
+TEST(Algo2, CrashedChainBlocksNobody) {
+  // Crash every other node before it wakes: survivors are isolated and
+  // each returns in one activation — wait-freedom under maximal failure.
+  const NodeId n = 10;
+  const Graph g = make_cycle(n);
+  CrashPlan plan(n);
+  for (NodeId v = 0; v < n; v += 2) plan.crash_after_activations(v, 0);
+  SynchronousScheduler sched;
+  Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, sorted_ids(n),
+                                  plan);
+  const auto result = ex.run(sched, 1000);
+  ASSERT_TRUE(result.completed);
+  for (NodeId v = 1; v < n; v += 2) {
+    EXPECT_TRUE(result.outputs[v].has_value());
+    EXPECT_LE(result.activations[v], 2u);
+  }
+}
+
+TEST(Algo2, FiveColorsCanAllAppear) {
+  // The palette bound is 5; check the algorithm can actually use all five
+  // colors somewhere (otherwise our palette assertions would be vacuous).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 200 && seen.size() < 5; ++seed) {
+    const NodeId n = 16;
+    const Graph g = make_cycle(n);
+    auto sched = make_scheduler("random", n, seed);
+    RunOptions options;
+    options.max_steps = linear_step_budget(n);
+    const auto outcome = run_simulation(
+        FiveColoringLinear{}, g, random_ids(n, seed), *sched, {}, options);
+    ASSERT_TRUE(outcome.result.completed);
+    for (const auto& c : outcome.colors)
+      if (c) seen.insert(*c);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Algo2, LockstepPairLivelockExceedsAnyConstant) {
+  // Reproduction finding (see EXPERIMENTS.md, E3): Algorithm 2 *as printed*
+  // admits executions in which two adjacent working nodes never terminate,
+  // contradicting the constant of Lemma 3.13/3.14 for schedules with
+  // simultaneous activations (which the model explicitly allows).
+  //
+  // Construction on C_5 with ids chosen so node 1 is a local minimum and
+  // node 2 a local maximum: nodes 0 and 3 wake alone first and — as
+  // wait-freedom forces — return color 0, freezing (a,b) = (0,0) in their
+  // registers.  From then on node 1 computes a_1 = b_1 = mex{0, b̂_2} and
+  // node 2 computes b_2 = mex{0, â_1} (a_2 = 0 is pinned).  Under perfect
+  // lockstep both read the other's one-step-lagged value, oscillate
+  // (1,1) <-> (2,2) in phase, and both return tests fail forever.  Any
+  // solo activation breaks the phase lock immediately.
+  const Graph g = make_cycle(5);
+  const IdAssignment ids = {50, 10, 100, 60, 70};
+  Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, ids);
+  const NodeId wake0[] = {0};
+  const NodeId wake3[] = {3};
+  ex.step(wake0);
+  ex.step(wake3);
+  ASSERT_TRUE(ex.has_terminated(0));
+  ASSERT_TRUE(ex.has_terminated(3));
+  ASSERT_EQ(*ex.output(0), 0u);
+  ASSERT_EQ(*ex.output(3), 0u);
+
+  // Lockstep phase: 200 simultaneous activations of the pair — far beyond
+  // the claimed 3*l + 4 <= 7 — and neither node terminates.
+  const NodeId pair[] = {1, 2};
+  for (int i = 0; i < 200; ++i) ex.step(pair);
+  EXPECT_TRUE(ex.is_working(1));
+  EXPECT_TRUE(ex.is_working(2));
+  EXPECT_EQ(ex.activation_count(1), 200u);
+
+  // One solo step of node 1 breaks the symmetry; both terminate promptly.
+  const NodeId solo[] = {1};
+  ex.step(solo);
+  ex.step(solo);
+  EXPECT_TRUE(ex.has_terminated(1));
+  ex.step(pair);
+  ex.step(pair);
+  EXPECT_TRUE(ex.has_terminated(2));
+
+  // And the final coloring is still proper — safety was never at risk.
+  PartialColoring colors(5);
+  for (NodeId v = 0; v < 5; ++v)
+    if (ex.output(v)) colors[v] = *ex.output(v);
+  EXPECT_TRUE(is_proper_partial(g, colors));
+}
+
+TEST(Algo2, InterleavingBreaksLockstepWithinPaperBound) {
+  // Counterpart to the livelock: under any interleaving (one activation
+  // per step) of the same configuration, the pair terminates within the
+  // paper's Lemma 3.14 bound.
+  const Graph g = make_cycle(5);
+  const IdAssignment ids = {50, 10, 100, 60, 70};
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, ids);
+    const NodeId wake0[] = {0};
+    const NodeId wake3[] = {3};
+    ex.step(wake0);
+    ex.step(wake3);
+    RandomSingleScheduler sched(seed);
+    const auto result = ex.run(sched, 100000);
+    ASSERT_TRUE(result.completed);
+    // Node 2 is a local maximum: l = 0, bound 4.
+    EXPECT_LE(result.activations[2], 4u) << "seed " << seed;
+  }
+}
+
+TEST(Algo2, StragglerTerminatesAfterNeighboursFroze) {
+  // A node scheduled only after both neighbours terminated returns within
+  // 2 further activations (its candidates stabilise against frozen
+  // registers) — the propagation step in the proof of Theorem 3.11.
+  const NodeId n = 6;
+  const Graph g = make_cycle(n);
+  const auto ids = sorted_ids(n);
+  Executor<FiveColoringLinear> ex(FiveColoringLinear{}, g, ids);
+  // Run everyone except node 3 to completion.
+  std::vector<NodeId> others;
+  for (NodeId v = 0; v < n; ++v)
+    if (v != 3) others.push_back(v);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<NodeId> sigma;
+    for (NodeId v : others)
+      if (ex.is_working(v)) sigma.push_back(v);
+    if (sigma.empty()) break;
+    ex.step(sigma);
+  }
+  for (NodeId v : others) ASSERT_TRUE(ex.has_terminated(v)) << v;
+  // Now wake the straggler.
+  const NodeId straggler[] = {3};
+  ex.step(straggler);
+  ex.step(straggler);
+  EXPECT_TRUE(ex.has_terminated(3));
+  EXPECT_TRUE(is_proper_partial(
+      g, to_partial_coloring<FiveColoringLinear>(
+             {ex.output(0), ex.output(1), ex.output(2), ex.output(3),
+              ex.output(4), ex.output(5)})));
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,173 @@
+// Algorithm 4 (Appendix A): O(Δ²)-coloring of general graphs.  Verifies
+// wait-free termination, the palette {(a,b) : a+b <= Δ} of size
+// (Δ+1)(Δ+2)/2, and correctness on the terminated subgraph, on cycles,
+// tori, complete graphs, the Petersen graph, and random bounded-degree
+// graphs, under schedules and crashes.
+#include "core/algo4_general_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/harness.hpp"
+#include "sched/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+NamedGraph make_named_graph(const std::string& kind, std::uint64_t seed) {
+  if (kind == "cycle16") return {kind, make_cycle(16)};
+  if (kind == "path12") return {kind, make_path(12)};
+  if (kind == "torus4x5") return {kind, make_torus(4, 5)};
+  if (kind == "petersen") return {kind, make_petersen()};
+  if (kind == "complete6") return {kind, make_complete(6)};
+  if (kind == "random40d5")
+    return {kind, make_random_bounded_degree(40, 5, seed)};
+  if (kind == "random60d8")
+    return {kind, make_random_bounded_degree(60, 8, seed)};
+  return {kind, make_cycle(3)};
+}
+
+using Params = std::tuple<std::string, std::string>;
+
+class Algo4Sweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(Algo4Sweep, WaitFreeProperOnGeneralGraphs) {
+  const auto& [graph_kind, sched_name] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto [name, g] = make_named_graph(graph_kind, seed);
+    const auto n = g.node_count();
+    const auto delta = static_cast<std::uint64_t>(g.max_degree());
+    const auto ids = random_ids(n, seed + 11);
+    auto sched = make_scheduler(sched_name, n, seed * 7 + 5);
+    RunOptions options;
+    options.max_steps = linear_step_budget(n);
+    const auto outcome = run_simulation(DeltaSquaredColoring{}, g, ids,
+                                        *sched, {}, options);
+    ASSERT_TRUE(outcome.result.completed) << name << " " << sched_name;
+    ASSERT_FALSE(outcome.violation.has_value()) << *outcome.violation;
+    EXPECT_TRUE(outcome.proper) << name << " " << sched_name;
+    EXPECT_EQ(outcome.result.terminated_count(), n);
+    // Palette: every output pair satisfies a + b <= Δ.
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& c = outcome.result.outputs[v];
+      ASSERT_TRUE(c.has_value());
+      EXPECT_LE(c->a + c->b, delta)
+          << name << " node " << v << " " << c->to_string();
+    }
+    // Palette cardinality (Δ+1)(Δ+2)/2.
+    EXPECT_LE(palette_size(outcome.colors), pair_palette_size(delta));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Algo4Sweep,
+    ::testing::Combine(
+        ::testing::Values("cycle16", "path12", "torus4x5", "petersen",
+                          "complete6", "random40d5", "random60d8"),
+        ::testing::Values("sync", "random", "single", "roundrobin",
+                          "halfspeed")),
+    [](const auto& inf) {
+      return std::get<0>(inf.param) + "_" + std::get<1>(inf.param);
+    });
+
+TEST(Algo4, MatchesAlgorithm1PaletteOnCycles) {
+  // On the cycle (Δ = 2) Algorithm 4 degenerates to Algorithm 1: 6 colors.
+  const NodeId n = 32;
+  const Graph g = make_cycle(n);
+  SynchronousScheduler sched;
+  RunOptions options;
+  options.max_steps = linear_step_budget(n);
+  const auto outcome = run_simulation(DeltaSquaredColoring{}, g,
+                                      random_ids(n, 1), sched, {}, options);
+  ASSERT_TRUE(outcome.result.completed);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_LE(outcome.result.outputs[v]->a + outcome.result.outputs[v]->b, 2u);
+}
+
+TEST(Algo4, CompleteGraphIsRenaming) {
+  // On K_n the state model is shared memory and proper coloring means all
+  // outputs distinct — Algorithm 4 as a (Δ²)-renaming algorithm.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const NodeId n = 7;
+    const Graph g = make_complete(n);
+    auto sched = make_scheduler("single", n, seed);
+    RunOptions options;
+    options.max_steps = linear_step_budget(n);
+    const auto outcome = run_simulation(DeltaSquaredColoring{}, g,
+                                        random_ids(n, seed), *sched, {},
+                                        options);
+    ASSERT_TRUE(outcome.result.completed);
+    EXPECT_EQ(palette_size(outcome.colors), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Algo4, ProperUnderRandomCrashesOnTorus) {
+  Xoshiro256 rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = make_torus(4, 4);
+    const auto n = g.node_count();
+    CrashPlan plan(n);
+    for (NodeId v = 0; v < n; ++v)
+      if (rng.chance(0.25)) plan.crash_after_activations(v, rng.below(4));
+    auto sched = make_scheduler("random", n, static_cast<std::uint64_t>(trial));
+    RunOptions options;
+    options.max_steps = linear_step_budget(n);
+    const auto outcome =
+        run_simulation(DeltaSquaredColoring{}, g,
+                       random_ids(n, 40 + static_cast<std::uint64_t>(trial)),
+                       *sched, plan, options);
+    ASSERT_TRUE(outcome.result.completed);
+    EXPECT_TRUE(outcome.proper) << "trial " << trial;
+  }
+}
+
+TEST(Algo4, StarGraphHubStress) {
+  // The hub sees Δ = n-1 neighbours; leaves see only the hub.  Everyone
+  // terminates fast (leaves are extremal among {hub}) and properly.
+  const Graph g = make_star(20);
+  for (const auto& sched_name : scheduler_names()) {
+    auto sched = make_scheduler(sched_name, 20, 3);
+    RunOptions options;
+    options.max_steps = linear_step_budget(20);
+    const auto outcome = run_simulation(DeltaSquaredColoring{}, g,
+                                        random_ids(20, 4), *sched, {},
+                                        options);
+    ASSERT_TRUE(outcome.result.completed) << sched_name;
+    EXPECT_TRUE(outcome.proper) << sched_name;
+    EXPECT_LE(outcome.result.max_activations(), 8u) << sched_name;
+  }
+}
+
+TEST(Algo4, HighDegreeNodeTerminates) {
+  // A star-like stress: node 0 adjacent to many others via K_8.
+  const Graph g = make_complete(8);
+  SynchronousScheduler sched;
+  RunOptions options;
+  options.max_steps = linear_step_budget(8);
+  const auto outcome = run_simulation(DeltaSquaredColoring{}, g,
+                                      random_ids(8, 2), sched, {}, options);
+  ASSERT_TRUE(outcome.result.completed);
+  EXPECT_TRUE(outcome.proper);
+}
+
+TEST(Algo4DeathTest, RejectsDegreeBeyondCap) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Graph g = make_complete(DeltaSquaredColoring::kMaxDegree + 2);
+  EXPECT_DEATH(
+      {
+        Executor<DeltaSquaredColoring> ex(
+            DeltaSquaredColoring{}, g,
+            random_ids(g.node_count(), 1));
+      },
+      "precondition");
+}
+
+}  // namespace
+}  // namespace ftcc

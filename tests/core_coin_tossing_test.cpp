@@ -1,0 +1,114 @@
+// Exhaustive verification of the three properties of the reduction
+// function f of Eq. (6) that Algorithm 3's analysis rests on:
+// envelope (Lemma 4.1), contraction (Lemma 4.2), properness (Lemma 4.3).
+#include "core/coin_tossing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/logstar.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+TEST(CvReduce, HandComputedExamples) {
+  // f(X, Y) = 2i + X_i, i = min({|X|, |Y|} ∪ {k : X_k != Y_k}).
+  EXPECT_EQ(cv_reduce(0b1100, 0b1010), 2u);  // first diff at bit 1, X_1 = 0
+  EXPECT_EQ(cv_reduce(0b101, 0b100), 1u);    // first diff at bit 0, X_0 = 1
+  EXPECT_EQ(cv_reduce(0b1000, 0b0111), 0u);  // first diff at bit 0, X_0 = 0
+  EXPECT_EQ(cv_reduce(0b10000, 0b11), 0u);   // first diff at bit 0, X_0 = 0
+  EXPECT_EQ(cv_reduce(5, 5), 6u);            // equal: i = |5| = 3, X_3 = 0
+  EXPECT_EQ(cv_reduce(0, 0), 0u);            // i = |0| = 0, X_0 = 0
+}
+
+TEST(CvReduce, EnvelopeLemma41) {
+  // f(x, y) <= 2*min(|x|, |y|) + 1 for all inputs.
+  Xoshiro256 rng(101);
+  for (int trial = 0; trial < 200000; ++trial) {
+    const std::uint64_t x = rng() >> (rng.below(60));
+    const std::uint64_t y = rng() >> (rng.below(60));
+    const auto cap = static_cast<std::uint64_t>(
+        2 * std::min(bit_length(x), bit_length(y)) + 1);
+    EXPECT_LE(cv_reduce(x, y), cap) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(CvReduce, ContractionLemma42Exhaustive) {
+  // x > y >= 10  =>  f(x, y) < y, exhaustively for y < 1500, x < 3000.
+  for (std::uint64_t y = 10; y < 1500; ++y)
+    for (std::uint64_t x = y + 1; x < 3000; ++x)
+      ASSERT_LT(cv_reduce(x, y), y) << "x=" << x << " y=" << y;
+}
+
+TEST(CvReduce, ContractionLemma42LargeRandom) {
+  Xoshiro256 rng(103);
+  for (int trial = 0; trial < 100000; ++trial) {
+    std::uint64_t x = rng() >> rng.below(50);
+    std::uint64_t y = rng() >> rng.below(50);
+    if (x == y) continue;
+    if (x < y) std::swap(x, y);
+    if (y < 10) continue;
+    EXPECT_LT(cv_reduce(x, y), y) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(CvReduce, PropernessLemma43Exhaustive) {
+  // x > y > z  =>  f(x, y) != f(y, z), exhaustively below 220.
+  for (std::uint64_t x = 2; x < 220; ++x)
+    for (std::uint64_t y = 1; y < x; ++y)
+      for (std::uint64_t z = 0; z < y; ++z)
+        ASSERT_NE(cv_reduce(x, y), cv_reduce(y, z))
+            << "x=" << x << " y=" << y << " z=" << z;
+}
+
+TEST(CvReduce, PropernessLemma43LargeRandom) {
+  Xoshiro256 rng(107);
+  for (int trial = 0; trial < 100000; ++trial) {
+    std::uint64_t v[3] = {rng() >> rng.below(40), rng() >> rng.below(40),
+                          rng() >> rng.below(40)};
+    std::sort(v, v + 3);
+    if (v[0] == v[1] || v[1] == v[2]) continue;
+    EXPECT_NE(cv_reduce(v[2], v[1]), cv_reduce(v[1], v[0]))
+        << v[2] << ">" << v[1] << ">" << v[0];
+  }
+}
+
+TEST(CvReduce, BelowTenNeedNotContract) {
+  // The threshold 10 in Lemma 4.2 is tight-ish: contraction can fail for
+  // y < 10 (this is why Algorithm 3 freezes chains once values are small).
+  bool found_non_contracting = false;
+  for (std::uint64_t y = 0; y < 10 && !found_non_contracting; ++y)
+    for (std::uint64_t x = y + 1; x < 64; ++x)
+      if (cv_reduce(x, y) >= y) {
+        found_non_contracting = true;
+        break;
+      }
+  EXPECT_TRUE(found_non_contracting);
+}
+
+TEST(ChainRounds, LogStarGrowth) {
+  // Envelope iterations to get below 10 grow like log*, i.e. stay tiny
+  // even for astronomically large identifiers.
+  EXPECT_EQ(cv_chain_rounds_below(5, 10), 0);
+  EXPECT_GE(cv_chain_rounds_below(10, 10), 1);
+  EXPECT_LE(cv_chain_rounds_below(1u << 16, 10), 5);
+  EXPECT_LE(cv_chain_rounds_below(~0ULL, 10), 6);
+  // Monotone in the start value (weakly).
+  int prev = 0;
+  for (std::uint64_t x = 10; x < (1ULL << 50); x *= 7) {
+    const int r = cv_chain_rounds_below(x, 10);
+    EXPECT_GE(r + 1, prev);  // allow plateaus
+    prev = r;
+  }
+}
+
+TEST(ChainRounds, MatchesEnvelopeIterations) {
+  for (std::uint64_t x : {0ULL, 9ULL, 10ULL, 1000ULL, 123456789ULL})
+    EXPECT_EQ(cv_chain_rounds_below(x, 10), envelope_iterations_below_10(x));
+}
+
+}  // namespace
+}  // namespace ftcc

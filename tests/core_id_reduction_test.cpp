@@ -1,0 +1,124 @@
+// Unit tests of the shared identifier-reduction helper (Algorithm 3,
+// lines 11-19), covering every branch: frozen short-circuit, green-light
+// gate, middle-node jump accepted/rejected, local-maximum freeze, and the
+// local minimum's final dodge.
+#include "core/id_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coin_tossing.hpp"
+#include "util/mex.hpp"
+
+namespace ftcc {
+namespace {
+
+struct Node {
+  std::uint64_t x;
+  std::uint64_t r;
+};
+
+Node update(Node me, std::uint64_t x0, std::uint64_t r0, std::uint64_t x1,
+            std::uint64_t r1) {
+  cv_identifier_update(me.x, me.r, x0, r0, x1, r1);
+  return me;
+}
+
+TEST(IdReduction, FrozenNodesNeverChange) {
+  const Node frozen{100, kFrozenIdRound};
+  const auto after = update(frozen, 50, 0, 200, 0);
+  EXPECT_EQ(after.x, 100u);
+  EXPECT_EQ(after.r, kFrozenIdRound);
+}
+
+TEST(IdReduction, NoGreenLightNoChange) {
+  // r_p > min(r_q, r_q'): the node waits.
+  const Node me{100, 3};
+  const auto after = update(me, 50, 2, 200, 5);
+  EXPECT_EQ(after.x, 100u);
+  EXPECT_EQ(after.r, 3u);
+}
+
+TEST(IdReduction, MiddleNodeJumpsBelowSmallerNeighbour) {
+  // lo = 50 >= 10, x = 100 > 50: Lemma 4.2 guarantees f(100, 50) < 50.
+  const Node me{100, 0};
+  const auto after = update(me, 50, 0, 200, 0);
+  EXPECT_EQ(after.r, 1u);  // attempt counted
+  EXPECT_LT(after.x, 50u);
+  EXPECT_EQ(after.x, cv_reduce(100, 50));
+}
+
+TEST(IdReduction, MiddleNodeRejectedJumpKeepsIdentifier) {
+  // With the smaller neighbour below 10, f may land at or above it —
+  // then the identifier stays put but the attempt still counts.
+  bool found_rejection = false;
+  for (std::uint64_t lo = 1; lo < 10 && !found_rejection; ++lo) {
+    for (std::uint64_t x = lo + 1; x < 64; ++x) {
+      if (cv_reduce(x, lo) < lo) continue;
+      const Node me{x, 0};
+      const auto after = update(me, lo, 0, x + 100, 0);
+      EXPECT_EQ(after.x, x);
+      EXPECT_EQ(after.r, 1u);
+      found_rejection = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_rejection);
+}
+
+TEST(IdReduction, LocalMaximumFreezesWithoutMoving) {
+  const Node me{300, 2};
+  const auto after = update(me, 50, 2, 200, 3);
+  EXPECT_EQ(after.r, kFrozenIdRound);
+  EXPECT_EQ(after.x, 300u);
+}
+
+TEST(IdReduction, LocalMinimumFreezesWithFinalDodge) {
+  // x < lo: freeze, and x drops to min(x, mex{f(q0,x), f(q1,x)}).
+  const Node me{40, 0};
+  const std::uint64_t q0 = 100;
+  const std::uint64_t q1 = 200;
+  const auto after = update(me, q0, 0, q1, 0);
+  EXPECT_EQ(after.r, kFrozenIdRound);
+  const auto expected =
+      std::min<std::uint64_t>(40, mex({cv_reduce(q0, 40), cv_reduce(q1, 40)}));
+  EXPECT_EQ(after.x, expected);
+  EXPECT_LE(after.x, 40u);
+}
+
+TEST(IdReduction, DodgeAvoidsWhatNeighboursWouldReduceTo) {
+  // The dodge target is never equal to either neighbour's potential
+  // reduction against the old x — the properness protection.
+  for (std::uint64_t x = 0; x < 40; ++x) {
+    for (std::uint64_t q0 = x + 1; q0 < x + 20; ++q0) {
+      const std::uint64_t q1 = q0 + 7;
+      Node me{x, 0};
+      const auto after = update(me, q0, 0, q1, 0);
+      if (after.x == x) continue;  // kept its identifier: nothing to check
+      EXPECT_NE(after.x, cv_reduce(q0, x)) << "x=" << x << " q0=" << q0;
+      EXPECT_NE(after.x, cv_reduce(q1, x)) << "x=" << x << " q1=" << q1;
+    }
+  }
+}
+
+TEST(IdReduction, IdentifierNeverIncreases) {
+  for (std::uint64_t x : {5ull, 17ull, 100ull, 12345ull}) {
+    for (std::uint64_t a : {1ull, 50ull, 1000ull}) {
+      for (std::uint64_t b : {3ull, 80ull, 20000ull}) {
+        Node me{x, 0};
+        const auto after = update(me, a, 0, b, 0);
+        EXPECT_LE(after.x, x) << "x=" << x << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(IdReduction, GreenLightWithFrozenNeighboursAlwaysOn) {
+  // Neighbours at r = ∞ never block: min(∞, ∞) >= any finite r.
+  const Node me{100, 7};
+  const auto after = update(me, 50, kFrozenIdRound, 200, kFrozenIdRound);
+  EXPECT_EQ(after.r, 8u);
+  EXPECT_LT(after.x, 50u);
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,143 @@
+// The DECOUPLED substrate (related work [13, 18]): Cole–Vishkin 3-coloring
+// transfers to asynchronous-but-failure-free processes over the
+// synchronous reliable network, while a single crash stalls the naive
+// transfer — the model gap the paper's Section 1.4 describes.
+#include "decoupled/decoupled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/coloring.hpp"
+#include "localmodel/cole_vishkin.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ftcc {
+namespace {
+
+ColeVishkin make_cv(const IdAssignment& ids) {
+  return ColeVishkin(ColeVishkin::reduce_rounds_for(
+      *std::max_element(ids.begin(), ids.end())));
+}
+
+PartialColoring outputs_to_coloring(
+    const std::vector<std::optional<std::uint64_t>>& outputs) {
+  PartialColoring colors(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i)
+    if (outputs[i]) colors[i] = *outputs[i];
+  return colors;
+}
+
+TEST(Decoupled, FailureFreeTransfersColeVishkin) {
+  // Three colors on an asynchronous (but crash-free) cycle — possible in
+  // DECOUPLED, impossible in the paper's model (Property 2.3: >= 5).
+  // The transfer is starvation-free, not obstruction-free: the "solo"
+  // scheduler (one node runs alone until done) deadlocks it, since a node
+  // cannot advance a round without its neighbours' messages — so every
+  // *fair* scheduler is exercised instead.
+  for (NodeId n : {3u, 8u, 64u, 257u}) {
+    for (const auto& sched_name : scheduler_names()) {
+      if (sched_name == "solo") continue;
+      const auto ids = random_ids(n, 7);
+      DecoupledExecutor<ColeVishkin> ex(make_cv(ids), ids);
+      auto sched = make_scheduler(sched_name, n, 11);
+      const auto result = ex.run(*sched, 2'000'000);
+      ASSERT_TRUE(result.completed) << "n=" << n << " " << sched_name;
+      const auto colors = outputs_to_coloring(result.outputs);
+      EXPECT_TRUE(is_proper_total(make_cycle(n), colors))
+          << "n=" << n << " " << sched_name;
+      for (const auto& c : colors) EXPECT_LE(*c, 2u);
+    }
+  }
+}
+
+TEST(Decoupled, SoloSchedulerStarvesTheTransfer) {
+  // Complement of the exclusion above: obstruction-freedom genuinely
+  // fails — a solo runner waits forever for messages that never come,
+  // while the paper's state-model algorithms terminate solo in one step.
+  const NodeId n = 6;
+  const auto ids = random_ids(n, 2);
+  DecoupledExecutor<ColeVishkin> ex(make_cv(ids), ids);
+  SoloRunsScheduler sched;
+  const auto result = ex.run(sched, 5000);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.stalled[0]);
+  EXPECT_EQ(ex.rounds_computed(0), 0u);
+}
+
+TEST(Decoupled, DilationIsConstantFactor) {
+  // Under the synchronous process schedule, the transfer costs a constant
+  // factor over the native LOCAL execution (each LOCAL round needs the
+  // delivery of the previous one: ~2 network steps per round).
+  const NodeId n = 128;
+  const auto ids = random_ids(n, 3);
+  const auto native = run_cole_vishkin(ids);
+  DecoupledExecutor<ColeVishkin> ex(make_cv(ids), ids);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 100000);
+  ASSERT_TRUE(result.completed);
+  EXPECT_LE(result.max_activations(), 4 * native.rounds + 8);
+  EXPECT_GE(result.max_activations(), native.rounds);
+}
+
+TEST(Decoupled, LateWakersFindBufferedMessages) {
+  // Node 0 sleeps for 200 steps while everyone else runs; when it finally
+  // wakes, the buffered history lets it catch up and finish.
+  const NodeId n = 16;
+  const auto ids = random_ids(n, 9);
+  DecoupledExecutor<ColeVishkin> ex(make_cv(ids), ids);
+  // Phase 1: run all-but-0 for 200 steps.
+  std::vector<NodeId> others;
+  for (NodeId v = 1; v < n; ++v) others.push_back(v);
+  for (int t = 0; t < 200; ++t) ex.step(others);
+  EXPECT_FALSE(ex.is_finished(0));
+  // Everyone else is blocked at most one round past node 0's input (which
+  // was never sent) — they cannot have finished.
+  EXPECT_FALSE(ex.is_finished(1));
+  EXPECT_FALSE(ex.is_finished(n - 1));
+  // Wake node 0: the whole cycle drains.
+  SynchronousScheduler all;
+  const auto result = ex.run(all, 100000);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_proper_total(make_cycle(n),
+                              outputs_to_coloring(result.outputs)));
+}
+
+TEST(Decoupled, CrashStallsNaiveTransfer) {
+  // One crash before the crashed node sends anything: its neighbours stall
+  // forever — the naive LOCAL transfer is not wait-free, which is why [13]
+  // needed new algorithms even in DECOUPLED, and why the paper's weaker
+  // model forces a 5-color palette.
+  const NodeId n = 12;
+  const auto ids = random_ids(n, 5);
+  CrashPlan plan(n);
+  plan.crash_after_activations(4, 0);  // never wakes, input never sent
+  DecoupledExecutor<ColeVishkin> ex(make_cv(ids), ids, plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 50000);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.crashed[4]);
+  EXPECT_TRUE(result.stalled[3]);
+  EXPECT_TRUE(result.stalled[5]);
+}
+
+TEST(Decoupled, CrashAfterSendingUnblocksOneMoreRound) {
+  // A node that crashes after sending round-0 lets its neighbours compute
+  // exactly one round before stalling: progress is bounded by the crashed
+  // node's last transmission.
+  const NodeId n = 12;
+  const auto ids = random_ids(n, 6);
+  CrashPlan plan(n);
+  plan.crash_after_activations(4, 2);  // sends input (+ maybe round 1)
+  DecoupledExecutor<ColeVishkin> ex(make_cv(ids), ids, plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 50000);
+  EXPECT_FALSE(result.completed);
+  EXPECT_GE(ex.rounds_computed(3), 1u);
+  EXPECT_GE(ex.rounds_computed(5), 1u);
+  EXPECT_TRUE(result.stalled[3]);
+  EXPECT_TRUE(result.stalled[5]);
+}
+
+}  // namespace
+}  // namespace ftcc

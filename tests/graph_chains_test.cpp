@@ -1,0 +1,126 @@
+#include "graph/chains.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/ids.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+// Reference O(n^2) implementation: walk in both directions.
+MonotoneDistances reference_distances(const IdAssignment& ids) {
+  const auto n = static_cast<NodeId>(ids.size());
+  auto walk = [&](NodeId v, bool ascending) -> NodeId {
+    // Min over both directions of the walk length until an extremum.
+    NodeId best = ~NodeId{0};
+    for (int dir : {+1, -1}) {
+      NodeId cur = v;
+      NodeId steps = 0;
+      for (;;) {
+        const NodeId nxt = dir > 0 ? (cur + 1) % n : (cur + n - 1) % n;
+        const bool goes = ascending ? ids[nxt] > ids[cur] : ids[nxt] < ids[cur];
+        if (!goes) break;
+        cur = nxt;
+        ++steps;
+        if (steps > n) break;
+      }
+      // The walk must consist of ascending steps only; a walk that
+      // immediately fails contributes only if v itself is extremal.
+      const NodeId nxt = dir > 0 ? (v + 1) % n : (v + n - 1) % n;
+      const bool first_ok = ascending ? ids[nxt] > ids[v] : ids[nxt] < ids[v];
+      if (steps == 0 && !first_ok) continue;
+      best = std::min(best, steps);
+    }
+    if (best == ~NodeId{0}) best = 0;  // v is the extremum itself
+    return best;
+  };
+  MonotoneDistances md;
+  md.dist_to_max.resize(n);
+  md.dist_to_min.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    md.dist_to_max[v] = walk(v, true);
+    md.dist_to_min[v] = walk(v, false);
+  }
+  return md;
+}
+
+TEST(LocalExtrema, SortedCycle) {
+  const auto ids = sorted_ids(6);  // 100..105 around the cycle
+  EXPECT_TRUE(is_local_max_on_cycle(ids, 5));
+  EXPECT_TRUE(is_local_min_on_cycle(ids, 0));
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_FALSE(is_local_max_on_cycle(ids, v)) << v;
+    EXPECT_FALSE(is_local_min_on_cycle(ids, v)) << v;
+  }
+}
+
+TEST(MonotoneDistances, SortedCycleLinearGradient) {
+  const auto ids = sorted_ids(8);
+  const auto md = monotone_distances_on_cycle(ids);
+  // dist_to_max: node 7 is the max (0); node v reaches it in 7-v ascending
+  // steps, except node 0 which is adjacent to the max the other way round.
+  EXPECT_EQ(md.dist_to_max[7], 0u);
+  EXPECT_EQ(md.dist_to_max[0], 1u);  // min over both ascents: 0->7 directly
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(md.dist_to_max[v], 7u - v) << v;
+  EXPECT_EQ(md.dist_to_min[0], 0u);
+  EXPECT_EQ(md.dist_to_min[7], 1u);  // 7 -> 0 around the seam
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(md.dist_to_min[v], v) << v;
+  EXPECT_EQ(md.longest_chain, 7u);
+}
+
+TEST(MonotoneDistances, TriangleCases) {
+  const IdAssignment ids = {5, 10, 7};
+  const auto md = monotone_distances_on_cycle(ids);
+  EXPECT_EQ(md.dist_to_max[1], 0u);
+  EXPECT_EQ(md.dist_to_max[0], 1u);
+  EXPECT_EQ(md.dist_to_max[2], 1u);
+  EXPECT_EQ(md.dist_to_min[0], 0u);
+  EXPECT_EQ(md.dist_to_min[1], 1u);
+  EXPECT_EQ(md.dist_to_min[2], 1u);
+  EXPECT_EQ(md.longest_chain, 2u);  // 5 < 7 < 10
+}
+
+TEST(MonotoneDistances, MatchesReferenceOnRandomInputs) {
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId n = static_cast<NodeId>(3 + rng.below(40));
+    const auto ids = random_ids(n, 1000 + static_cast<std::uint64_t>(trial));
+    const auto fast = monotone_distances_on_cycle(ids);
+    const auto ref = reference_distances(ids);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(fast.dist_to_max[v], ref.dist_to_max[v])
+          << "n=" << n << " trial=" << trial << " v=" << v;
+      EXPECT_EQ(fast.dist_to_min[v], ref.dist_to_min[v])
+          << "n=" << n << " trial=" << trial << " v=" << v;
+    }
+  }
+}
+
+TEST(MonotoneDistances, ProperButNonUniqueIdsSupported) {
+  // Remark 3.10: Theorem 3.1 only needs ids to form a proper coloring.
+  const IdAssignment ids = {1, 2, 1, 2, 1, 2};  // proper 2-coloring of C_6
+  const auto md = monotone_distances_on_cycle(ids);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(md.dist_to_max[v] + md.dist_to_min[v], 1u) << v;
+  }
+  EXPECT_EQ(md.longest_chain, 1u);
+}
+
+TEST(MonotoneDistances, DistancesConsistentWithExtremality) {
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId n = static_cast<NodeId>(3 + rng.below(60));
+    const auto ids = random_ids(n, 5000 + static_cast<std::uint64_t>(trial));
+    const auto md = monotone_distances_on_cycle(ids);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(md.dist_to_max[v] == 0, is_local_max_on_cycle(ids, v));
+      EXPECT_EQ(md.dist_to_min[v] == 0, is_local_min_on_cycle(ids, v));
+      EXPECT_LE(md.dist_to_max[v], n - 1);
+      EXPECT_LE(md.dist_to_min[v], n - 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftcc

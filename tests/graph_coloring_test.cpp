@@ -1,0 +1,66 @@
+#include "graph/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftcc {
+namespace {
+
+TEST(ProperPartial, IgnoresNonTerminatedNodes) {
+  const Graph g = make_cycle(4);
+  // Nodes 0 and 1 share a color but node 1 "did not terminate".
+  PartialColoring colors = {5, std::nullopt, 5, 7};
+  EXPECT_TRUE(is_proper_partial(g, colors));
+  EXPECT_FALSE(is_proper_total(g, colors));
+}
+
+TEST(ProperPartial, DetectsAdjacentConflict) {
+  const Graph g = make_cycle(4);
+  PartialColoring colors = {5, 5, 6, 7};
+  EXPECT_FALSE(is_proper_partial(g, colors));
+  const auto conflict = find_conflict(g, colors);
+  ASSERT_TRUE(conflict.has_value());
+  EXPECT_EQ(conflict->first, 0u);
+  EXPECT_EQ(conflict->second, 1u);
+}
+
+TEST(ProperPartial, NonAdjacentEqualColorsAllowed) {
+  const Graph g = make_cycle(4);
+  PartialColoring colors = {5, 6, 5, 6};
+  EXPECT_TRUE(is_proper_partial(g, colors));
+  EXPECT_TRUE(is_proper_total(g, colors));
+}
+
+TEST(ProperPartial, AllAsleepIsVacuouslyProper) {
+  const Graph g = make_cycle(3);
+  PartialColoring colors(3, std::nullopt);
+  EXPECT_TRUE(is_proper_partial(g, colors));
+  EXPECT_FALSE(is_proper_total(g, colors));
+}
+
+TEST(PaletteSize, CountsDistinctTerminatedColors) {
+  PartialColoring colors = {1, 2, 1, std::nullopt, 3};
+  EXPECT_EQ(palette_size(colors), 3u);
+  EXPECT_EQ(palette_size(PartialColoring(4, std::nullopt)), 0u);
+}
+
+TEST(MaxColor, TracksLargestUsed) {
+  PartialColoring colors = {1, 4, std::nullopt, 2};
+  ASSERT_TRUE(max_color(colors).has_value());
+  EXPECT_EQ(*max_color(colors), 4u);
+  EXPECT_FALSE(max_color(PartialColoring(2, std::nullopt)).has_value());
+}
+
+TEST(ProperPartial, WorksOnGeneralGraphs) {
+  const Graph g = make_petersen();
+  PartialColoring good(10);
+  // Petersen is 3-chromatic; use a known proper 3-coloring.
+  const std::uint64_t assignment[10] = {0, 1, 0, 1, 2, 1, 2, 2, 0, 0};
+  for (NodeId v = 0; v < 10; ++v) good[v] = assignment[v];
+  EXPECT_TRUE(is_proper_partial(g, good));
+  PartialColoring bad = good;
+  bad[1] = bad[0];
+  EXPECT_FALSE(is_proper_partial(g, bad));
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,76 @@
+#include "graph/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/chains.hpp"
+
+namespace ftcc {
+namespace {
+
+TEST(RandomIds, UniqueProperAndPolyBounded) {
+  for (NodeId n : {3u, 10u, 257u}) {
+    const auto ids = random_ids(n, 42);
+    ASSERT_EQ(ids.size(), n);
+    EXPECT_TRUE(ids_unique(ids));
+    EXPECT_TRUE(ids_proper(make_cycle(n), ids));
+    for (auto id : ids)
+      EXPECT_LT(id, static_cast<std::uint64_t>(n) * n * n + 8);
+  }
+}
+
+TEST(RandomIds, DeterministicPerSeed) {
+  EXPECT_EQ(random_ids(50, 7), random_ids(50, 7));
+  EXPECT_NE(random_ids(50, 7), random_ids(50, 8));
+}
+
+TEST(SortedIds, OneLongMonotoneChain) {
+  const auto ids = sorted_ids(10);
+  EXPECT_TRUE(ids_unique(ids));
+  EXPECT_TRUE(ids_proper(make_cycle(10), ids));
+  const auto md = monotone_distances_on_cycle(ids);
+  EXPECT_EQ(md.longest_chain, 9u);  // 0 < 1 < ... < 9, length n-1 edges
+}
+
+TEST(AlternatingIds, EveryNodeExtremal) {
+  for (NodeId n : {4u, 5u, 8u, 9u}) {
+    const auto ids = alternating_ids(n);
+    EXPECT_TRUE(ids_unique(ids));
+    ASSERT_TRUE(ids_proper(make_cycle(n), ids)) << "n=" << n;
+    const auto md = monotone_distances_on_cycle(ids);
+    EXPECT_LE(md.longest_chain, 2u) << "n=" << n;
+  }
+}
+
+TEST(ZigzagIds, ChainLengthTracksRunLength) {
+  for (NodeId run : {2u, 4u, 8u}) {
+    const auto ids = zigzag_ids(64, run);
+    EXPECT_TRUE(ids_unique(ids));
+    ASSERT_TRUE(ids_proper(make_cycle(64), ids)) << "run=" << run;
+    const auto md = monotone_distances_on_cycle(ids);
+    EXPECT_GE(md.longest_chain, run);
+    EXPECT_LE(md.longest_chain, run + 2);
+  }
+}
+
+TEST(PermutationIds, DenseRange) {
+  const auto ids = permutation_ids(20, 3, 100);
+  EXPECT_TRUE(ids_unique(ids));
+  std::uint64_t lo = ids[0];
+  std::uint64_t hi = ids[0];
+  for (auto id : ids) {
+    lo = std::min(lo, id);
+    hi = std::max(hi, id);
+  }
+  EXPECT_EQ(lo, 100u);
+  EXPECT_EQ(hi, 119u);
+}
+
+TEST(IdsProper, DetectsAdjacentCollision) {
+  const Graph g = make_cycle(4);
+  EXPECT_FALSE(ids_proper(g, {1, 1, 2, 3}));
+  EXPECT_TRUE(ids_proper(g, {1, 2, 1, 2}));  // proper but not unique
+  EXPECT_FALSE(ids_unique({1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,121 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftcc {
+namespace {
+
+TEST(Cycle, StructureAndDegrees) {
+  const Graph g = make_cycle(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.max_degree(), 2);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.degree(v), 2);
+    EXPECT_TRUE(g.has_edge(v, (v + 1) % 5));
+    EXPECT_TRUE(g.has_edge((v + 1) % 5, v));  // symmetric
+  }
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Cycle, TriangleIsComplete) {
+  const Graph c3 = make_cycle(3);
+  const Graph k3 = make_complete(3);
+  for (NodeId u = 0; u < 3; ++u)
+    for (NodeId v = 0; v < 3; ++v)
+      EXPECT_EQ(c3.has_edge(u, v), k3.has_edge(u, v));
+}
+
+TEST(Path, EndpointsHaveDegreeOne) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(5), 1);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(Complete, AllPairsAdjacent) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.max_degree(), 5);
+  for (NodeId u = 0; u < 6; ++u)
+    for (NodeId v = 0; v < 6; ++v)
+      EXPECT_EQ(g.has_edge(u, v), u != v);
+}
+
+TEST(Torus, FourRegular) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 40u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Petersen, ThreeRegularTenNodes) {
+  const Graph g = make_petersen();
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);
+  // Petersen has girth 5: no triangles through node 0.
+  for (NodeId u : g.neighbors(0))
+    for (NodeId w : g.neighbors(0))
+      if (u != w) {
+        EXPECT_FALSE(g.has_edge(u, w));
+      }
+}
+
+TEST(Star, HubAndLeaves) {
+  const Graph g = make_star(6);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 5);
+  EXPECT_EQ(g.max_degree(), 5);
+  for (NodeId v = 1; v < 6; ++v) {
+    EXPECT_EQ(g.degree(v), 1);
+    EXPECT_TRUE(g.has_edge(0, v));
+  }
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(RandomBoundedDegree, RespectsCapAndConnectivity) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = make_random_bounded_degree(50, 5, seed);
+    EXPECT_EQ(g.node_count(), 50u);
+    EXPECT_LE(g.max_degree(), 5);
+    // Contains the Hamiltonian cycle, hence connected.
+    for (NodeId v = 0; v < 50; ++v) EXPECT_TRUE(g.has_edge(v, (v + 1) % 50));
+    // And should have picked up at least a few chords.
+    EXPECT_GT(g.edge_count(), 50u);
+  }
+}
+
+TEST(RandomBoundedDegree, DeterministicPerSeed) {
+  const Graph a = make_random_bounded_degree(30, 4, 9);
+  const Graph b = make_random_bounded_degree(30, 4, 9);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId v = 0; v < 30; ++v) {
+    auto na = a.neighbors(v);
+    auto nb = b.neighbors(v);
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+TEST(GraphDeathTest, RejectsSelfLoopsAndDuplicates) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(Graph(3, {{0, 0}}), "precondition");
+  EXPECT_DEATH(Graph(3, {{0, 1}, {1, 0}}), "precondition");
+  EXPECT_DEATH(Graph(3, {{0, 5}}), "precondition");
+}
+
+TEST(NeighborOrder, StableAcrossCalls) {
+  const Graph g = make_cycle(7);
+  const auto first = std::vector<NodeId>(g.neighbors(3).begin(),
+                                         g.neighbors(3).end());
+  const auto second = std::vector<NodeId>(g.neighbors(3).begin(),
+                                          g.neighbors(3).end());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace ftcc

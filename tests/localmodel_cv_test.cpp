@@ -1,0 +1,91 @@
+// The classical synchronous Cole–Vishkin 3-coloring baseline (E6): proper
+// 3-coloring of the oriented cycle in O(log* n) + 3 rounds.
+#include "localmodel/cole_vishkin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/coloring.hpp"
+#include "graph/ids.hpp"
+#include "util/logstar.hpp"
+
+namespace ftcc {
+namespace {
+
+PartialColoring to_partial(const std::vector<std::uint64_t>& colors) {
+  PartialColoring out(colors.size());
+  for (std::size_t i = 0; i < colors.size(); ++i) out[i] = colors[i];
+  return out;
+}
+
+TEST(ColeVishkin, ThreeColorsProperOnRandomIds) {
+  for (NodeId n : {3u, 4u, 5u, 16u, 100u, 1024u}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const auto ids = random_ids(n, seed);
+      const auto result = run_cole_vishkin(ids);
+      ASSERT_EQ(result.colors.size(), n);
+      for (auto c : result.colors) EXPECT_LE(c, 2u);
+      EXPECT_TRUE(
+          is_proper_total(make_cycle(n), to_partial(result.colors)))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ColeVishkin, SortedIdsAlsoWork) {
+  for (NodeId n : {3u, 7u, 64u, 513u}) {
+    const auto result = run_cole_vishkin(sorted_ids(n));
+    EXPECT_TRUE(is_proper_total(make_cycle(n), to_partial(result.colors)))
+        << "n=" << n;
+    for (auto c : result.colors) EXPECT_LE(c, 2u);
+  }
+}
+
+TEST(ColeVishkin, RoundsGrowLikeLogStar) {
+  // Rounds = reduce phase (log*-ish in the id magnitude) + 3 shift-down.
+  for (NodeId n : {8u, 64u, 4096u, 65536u}) {
+    const auto result = run_cole_vishkin(random_ids(n, 7));
+    const auto ls =
+        static_cast<std::uint64_t>(log_star(static_cast<double>(n)));
+    EXPECT_LE(result.rounds, 6 * ls + 10) << "n=" << n;
+    EXPECT_GE(result.rounds, 4u);  // at least one reduce + 3 shift-down
+  }
+}
+
+TEST(ColeVishkin, ReduceRoundsForMatchesLengthCollapse) {
+  // Small ids collapse immediately; 64-bit ids in a handful of rounds.
+  EXPECT_EQ(ColeVishkin::reduce_rounds_for(7), 1u);
+  EXPECT_LE(ColeVishkin::reduce_rounds_for(~0ULL), 8u);
+  // Monotone: more id bits never means fewer rounds.
+  std::uint64_t prev = 0;
+  for (std::uint64_t x = 7; x < (1ULL << 62); x = x * 2 + 1) {
+    const auto r = ColeVishkin::reduce_rounds_for(x);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(ColeVishkin, PropernessMaintainedEveryRound) {
+  const NodeId n = 256;
+  const auto ids = random_ids(n, 3);
+  ColeVishkin algo(ColeVishkin::reduce_rounds_for(
+      *std::max_element(ids.begin(), ids.end())));
+  SyncCycleExecutor<ColeVishkin> ex(algo, ids);
+  for (int round = 0; round < 40 && !ex.all_finished(); ++round) {
+    ex.round();
+    const auto outputs = ex.outputs();
+    for (NodeId v = 0; v < n; ++v)
+      EXPECT_NE(outputs[v], outputs[(v + 1) % n])
+          << "round " << round << " node " << v;
+  }
+  EXPECT_TRUE(ex.all_finished());
+}
+
+TEST(ColeVishkin, TriangleWorks) {
+  const auto result = run_cole_vishkin(IdAssignment{5, 9, 14});
+  EXPECT_TRUE(is_proper_total(make_cycle(3), to_partial(result.colors)));
+  // A proper 3-coloring of C_3 uses exactly 3 colors.
+  EXPECT_EQ(palette_size(to_partial(result.colors)), 3u);
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,221 @@
+// Mechanics of the exhaustive model checker, pinned down with tiny
+// purpose-built algorithms whose configuration graphs are known by hand.
+#include "modelcheck/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftcc {
+namespace {
+
+// Terminates after exactly K activations, outputs its node id.  Its
+// configuration graph is a grid over per-node counters: worst-case
+// activations are exactly K for every node, and there are no cycles.
+class CountDown {
+ public:
+  struct Register {
+    std::uint64_t count = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(count);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    std::uint64_t count = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, count});
+    }
+  };
+  using Output = std::uint64_t;
+
+  explicit CountDown(std::uint64_t k) : k_(k) {}
+  State init(NodeId, std::uint64_t id, int) const { return {id, 0}; }
+  Register publish(const State& s) const { return {s.count}; }
+  std::optional<Output> step(State& s, NeighborView<Register>) const {
+    if (++s.count >= k_) return s.id;
+    return std::nullopt;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+
+ private:
+  std::uint64_t k_;
+};
+static_assert(Algorithm<CountDown>);
+
+// Never terminates: the checker must detect a cycle (the single self-loop
+// configuration) and report non-wait-freedom.
+class Forever {
+ public:
+  struct Register {
+    std::uint64_t ignored = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(ignored);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
+  };
+  using Output = std::uint64_t;
+
+  State init(NodeId, std::uint64_t id, int) const { return {id}; }
+  Register publish(const State&) const { return {}; }
+  std::optional<Output> step(State&, NeighborView<Register>) const {
+    return std::nullopt;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+static_assert(Algorithm<Forever>);
+
+// Terminates instantly with a constant color: adjacent equal outputs — the
+// built-in properness check must fire.
+class ConstantColor {
+ public:
+  struct Register {
+    std::uint64_t ignored = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(ignored);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
+  };
+  using Output = std::uint64_t;
+
+  State init(NodeId, std::uint64_t id, int) const { return {id}; }
+  Register publish(const State&) const { return {}; }
+  std::optional<Output> step(State&, NeighborView<Register>) const {
+    return 7;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+static_assert(Algorithm<ConstantColor>);
+
+IdAssignment iota3() { return {10, 20, 30}; }
+
+TEST(Explorer, CountDownExactWorstCase) {
+  for (std::uint64_t k : {1ull, 2ull, 3ull}) {
+    ModelCheckOptions<CountDown> options;
+    options.mode = ActivationMode::sets;
+    ModelChecker<CountDown> mc(CountDown{k}, make_cycle(3), iota3(), options);
+    const auto r = mc.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.wait_free);
+    EXPECT_TRUE(r.outputs_proper);  // outputs are the unique node ids
+    EXPECT_EQ(r.worst_case_rounds(), k);
+    for (auto a : r.worst_case_activations) EXPECT_EQ(a, k);
+  }
+}
+
+TEST(Explorer, CountDownConfigCountIsCounterGrid) {
+  // With K=2 each node contributes: counter 0 (register ⊥), counter 1
+  // (register 0), counter 1 (register ⊥ impossible)... enumerate simply:
+  // the checker must at least reach the all-terminated configuration and
+  // the total must be the product structure of independent counters.
+  ModelCheckOptions<CountDown> options;
+  options.mode = ActivationMode::sets;
+  ModelChecker<CountDown> mc(CountDown{2}, make_cycle(3), iota3(), options);
+  const auto r = mc.run();
+  ASSERT_TRUE(r.completed);
+  // Per node: (count=0, reg ⊥), (count=1, reg 0), (terminated, reg 1):
+  // 3 distinguishable per-node situations, fully independent => 27 configs.
+  EXPECT_EQ(r.configs, 27u);
+  EXPECT_EQ(r.terminal_configs, 1u);
+}
+
+TEST(Explorer, WorstCaseStepsIsLongestExecution) {
+  // CountDown K=2 on 3 nodes: the slowest execution activates one node at
+  // a time — 6 time steps total; the fastest, 2.  The DP reports the max.
+  for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
+    ModelCheckOptions<CountDown> options;
+    options.mode = mode;
+    ModelChecker<CountDown> mc(CountDown{2}, make_cycle(3), iota3(), options);
+    const auto r = mc.run();
+    ASSERT_TRUE(r.completed && r.wait_free);
+    EXPECT_EQ(r.worst_case_steps, 6u);
+    EXPECT_EQ(r.worst_case_rounds(), 2u);
+  }
+}
+
+TEST(Explorer, ForeverIsNotWaitFree) {
+  for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
+    ModelCheckOptions<Forever> options;
+    options.mode = mode;
+    ModelChecker<Forever> mc(Forever{}, make_cycle(3), iota3(), options);
+    const auto r = mc.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.wait_free);
+    EXPECT_FALSE(r.safety_violation.has_value());  // livelock, not unsafety
+  }
+}
+
+TEST(Explorer, ConstantColorTripsProperness) {
+  ModelCheckOptions<ConstantColor> options;
+  options.mode = ActivationMode::sets;
+  ModelChecker<ConstantColor> mc(ConstantColor{}, make_cycle(3), iota3(),
+                                 options);
+  const auto r = mc.run();
+  EXPECT_FALSE(r.outputs_proper);
+  ASSERT_TRUE(r.safety_violation.has_value());
+  EXPECT_NE(r.safety_violation->find("improper"), std::string::npos);
+}
+
+TEST(Explorer, PropernessCheckCanBeDisabled) {
+  ModelCheckOptions<ConstantColor> options;
+  options.mode = ActivationMode::sets;
+  options.check_output_properness = false;
+  ModelChecker<ConstantColor> mc(ConstantColor{}, make_cycle(3), iota3(),
+                                 options);
+  const auto r = mc.run();
+  EXPECT_FALSE(r.safety_violation.has_value());
+  EXPECT_TRUE(r.wait_free);
+  EXPECT_EQ(r.colors_used, std::vector<std::uint64_t>{7});
+}
+
+TEST(Explorer, CustomSafetyPredicateRuns) {
+  ModelCheckOptions<CountDown> options;
+  options.mode = ActivationMode::sets;
+  options.safety = [](const auto& states, const auto&,
+                      const auto&) -> std::optional<std::string> {
+    for (const auto& s : states)
+      if (s.count >= 2) return "a counter reached 2";
+    return std::nullopt;
+  };
+  ModelChecker<CountDown> mc(CountDown{3}, make_cycle(3), iota3(), options);
+  const auto r = mc.run();
+  ASSERT_TRUE(r.safety_violation.has_value());
+  EXPECT_NE(r.safety_violation->find("counter"), std::string::npos);
+  EXPECT_FALSE(r.wait_free);  // aborted exploration makes no liveness claim
+}
+
+TEST(Explorer, BudgetExhaustionReported) {
+  ModelCheckOptions<CountDown> options;
+  options.mode = ActivationMode::sets;
+  options.max_configs = 5;
+  ModelChecker<CountDown> mc(CountDown{4}, make_cycle(3), iota3(), options);
+  const auto r = mc.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.wait_free);
+  EXPECT_EQ(r.configs, 5u);
+}
+
+TEST(Explorer, SingletonModeExploresFewerTransitions) {
+  ModelCheckOptions<CountDown> single;
+  single.mode = ActivationMode::singletons;
+  ModelCheckOptions<CountDown> sets;
+  sets.mode = ActivationMode::sets;
+  ModelChecker<CountDown> a(CountDown{2}, make_cycle(3), iota3(), single);
+  ModelChecker<CountDown> b(CountDown{2}, make_cycle(3), iota3(), sets);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_TRUE(ra.completed && rb.completed);
+  EXPECT_LT(ra.transitions, rb.transitions);
+  // Same worst case here: simultaneity does not help CountDown.
+  EXPECT_EQ(ra.worst_case_rounds(), rb.worst_case_rounds());
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,96 @@
+// CrashPlan semantics in isolation, plus crash/termination interplay in
+// the executor.
+#include "runtime/crash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algo1_six_coloring.hpp"
+#include "runtime/executor.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ftcc {
+namespace {
+
+TEST(CrashPlan, EmptyPlanNeverCrashes) {
+  CrashPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.crashes_at(0, 100, 100));
+  EXPECT_FALSE(plan.crashes_at(99, 1, 0));
+}
+
+TEST(CrashPlan, CrashAtStepBoundary) {
+  CrashPlan plan(4);
+  plan.crash_at_step(2, 10);
+  EXPECT_FALSE(plan.crashes_at(2, 9, 0));
+  EXPECT_TRUE(plan.crashes_at(2, 10, 0));
+  EXPECT_TRUE(plan.crashes_at(2, 11, 0));
+  EXPECT_FALSE(plan.crashes_at(1, 11, 0));  // other nodes unaffected
+}
+
+TEST(CrashPlan, CrashAfterActivationsBoundary) {
+  CrashPlan plan(4);
+  plan.crash_after_activations(1, 3);
+  EXPECT_FALSE(plan.crashes_at(1, 100, 2));
+  EXPECT_TRUE(plan.crashes_at(1, 100, 3));
+  EXPECT_TRUE(plan.crashes_at(1, 100, 4));
+}
+
+TEST(CrashPlan, GrowsOnDemand) {
+  CrashPlan plan;  // default-constructed, no capacity
+  plan.crash_at_step(7, 5);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.crashes_at(7, 5, 0));
+  EXPECT_FALSE(plan.crashes_at(6, 5, 0));
+  EXPECT_FALSE(plan.crashes_at(8, 5, 0));  // beyond capacity: no crash
+}
+
+TEST(CrashPlan, BothTriggersCombine) {
+  CrashPlan plan(4);
+  plan.crash_at_step(0, 50);
+  plan.crash_after_activations(0, 2);
+  EXPECT_TRUE(plan.crashes_at(0, 10, 2));  // activation trigger first
+  EXPECT_TRUE(plan.crashes_at(0, 50, 0));  // step trigger alone
+  EXPECT_FALSE(plan.crashes_at(0, 49, 1));
+}
+
+TEST(CrashExecutor, CrashAtStepZeroActivationsMeansNeverWoke) {
+  const Graph g = make_cycle(4);
+  CrashPlan plan(4);
+  plan.crash_after_activations(2, 0);
+  Executor<SixColoring> ex(SixColoring{}, g, {10, 20, 30, 40}, plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 1000);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.crashed[2]);
+  EXPECT_EQ(result.activations[2], 0u);
+  EXPECT_FALSE(ex.published(2).has_value());  // register stayed ⊥ forever
+}
+
+TEST(CrashExecutor, NodeCanTerminateAtItsCrashActivation) {
+  // A node whose final permitted activation also satisfies its return
+  // condition both terminates and is marked crashed; the output counts.
+  const Graph g = make_cycle(3);
+  CrashPlan plan(3);
+  plan.crash_after_activations(0, 1);
+  Executor<SixColoring> ex(SixColoring{}, g, {10, 20, 30}, plan);
+  const NodeId only[] = {0};
+  ex.step(only);  // neighbours ⊥: returns (0,0) at its first activation
+  EXPECT_TRUE(ex.has_terminated(0));
+  EXPECT_TRUE(ex.has_crashed(0));
+  EXPECT_TRUE(ex.output(0).has_value());
+}
+
+TEST(CrashExecutor, AllNodesCrashedCompletesImmediately) {
+  const Graph g = make_cycle(3);
+  CrashPlan plan(3);
+  for (NodeId v = 0; v < 3; ++v) plan.crash_after_activations(v, 0);
+  Executor<SixColoring> ex(SixColoring{}, g, {10, 20, 30}, plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 1000);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.terminated_count(), 0u);
+  EXPECT_LE(result.steps, 2u);
+}
+
+}  // namespace
+}  // namespace ftcc

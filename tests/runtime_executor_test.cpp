@@ -1,0 +1,257 @@
+// Pins down the executor's activation semantics (paper, Section 2.1):
+// write-then-read atomicity, simultaneity of same-step activations, ⊥
+// registers before first wake-up, frozen registers after return, crash
+// plans, and invariant hooks.
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ftcc {
+namespace {
+
+// A probe algorithm: publishes a per-node sequence number, records the
+// neighbour sequence numbers it reads, and terminates after `rounds_to_run`
+// activations, outputting its own id.
+class Probe {
+ public:
+  struct Register {
+    std::uint64_t id = 0;
+    std::uint64_t seq = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, seq});
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::optional<Register>> last_view;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, seq});
+    }
+  };
+  using Output = std::uint64_t;
+
+  explicit Probe(std::uint64_t rounds_to_run) : rounds_(rounds_to_run) {}
+
+  State init(NodeId, std::uint64_t id, int) const { return State{id, 0, {}}; }
+  Register publish(const State& s) const { return {s.id, s.seq}; }
+  std::optional<Output> step(State& s, NeighborView<Register> view) const {
+    s.last_view.assign(view.begin(), view.end());
+    s.seq += 1;
+    if (s.seq >= rounds_) return s.id;
+    return std::nullopt;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+
+ private:
+  std::uint64_t rounds_ = 1;
+};
+
+static_assert(Algorithm<Probe>);
+
+IdAssignment iota_ids(NodeId n) {
+  IdAssignment ids(n);
+  for (NodeId i = 0; i < n; ++i) ids[i] = 100 + i;
+  return ids;
+}
+
+TEST(Executor, SleepingNeighboursReadAsBottom) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{10}, g, iota_ids(3));
+  const NodeId only[] = {0};
+  ex.step(only);
+  // Node 0 activated alone: both neighbour registers were ⊥.
+  ASSERT_EQ(ex.state(0).last_view.size(), 2u);
+  EXPECT_FALSE(ex.state(0).last_view[0].has_value());
+  EXPECT_FALSE(ex.state(0).last_view[1].has_value());
+  // Node 0's own register is now published.
+  ASSERT_TRUE(ex.published(0).has_value());
+  EXPECT_EQ(ex.published(0)->id, 100u);
+  EXPECT_EQ(ex.published(0)->seq, 0u);  // pre-step value was written
+}
+
+TEST(Executor, SimultaneousActivationsSeeEachOthersWrites) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{10}, g, iota_ids(3));
+  // Advance node 0 alone twice so its state diverges from its register.
+  const NodeId only0[] = {0};
+  ex.step(only0);
+  ex.step(only0);
+  // Now activate 0 and 1 together: 1 must see 0's *just written* seq=2,
+  // not the stale seq=1 — "all write, then all read".
+  const NodeId both[] = {0, 1};
+  ex.step(both);
+  const auto& view_of_1 = ex.state(1).last_view;
+  ASSERT_EQ(view_of_1.size(), 2u);
+  // Find node 0's register in node 1's view (neighbour order arbitrary).
+  bool found = false;
+  for (const auto& reg : view_of_1)
+    if (reg && reg->id == 100) {
+      EXPECT_EQ(reg->seq, 2u);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Executor, WritePrecedesStepSoRegisterLagsState) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{10}, g, iota_ids(3));
+  const NodeId only[] = {0};
+  ex.step(only);
+  // After the activation the state advanced past the published value.
+  EXPECT_EQ(ex.state(0).seq, 1u);
+  EXPECT_EQ(ex.published(0)->seq, 0u);
+  ex.step(only);
+  EXPECT_EQ(ex.state(0).seq, 2u);
+  EXPECT_EQ(ex.published(0)->seq, 1u);
+}
+
+TEST(Executor, TerminationFreezesNodeAndRegister) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{2}, g, iota_ids(3));
+  const NodeId only[] = {0};
+  ex.step(only);
+  EXPECT_TRUE(ex.is_working(0));
+  ex.step(only);  // second activation: seq reaches 2 -> returns
+  EXPECT_TRUE(ex.has_terminated(0));
+  EXPECT_FALSE(ex.is_working(0));
+  ASSERT_TRUE(ex.output(0).has_value());
+  EXPECT_EQ(*ex.output(0), 100u);
+  const auto frozen = *ex.published(0);
+  // Further scheduling of node 0 is a no-op.
+  const auto activated = ex.step(only);
+  EXPECT_EQ(activated, 0u);
+  EXPECT_EQ(ex.activation_count(0), 2u);
+  EXPECT_EQ(*ex.published(0), frozen);
+}
+
+TEST(Executor, TerminatedNodeWroteInItsFinalActivation) {
+  // The pseudo-code's write precedes the return test, so the register holds
+  // the value published at the final activation.
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{1}, g, iota_ids(3));
+  const NodeId only[] = {1};
+  ex.step(only);
+  EXPECT_TRUE(ex.has_terminated(1));
+  ASSERT_TRUE(ex.published(1).has_value());
+  EXPECT_EQ(ex.published(1)->seq, 0u);
+}
+
+TEST(Executor, CrashPlanAtStepPreventsActivation) {
+  const Graph g = make_cycle(3);
+  CrashPlan plan(3);
+  plan.crash_at_step(2, 1);  // node 2 never takes a step
+  Executor<Probe> ex(Probe{3}, g, iota_ids(3), plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 100);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.crashed[2]);
+  EXPECT_EQ(result.activations[2], 0u);
+  EXPECT_FALSE(result.outputs[2].has_value());
+  EXPECT_TRUE(result.outputs[0].has_value());
+  EXPECT_TRUE(result.outputs[1].has_value());
+}
+
+TEST(Executor, CrashPlanAfterActivations) {
+  const Graph g = make_cycle(3);
+  CrashPlan plan(3);
+  plan.crash_after_activations(0, 1);  // one step, then crash
+  Executor<Probe> ex(Probe{5}, g, iota_ids(3), plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 100);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.crashed[0]);
+  EXPECT_EQ(result.activations[0], 1u);
+  EXPECT_FALSE(result.outputs[0].has_value());
+  // Node 0's register keeps its last written value, visible to neighbours.
+  ASSERT_TRUE(ex.published(0).has_value());
+}
+
+TEST(Executor, RunStopsAtStepBudget) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{1000}, g, iota_ids(3));
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 10);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.steps, 10u);
+  EXPECT_EQ(result.max_activations(), 10u);
+}
+
+TEST(Executor, ActivationCountsPerNode) {
+  const Graph g = make_cycle(4);
+  Executor<Probe> ex(Probe{100}, g, iota_ids(4));
+  const NodeId a[] = {0, 2};
+  const NodeId b[] = {1};
+  ex.step(a);
+  ex.step(a);
+  ex.step(b);
+  EXPECT_EQ(ex.activation_count(0), 2u);
+  EXPECT_EQ(ex.activation_count(1), 1u);
+  EXPECT_EQ(ex.activation_count(2), 2u);
+  EXPECT_EQ(ex.activation_count(3), 0u);
+}
+
+TEST(Executor, InvariantHookTripsAndHaltsRun) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{50}, g, iota_ids(3));
+  ex.add_invariant([](const Executor<Probe>& e) -> std::optional<std::string> {
+    if (e.activation_count(0) >= 3) return "node 0 was activated 3 times";
+    return std::nullopt;
+  });
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 1000);
+  EXPECT_FALSE(result.completed);
+  ASSERT_TRUE(ex.violation().has_value());
+  EXPECT_NE(ex.violation()->find("3 times"), std::string::npos);
+  EXPECT_EQ(ex.activation_count(0), 3u);  // halted right at the violation
+}
+
+TEST(Executor, ResultTotalsAndTermination) {
+  const Graph g = make_cycle(5);
+  Executor<Probe> ex(Probe{4}, g, iota_ids(5));
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 100);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.terminated_count(), 5u);
+  EXPECT_EQ(result.max_activations(), 4u);
+  EXPECT_EQ(result.total_activations(), 20u);
+  EXPECT_EQ(result.steps, 4u);
+}
+
+TEST(Executor, DuplicateNodesInSigmaActivateOnce) {
+  // σ(t) is a set: a scheduler listing a node twice must not grant it two
+  // rounds in one time step.
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{10}, g, iota_ids(3));
+  const NodeId dup[] = {1, 1, 1};
+  ex.step(dup);
+  EXPECT_EQ(ex.activation_count(1), 1u);
+  EXPECT_EQ(ex.state(1).seq, 1u);
+}
+
+TEST(Executor, EmptySigmaAdvancesTimeOnly) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{10}, g, iota_ids(3));
+  const auto activated = ex.step({});
+  EXPECT_EQ(activated, 0u);
+  EXPECT_EQ(ex.now(), 1u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(ex.activation_count(v), 0u);
+}
+
+TEST(Executor, ExternalCrashHelper) {
+  const Graph g = make_cycle(3);
+  Executor<Probe> ex(Probe{5}, g, iota_ids(3));
+  ex.crash(1);
+  EXPECT_TRUE(ex.has_crashed(1));
+  const NodeId sigma[] = {0, 1, 2};
+  ex.step(sigma);
+  EXPECT_EQ(ex.activation_count(1), 0u);
+  EXPECT_EQ(ex.activation_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,115 @@
+// The trace recorder: event capture, timeline formatting, schedule
+// reconstruction, and replay determinism (a traced execution replayed
+// through ReplayScheduler reproduces the exact same outcome).
+#include "runtime/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algo3_fast_five_coloring.hpp"
+#include "runtime/executor.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ftcc {
+namespace {
+
+TEST(Trace, RecordsActivationsAndReturns) {
+  const Graph g = make_cycle(3);
+  const IdAssignment ids = {10, 20, 30};
+  Executor<FiveColoringFast> ex(FiveColoringFast{}, g, ids);
+  Trace trace;
+  ex.attach_trace(&trace);
+  const NodeId only0[] = {0};
+  ex.step(only0);  // node 0 alone: returns immediately (neighbours ⊥)
+  ASSERT_TRUE(ex.has_terminated(0));
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0],
+            (TraceEvent{1, 0, TraceEventKind::activated, 0}));
+  EXPECT_EQ(trace.events()[1].kind, TraceEventKind::returned);
+  EXPECT_EQ(trace.events()[1].detail, *ex.output(0));
+  EXPECT_EQ(trace.return_step(0), 1u);
+  EXPECT_FALSE(trace.return_step(1).has_value());
+}
+
+TEST(Trace, RecordsCrashes) {
+  const Graph g = make_cycle(3);
+  CrashPlan plan(3);
+  plan.crash_after_activations(1, 1);
+  Executor<FiveColoringFast> ex(FiveColoringFast{}, g, {30, 10, 20}, plan);
+  Trace trace;
+  ex.attach_trace(&trace);
+  // Interleaving scheduler: the crash freezes a (0,0) register, and under
+  // perfect lockstep the remaining pair would hit the Algorithm-2-component
+  // livelock (see DESIGN.md) — the round-robin adversary cannot sustain it.
+  RoundRobinScheduler sched(1);
+  const auto result = ex.run(sched, 1000);
+  ASSERT_TRUE(result.completed);
+  const auto crashes = trace.filter(TraceEventKind::crashed);
+  // Node 1 crashed (unless it terminated at its single activation).
+  if (!result.outputs[1]) {
+    ASSERT_EQ(crashes.size(), 1u);
+    EXPECT_EQ(crashes[0].node, 1u);
+  }
+}
+
+TEST(Trace, ScheduleRoundTripIsDeterministic) {
+  // Trace a stochastic run, rebuild its schedule, replay: outcomes match
+  // event for event — the executor is deterministic given the schedule.
+  const NodeId n = 16;
+  const Graph g = make_cycle(n);
+  const auto ids = random_ids(n, 5);
+
+  Trace trace;
+  Executor<FiveColoringFast> original(FiveColoringFast{}, g, ids);
+  original.attach_trace(&trace);
+  RandomSubsetScheduler sched(0.4, 99);
+  const auto first = original.run(sched, 100000);
+  ASSERT_TRUE(first.completed);
+
+  Trace replay_trace;
+  Executor<FiveColoringFast> replayed(FiveColoringFast{}, g, ids);
+  replayed.attach_trace(&replay_trace);
+  ReplayScheduler replay(trace.to_schedule());
+  const auto second = replayed.run(replay, 100000);
+  ASSERT_TRUE(second.completed);
+
+  EXPECT_EQ(first.activations, second.activations);
+  EXPECT_EQ(first.steps, second.steps);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_EQ(first.outputs[v], second.outputs[v]) << "node " << v;
+  EXPECT_EQ(trace.events(), replay_trace.events());
+}
+
+TEST(Trace, ToScheduleGroupsByStep) {
+  Trace trace;
+  trace.record(1, 2, TraceEventKind::activated);
+  trace.record(1, 0, TraceEventKind::activated);
+  trace.record(3, 1, TraceEventKind::activated);
+  const auto schedule = trace.to_schedule();
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0], (std::vector<NodeId>{2, 0}));
+  EXPECT_TRUE(schedule[1].empty());
+  EXPECT_EQ(schedule[2], std::vector<NodeId>{1});
+}
+
+TEST(Trace, TimelineFormatting) {
+  Trace trace;
+  trace.record(1, 0, TraceEventKind::activated);
+  trace.record(1, 0, TraceEventKind::returned, 4);
+  trace.record(2, 1, TraceEventKind::crashed);
+  const std::string s = trace.to_string();
+  EXPECT_NE(s.find("t=1:"), std::string::npos);
+  EXPECT_NE(s.find("[0 -> color 4]"), std::string::npos);
+  EXPECT_NE(s.find("[1 crashed]"), std::string::npos);
+}
+
+TEST(Trace, ClearAndReuse) {
+  Trace trace;
+  trace.record(1, 0, TraceEventKind::activated);
+  EXPECT_FALSE(trace.empty());
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.to_string(), "");
+}
+
+}  // namespace
+}  // namespace ftcc

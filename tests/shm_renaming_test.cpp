@@ -1,0 +1,124 @@
+// Rank-based (2n-1)-renaming on the complete graph — the shared-memory
+// baseline behind Property 2.3 and the ancestor of Algorithm 2 (E8).
+#include "shm/renaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/harness.hpp"
+#include "sched/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+TEST(Renaming, SoloProcessTakesNameZero) {
+  const Graph g = make_complete(4);
+  Executor<RankRenaming> ex(RankRenaming{}, g, random_ids(4, 1));
+  const NodeId only[] = {2};
+  ex.step(only);
+  ASSERT_TRUE(ex.has_terminated(2));
+  EXPECT_EQ(*ex.output(2), 0u);
+}
+
+TEST(Renaming, UniqueNamesWithinTwoNMinusOne) {
+  for (NodeId n : {2u, 3u, 5u, 8u, 12u}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const Graph g = make_complete(n);
+      for (const auto& sched_name : scheduler_names()) {
+        auto sched = make_scheduler(sched_name, n, seed * 3 + 1);
+        RunOptions options;
+        options.max_steps = linear_step_budget(n);
+        options.monitor_invariants = false;  // Register lacks an x field
+        const auto outcome = run_simulation(RankRenaming{}, g,
+                                            random_ids(n, seed), *sched, {},
+                                            options);
+        ASSERT_TRUE(outcome.result.completed)
+            << "n=" << n << " " << sched_name;
+        std::set<std::uint64_t> names;
+        for (NodeId v = 0; v < n; ++v) {
+          ASSERT_TRUE(outcome.result.outputs[v].has_value());
+          const auto name = *outcome.result.outputs[v];
+          EXPECT_LE(name, 2ull * n - 2) << "n=" << n << " " << sched_name;
+          EXPECT_TRUE(names.insert(name).second)
+              << "duplicate name " << name << " n=" << n << " "
+              << sched_name;
+        }
+      }
+    }
+  }
+}
+
+TEST(Renaming, UniqueNamesUnderCrashes) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId n = 8;
+    const Graph g = make_complete(n);
+    CrashPlan plan(n);
+    for (NodeId v = 0; v < n; ++v)
+      if (rng.chance(0.4)) plan.crash_after_activations(v, rng.below(4));
+    auto sched = make_scheduler("random", n, static_cast<std::uint64_t>(trial));
+    RunOptions options;
+    options.max_steps = linear_step_budget(n);
+    options.monitor_invariants = false;
+    const auto outcome = run_simulation(RankRenaming{}, g,
+                                        random_ids(n, 50 + static_cast<std::uint64_t>(trial)),
+                                        *sched, plan, options);
+    ASSERT_TRUE(outcome.result.completed);
+    std::set<std::uint64_t> names;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!outcome.result.outputs[v]) continue;
+      EXPECT_TRUE(names.insert(*outcome.result.outputs[v]).second)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Renaming, SequentialExecutionGivesEvenNames) {
+  // Under solo runs in increasing-id order the algorithm is deterministic:
+  // process k collides with the k earlier (decided) suggestions, computes
+  // rank k+1, and takes the (k+1)-th free name — the even name 2k.  This
+  // spread to 2n-2 on a contention-free schedule is the classic behaviour
+  // of rank-based renaming (the bound is tight, not just worst-case).
+  const NodeId n = 5;
+  const Graph g = make_complete(n);
+  SoloRunsScheduler sched;
+  Executor<RankRenaming> ex(RankRenaming{}, g, sorted_ids(n));
+  const auto result = ex.run(sched, 10000);
+  ASSERT_TRUE(result.completed);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_EQ(*result.outputs[v], 2ull * v) << "node " << v;
+}
+
+TEST(Renaming, LockstepContendersStillResolve) {
+  // All processes in lockstep propose 0, then fan out by rank — the id
+  // asymmetry renaming uses is exactly what Algorithm 2's candidate pair
+  // lacks (see the Algo2 livelock test).
+  const NodeId n = 6;
+  const Graph g = make_complete(n);
+  SynchronousScheduler sched;
+  Executor<RankRenaming> ex(RankRenaming{}, g, permutation_ids(n, 3, 10));
+  const auto result = ex.run(sched, 10000);
+  ASSERT_TRUE(result.completed);
+  std::set<std::uint64_t> names;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(*result.outputs[v], 2ull * n - 2);
+    names.insert(*result.outputs[v]);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(n));
+}
+
+TEST(Renaming, TriangleEquivalenceWithCycleModel) {
+  // On n = 3 the complete graph IS the cycle C_3: the renaming baseline
+  // and the paper's model operate on the same topology (Property 2.3).
+  const Graph k3 = make_complete(3);
+  const Graph c3 = make_cycle(3);
+  ASSERT_EQ(k3.edge_count(), c3.edge_count());
+  for (NodeId u = 0; u < 3; ++u)
+    for (NodeId v = 0; v < 3; ++v)
+      EXPECT_EQ(k3.has_edge(u, v), c3.has_edge(u, v));
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,81 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftcc {
+namespace {
+
+TEST(BitLength, MatchesCeilLog2Definition) {
+  EXPECT_EQ(bit_length(0), 0);
+  EXPECT_EQ(bit_length(1), 1);
+  EXPECT_EQ(bit_length(2), 2);
+  EXPECT_EQ(bit_length(3), 2);
+  EXPECT_EQ(bit_length(4), 3);
+  EXPECT_EQ(bit_length(7), 3);
+  EXPECT_EQ(bit_length(8), 4);
+  EXPECT_EQ(bit_length(255), 8);
+  EXPECT_EQ(bit_length(256), 9);
+  EXPECT_EQ(bit_length(~0ULL), 64);
+}
+
+TEST(BitLength, AgreesWithNaiveLoopOnRange) {
+  for (std::uint64_t z = 0; z < 4096; ++z) {
+    int naive = 0;
+    for (std::uint64_t w = z; w != 0; w >>= 1) ++naive;
+    EXPECT_EQ(bit_length(z), naive) << "z=" << z;
+  }
+}
+
+TEST(BitAt, ExtractsBinaryDecomposition) {
+  const std::uint64_t z = 0b1011001;
+  EXPECT_EQ(bit_at(z, 0), 1u);
+  EXPECT_EQ(bit_at(z, 1), 0u);
+  EXPECT_EQ(bit_at(z, 2), 0u);
+  EXPECT_EQ(bit_at(z, 3), 1u);
+  EXPECT_EQ(bit_at(z, 4), 1u);
+  EXPECT_EQ(bit_at(z, 5), 0u);
+  EXPECT_EQ(bit_at(z, 6), 1u);
+  EXPECT_EQ(bit_at(z, 7), 0u);
+  EXPECT_EQ(bit_at(z, 63), 0u);
+  EXPECT_EQ(bit_at(z, 64), 0u);   // out of range is 0 by convention
+  EXPECT_EQ(bit_at(z, 100), 0u);
+}
+
+TEST(BitAt, ReconstructsValue) {
+  for (std::uint64_t z : {0ULL, 1ULL, 42ULL, 1023ULL, 0xdeadbeefULL}) {
+    std::uint64_t rebuilt = 0;
+    for (int k = 0; k < 64; ++k)
+      rebuilt |= static_cast<std::uint64_t>(bit_at(z, k)) << k;
+    EXPECT_EQ(rebuilt, z);
+  }
+}
+
+TEST(LowestDifferingBit, FindsFirstMismatch) {
+  EXPECT_EQ(lowest_differing_bit(0b1010, 0b1000), 1);
+  EXPECT_EQ(lowest_differing_bit(0b1010, 0b1011), 0);
+  EXPECT_EQ(lowest_differing_bit(0b1010, 0b0010), 3);
+  EXPECT_EQ(lowest_differing_bit(5, 5), 64);  // equal values
+}
+
+TEST(LowestDifferingBit, SymmetricAndConsistentWithBitAt) {
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    for (std::uint64_t y = 0; y < 64; ++y) {
+      const int i = lowest_differing_bit(x, y);
+      EXPECT_EQ(i, lowest_differing_bit(y, x));
+      if (x != y) {
+        EXPECT_NE(bit_at(x, i), bit_at(y, i));
+        for (int k = 0; k < i; ++k) EXPECT_EQ(bit_at(x, k), bit_at(y, k));
+      }
+    }
+  }
+}
+
+TEST(ToBinaryString, FormatsMsbFirst) {
+  EXPECT_EQ(to_binary_string(0), "0");
+  EXPECT_EQ(to_binary_string(1), "1");
+  EXPECT_EQ(to_binary_string(2), "10");
+  EXPECT_EQ(to_binary_string(0b1011001), "1011001");
+}
+
+}  // namespace
+}  // namespace ftcc

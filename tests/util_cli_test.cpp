@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftcc {
+namespace {
+
+std::vector<char*> make_argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Cli, DefaultsWhenUnset) {
+  Cli cli;
+  cli.flag("n", std::uint64_t{16}, "nodes")
+      .flag("rate", 0.25, "crash rate")
+      .flag("sched", std::string("sync"), "scheduler")
+      .flag("verbose", false, "chatty");
+  std::vector<std::string> args = {"prog"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_u64("n"), 16u);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.25);
+  EXPECT_EQ(cli.get_string("sched"), "sync");
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, ParsesValues) {
+  Cli cli;
+  cli.flag("n", std::uint64_t{16}, "nodes")
+      .flag("rate", 0.25, "crash rate")
+      .flag("sched", std::string("sync"), "scheduler")
+      .flag("verbose", false, "chatty");
+  std::vector<std::string> args = {"prog", "--n=64", "--rate=0.5",
+                                   "--sched=single", "--verbose"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_u64("n"), 64u);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_EQ(cli.get_string("sched"), "single");
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli;
+  cli.flag("n", std::uint64_t{16}, "nodes");
+  std::vector<std::string> args = {"prog", "--bogus=1"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli;
+  cli.flag("n", std::uint64_t{16}, "nodes");
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,66 @@
+#include "util/logstar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftcc {
+namespace {
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(log_star(0.5), 0);
+  EXPECT_EQ(log_star(1.0), 0);
+  EXPECT_EQ(log_star(2.0), 1);
+  EXPECT_EQ(log_star(4.0), 2);
+  EXPECT_EQ(log_star(16.0), 3);
+  EXPECT_EQ(log_star(65536.0), 4);
+  EXPECT_EQ(log_star(std::pow(2.0, 100.0)), 5);  // 2^100 < 2^65536
+}
+
+TEST(LogStar, MonotoneNondecreasing) {
+  int prev = 0;
+  for (double x = 1; x < 1e9; x *= 1.7) {
+    const int cur = log_star(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ReductionEnvelope, MatchesFormula) {
+  // F(x) = 2*ceil(log2(x+1)) + 1.
+  EXPECT_EQ(reduction_envelope(0), 1u);
+  EXPECT_EQ(reduction_envelope(1), 3u);
+  EXPECT_EQ(reduction_envelope(2), 5u);
+  EXPECT_EQ(reduction_envelope(3), 5u);
+  EXPECT_EQ(reduction_envelope(4), 7u);
+  EXPECT_EQ(reduction_envelope(1023), 21u);
+  EXPECT_EQ(reduction_envelope(1024), 23u);
+}
+
+TEST(ReductionEnvelope, ContractsAbove10) {
+  // Lemma 4.2's regime: for x >= 10 the envelope strictly contracts
+  // (F(x) < x holds for all x >= 10: 2*ceil(log2(x+1)) + 1 < x).
+  for (std::uint64_t x = 10; x < 100000; x = x * 2 + 1)
+    EXPECT_LT(reduction_envelope(x), x) << "x=" << x;
+}
+
+TEST(EnvelopeIterations, ReachesBelow10Quickly) {
+  EXPECT_EQ(envelope_iterations_below_10(5), 0);
+  EXPECT_EQ(envelope_iterations_below_10(9), 0);
+  EXPECT_GE(envelope_iterations_below_10(10), 1);
+  // Lemma 4.1: O(log* x) iterations.  For any 64-bit x the count is tiny.
+  EXPECT_LE(envelope_iterations_below_10(~0ULL), 6);
+  EXPECT_LE(envelope_iterations_below_10(1'000'000'000ULL), 5);
+}
+
+TEST(EnvelopeIterations, BoundedByLogStarMultiple) {
+  // Empirical form of Lemma 4.1 with alpha = 4 (generous).
+  for (std::uint64_t x = 10; x < (1ULL << 40); x = x * 3 + 7) {
+    const int iters = envelope_iterations_below_10(x);
+    const int ls = log_star(static_cast<double>(x));
+    EXPECT_LE(iters, 4 * ls + 1) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,80 @@
+#include "util/mex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+TEST(Mex, EmptySetIsZero) { EXPECT_EQ(mex({}), 0u); }
+
+TEST(Mex, SkipsPresentValues) {
+  EXPECT_EQ(mex({0}), 1u);
+  EXPECT_EQ(mex({1}), 0u);
+  EXPECT_EQ(mex({0, 1}), 2u);
+  EXPECT_EQ(mex({0, 2}), 1u);
+  EXPECT_EQ(mex({0, 1, 2, 3}), 4u);
+  EXPECT_EQ(mex({3, 1, 0, 2}), 4u);  // order irrelevant
+}
+
+TEST(Mex, DuplicatesAndLargeValuesIgnored) {
+  EXPECT_EQ(mex({0, 0, 0}), 1u);
+  EXPECT_EQ(mex({100, 200}), 0u);
+  EXPECT_EQ(mex({0, 1, 1, 100}), 2u);
+}
+
+TEST(Mex, AgainstReferenceImplementation) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint64_t> values;
+    const auto k = rng.below(8);
+    for (std::uint64_t i = 0; i < k; ++i) values.push_back(rng.below(10));
+    std::set<std::uint64_t> s(values.begin(), values.end());
+    std::uint64_t expected = 0;
+    while (s.count(expected) != 0) ++expected;
+    EXPECT_EQ(mex(std::span<const std::uint64_t>(values)), expected);
+  }
+}
+
+TEST(SmallValueSet, InsertContainsMex) {
+  SmallValueSet<4> s;
+  EXPECT_EQ(s.mex(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  s.insert(0);
+  s.insert(2);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.mex(), 1u);
+  s.insert(1);
+  EXPECT_EQ(s.mex(), 3u);
+  EXPECT_EQ(s.size(), 3);
+}
+
+TEST(SmallValueSet, MexBoundedByCapacity) {
+  // With capacity c, the mex is at most c — the palette-boundedness
+  // argument of Theorems 3.1 and 3.11 in miniature.
+  SmallValueSet<4> s;
+  s.insert(0);
+  s.insert(1);
+  s.insert(2);
+  s.insert(3);
+  EXPECT_EQ(s.size(), 4);
+  EXPECT_EQ(s.mex(), 4u);
+}
+
+TEST(SmallValueSetDeathTest, OverflowingCapacityAborts) {
+  // Capacity is a contract: exceeding it means the caller sized the set
+  // wrong for its algorithm, which must fail loudly.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SmallValueSet<2> s;
+  s.insert(0);
+  s.insert(1);
+  EXPECT_DEATH(s.insert(2), "precondition");
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,103 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftcc {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LE(equal, 2);
+}
+
+TEST(Xoshiro, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Xoshiro, InRangeInclusive) {
+  Xoshiro256 rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.in_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, RealInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro, ChanceExtremes) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Shuffle, PreservesMultiset) {
+  Xoshiro256 rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(SampleDistinct, DistinctAndInRange) {
+  Xoshiro256 rng(17);
+  for (std::uint64_t bound : {10ULL, 100ULL, 100000ULL}) {
+    const auto v = sample_distinct(bound, 10, rng);
+    ASSERT_EQ(v.size(), 10u);
+    std::set<std::uint64_t> s(v.begin(), v.end());
+    EXPECT_EQ(s.size(), 10u);
+    for (auto x : v) EXPECT_LT(x, bound);
+  }
+}
+
+TEST(SampleDistinct, FullRange) {
+  Xoshiro256 rng(19);
+  const auto v = sample_distinct(5, 5, rng);
+  std::set<std::uint64_t> s(v.begin(), v.end());
+  EXPECT_EQ(s, (std::set<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,56 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftcc {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  s.add_all({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+}
+
+TEST(Summary, QuantilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(Summary, InterleavedAddAndQuery) {
+  Summary s;
+  s.add(3);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(1);
+  s.add(2);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);  // re-sorts after mutation
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Summary, BriefMentionsCount) {
+  Summary s;
+  s.add_all({1, 2, 3});
+  EXPECT_NE(s.brief().find("n=3"), std::string::npos);
+  Summary empty;
+  EXPECT_EQ(empty.brief(), "n=0");
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftcc {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"n", "rounds"});
+  t.add_row({"3", "7"});
+  t.add_row({"100", "12"});
+  const std::string out = t.to_string("demo");
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("rounds"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  // Header separator uses dashes sized to the widest cell.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::cell(-3), "-3");
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(std::size_t{7}), "7");
+}
+
+TEST(Table, CsvExport) {
+  Table t({"n", "note"});
+  t.add_row({"3", "plain"});
+  t.add_row({"4", "with, comma"});
+  t.add_row({"5", "with \"quote\""});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv,
+            "n,note\n"
+            "3,plain\n"
+            "4,\"with, comma\"\n"
+            "5,\"with \"\"quote\"\"\"\n");
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xxxxx", "y"});
+  const std::string out = t.to_string();
+  // Each line should be the same length (trailing pad then newline).
+  std::vector<std::size_t> lengths;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    lengths.push_back(end - start);
+    start = end + 1;
+  }
+  ASSERT_GE(lengths.size(), 3u);
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[1], lengths[2]);
+}
+
+}  // namespace
+}  // namespace ftcc
