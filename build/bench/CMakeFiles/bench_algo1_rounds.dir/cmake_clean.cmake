@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algo1_rounds.dir/bench_algo1_rounds.cpp.o"
+  "CMakeFiles/bench_algo1_rounds.dir/bench_algo1_rounds.cpp.o.d"
+  "bench_algo1_rounds"
+  "bench_algo1_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algo1_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algo2_rounds.dir/bench_algo2_rounds.cpp.o"
+  "CMakeFiles/bench_algo2_rounds.dir/bench_algo2_rounds.cpp.o.d"
+  "bench_algo2_rounds"
+  "bench_algo2_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algo2_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

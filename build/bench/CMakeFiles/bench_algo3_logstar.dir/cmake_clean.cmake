@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algo3_logstar.dir/bench_algo3_logstar.cpp.o"
+  "CMakeFiles/bench_algo3_logstar.dir/bench_algo3_logstar.cpp.o.d"
+  "bench_algo3_logstar"
+  "bench_algo3_logstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algo3_logstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

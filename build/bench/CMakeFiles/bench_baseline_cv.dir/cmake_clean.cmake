@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_cv.dir/bench_baseline_cv.cpp.o"
+  "CMakeFiles/bench_baseline_cv.dir/bench_baseline_cv.cpp.o.d"
+  "bench_baseline_cv"
+  "bench_baseline_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coin_tossing.dir/bench_coin_tossing.cpp.o"
+  "CMakeFiles/bench_coin_tossing.dir/bench_coin_tossing.cpp.o.d"
+  "bench_coin_tossing"
+  "bench_coin_tossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coin_tossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

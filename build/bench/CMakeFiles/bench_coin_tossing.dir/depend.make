@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_coin_tossing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_tolerance.dir/bench_crash_tolerance.cpp.o"
+  "CMakeFiles/bench_crash_tolerance.dir/bench_crash_tolerance.cpp.o.d"
+  "bench_crash_tolerance"
+  "bench_crash_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

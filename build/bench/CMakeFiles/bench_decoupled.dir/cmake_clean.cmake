@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoupled.dir/bench_decoupled.cpp.o"
+  "CMakeFiles/bench_decoupled.dir/bench_decoupled.cpp.o.d"
+  "bench_decoupled"
+  "bench_decoupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

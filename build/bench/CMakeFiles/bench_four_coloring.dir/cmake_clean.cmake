@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_four_coloring.dir/bench_four_coloring.cpp.o"
+  "CMakeFiles/bench_four_coloring.dir/bench_four_coloring.cpp.o.d"
+  "bench_four_coloring"
+  "bench_four_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_four_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

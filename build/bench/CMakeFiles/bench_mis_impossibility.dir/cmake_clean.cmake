@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mis_impossibility.dir/bench_mis_impossibility.cpp.o"
+  "CMakeFiles/bench_mis_impossibility.dir/bench_mis_impossibility.cpp.o.d"
+  "bench_mis_impossibility"
+  "bench_mis_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mis_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

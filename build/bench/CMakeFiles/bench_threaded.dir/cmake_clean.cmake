@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threaded.dir/bench_threaded.cpp.o"
+  "CMakeFiles/bench_threaded.dir/bench_threaded.cpp.o.d"
+  "bench_threaded"
+  "bench_threaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

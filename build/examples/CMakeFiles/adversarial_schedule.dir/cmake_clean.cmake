@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_schedule.dir/adversarial_schedule.cpp.o"
+  "CMakeFiles/adversarial_schedule.dir/adversarial_schedule.cpp.o.d"
+  "adversarial_schedule"
+  "adversarial_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

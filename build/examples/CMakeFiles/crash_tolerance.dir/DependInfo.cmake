@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/crash_tolerance.cpp" "examples/CMakeFiles/crash_tolerance.dir/crash_tolerance.cpp.o" "gcc" "examples/CMakeFiles/crash_tolerance.dir/crash_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_tolerance.dir/crash_tolerance.cpp.o"
+  "CMakeFiles/crash_tolerance.dir/crash_tolerance.cpp.o.d"
+  "crash_tolerance"
+  "crash_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

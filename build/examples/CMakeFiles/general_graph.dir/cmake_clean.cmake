@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_graph.dir/general_graph.cpp.o"
+  "CMakeFiles/general_graph.dir/general_graph.cpp.o.d"
+  "general_graph"
+  "general_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livelock_witness.dir/livelock_witness.cpp.o"
+  "CMakeFiles/livelock_witness.dir/livelock_witness.cpp.o.d"
+  "livelock_witness"
+  "livelock_witness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livelock_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renaming.dir/renaming.cpp.o"
+  "CMakeFiles/renaming.dir/renaming.cpp.o.d"
+  "renaming"
+  "renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

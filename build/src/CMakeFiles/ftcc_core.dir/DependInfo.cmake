@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algo1_six_coloring.cpp" "src/CMakeFiles/ftcc_core.dir/core/algo1_six_coloring.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/algo1_six_coloring.cpp.o.d"
+  "/root/repo/src/core/algo2_five_coloring.cpp" "src/CMakeFiles/ftcc_core.dir/core/algo2_five_coloring.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/algo2_five_coloring.cpp.o.d"
+  "/root/repo/src/core/algo3_fast_five_coloring.cpp" "src/CMakeFiles/ftcc_core.dir/core/algo3_fast_five_coloring.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/algo3_fast_five_coloring.cpp.o.d"
+  "/root/repo/src/core/algo4_general_graph.cpp" "src/CMakeFiles/ftcc_core.dir/core/algo4_general_graph.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/algo4_general_graph.cpp.o.d"
+  "/root/repo/src/core/algo5_fast_six_coloring.cpp" "src/CMakeFiles/ftcc_core.dir/core/algo5_fast_six_coloring.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/algo5_fast_six_coloring.cpp.o.d"
+  "/root/repo/src/core/algo_four_coloring_attempt.cpp" "src/CMakeFiles/ftcc_core.dir/core/algo_four_coloring_attempt.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/algo_four_coloring_attempt.cpp.o.d"
+  "/root/repo/src/core/coin_tossing.cpp" "src/CMakeFiles/ftcc_core.dir/core/coin_tossing.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/coin_tossing.cpp.o.d"
+  "/root/repo/src/core/id_reduction.cpp" "src/CMakeFiles/ftcc_core.dir/core/id_reduction.cpp.o" "gcc" "src/CMakeFiles/ftcc_core.dir/core/id_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftcc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

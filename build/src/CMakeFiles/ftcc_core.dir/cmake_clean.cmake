@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_core.dir/core/algo1_six_coloring.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/algo1_six_coloring.cpp.o.d"
+  "CMakeFiles/ftcc_core.dir/core/algo2_five_coloring.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/algo2_five_coloring.cpp.o.d"
+  "CMakeFiles/ftcc_core.dir/core/algo3_fast_five_coloring.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/algo3_fast_five_coloring.cpp.o.d"
+  "CMakeFiles/ftcc_core.dir/core/algo4_general_graph.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/algo4_general_graph.cpp.o.d"
+  "CMakeFiles/ftcc_core.dir/core/algo5_fast_six_coloring.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/algo5_fast_six_coloring.cpp.o.d"
+  "CMakeFiles/ftcc_core.dir/core/algo_four_coloring_attempt.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/algo_four_coloring_attempt.cpp.o.d"
+  "CMakeFiles/ftcc_core.dir/core/coin_tossing.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/coin_tossing.cpp.o.d"
+  "CMakeFiles/ftcc_core.dir/core/id_reduction.cpp.o"
+  "CMakeFiles/ftcc_core.dir/core/id_reduction.cpp.o.d"
+  "libftcc_core.a"
+  "libftcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_graph.dir/graph/chains.cpp.o"
+  "CMakeFiles/ftcc_graph.dir/graph/chains.cpp.o.d"
+  "CMakeFiles/ftcc_graph.dir/graph/coloring.cpp.o"
+  "CMakeFiles/ftcc_graph.dir/graph/coloring.cpp.o.d"
+  "CMakeFiles/ftcc_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ftcc_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ftcc_graph.dir/graph/ids.cpp.o"
+  "CMakeFiles/ftcc_graph.dir/graph/ids.cpp.o.d"
+  "libftcc_graph.a"
+  "libftcc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_local.dir/localmodel/cole_vishkin.cpp.o"
+  "CMakeFiles/ftcc_local.dir/localmodel/cole_vishkin.cpp.o.d"
+  "libftcc_local.a"
+  "libftcc_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

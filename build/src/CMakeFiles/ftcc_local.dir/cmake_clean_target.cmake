@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftcc_local.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_mis.dir/mis/greedy_mis.cpp.o"
+  "CMakeFiles/ftcc_mis.dir/mis/greedy_mis.cpp.o.d"
+  "libftcc_mis.a"
+  "libftcc_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_runtime.dir/runtime/trace.cpp.o"
+  "CMakeFiles/ftcc_runtime.dir/runtime/trace.cpp.o.d"
+  "libftcc_runtime.a"
+  "libftcc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_sched.dir/sched/schedulers.cpp.o"
+  "CMakeFiles/ftcc_sched.dir/sched/schedulers.cpp.o.d"
+  "libftcc_sched.a"
+  "libftcc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

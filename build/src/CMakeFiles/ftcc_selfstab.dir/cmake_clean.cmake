@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_selfstab.dir/selfstab/greedy_recolor.cpp.o"
+  "CMakeFiles/ftcc_selfstab.dir/selfstab/greedy_recolor.cpp.o.d"
+  "libftcc_selfstab.a"
+  "libftcc_selfstab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_selfstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/immediate_snapshot.cpp" "src/CMakeFiles/ftcc_shm.dir/shm/immediate_snapshot.cpp.o" "gcc" "src/CMakeFiles/ftcc_shm.dir/shm/immediate_snapshot.cpp.o.d"
+  "/root/repo/src/shm/renaming.cpp" "src/CMakeFiles/ftcc_shm.dir/shm/renaming.cpp.o" "gcc" "src/CMakeFiles/ftcc_shm.dir/shm/renaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftcc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_shm.dir/shm/immediate_snapshot.cpp.o"
+  "CMakeFiles/ftcc_shm.dir/shm/immediate_snapshot.cpp.o.d"
+  "CMakeFiles/ftcc_shm.dir/shm/renaming.cpp.o"
+  "CMakeFiles/ftcc_shm.dir/shm/renaming.cpp.o.d"
+  "libftcc_shm.a"
+  "libftcc_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcc_util.dir/util/bits.cpp.o"
+  "CMakeFiles/ftcc_util.dir/util/bits.cpp.o.d"
+  "CMakeFiles/ftcc_util.dir/util/cli.cpp.o"
+  "CMakeFiles/ftcc_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/ftcc_util.dir/util/logstar.cpp.o"
+  "CMakeFiles/ftcc_util.dir/util/logstar.cpp.o.d"
+  "CMakeFiles/ftcc_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ftcc_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ftcc_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ftcc_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/ftcc_util.dir/util/table.cpp.o"
+  "CMakeFiles/ftcc_util.dir/util/table.cpp.o.d"
+  "libftcc_util.a"
+  "libftcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_algo1_test.dir/core_algo1_test.cpp.o"
+  "CMakeFiles/core_algo1_test.dir/core_algo1_test.cpp.o.d"
+  "core_algo1_test"
+  "core_algo1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_algo1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_algo3_test.dir/core_algo3_test.cpp.o"
+  "CMakeFiles/core_algo3_test.dir/core_algo3_test.cpp.o.d"
+  "core_algo3_test"
+  "core_algo3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_algo3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

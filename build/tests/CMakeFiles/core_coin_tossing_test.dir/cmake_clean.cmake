@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coin_tossing_test.dir/core_coin_tossing_test.cpp.o"
+  "CMakeFiles/core_coin_tossing_test.dir/core_coin_tossing_test.cpp.o.d"
+  "core_coin_tossing_test"
+  "core_coin_tossing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coin_tossing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

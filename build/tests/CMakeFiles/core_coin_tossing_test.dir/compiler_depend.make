@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for core_coin_tossing_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_four_coloring_test.dir/core_four_coloring_test.cpp.o"
+  "CMakeFiles/core_four_coloring_test.dir/core_four_coloring_test.cpp.o.d"
+  "core_four_coloring_test"
+  "core_four_coloring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_four_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_id_reduction_test.dir/core_id_reduction_test.cpp.o"
+  "CMakeFiles/core_id_reduction_test.dir/core_id_reduction_test.cpp.o.d"
+  "core_id_reduction_test"
+  "core_id_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_id_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

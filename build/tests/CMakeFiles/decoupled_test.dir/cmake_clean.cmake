@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupled_test.dir/decoupled_test.cpp.o"
+  "CMakeFiles/decoupled_test.dir/decoupled_test.cpp.o.d"
+  "decoupled_test"
+  "decoupled_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_chains_test.dir/graph_chains_test.cpp.o"
+  "CMakeFiles/graph_chains_test.dir/graph_chains_test.cpp.o.d"
+  "graph_chains_test"
+  "graph_chains_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_chains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

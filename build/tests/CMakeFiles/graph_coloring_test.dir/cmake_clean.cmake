@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_coloring_test.dir/graph_coloring_test.cpp.o"
+  "CMakeFiles/graph_coloring_test.dir/graph_coloring_test.cpp.o.d"
+  "graph_coloring_test"
+  "graph_coloring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

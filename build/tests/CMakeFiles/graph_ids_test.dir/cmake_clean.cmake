@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_ids_test.dir/graph_ids_test.cpp.o"
+  "CMakeFiles/graph_ids_test.dir/graph_ids_test.cpp.o.d"
+  "graph_ids_test"
+  "graph_ids_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_ids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

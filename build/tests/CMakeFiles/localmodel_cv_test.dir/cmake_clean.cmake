@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localmodel_cv_test.dir/localmodel_cv_test.cpp.o"
+  "CMakeFiles/localmodel_cv_test.dir/localmodel_cv_test.cpp.o.d"
+  "localmodel_cv_test"
+  "localmodel_cv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localmodel_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_demo_test.dir/mis_demo_test.cpp.o"
+  "CMakeFiles/mis_demo_test.dir/mis_demo_test.cpp.o.d"
+  "mis_demo_test"
+  "mis_demo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_demo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelcheck_algos_test.dir/modelcheck_algos_test.cpp.o"
+  "CMakeFiles/modelcheck_algos_test.dir/modelcheck_algos_test.cpp.o.d"
+  "modelcheck_algos_test"
+  "modelcheck_algos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelcheck_algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

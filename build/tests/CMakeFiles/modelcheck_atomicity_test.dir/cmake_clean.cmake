@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelcheck_atomicity_test.dir/modelcheck_atomicity_test.cpp.o"
+  "CMakeFiles/modelcheck_atomicity_test.dir/modelcheck_atomicity_test.cpp.o.d"
+  "modelcheck_atomicity_test"
+  "modelcheck_atomicity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelcheck_atomicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

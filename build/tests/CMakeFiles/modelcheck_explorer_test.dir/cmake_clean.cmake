@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelcheck_explorer_test.dir/modelcheck_explorer_test.cpp.o"
+  "CMakeFiles/modelcheck_explorer_test.dir/modelcheck_explorer_test.cpp.o.d"
+  "modelcheck_explorer_test"
+  "modelcheck_explorer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelcheck_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_adversary_test.dir/sched_adversary_test.cpp.o"
+  "CMakeFiles/sched_adversary_test.dir/sched_adversary_test.cpp.o.d"
+  "sched_adversary_test"
+  "sched_adversary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

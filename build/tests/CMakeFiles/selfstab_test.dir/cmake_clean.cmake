@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_test.dir/selfstab_test.cpp.o"
+  "CMakeFiles/selfstab_test.dir/selfstab_test.cpp.o.d"
+  "selfstab_test"
+  "selfstab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_immediate_snapshot_test.dir/shm_immediate_snapshot_test.cpp.o"
+  "CMakeFiles/shm_immediate_snapshot_test.dir/shm_immediate_snapshot_test.cpp.o.d"
+  "shm_immediate_snapshot_test"
+  "shm_immediate_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_immediate_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

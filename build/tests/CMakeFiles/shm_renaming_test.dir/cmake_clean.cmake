@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_renaming_test.dir/shm_renaming_test.cpp.o"
+  "CMakeFiles/shm_renaming_test.dir/shm_renaming_test.cpp.o.d"
+  "shm_renaming_test"
+  "shm_renaming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_renaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bits_test.dir/util_bits_test.cpp.o"
+  "CMakeFiles/util_bits_test.dir/util_bits_test.cpp.o.d"
+  "util_bits_test"
+  "util_bits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_logstar_test.dir/util_logstar_test.cpp.o"
+  "CMakeFiles/util_logstar_test.dir/util_logstar_test.cpp.o.d"
+  "util_logstar_test"
+  "util_logstar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_logstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
