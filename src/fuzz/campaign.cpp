@@ -1,0 +1,333 @@
+#include "fuzz/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/harness.hpp"
+#include "analysis/invariants.hpp"
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo2_five_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "core/algo4_general_graph.hpp"
+#include "core/algo5_fast_six_coloring.hpp"
+#include "fuzz/recording_scheduler.hpp"
+#include "sched/adversary_search.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+
+namespace {
+
+struct RecordedRun {
+  bool completed = false;
+  std::optional<std::string> violation;
+  std::uint64_t steps = 0;
+  std::uint64_t max_acts = 0;
+  std::vector<std::vector<NodeId>> sigmas;
+};
+
+template <Algorithm A>
+void install_monitors(Executor<A>& ex, std::uint64_t palette_bound,
+                      bool ordered, InjectedFault inject) {
+  ex.add_invariant(proper_identifier_invariant<A>());
+  ex.add_invariant(output_properness_invariant<A>());
+  ex.add_invariant(candidates_bounded_invariant<A>(palette_bound));
+  if (ordered) ex.add_invariant(candidates_ordered_invariant<A>());
+  if (inject == InjectedFault::no_termination) {
+    ex.add_invariant([](const Executor<A>& e) -> std::optional<std::string> {
+      for (NodeId v = 0; v < e.graph().node_count(); ++v)
+        if (e.has_terminated(v))
+          return "injected fault: node " + std::to_string(v) + " terminated";
+      return std::nullopt;
+    });
+  }
+}
+
+template <Algorithm A>
+RecordedRun run_recorded(A algo, const Graph& graph, const IdAssignment& ids,
+                         const CrashPlan& crashes, Scheduler& sched,
+                         std::uint64_t max_steps, std::uint64_t palette_bound,
+                         bool ordered, InjectedFault inject) {
+  Executor<A> ex(std::move(algo), graph, ids, crashes);
+  install_monitors(ex, palette_bound, ordered, inject);
+  RecordingScheduler recorder(sched);
+  const auto result = ex.run(recorder, max_steps);
+  RecordedRun run;
+  run.completed = result.completed;
+  run.violation = ex.violation();
+  run.steps = result.steps;
+  run.max_acts = result.max_activations();
+  run.sigmas = recorder.take();
+  return run;
+}
+
+/// Dispatch by campaign algorithm name; f receives the algorithm instance,
+/// its mid-run palette component bound (each candidate's mex is over at
+/// most `bound` values), and whether it maintains a_p <= b_p.
+template <typename F>
+auto with_algorithm(const std::string& name, F&& f) {
+  if (name == "six") return f(SixColoring{}, std::uint64_t{2}, false);
+  if (name == "five") return f(FiveColoringLinear{}, std::uint64_t{4}, true);
+  if (name == "fast5") return f(FiveColoringFast{}, std::uint64_t{4}, true);
+  if (name == "delta2") return f(DeltaSquaredColoring{}, std::uint64_t{2}, false);
+  FTCC_EXPECTS(name == "fast6" && "unknown campaign algorithm");
+  return f(SixColoringFast{}, std::uint64_t{2}, false);
+}
+
+/// One trial's generated configuration (all drawn from the trial seed).
+struct TrialConfig {
+  std::string algo;
+  std::string graph_kind;
+  NodeId n = 0;
+  IdAssignment ids;
+  std::string ids_family;
+  CrashPlan crashes;
+  std::vector<std::pair<NodeId, std::uint64_t>> crash_at_step;
+  std::vector<std::pair<NodeId, std::uint64_t>> crash_after_acts;
+  std::unique_ptr<Scheduler> sched;
+  std::string sched_family;
+};
+
+std::string format_p(double p) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%.2f", p);
+  return buffer;
+}
+
+TrialConfig generate_trial(const std::vector<std::string>& algos, NodeId n_min,
+                           NodeId n_max, std::uint64_t trial_seed) {
+  Xoshiro256 rng(trial_seed);
+  TrialConfig cfg;
+  cfg.algo = algos[rng.below(algos.size())];
+  cfg.n = n_min + static_cast<NodeId>(rng.below(n_max - n_min + 1u));
+  // Algorithm 2 is the one specified for paths as well as cycles (§2.1).
+  cfg.graph_kind = (cfg.algo == "five" && rng.chance(0.25)) ? "path" : "cycle";
+
+  switch (rng.below(5)) {
+    case 0:
+      cfg.ids = random_ids(cfg.n, rng());
+      cfg.ids_family = "random";
+      break;
+    case 1:
+      cfg.ids = sorted_ids(cfg.n);
+      cfg.ids_family = "sorted";
+      break;
+    case 2:
+      cfg.ids = alternating_ids(cfg.n);
+      cfg.ids_family = "alternating";
+      break;
+    case 3: {
+      const NodeId run = 1 + static_cast<NodeId>(rng.below(cfg.n - 1));
+      cfg.ids = zigzag_ids(cfg.n, run);
+      cfg.ids_family = "zigzag(" + std::to_string(run) + ")";
+      break;
+    }
+    default:
+      cfg.ids = permutation_ids(cfg.n, rng());
+      cfg.ids_family = "perm";
+      break;
+  }
+
+  cfg.crashes = CrashPlan(cfg.n);
+  const std::uint64_t crash_count = rng.below(cfg.n / 3 + 1u);
+  for (std::uint64_t v : sample_distinct(cfg.n, crash_count, rng)) {
+    const auto node = static_cast<NodeId>(v);
+    if (rng.chance(0.5)) {
+      const std::uint64_t t = 1 + rng.below(4ull * cfg.n);
+      cfg.crashes.crash_at_step(node, t);
+      cfg.crash_at_step.emplace_back(node, t);
+    } else {
+      const std::uint64_t k = rng.below(5);
+      cfg.crashes.crash_after_activations(node, k);
+      cfg.crash_after_acts.emplace_back(node, k);
+    }
+  }
+  std::sort(cfg.crash_at_step.begin(), cfg.crash_at_step.end());
+  std::sort(cfg.crash_after_acts.begin(), cfg.crash_after_acts.end());
+
+  const std::uint64_t sched_seed = rng();
+  switch (rng.below(10)) {
+    case 0:
+      cfg.sched = std::make_unique<SynchronousScheduler>();
+      cfg.sched_family = "sync";
+      break;
+    case 1:
+    case 2:
+    case 3: {
+      static constexpr double kProbabilities[] = {0.1, 0.3, 0.5, 0.8};
+      const double p = kProbabilities[rng.below(4)];
+      cfg.sched = std::make_unique<RandomSubsetScheduler>(p, sched_seed);
+      cfg.sched_family = "subset(" + format_p(p) + ")";
+      break;
+    }
+    case 4:
+      cfg.sched = std::make_unique<RandomSingleScheduler>(sched_seed);
+      cfg.sched_family = "single";
+      break;
+    case 5: {
+      const std::size_t k = 1 + rng.below(3);
+      cfg.sched = std::make_unique<RoundRobinScheduler>(k);
+      cfg.sched_family = "roundrobin(" + std::to_string(k) + ")";
+      break;
+    }
+    case 6:
+      cfg.sched = std::make_unique<SoloRunsScheduler>();
+      cfg.sched_family = "solo";
+      break;
+    case 7: {
+      const std::uint64_t delay = 1 + rng.below(3);
+      cfg.sched = std::make_unique<StaggeredScheduler>(delay);
+      cfg.sched_family = "staggered(" + std::to_string(delay) + ")";
+      break;
+    }
+    case 8: {
+      std::vector<double> speeds(cfg.n, 1.0);
+      speeds[rng.below(cfg.n)] = 0.05;
+      cfg.sched = std::make_unique<WeightedScheduler>(std::move(speeds),
+                                                      sched_seed);
+      cfg.sched_family = "laggard";
+      break;
+    }
+    default:
+      cfg.sched = std::make_unique<detail::AdjacentPairsScheduler>(sched_seed);
+      cfg.sched_family = "pairs";
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+const std::vector<std::string>& campaign_algorithms() {
+  static const std::vector<std::string> names = {"six", "five", "fast5",
+                                                 "delta2", "fast6"};
+  return names;
+}
+
+bool known_algorithm(const std::string& name) {
+  const auto& names = campaign_algorithms();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string replay_violation(const ScheduleArtifact& artifact,
+                             InjectedFault inject) {
+  FTCC_EXPECTS(known_algorithm(artifact.algo));
+  const Graph graph = artifact.graph();
+  const CrashPlan crashes = artifact.crash_plan();
+  return with_algorithm(artifact.algo, [&](auto algo, std::uint64_t bound,
+                                           bool ordered) -> std::string {
+    Executor<decltype(algo)> ex(std::move(algo), graph, artifact.ids, crashes);
+    install_monitors(ex, bound, ordered, inject);
+    ReplayScheduler sched(artifact.sigmas);
+    // Exactly the recorded steps: the artifact IS the schedule, so a
+    // shrunk witness must reproduce the violation within its own prefix.
+    (void)ex.run(sched, artifact.sigmas.size());
+    return ex.violation().value_or("");
+  });
+}
+
+CampaignReport run_campaign(const CampaignOptions& options) {
+  FTCC_EXPECTS(options.n_min >= 3 && options.n_min <= options.n_max);
+  std::vector<std::string> algos =
+      options.algos.empty() ? campaign_algorithms() : options.algos;
+  for (const auto& name : algos) FTCC_EXPECTS(known_algorithm(name));
+
+  if (!options.artifact_dir.empty())
+    std::filesystem::create_directories(options.artifact_dir);
+
+  std::ostringstream os;
+  os << "ftcc-fuzz report v1\n";
+  os << "seed=" << options.seed << " trials=" << options.trials << " n=["
+     << options.n_min << "," << options.n_max << "] algos=";
+  for (std::size_t i = 0; i < algos.size(); ++i)
+    os << (i ? "," : "") << algos[i];
+  os << " inject="
+     << (options.inject == InjectedFault::none ? "none" : "no-termination")
+     << " shrink=" << (options.shrink ? 1 : 0) << "\n";
+
+  CampaignReport report;
+  Xoshiro256 master(options.seed);
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    const std::uint64_t trial_seed = master();
+    TrialConfig cfg =
+        generate_trial(algos, options.n_min, options.n_max, trial_seed);
+    const std::uint64_t budget = linear_step_budget(cfg.n);
+    const Graph graph =
+        cfg.graph_kind == "path" ? make_path(cfg.n) : make_cycle(cfg.n);
+
+    RecordedRun run = with_algorithm(
+        cfg.algo, [&](auto algo, std::uint64_t bound, bool ordered) {
+          return run_recorded(std::move(algo), graph, cfg.ids, cfg.crashes,
+                              *cfg.sched, budget, bound, ordered,
+                              options.inject);
+        });
+
+    ++report.trials;
+    os << "trial " << trial << " algo=" << cfg.algo
+       << " graph=" << cfg.graph_kind << " n=" << cfg.n
+       << " ids=" << cfg.ids_family << " sched=" << cfg.sched_family
+       << " crashes=" << cfg.crash_at_step.size() + cfg.crash_after_acts.size()
+       << " -> ";
+    if (run.violation) {
+      os << "FAIL " << *run.violation << "\n";
+      ScheduleArtifact witness;
+      witness.algo = cfg.algo;
+      witness.graph_kind = cfg.graph_kind;
+      witness.n = cfg.n;
+      witness.ids = cfg.ids;
+      witness.crash_at_step = cfg.crash_at_step;
+      witness.crash_after_acts = cfg.crash_after_acts;
+      witness.sigmas = std::move(run.sigmas);
+      witness.seed = options.seed;
+      witness.violation = *run.violation;
+
+      CampaignFailure failure;
+      failure.trial = trial;
+      failure.violation = *run.violation;
+      failure.original_n = witness.n;
+      failure.original_steps = witness.sigmas.size();
+      if (options.shrink) {
+        ShrinkOptions shrink_options;
+        shrink_options.max_checks = options.shrink_checks;
+        shrink_options.min_nodes = cfg.graph_kind == "path" ? 2u : 3u;
+        failure.shrink = shrink_artifact(
+            witness,
+            [&](const ScheduleArtifact& candidate) {
+              return !replay_violation(candidate, options.inject).empty();
+            },
+            shrink_options);
+        failure.shrink.artifact.violation =
+            replay_violation(failure.shrink.artifact, options.inject);
+        os << "shrunk trial " << trial << ": n " << failure.original_n << "->"
+           << failure.shrink.artifact.n << " steps " << failure.original_steps
+           << "->" << failure.shrink.artifact.sigmas.size()
+           << " checks=" << failure.shrink.checks << "\n";
+      } else {
+        failure.shrink.artifact = std::move(witness);
+      }
+      if (!options.artifact_dir.empty()) {
+        failure.path = options.artifact_dir + "/fail-" +
+                       std::to_string(trial) + ".sched";
+        FTCC_EXPECTS(save_schedule(failure.path, failure.shrink.artifact));
+        os << "artifact trial " << trial << ": " << failure.path << "\n";
+      }
+      report.failures.push_back(std::move(failure));
+    } else if (!run.completed) {
+      ++report.censored;
+      os << "censored budget=" << budget << "\n";
+    } else {
+      ++report.ok;
+      os << "ok steps=" << run.steps << " max_acts=" << run.max_acts << "\n";
+    }
+  }
+  os << "summary trials=" << report.trials << " ok=" << report.ok
+     << " censored=" << report.censored
+     << " failures=" << report.failures.size() << "\n";
+  report.text = os.str();
+  return report;
+}
+
+}  // namespace ftcc

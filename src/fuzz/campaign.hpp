@@ -1,0 +1,87 @@
+// Schedule-fuzzing campaign: randomized correctness testing of the five
+// core algorithms beyond the exhaustive model checker's reach (the checker
+// certifies "for every σ" up to C_5; the campaign probes large n).
+//
+// Every trial is derived from a single 64-bit master seed: the runner
+// draws one sub-seed per trial and from it picks an algorithm, a graph
+// size, an identifier assignment family, a crash pattern, and an adversary
+// from the scheduler portfolio (the src/sched families plus the
+// adversary_search pairs family).  The trial runs under a
+// RecordingScheduler with every applicable invariant monitor from
+// src/analysis installed; a violation yields a ScheduleArtifact that is
+// delta-debugged down to a minimal replayable witness and written to disk.
+// Two campaigns with the same options produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/schedule_io.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace ftcc {
+
+/// Deliberately broken invariants, used to exercise the failure →
+/// artifact → shrink pipeline end to end (a healthy campaign finds no
+/// violations, so the pipeline would otherwise only run in anger).
+enum class InjectedFault {
+  none,
+  /// Treat any node terminating as a violation; minimal witnesses are a
+  /// single activation of one node, so shrinking is easy to eyeball.
+  no_termination,
+};
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t trials = 200;
+  NodeId n_min = 4;
+  NodeId n_max = 24;
+  /// Subset of campaign_algorithms(); empty = all five.
+  std::vector<std::string> algos;
+  /// Directory for failure artifacts; empty = keep them in memory only.
+  std::string artifact_dir;
+  bool shrink = true;
+  InjectedFault inject = InjectedFault::none;
+  /// Predicate-evaluation budget per shrink (each check is a replay).
+  std::uint64_t shrink_checks = 20'000;
+};
+
+struct CampaignFailure {
+  std::uint64_t trial = 0;
+  std::string violation;
+  /// Pre-shrink witness dimensions (the shrunk witness is in `shrink`).
+  NodeId original_n = 0;
+  std::uint64_t original_steps = 0;
+  ShrinkResult shrink;
+  /// Where the (shrunk) artifact was saved; empty if artifact_dir unset.
+  std::string path;
+};
+
+struct CampaignReport {
+  std::uint64_t trials = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t censored = 0;  ///< budget exhausted without violation
+  std::vector<CampaignFailure> failures;
+  /// The full deterministic text report (header, one line per trial,
+  /// shrink lines, summary) — byte-identical for identical options.
+  std::string text;
+};
+
+/// Algorithm names the campaign understands:
+/// "six" (Algorithm 1), "five" (Algorithm 2), "fast5" (Algorithm 3),
+/// "delta2" (Algorithm 4 on the cycle), "fast6" (SixColoringFast).
+[[nodiscard]] const std::vector<std::string>& campaign_algorithms();
+[[nodiscard]] bool known_algorithm(const std::string& name);
+
+/// Replay an artifact with the standard monitors (plus any injected
+/// fault) installed, running exactly the recorded steps.  Returns the
+/// violation message, or "" if the replay is clean.  The artifact's algo
+/// must satisfy known_algorithm().
+[[nodiscard]] std::string replay_violation(
+    const ScheduleArtifact& artifact,
+    InjectedFault inject = InjectedFault::none);
+
+[[nodiscard]] CampaignReport run_campaign(const CampaignOptions& options);
+
+}  // namespace ftcc

@@ -1,0 +1,39 @@
+// A decorator that records the σ sequence an inner scheduler produces, so
+// a randomized fuzz run can be exported verbatim as a ScheduleArtifact and
+// replayed deterministically.  The executor is a deterministic function of
+// (algorithm, graph, ids, crash plan, σ sequence), so replaying the
+// recorded sets reproduces the run exactly — including any invariant
+// violation — without needing the inner scheduler's RNG state.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace ftcc {
+
+class RecordingScheduler final : public Scheduler {
+ public:
+  explicit RecordingScheduler(Scheduler& inner) : inner_(&inner) {}
+
+  std::vector<NodeId> next(std::span<const NodeId> working,
+                           std::uint64_t t) override {
+    std::vector<NodeId> sigma = inner_->next(working, t);
+    recorded_.push_back(sigma);
+    return sigma;
+  }
+
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& recorded() const {
+    return recorded_;
+  }
+  [[nodiscard]] std::vector<std::vector<NodeId>> take() {
+    return std::move(recorded_);
+  }
+
+ private:
+  Scheduler* inner_;
+  std::vector<std::vector<NodeId>> recorded_;
+};
+
+}  // namespace ftcc

@@ -1,0 +1,188 @@
+#include "fuzz/schedule_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace ftcc {
+
+namespace {
+
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  const char* first = token.data();
+  const char* last = first + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+}  // namespace
+
+Graph ScheduleArtifact::graph() const {
+  return graph_kind == "path" ? make_path(n) : make_cycle(n);
+}
+
+CrashPlan ScheduleArtifact::crash_plan() const {
+  CrashPlan plan(n);
+  for (const auto& [v, t] : crash_at_step) plan.crash_at_step(v, t);
+  for (const auto& [v, k] : crash_after_acts) plan.crash_after_activations(v, k);
+  return plan;
+}
+
+std::string serialize_schedule(const ScheduleArtifact& artifact) {
+  std::ostringstream os;
+  os << "ftcc-schedule v1\n";
+  os << "algo " << artifact.algo << "\n";
+  os << "graph " << artifact.graph_kind << " " << artifact.n << "\n";
+  os << "ids";
+  for (std::uint64_t id : artifact.ids) os << " " << id;
+  os << "\n";
+  for (const auto& [v, t] : artifact.crash_at_step)
+    os << "crash at_step " << v << " " << t << "\n";
+  for (const auto& [v, k] : artifact.crash_after_acts)
+    os << "crash after_acts " << v << " " << k << "\n";
+  os << "steps " << artifact.sigmas.size() << "\n";
+  for (const auto& sigma : artifact.sigmas) {
+    os << "sigma";
+    if (sigma.empty()) {
+      os << " -";
+    } else {
+      for (NodeId v : sigma) os << " " << v;
+    }
+    os << "\n";
+  }
+  os << "seed " << artifact.seed << "\n";
+  if (!artifact.violation.empty()) os << "violation " << artifact.violation << "\n";
+  return os.str();
+}
+
+namespace {
+
+// Returns false (with `error` set) on malformed input; on success fills
+// `artifact` and leaves `error` untouched.
+bool parse_into(const std::string& text, ScheduleArtifact& artifact,
+                std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "ftcc-schedule v1")
+    return fail(error, "missing 'ftcc-schedule v1' header");
+  bool saw_steps = false;
+  std::uint64_t declared_steps = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+    if (directive == "algo") {
+      if (!(ls >> artifact.algo)) return fail(error, "algo: missing name");
+    } else if (directive == "graph") {
+      std::string kind, count;
+      if (!(ls >> kind >> count)) return fail(error, "graph: expected kind and n");
+      if (kind != "cycle" && kind != "path")
+        return fail(error, "graph: unknown kind '" + kind + "'");
+      std::uint64_t n = 0;
+      if (!parse_u64(count, n)) return fail(error, "graph: bad node count");
+      artifact.graph_kind = kind;
+      artifact.n = static_cast<NodeId>(n);
+    } else if (directive == "ids") {
+      std::string token;
+      artifact.ids.clear();
+      while (ls >> token) {
+        std::uint64_t id = 0;
+        if (!parse_u64(token, id)) return fail(error, "ids: bad value '" + token + "'");
+        artifact.ids.push_back(id);
+      }
+    } else if (directive == "crash") {
+      std::string kind, node, value;
+      if (!(ls >> kind >> node >> value)) return fail(error, "crash: expected kind, node, value");
+      std::uint64_t v = 0, x = 0;
+      if (!parse_u64(node, v) || !parse_u64(value, x))
+        return fail(error, "crash: bad number");
+      if (kind == "at_step") {
+        artifact.crash_at_step.emplace_back(static_cast<NodeId>(v), x);
+      } else if (kind == "after_acts") {
+        artifact.crash_after_acts.emplace_back(static_cast<NodeId>(v), x);
+      } else {
+        return fail(error, "crash: unknown kind '" + kind + "'");
+      }
+    } else if (directive == "steps") {
+      std::string count;
+      if (!(ls >> count) || !parse_u64(count, declared_steps))
+        return fail(error, "steps: bad count");
+      saw_steps = true;
+    } else if (directive == "sigma") {
+      std::vector<NodeId> sigma;
+      std::string token;
+      while (ls >> token) {
+        if (token == "-") break;  // explicit empty activation set
+        std::uint64_t v = 0;
+        if (!parse_u64(token, v)) return fail(error, "sigma: bad node '" + token + "'");
+        sigma.push_back(static_cast<NodeId>(v));
+      }
+      artifact.sigmas.push_back(std::move(sigma));
+    } else if (directive == "seed") {
+      std::string token;
+      if (!(ls >> token) || !parse_u64(token, artifact.seed))
+        return fail(error, "seed: bad value");
+    } else if (directive == "violation") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      artifact.violation = rest;
+    } else {
+      return fail(error, "unknown directive '" + directive + "'");
+    }
+  }
+  if (artifact.algo.empty()) return fail(error, "missing 'algo' line");
+  if (artifact.n == 0) return fail(error, "missing 'graph' line");
+  if (artifact.ids.size() != artifact.n)
+    return fail(error, "ids: expected " + std::to_string(artifact.n) +
+                           " values, got " + std::to_string(artifact.ids.size()));
+  if (!saw_steps) return fail(error, "missing 'steps' line");
+  if (artifact.sigmas.size() != declared_steps)
+    return fail(error, "truncated schedule: declared " +
+                           std::to_string(declared_steps) + " steps, found " +
+                           std::to_string(artifact.sigmas.size()));
+  for (const auto& sigma : artifact.sigmas)
+    for (NodeId v : sigma)
+      if (v >= artifact.n) return fail(error, "sigma: node out of range");
+  for (const auto& [v, t] : artifact.crash_at_step)
+    if (v >= artifact.n) return fail(error, "crash: node out of range");
+  for (const auto& [v, k] : artifact.crash_after_acts)
+    if (v >= artifact.n) return fail(error, "crash: node out of range");
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScheduleArtifact> parse_schedule(const std::string& text,
+                                               std::string* error) {
+  ScheduleArtifact artifact;
+  if (!parse_into(text, artifact, error)) return std::nullopt;
+  return artifact;
+}
+
+bool save_schedule(const std::string& path, const ScheduleArtifact& artifact) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize_schedule(artifact);
+  return static_cast<bool>(out);
+}
+
+std::optional<ScheduleArtifact> load_schedule(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_schedule(buffer.str(), error);
+}
+
+}  // namespace ftcc

@@ -1,0 +1,80 @@
+// Replayable schedule artifacts.  A failing fuzz run is written to disk as
+// a standalone text file capturing everything an execution depends on —
+// algorithm, topology, identifier assignment, crash plan, and the σ
+// sequence — so that a unit test (or `tools/fuzz --replay`) can reproduce
+// the violation bit-for-bit with a ReplayScheduler.  The format is
+// line-oriented and versioned:
+//
+//   ftcc-schedule v1
+//   algo fast5
+//   graph cycle 5
+//   ids 100 101 102 103 104
+//   crash at_step 2 7
+//   crash after_acts 3 1
+//   steps 3
+//   sigma 0 1 2
+//   sigma -
+//   sigma 3 4
+//   seed 12345
+//   violation published identifiers collide on edge (0,1) ...
+//
+// `sigma -` is the empty activation set (the adversary idles a step);
+// `seed` and `violation` are provenance, ignored on replay.  Parsing is
+// strict: a declared `steps` count not matched by that many sigma lines,
+// an unknown directive, or a malformed number is an error, surfaced to the
+// caller rather than asserted — truncated artifacts are expected inputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "runtime/crash.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ftcc {
+
+struct ScheduleArtifact {
+  /// Algorithm name as accepted by the campaign runner ("six", "five",
+  /// "fast5", "delta2", "fast6").
+  std::string algo;
+  /// Topology: "cycle" or "path".
+  std::string graph_kind = "cycle";
+  NodeId n = 0;
+  IdAssignment ids;
+  /// Crash plan, flattened: (node, step) / (node, activation count) pairs.
+  std::vector<std::pair<NodeId, std::uint64_t>> crash_at_step;
+  std::vector<std::pair<NodeId, std::uint64_t>> crash_after_acts;
+  /// The σ sequence; steps beyond it replay synchronously.
+  std::vector<std::vector<NodeId>> sigmas;
+  /// Provenance (not used on replay): master seed and violation message.
+  std::uint64_t seed = 0;
+  std::string violation;
+
+  [[nodiscard]] Graph graph() const;
+  [[nodiscard]] CrashPlan crash_plan() const;
+  [[nodiscard]] ReplayScheduler replay() const { return ReplayScheduler(sigmas); }
+
+  friend bool operator==(const ScheduleArtifact&,
+                         const ScheduleArtifact&) = default;
+};
+
+/// Render the artifact in the v1 text format (round-trips with parse).
+[[nodiscard]] std::string serialize_schedule(const ScheduleArtifact& artifact);
+
+/// Parse the v1 text format; on failure returns nullopt and, if `error` is
+/// non-null, a one-line description of what was wrong.
+[[nodiscard]] std::optional<ScheduleArtifact> parse_schedule(
+    const std::string& text, std::string* error = nullptr);
+
+/// File round-trip helpers (load surfaces both I/O and parse errors).
+[[nodiscard]] bool save_schedule(const std::string& path,
+                                 const ScheduleArtifact& artifact);
+[[nodiscard]] std::optional<ScheduleArtifact> load_schedule(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace ftcc

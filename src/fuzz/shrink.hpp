@@ -1,0 +1,61 @@
+// Delta-debugging shrinker for failing schedule artifacts.  Given an
+// artifact whose replay violates an invariant and a predicate that re-runs
+// a candidate and reports whether it still fails, the shrinker minimizes
+// along three axes, re-validating after every reduction:
+//
+//   steps   — truncate to the shortest failing prefix, then ddmin-remove
+//             chunks of steps (halves, quarters, ..., single steps);
+//   sets    — thin each surviving activation set one node at a time;
+//   crashes — drop crash-plan entries the failure doesn't need;
+//   n       — splice single nodes out of the cycle/path (re-indexing ids,
+//             crash entries, and every σ set), smallest graph that fails.
+//
+// The predicate is the ground truth: a reduction is kept iff the reduced
+// artifact still fails, so the result is 1-minimal with respect to the
+// moves above — removing any single step, activation, or node makes the
+// failure disappear.  Everything is deterministic; the shrinker performs
+// no RNG draws of its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/schedule_io.hpp"
+
+namespace ftcc {
+
+/// Re-runs a candidate artifact; true iff it still exhibits the failure.
+using FailurePredicate = std::function<bool(const ScheduleArtifact&)>;
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations (each one is a full replay).
+  std::uint64_t max_checks = 20'000;
+  /// Don't splice the graph below this many nodes (cycles need >= 3).
+  NodeId min_nodes = 3;
+};
+
+struct ShrinkResult {
+  ScheduleArtifact artifact;
+  /// Number of predicate evaluations performed.
+  std::uint64_t checks = 0;
+  /// Reductions that were kept (for reporting).
+  std::uint64_t steps_removed = 0;
+  std::uint64_t activations_removed = 0;
+  std::uint64_t crashes_removed = 0;
+  std::uint64_t nodes_removed = 0;
+};
+
+/// Minimize `failing` (which must satisfy `still_fails`) and return the
+/// smallest failing artifact found.  If `failing` does not satisfy the
+/// predicate it is returned unchanged.
+[[nodiscard]] ShrinkResult shrink_artifact(const ScheduleArtifact& failing,
+                                           const FailurePredicate& still_fails,
+                                           const ShrinkOptions& options = {});
+
+/// Remove node v from the artifact: splice it out of the topology, drop
+/// its identifier and crash entries, and re-index every node above v.
+/// Exposed for tests; callers must re-check the predicate themselves.
+[[nodiscard]] ScheduleArtifact splice_node(const ScheduleArtifact& artifact,
+                                           NodeId v);
+
+}  // namespace ftcc

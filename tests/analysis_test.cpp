@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/harness.hpp"
+#include "core/algo1_six_coloring.hpp"
 #include "core/algo2_five_coloring.hpp"
 #include "sched/schedulers.hpp"
 
@@ -54,6 +55,44 @@ TEST(Invariants, ProperIdentifierMonitorFires) {
   ex.step(pair);
   ASSERT_TRUE(ex.violation().has_value());
   EXPECT_NE(ex.violation()->find("identifiers collide"), std::string::npos);
+}
+
+// The monitor must also fire on a *real* algorithm whose registers were
+// hand-crafted into collision — here by violating the theorems'
+// precondition that identifiers properly color the graph.  Nodes 0 and 1
+// are adjacent with X = 7 on both; the instant both publish, the
+// identifier invariant must trip (not merely report improper outputs
+// later).
+TEST(Invariants, ProperIdentifierMonitorFiresOnCollidingRealRegisters) {
+  const Graph g = make_cycle(4);
+  const IdAssignment colliding = {7, 7, 9, 11};
+  Executor<SixColoring> ex(SixColoring{}, g, colliding);
+  ex.add_invariant(proper_identifier_invariant<SixColoring>());
+  const NodeId only_node2[] = {2};
+  ex.step(only_node2);
+  EXPECT_FALSE(ex.violation().has_value())
+      << "no collision is visible while only node 2 has published";
+  const NodeId both[] = {0, 1};
+  ex.step(both);
+  ASSERT_TRUE(ex.violation().has_value());
+  EXPECT_NE(ex.violation()->find("identifiers collide on edge (0,1)"),
+            std::string::npos)
+      << *ex.violation();
+  EXPECT_NE(ex.violation()->find("X=7"), std::string::npos);
+}
+
+// The private-vs-published form (X_p(t) != X̂_q(t), the stronger clause of
+// Lemma 4.5) fires as soon as ONE side of a colliding pair publishes.
+TEST(Invariants, ProperIdentifierMonitorFiresOnPrivateVsPublished) {
+  const Graph g = make_cycle(4);
+  const IdAssignment colliding = {7, 7, 9, 11};
+  Executor<SixColoring> ex(SixColoring{}, g, colliding);
+  ex.add_invariant(proper_identifier_invariant<SixColoring>());
+  const NodeId only_node0[] = {0};
+  ex.step(only_node0);  // node 1 never published, but its private x is 7
+  ASSERT_TRUE(ex.violation().has_value());
+  EXPECT_NE(ex.violation()->find("private X"), std::string::npos)
+      << *ex.violation();
 }
 
 TEST(Invariants, CandidateOrderMonitorFires) {

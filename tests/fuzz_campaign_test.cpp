@@ -1,0 +1,109 @@
+// The fuzzing campaign runner: deterministic reports, a clean bill of
+// health for the real algorithms, and the full failure pipeline (inject →
+// record → shrink → save → load → replay) under a broken invariant.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/campaign.hpp"
+
+namespace ftcc {
+namespace {
+
+CampaignOptions small_options() {
+  CampaignOptions options;
+  options.seed = 0xfeedbeef;
+  options.trials = 40;
+  options.n_min = 4;
+  options.n_max = 12;
+  return options;
+}
+
+TEST(Campaign, SameSeedProducesByteIdenticalReports) {
+  const CampaignOptions options = small_options();
+  const CampaignReport first = run_campaign(options);
+  const CampaignReport second = run_campaign(options);
+  EXPECT_EQ(first.text, second.text);
+  EXPECT_EQ(first.trials, second.trials);
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.censored, second.censored);
+  EXPECT_EQ(first.failures.size(), second.failures.size());
+}
+
+TEST(Campaign, DifferentSeedsExploreDifferentSchedules) {
+  CampaignOptions options = small_options();
+  const CampaignReport first = run_campaign(options);
+  options.seed = 0xdeadbeef;
+  const CampaignReport second = run_campaign(options);
+  EXPECT_NE(first.text, second.text);
+}
+
+TEST(Campaign, RealAlgorithmsSurviveTheFullPortfolio) {
+  CampaignOptions options = small_options();
+  options.trials = 120;
+  const CampaignReport report = run_campaign(options);
+  EXPECT_EQ(report.trials, 120u);
+  for (const auto& failure : report.failures)
+    ADD_FAILURE() << "trial " << failure.trial << ": " << failure.violation;
+  // Livelock-prone (five/fast5 under simultaneity) runs are censored, not
+  // failed; the bulk of trials must genuinely complete.
+  EXPECT_GT(report.ok, report.trials / 2);
+}
+
+TEST(Campaign, SingleAlgorithmSelectionIsHonored) {
+  CampaignOptions options = small_options();
+  options.trials = 10;
+  options.algos = {"six"};
+  const CampaignReport report = run_campaign(options);
+  EXPECT_NE(report.text.find("algos=six "), std::string::npos);
+  EXPECT_EQ(report.text.find("algo=fast5"), std::string::npos);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST(Campaign, InjectedFaultDrivesTheWholeFailurePipeline) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ftcc_fuzz_campaign";
+  std::filesystem::remove_all(dir);
+
+  CampaignOptions options = small_options();
+  options.trials = 8;
+  options.inject = InjectedFault::no_termination;
+  options.artifact_dir = dir.string();
+  const CampaignReport report = run_campaign(options);
+  ASSERT_FALSE(report.failures.empty());
+
+  for (const auto& failure : report.failures) {
+    // Shrinking produced a genuinely smaller witness...
+    const auto& shrunk = failure.shrink.artifact;
+    std::uint64_t shrunk_acts = 0;
+    for (const auto& sigma : shrunk.sigmas) shrunk_acts += sigma.size();
+    EXPECT_LE(shrunk.sigmas.size(), failure.original_steps);
+    EXPECT_LE(shrunk.n, failure.original_n);
+    EXPECT_LE(shrunk_acts, 2u) << "minimal witness should be ~1 activation";
+    // Crash entries can't be load-bearing for a termination-based fault,
+    // so the crash pass must have dropped them all.
+    EXPECT_TRUE(shrunk.crash_at_step.empty());
+    EXPECT_TRUE(shrunk.crash_after_acts.empty());
+    // ...that was saved to disk and still reproduces when loaded back.
+    ASSERT_FALSE(failure.path.empty());
+    std::string error;
+    const auto loaded = load_schedule(failure.path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(*loaded, shrunk);
+    EXPECT_FALSE(
+        replay_violation(*loaded, InjectedFault::no_termination).empty());
+    EXPECT_NE(loaded->violation.find("injected fault"), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, ReplayViolationIsCleanOnAnEmptySchedule) {
+  ScheduleArtifact artifact;
+  artifact.algo = "five";
+  artifact.n = 4;
+  artifact.ids = {10, 20, 30, 40};
+  EXPECT_EQ(replay_violation(artifact), "");
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -1,0 +1,86 @@
+// Property tests for the scheduler (adversary) contract: σ(t) ⊆ working
+// for every family the factory produces, across random working sets and
+// times — the executor filters stragglers, but schedulers should not rely
+// on that.  ReplayScheduler is the documented exception inside its
+// recorded prefix (it replays verbatim); its contract is tested separately.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sched/adversary_search.hpp"
+#include "sched/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+std::vector<NodeId> random_working(NodeId n, Xoshiro256& rng) {
+  std::vector<NodeId> working;
+  for (NodeId v = 0; v < n; ++v)
+    if (rng.chance(0.6)) working.push_back(v);
+  return working;  // sorted, possibly empty — as the executor provides it
+}
+
+void expect_subset(const std::vector<NodeId>& sigma,
+                   const std::vector<NodeId>& working,
+                   const std::string& name, std::uint64_t t) {
+  const std::set<NodeId> allowed(working.begin(), working.end());
+  for (NodeId v : sigma)
+    EXPECT_TRUE(allowed.count(v))
+        << name << " activated non-working node " << v << " at t=" << t
+        << " (|working|=" << working.size() << ")";
+}
+
+TEST(SchedulerProperty, FactorySchedulersActivateOnlyWorkingNodes) {
+  constexpr NodeId kNodes = 17;
+  Xoshiro256 rng(2024);
+  for (const std::string& name : scheduler_names()) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto sched = make_scheduler(name, kNodes, seed);
+      for (std::uint64_t t = 1; t <= 200; ++t) {
+        const auto working = random_working(kNodes, rng);
+        expect_subset(sched->next(working, t), working, name, t);
+      }
+    }
+  }
+}
+
+TEST(SchedulerProperty, AdversarySearchFamiliesActivateOnlyWorkingNodes) {
+  constexpr NodeId kNodes = 11;
+  Xoshiro256 rng(7);
+  detail::AdjacentPairsScheduler pairs(99);
+  WeightedScheduler laggard({1.0, 0.05, 1.0, 1.0, 0.05}, 42, 1.0);
+  Scheduler* scheds[] = {&pairs, &laggard};
+  const char* names[] = {"pairs", "laggard"};
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::uint64_t t = 1; t <= 300; ++t) {
+      const auto working = random_working(kNodes, rng);
+      expect_subset(scheds[i]->next(working, t), working, names[i], t);
+    }
+}
+
+TEST(SchedulerProperty, EmptyWorkingSetYieldsEmptySigma) {
+  const std::vector<NodeId> none;
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name, 8, 3);
+    for (std::uint64_t t = 1; t <= 20; ++t)
+      EXPECT_TRUE(sched->next(none, t).empty()) << name;
+  }
+}
+
+TEST(SchedulerProperty, ReplayIsVerbatimInPrefixAndSynchronousAfter) {
+  const std::vector<std::vector<NodeId>> recorded = {{3, 1}, {}, {0}};
+  ReplayScheduler sched(recorded);
+  const std::vector<NodeId> working = {0, 1, 2, 3, 4};
+  // Inside the prefix the recorded sets come back verbatim — even nodes
+  // that are no longer working (the executor filters them on replay).
+  EXPECT_EQ(sched.next(working, 1), recorded[0]);
+  EXPECT_EQ(sched.next(working, 2), recorded[1]);
+  EXPECT_EQ(sched.next(working, 3), recorded[2]);
+  // Past the prefix: all working nodes, so replayed runs always finish.
+  EXPECT_EQ(sched.next(working, 4), working);
+}
+
+}  // namespace
+}  // namespace ftcc
