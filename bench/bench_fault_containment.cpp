@@ -1,0 +1,106 @@
+// E20 — fault containment: how far does damage spread, and what does
+// recovery cost?  For each algorithm (raw and under the Recovering<>
+// self-healing wrapper) and each fault class (crash-stop, crash-recovery,
+// register corruption), run the same recorded schedule twice — fault-free
+// reference vs faulted — and report the corruption radius (max hops from a
+// faulted node to a node whose decision changed) and the recovery cost
+// (extra activations the faulty run needed to re-quiesce).
+//
+// The wait-free set-semantics algorithms (1 and the extension) are used so
+// censoring reflects faults, not the E9 livelock.
+#include "analysis/containment.hpp"
+#include "bench_common.hpp"
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo5_fast_six_coloring.hpp"
+#include "core/recovering.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+constexpr NodeId kN = 32;
+constexpr std::uint64_t kSeeds = 20;
+
+FaultPlan make_plan(const std::string& klass, Xoshiro256& rng) {
+  FaultPlan plan(kN);
+  if (klass == "crash") {
+    for (std::uint64_t v : sample_distinct(kN, 3, rng))
+      plan.crash_at_step(static_cast<NodeId>(v), 1 + rng.below(2ull * kN));
+  } else if (klass == "recover") {
+    for (std::uint64_t v : sample_distinct(kN, 3, rng)) {
+      RecoveryFault f;
+      f.at_step = 1 + rng.below(2ull * kN);
+      f.down_steps = 1 + rng.below(std::uint64_t{kN});
+      f.reg = static_cast<RecoveredRegister>(rng.below(3));
+      plan.recover(static_cast<NodeId>(v), f);
+    }
+  } else {  // corrupt
+    for (int i = 0; i < 4; ++i) {
+      CorruptionFault f;
+      f.at_step = 1 + rng.below(3ull * kN);
+      f.kind = rng.chance(0.5) ? CorruptionFault::Kind::bit_flip
+                               : CorruptionFault::Kind::overwrite;
+      f.word = rng.below(8);
+      f.value = rng();
+      plan.corrupt(static_cast<NodeId>(rng.below(kN)), f);
+    }
+  }
+  return plan;
+}
+
+std::vector<std::vector<NodeId>> make_sigmas(Xoshiro256& rng) {
+  std::vector<std::vector<NodeId>> sigmas(4ull * kN);
+  for (auto& sigma : sigmas)
+    for (NodeId v = 0; v < kN; ++v)
+      if (rng.chance(0.5)) sigma.push_back(v);
+  return sigmas;
+}
+
+template <typename Algo>
+void sweep(Table& table, const char* name, Algo algo,
+           const std::string& klass) {
+  const Graph g = make_cycle(kN);
+  Summary changed;
+  Summary extra_acts;
+  int max_radius = -1;
+  std::uint64_t completed = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Xoshiro256 rng(seed * 977 + 5);
+    const auto ids = random_ids(kN, seed);
+    const FaultPlan plan = make_plan(klass, rng);
+    const auto sigmas = make_sigmas(rng);
+    const auto report = measure_containment(algo, g, ids, plan, sigmas,
+                                            linear_step_budget(kN));
+    changed.add(static_cast<double>(report.changed.size()));
+    extra_acts.add(static_cast<double>(report.extra_activations));
+    max_radius = std::max(max_radius, report.radius);
+    completed += report.faulty_completed ? 1 : 0;
+  }
+  table.add_row({name, klass, Table::cell(changed.mean(), 1),
+                 std::to_string(max_radius), Table::cell(extra_acts.mean(), 1),
+                 std::to_string(completed) + "/" + std::to_string(kSeeds)});
+}
+
+template <typename Algo>
+void all_classes(Table& table, const char* name, Algo algo) {
+  for (const char* klass : {"crash", "recover", "corrupt"})
+    sweep(table, name, algo, klass);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftcc;
+  Table table({"algorithm", "fault class", "mean changed decisions",
+               "max radius (hops)", "mean extra acts", "faulty completed"});
+  all_classes(table, "algo1", SixColoring{});
+  all_classes(table, "algo5-ext", SixColoringFast{});
+  all_classes(table, "algo1+wrap", Recovering<SixColoring>{});
+  all_classes(table, "algo5-ext+wrap", Recovering<SixColoringFast>{});
+  table.print(
+      "E20 — fault containment on C_32 (random ids, random-subset schedule "
+      "prefix of 4n steps, 20 seeds per cell; radius -1 = no decision "
+      "changed)");
+  return 0;
+}

@@ -14,13 +14,19 @@ namespace ftcc {
 /// identifiers X̂ always properly color the graph — two adjacent non-⊥
 /// registers never hold equal x.  Also checks a node's private x against
 /// its neighbours' published x, the stronger form the proof establishes.
+///
+/// Registers the fault adversary wrote (register_tainted) are skipped: the
+/// lemma is a statement about what the *algorithm* publishes, and a tainted
+/// register holds the adversary's bytes until its owner republishes.  In
+/// fault-free runs nothing is ever tainted, so this is the original check.
 template <Algorithm A>
 typename Executor<A>::Invariant proper_identifier_invariant() {
   return [](const Executor<A>& ex) -> std::optional<std::string> {
     const Graph& g = ex.graph();
     for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (ex.register_tainted(v)) continue;
       for (NodeId u : g.neighbors(v)) {
-        if (u < v) continue;
+        if (u < v || ex.register_tainted(u)) continue;
         const auto& rv = ex.published(v);
         const auto& ru = ex.published(u);
         if (rv && ru && rv->x == ru->x) {

@@ -1,0 +1,92 @@
+// Invariant monitors for executions of Recovering<A>-wrapped algorithms.
+//
+// The standard monitors in analysis/invariants.hpp read `register.x` and
+// `state.x` directly, which is exactly right for the raw algorithms but
+// wrong for wrapped ones: a wrapped register may be *veiled* (deliberately
+// invalid checksum — semantically ⊥), *tainted* (the adversary's bytes,
+// not the algorithm's), or authentic, and only the authentic untainted
+// ones carry a Lemma 4.5 claim.  These monitors apply the same filtering a
+// Recovering reader applies, so they check precisely the registers the
+// wrapped algorithms actually act on.
+//
+// The private-vs-published strengthening of the identifier invariant is
+// deliberately absent here: after a crash-recovery wipe the private inner
+// state is a placeholder until the adoption round runs, so comparing it
+// against neighbours' published identifiers is transiently meaningless.
+// Output properness needs no wrapped variant — it only reads outputs —
+// so reuse analysis::output_properness_invariant directly.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "runtime/executor.hpp"
+
+namespace ftcc {
+
+/// Lemma 4.5 under faults: authentic, untainted published inner identifiers
+/// of adjacent nodes never collide.
+template <Algorithm W>
+typename Executor<W>::Invariant recovering_identifier_invariant() {
+  return [](const Executor<W>& ex) -> std::optional<std::string> {
+    const Graph& g = ex.graph();
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (ex.register_tainted(v)) continue;
+      for (NodeId u : g.neighbors(v)) {
+        if (u < v || ex.register_tainted(u)) continue;
+        const auto& rv = ex.published(v);
+        const auto& ru = ex.published(u);
+        if (!rv || !ru) continue;
+        if (!W::authentic(*rv) || !W::authentic(*ru)) continue;
+        if (rv->inner.x == ru->inner.x) {
+          std::ostringstream os;
+          os << "authentic published identifiers collide on edge (" << v
+             << "," << u << "): X=" << rv->inner.x << " at step " << ex.now();
+          return os.str();
+        }
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+/// Palette boundedness of the wrapped algorithm's candidates, through the
+/// wrapper: inner a, b stay within {0, ..., bound} at every step (a wipe
+/// re-inits them, so no veiled exemption is needed).
+template <Algorithm W>
+typename Executor<W>::Invariant recovering_candidates_bounded_invariant(
+    std::uint64_t bound) {
+  return [bound](const Executor<W>& ex) -> std::optional<std::string> {
+    for (NodeId v = 0; v < ex.graph().node_count(); ++v) {
+      const auto& s = ex.state(v).inner;
+      if (s.a > bound || s.b > bound) {
+        std::ostringstream os;
+        os << "candidate out of palette at node " << v << ": a=" << s.a
+           << " b=" << s.b << " bound=" << bound << " at step " << ex.now();
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+/// a_p <= b_p for wrapped Algorithms 2/3 (mex monotonicity survives wipes:
+/// init restores a = b = 0).
+template <Algorithm W>
+typename Executor<W>::Invariant recovering_candidates_ordered_invariant() {
+  return [](const Executor<W>& ex) -> std::optional<std::string> {
+    for (NodeId v = 0; v < ex.graph().node_count(); ++v) {
+      const auto& s = ex.state(v).inner;
+      if (s.a > s.b) {
+        std::ostringstream os;
+        os << "candidate order violated at node " << v << ": a=" << s.a
+           << " > b=" << s.b << " at step " << ex.now();
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace ftcc

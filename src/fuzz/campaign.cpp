@@ -12,6 +12,8 @@
 #include "core/algo3_fast_five_coloring.hpp"
 #include "core/algo4_general_graph.hpp"
 #include "core/algo5_fast_six_coloring.hpp"
+#include "core/recovering.hpp"
+#include "faults/invariants.hpp"
 #include "fuzz/recording_scheduler.hpp"
 #include "sched/adversary_search.hpp"
 #include "util/assert.hpp"
@@ -27,15 +29,26 @@ struct RecordedRun {
   std::uint64_t steps = 0;
   std::uint64_t max_acts = 0;
   std::vector<std::vector<NodeId>> sigmas;
+  std::vector<NodeFate> fates;
 };
 
 template <Algorithm A>
 void install_monitors(Executor<A>& ex, std::uint64_t palette_bound,
                       bool ordered, InjectedFault inject) {
-  ex.add_invariant(proper_identifier_invariant<A>());
-  ex.add_invariant(output_properness_invariant<A>());
-  ex.add_invariant(candidates_bounded_invariant<A>(palette_bound));
-  if (ordered) ex.add_invariant(candidates_ordered_invariant<A>());
+  if constexpr (is_recovering_v<A>) {
+    // Wrapped registers carry checksums the standard monitors can't see
+    // through; use the fault-aware variants (analysis reuses output
+    // properness, which only reads outputs).
+    ex.add_invariant(recovering_identifier_invariant<A>());
+    ex.add_invariant(output_properness_invariant<A>());
+    ex.add_invariant(recovering_candidates_bounded_invariant<A>(palette_bound));
+    if (ordered) ex.add_invariant(recovering_candidates_ordered_invariant<A>());
+  } else {
+    ex.add_invariant(proper_identifier_invariant<A>());
+    ex.add_invariant(output_properness_invariant<A>());
+    ex.add_invariant(candidates_bounded_invariant<A>(palette_bound));
+    if (ordered) ex.add_invariant(candidates_ordered_invariant<A>());
+  }
   if (inject == InjectedFault::no_termination) {
     ex.add_invariant([](const Executor<A>& e) -> std::optional<std::string> {
       for (NodeId v = 0; v < e.graph().node_count(); ++v)
@@ -48,10 +61,10 @@ void install_monitors(Executor<A>& ex, std::uint64_t palette_bound,
 
 template <Algorithm A>
 RecordedRun run_recorded(A algo, const Graph& graph, const IdAssignment& ids,
-                         const CrashPlan& crashes, Scheduler& sched,
+                         const FaultPlan& faults, Scheduler& sched,
                          std::uint64_t max_steps, std::uint64_t palette_bound,
                          bool ordered, InjectedFault inject) {
-  Executor<A> ex(std::move(algo), graph, ids, crashes);
+  Executor<A> ex(std::move(algo), graph, ids, faults);
   install_monitors(ex, palette_bound, ordered, inject);
   RecordingScheduler recorder(sched);
   const auto result = ex.run(recorder, max_steps);
@@ -61,20 +74,45 @@ RecordedRun run_recorded(A algo, const Graph& graph, const IdAssignment& ids,
   run.steps = result.steps;
   run.max_acts = result.max_activations();
   run.sigmas = recorder.take();
+  run.fates = result.fates;
   return run;
 }
 
-/// Dispatch by campaign algorithm name; f receives the algorithm instance,
-/// its mid-run palette component bound (each candidate's mex is over at
-/// most `bound` values), and whether it maintains a_p <= b_p.
+/// Dispatch by campaign algorithm name; f receives the algorithm instance
+/// (wrapped in Recovering<> when `wrapped`), its mid-run palette component
+/// bound (each candidate's mex is over at most `bound` values), and
+/// whether it maintains a_p <= b_p.
 template <typename F>
-auto with_algorithm(const std::string& name, F&& f) {
-  if (name == "six") return f(SixColoring{}, std::uint64_t{2}, false);
-  if (name == "five") return f(FiveColoringLinear{}, std::uint64_t{4}, true);
-  if (name == "fast5") return f(FiveColoringFast{}, std::uint64_t{4}, true);
-  if (name == "delta2") return f(DeltaSquaredColoring{}, std::uint64_t{2}, false);
+auto with_algorithm(const std::string& name, bool wrapped, F&& f) {
+  const auto dispatch = [&](auto algo, std::uint64_t bound, bool ordered) {
+    if (wrapped) return f(Recovering<decltype(algo)>{}, bound, ordered);
+    return f(std::move(algo), bound, ordered);
+  };
+  if (name == "six") return dispatch(SixColoring{}, std::uint64_t{2}, false);
+  if (name == "five")
+    return dispatch(FiveColoringLinear{}, std::uint64_t{4}, true);
+  if (name == "fast5")
+    return dispatch(FiveColoringFast{}, std::uint64_t{4}, true);
+  if (name == "delta2")
+    return dispatch(DeltaSquaredColoring{}, std::uint64_t{2}, false);
   FTCC_EXPECTS(name == "fast6" && "unknown campaign algorithm");
-  return f(SixColoringFast{}, std::uint64_t{2}, false);
+  return dispatch(SixColoringFast{}, std::uint64_t{2}, false);
+}
+
+/// Compact per-node fate tally for report lines: "5t/1c/0d/0x".
+std::string format_fates(const std::vector<NodeFate>& fates) {
+  std::size_t t = 0, c = 0, d = 0, x = 0;
+  for (NodeFate f : fates) {
+    switch (f) {
+      case NodeFate::terminated: ++t; break;
+      case NodeFate::crashed: ++c; break;
+      case NodeFate::down: ++d; break;
+      case NodeFate::timed_out: ++x; break;
+    }
+  }
+  std::ostringstream os;
+  os << t << "t/" << c << "c/" << d << "d/" << x << "x";
+  return os.str();
 }
 
 /// One trial's generated configuration (all drawn from the trial seed).
@@ -87,6 +125,10 @@ struct TrialConfig {
   CrashPlan crashes;
   std::vector<std::pair<NodeId, std::uint64_t>> crash_at_step;
   std::vector<std::pair<NodeId, std::uint64_t>> crash_after_acts;
+  /// crashes plus any drawn recovery/corruption faults.
+  FaultPlan faults;
+  std::vector<ArtifactRecovery> recoveries;
+  std::vector<ArtifactCorruption> corruptions;
   std::unique_ptr<Scheduler> sched;
   std::string sched_family;
 };
@@ -98,7 +140,8 @@ std::string format_p(double p) {
 }
 
 TrialConfig generate_trial(const std::vector<std::string>& algos, NodeId n_min,
-                           NodeId n_max, std::uint64_t trial_seed) {
+                           NodeId n_max, std::uint64_t trial_seed,
+                           FaultMode fault_mode) {
   Xoshiro256 rng(trial_seed);
   TrialConfig cfg;
   cfg.algo = algos[rng.below(algos.size())];
@@ -196,6 +239,45 @@ TrialConfig generate_trial(const std::vector<std::string>& algos, NodeId n_min,
       cfg.sched_family = "pairs";
       break;
   }
+
+  // Faults draw last and only when armed, so fault-free campaigns consume
+  // exactly the RNG stream they always did (trial-for-trial identical).
+  cfg.faults = FaultPlan(cfg.crashes);
+  if (fault_mode == FaultMode::recover || fault_mode == FaultMode::mixed) {
+    const std::uint64_t count =
+        1 + rng.below(std::max<std::uint64_t>(cfg.n / 4, 1));
+    for (std::uint64_t v : sample_distinct(cfg.n, count, rng)) {
+      RecoveryFault fault;
+      fault.at_step = 1 + rng.below(2ull * cfg.n);
+      fault.down_steps = 1 + rng.below(static_cast<std::uint64_t>(cfg.n));
+      fault.reg = static_cast<RecoveredRegister>(rng.below(3));
+      cfg.recoveries.push_back({static_cast<NodeId>(v), fault});
+    }
+    std::sort(cfg.recoveries.begin(), cfg.recoveries.end(),
+              [](const ArtifactRecovery& a, const ArtifactRecovery& b) {
+                return a.node < b.node;
+              });
+    for (const auto& r : cfg.recoveries) cfg.faults.recover(r.node, r.fault);
+  }
+  if (fault_mode == FaultMode::corrupt || fault_mode == FaultMode::mixed) {
+    const std::uint64_t count =
+        1 + rng.below(std::max<std::uint64_t>(cfg.n / 3, 1));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto node = static_cast<NodeId>(rng.below(cfg.n));
+      CorruptionFault fault;
+      fault.at_step = 1 + rng.below(4ull * cfg.n);
+      fault.kind = rng.chance(0.5) ? CorruptionFault::Kind::bit_flip
+                                   : CorruptionFault::Kind::overwrite;
+      fault.word = rng.below(8);
+      fault.value = rng();
+      cfg.corruptions.push_back({node, fault});
+    }
+    std::stable_sort(cfg.corruptions.begin(), cfg.corruptions.end(),
+                     [](const ArtifactCorruption& a, const ArtifactCorruption& b) {
+                       return a.node < b.node;
+                     });
+    for (const auto& c : cfg.corruptions) cfg.faults.corrupt(c.node, c.fault);
+  }
   return cfg;
 }
 
@@ -216,17 +298,19 @@ std::string replay_violation(const ScheduleArtifact& artifact,
                              InjectedFault inject) {
   FTCC_EXPECTS(known_algorithm(artifact.algo));
   const Graph graph = artifact.graph();
-  const CrashPlan crashes = artifact.crash_plan();
-  return with_algorithm(artifact.algo, [&](auto algo, std::uint64_t bound,
-                                           bool ordered) -> std::string {
-    Executor<decltype(algo)> ex(std::move(algo), graph, artifact.ids, crashes);
-    install_monitors(ex, bound, ordered, inject);
-    ReplayScheduler sched(artifact.sigmas);
-    // Exactly the recorded steps: the artifact IS the schedule, so a
-    // shrunk witness must reproduce the violation within its own prefix.
-    (void)ex.run(sched, artifact.sigmas.size());
-    return ex.violation().value_or("");
-  });
+  const FaultPlan faults = artifact.fault_plan();
+  return with_algorithm(
+      artifact.algo, artifact.wrapped,
+      [&](auto algo, std::uint64_t bound, bool ordered) -> std::string {
+        Executor<decltype(algo)> ex(std::move(algo), graph, artifact.ids,
+                                    faults);
+        install_monitors(ex, bound, ordered, inject);
+        ReplayScheduler sched(artifact.sigmas);
+        // Exactly the recorded steps: the artifact IS the schedule, so a
+        // shrunk witness must reproduce the violation within its own prefix.
+        (void)ex.run(sched, artifact.sigmas.size());
+        return ex.violation().value_or("");
+      });
 }
 
 CampaignReport run_campaign(const CampaignOptions& options) {
@@ -246,21 +330,24 @@ CampaignReport run_campaign(const CampaignOptions& options) {
     os << (i ? "," : "") << algos[i];
   os << " inject="
      << (options.inject == InjectedFault::none ? "none" : "no-termination")
+     << " faults=" << fault_mode_name(options.fault_mode)
+     << " wrap=" << (options.wrap ? 1 : 0)
      << " shrink=" << (options.shrink ? 1 : 0) << "\n";
 
   CampaignReport report;
   Xoshiro256 master(options.seed);
   for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
     const std::uint64_t trial_seed = master();
-    TrialConfig cfg =
-        generate_trial(algos, options.n_min, options.n_max, trial_seed);
+    TrialConfig cfg = generate_trial(algos, options.n_min, options.n_max,
+                                     trial_seed, options.fault_mode);
     const std::uint64_t budget = linear_step_budget(cfg.n);
     const Graph graph =
         cfg.graph_kind == "path" ? make_path(cfg.n) : make_cycle(cfg.n);
 
     RecordedRun run = with_algorithm(
-        cfg.algo, [&](auto algo, std::uint64_t bound, bool ordered) {
-          return run_recorded(std::move(algo), graph, cfg.ids, cfg.crashes,
+        cfg.algo, options.wrap,
+        [&](auto algo, std::uint64_t bound, bool ordered) {
+          return run_recorded(std::move(algo), graph, cfg.ids, cfg.faults,
                               *cfg.sched, budget, bound, ordered,
                               options.inject);
         });
@@ -269,8 +356,11 @@ CampaignReport run_campaign(const CampaignOptions& options) {
     os << "trial " << trial << " algo=" << cfg.algo
        << " graph=" << cfg.graph_kind << " n=" << cfg.n
        << " ids=" << cfg.ids_family << " sched=" << cfg.sched_family
-       << " crashes=" << cfg.crash_at_step.size() + cfg.crash_after_acts.size()
-       << " -> ";
+       << " crashes=" << cfg.crash_at_step.size() + cfg.crash_after_acts.size();
+    if (options.fault_mode != FaultMode::none)
+      os << " recoveries=" << cfg.recoveries.size()
+         << " corruptions=" << cfg.corruptions.size();
+    os << " -> ";
     if (run.violation) {
       os << "FAIL " << *run.violation << "\n";
       ScheduleArtifact witness;
@@ -280,6 +370,9 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       witness.ids = cfg.ids;
       witness.crash_at_step = cfg.crash_at_step;
       witness.crash_after_acts = cfg.crash_after_acts;
+      witness.recoveries = cfg.recoveries;
+      witness.corruptions = cfg.corruptions;
+      witness.wrapped = options.wrap;
       witness.sigmas = std::move(run.sigmas);
       witness.seed = options.seed;
       witness.violation = *run.violation;
@@ -317,10 +410,20 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       report.failures.push_back(std::move(failure));
     } else if (!run.completed) {
       ++report.censored;
-      os << "censored budget=" << budget << "\n";
+      os << "censored budget=" << budget << " fates=" << format_fates(run.fates);
+      os << " timed_out=";
+      bool first = true;
+      for (NodeId v = 0; v < run.fates.size(); ++v)
+        if (run.fates[v] == NodeFate::timed_out ||
+            run.fates[v] == NodeFate::down) {
+          os << (first ? "" : ",") << v;
+          first = false;
+        }
+      os << "\n";
     } else {
       ++report.ok;
-      os << "ok steps=" << run.steps << " max_acts=" << run.max_acts << "\n";
+      os << "ok steps=" << run.steps << " max_acts=" << run.max_acts
+         << " fates=" << format_fates(run.fates) << "\n";
     }
   }
   os << "summary trials=" << report.trials << " ok=" << report.ok

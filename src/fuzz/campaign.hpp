@@ -32,6 +32,25 @@ enum class InjectedFault {
   no_termination,
 };
 
+/// Which real fault classes (src/faults/) each trial draws, on top of the
+/// crash-stop pattern every trial already has.
+enum class FaultMode {
+  none,     ///< crash-stop only (the original campaign)
+  corrupt,  ///< transient register corruption (bit flips, word overwrites)
+  recover,  ///< crash-recovery with wiped state and ⊥/zero/stale registers
+  mixed,    ///< both of the above
+};
+
+[[nodiscard]] constexpr const char* fault_mode_name(FaultMode m) noexcept {
+  switch (m) {
+    case FaultMode::none: return "none";
+    case FaultMode::corrupt: return "corrupt";
+    case FaultMode::recover: return "recover";
+    case FaultMode::mixed: return "mixed";
+  }
+  return "?";
+}
+
 struct CampaignOptions {
   std::uint64_t seed = 1;
   std::uint64_t trials = 200;
@@ -43,6 +62,13 @@ struct CampaignOptions {
   std::string artifact_dir;
   bool shrink = true;
   InjectedFault inject = InjectedFault::none;
+  /// Real fault classes to draw per trial (beyond crash-stop).
+  FaultMode fault_mode = FaultMode::none;
+  /// Run algorithms under the Recovering<> self-healing wrapper.  Off by
+  /// default; tools/fuzz turns it on whenever fault_mode != none unless
+  /// --raw asks for the unprotected algorithms (expected to violate under
+  /// corruption — that is the vulnerability the wrapper closes).
+  bool wrap = false;
   /// Predicate-evaluation budget per shrink (each check is a replay).
   std::uint64_t shrink_checks = 20'000;
 };
@@ -74,10 +100,11 @@ struct CampaignReport {
 [[nodiscard]] const std::vector<std::string>& campaign_algorithms();
 [[nodiscard]] bool known_algorithm(const std::string& name);
 
-/// Replay an artifact with the standard monitors (plus any injected
-/// fault) installed, running exactly the recorded steps.  Returns the
-/// violation message, or "" if the replay is clean.  The artifact's algo
-/// must satisfy known_algorithm().
+/// Replay an artifact with the applicable monitors (plus any injected
+/// fault) installed, running exactly the recorded steps under the
+/// artifact's fault plan (and, if artifact.wrapped, under Recovering<>).
+/// Returns the violation message, or "" if the replay is clean.  The
+/// artifact's algo must satisfy known_algorithm().
 [[nodiscard]] std::string replay_violation(
     const ScheduleArtifact& artifact,
     InjectedFault inject = InjectedFault::none);

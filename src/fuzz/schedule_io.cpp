@@ -33,6 +33,13 @@ CrashPlan ScheduleArtifact::crash_plan() const {
   return plan;
 }
 
+FaultPlan ScheduleArtifact::fault_plan() const {
+  FaultPlan plan(crash_plan());
+  for (const auto& r : recoveries) plan.recover(r.node, r.fault);
+  for (const auto& c : corruptions) plan.corrupt(c.node, c.fault);
+  return plan;
+}
+
 std::string serialize_schedule(const ScheduleArtifact& artifact) {
   std::ostringstream os;
   os << "ftcc-schedule v1\n";
@@ -45,6 +52,15 @@ std::string serialize_schedule(const ScheduleArtifact& artifact) {
     os << "crash at_step " << v << " " << t << "\n";
   for (const auto& [v, k] : artifact.crash_after_acts)
     os << "crash after_acts " << v << " " << k << "\n";
+  for (const auto& r : artifact.recoveries)
+    os << "recover " << r.node << " " << r.fault.at_step << " "
+       << r.fault.down_steps << " " << recovered_register_name(r.fault.reg)
+       << "\n";
+  for (const auto& c : artifact.corruptions)
+    os << "corrupt " << c.node << " " << c.fault.at_step << " "
+       << corruption_kind_name(c.fault.kind) << " " << c.fault.word << " "
+       << c.fault.value << "\n";
+  if (artifact.wrapped) os << "wrapped 1\n";
   os << "steps " << artifact.sigmas.size() << "\n";
   for (const auto& sigma : artifact.sigmas) {
     os << "sigma";
@@ -109,6 +125,38 @@ bool parse_into(const std::string& text, ScheduleArtifact& artifact,
       } else {
         return fail(error, "crash: unknown kind '" + kind + "'");
       }
+    } else if (directive == "recover") {
+      std::string node, at_step, down_steps, reg;
+      if (!(ls >> node >> at_step >> down_steps >> reg))
+        return fail(error, "recover: expected node, at_step, down_steps, reg");
+      std::uint64_t v = 0;
+      RecoveryFault fault;
+      if (!parse_u64(node, v) || !parse_u64(at_step, fault.at_step) ||
+          !parse_u64(down_steps, fault.down_steps))
+        return fail(error, "recover: bad number");
+      const auto parsed = parse_recovered_register(reg);
+      if (!parsed) return fail(error, "recover: unknown register policy '" + reg + "'");
+      fault.reg = *parsed;
+      artifact.recoveries.push_back({static_cast<NodeId>(v), fault});
+    } else if (directive == "corrupt") {
+      std::string node, at_step, kind, word, value;
+      if (!(ls >> node >> at_step >> kind >> word >> value))
+        return fail(error, "corrupt: expected node, at_step, kind, word, value");
+      std::uint64_t v = 0;
+      CorruptionFault fault;
+      if (!parse_u64(node, v) || !parse_u64(at_step, fault.at_step) ||
+          !parse_u64(word, fault.word) || !parse_u64(value, fault.value))
+        return fail(error, "corrupt: bad number");
+      const auto parsed = parse_corruption_kind(kind);
+      if (!parsed) return fail(error, "corrupt: unknown kind '" + kind + "'");
+      fault.kind = *parsed;
+      artifact.corruptions.push_back({static_cast<NodeId>(v), fault});
+    } else if (directive == "wrapped") {
+      std::string token;
+      std::uint64_t flag = 0;
+      if (!(ls >> token) || !parse_u64(token, flag) || flag > 1)
+        return fail(error, "wrapped: expected 0 or 1");
+      artifact.wrapped = flag == 1;
     } else if (directive == "steps") {
       std::string count;
       if (!(ls >> count) || !parse_u64(count, declared_steps))
@@ -154,6 +202,10 @@ bool parse_into(const std::string& text, ScheduleArtifact& artifact,
     if (v >= artifact.n) return fail(error, "crash: node out of range");
   for (const auto& [v, k] : artifact.crash_after_acts)
     if (v >= artifact.n) return fail(error, "crash: node out of range");
+  for (const auto& r : artifact.recoveries)
+    if (r.node >= artifact.n) return fail(error, "recover: node out of range");
+  for (const auto& c : artifact.corruptions)
+    if (c.node >= artifact.n) return fail(error, "corrupt: node out of range");
   return true;
 }
 

@@ -11,6 +11,9 @@
 //   ids 100 101 102 103 104
 //   crash at_step 2 7
 //   crash after_acts 3 1
+//   recover 1 4 3 stale
+//   corrupt 0 6 flip 2 17
+//   wrapped 1
 //   steps 3
 //   sigma 0 1 2
 //   sigma -
@@ -19,7 +22,12 @@
 //   violation published identifiers collide on edge (0,1) ...
 //
 // `sigma -` is the empty activation set (the adversary idles a step);
-// `seed` and `violation` are provenance, ignored on replay.  Parsing is
+// `seed` and `violation` are provenance, ignored on replay.  The fault
+// directives are optional (absent = crash-stop only, exactly the original
+// v1 format): `recover node at_step down_steps bottom|zero|stale` is a
+// crash-recovery fault, `corrupt node at_step flip|overwrite word value` a
+// register corruption, and `wrapped 1` records that the execution ran the
+// algorithm under the Recovering<> self-healing wrapper.  Parsing is
 // strict: a declared `steps` count not matched by that many sigma lines,
 // an unknown directive, or a malformed number is an error, surfaced to the
 // caller rather than asserted — truncated artifacts are expected inputs.
@@ -31,12 +39,29 @@
 #include <utility>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
 #include "runtime/crash.hpp"
 #include "sched/schedulers.hpp"
 
 namespace ftcc {
+
+/// One crash-recovery fault, addressed to a node.
+struct ArtifactRecovery {
+  NodeId node = 0;
+  RecoveryFault fault;
+  friend bool operator==(const ArtifactRecovery&,
+                         const ArtifactRecovery&) = default;
+};
+
+/// One register corruption, addressed to a node.
+struct ArtifactCorruption {
+  NodeId node = 0;
+  CorruptionFault fault;
+  friend bool operator==(const ArtifactCorruption&,
+                         const ArtifactCorruption&) = default;
+};
 
 struct ScheduleArtifact {
   /// Algorithm name as accepted by the campaign runner ("six", "five",
@@ -49,6 +74,11 @@ struct ScheduleArtifact {
   /// Crash plan, flattened: (node, step) / (node, activation count) pairs.
   std::vector<std::pair<NodeId, std::uint64_t>> crash_at_step;
   std::vector<std::pair<NodeId, std::uint64_t>> crash_after_acts;
+  /// Beyond-crash-stop faults (empty = plain v1 artifact).
+  std::vector<ArtifactRecovery> recoveries;
+  std::vector<ArtifactCorruption> corruptions;
+  /// True iff the run wrapped the algorithm in Recovering<>.
+  bool wrapped = false;
   /// The σ sequence; steps beyond it replay synchronously.
   std::vector<std::vector<NodeId>> sigmas;
   /// Provenance (not used on replay): master seed and violation message.
@@ -57,6 +87,11 @@ struct ScheduleArtifact {
 
   [[nodiscard]] Graph graph() const;
   [[nodiscard]] CrashPlan crash_plan() const;
+  /// Crash plan plus recovery and corruption faults.
+  [[nodiscard]] FaultPlan fault_plan() const;
+  [[nodiscard]] bool has_faults() const {
+    return !recoveries.empty() || !corruptions.empty();
+  }
   [[nodiscard]] ReplayScheduler replay() const { return ReplayScheduler(sigmas); }
 
   friend bool operator==(const ScheduleArtifact&,

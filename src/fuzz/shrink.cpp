@@ -120,6 +120,31 @@ bool crash_pass(ScheduleArtifact& best, Checker& check,
   return changed;
 }
 
+/// Drop crash-recovery and corruption entries one at a time, so the
+/// minimized artifact carries exactly the faults the failure needs.
+bool fault_pass(ScheduleArtifact& best, Checker& check,
+                std::uint64_t& faults_removed) {
+  bool changed = false;
+  const auto drop_each = [&](auto member) {
+    for (std::size_t i = 0; i < (best.*member).size();) {
+      ScheduleArtifact candidate = best;
+      (candidate.*member)
+          .erase((candidate.*member).begin() + static_cast<std::ptrdiff_t>(i));
+      if (check.fails(candidate)) {
+        ++faults_removed;
+        best = std::move(candidate);
+        changed = true;
+      } else {
+        ++i;
+      }
+      if (check.exhausted()) return;
+    }
+  };
+  drop_each(&ScheduleArtifact::recoveries);
+  drop_each(&ScheduleArtifact::corruptions);
+  return changed;
+}
+
 /// Splice single nodes out of the graph, highest index first (so earlier
 /// indices — and the artifact's small-id structure — survive).
 bool splice_pass(ScheduleArtifact& best, Checker& check, NodeId min_nodes,
@@ -154,6 +179,12 @@ ScheduleArtifact splice_node(const ScheduleArtifact& artifact, NodeId v) {
   out.crash_after_acts.clear();
   for (const auto& [u, k] : artifact.crash_after_acts)
     if (u != v) out.crash_after_acts.emplace_back(remap(u), k);
+  out.recoveries.clear();
+  for (const auto& r : artifact.recoveries)
+    if (r.node != v) out.recoveries.push_back({remap(r.node), r.fault});
+  out.corruptions.clear();
+  for (const auto& c : artifact.corruptions)
+    if (c.node != v) out.corruptions.push_back({remap(c.node), c.fault});
   for (auto& sigma : out.sigmas) {
     std::erase(sigma, v);
     for (NodeId& u : sigma) u = remap(u);
@@ -180,6 +211,7 @@ ShrinkResult shrink_artifact(const ScheduleArtifact& failing,
     changed |= chunk_pass(result.artifact, check, result.steps_removed);
     changed |= thin_pass(result.artifact, check, result.activations_removed);
     changed |= crash_pass(result.artifact, check, result.crashes_removed);
+    changed |= fault_pass(result.artifact, check, result.faults_removed);
     changed |= splice_pass(result.artifact, check, options.min_nodes,
                            result.nodes_removed);
   }

@@ -7,8 +7,11 @@
 //             chunks of steps (halves, quarters, ..., single steps);
 //   sets    — thin each surviving activation set one node at a time;
 //   crashes — drop crash-plan entries the failure doesn't need;
+//   faults  — drop crash-recovery and corruption events one at a time, so
+//             a minimized artifact carries exactly the faults that matter;
 //   n       — splice single nodes out of the cycle/path (re-indexing ids,
-//             crash entries, and every σ set), smallest graph that fails.
+//             crash entries, fault entries, and every σ set), smallest
+//             graph that fails.
 //
 // The predicate is the ground truth: a reduction is kept iff the reduced
 // artifact still fails, so the result is 1-minimal with respect to the
@@ -42,6 +45,7 @@ struct ShrinkResult {
   std::uint64_t steps_removed = 0;
   std::uint64_t activations_removed = 0;
   std::uint64_t crashes_removed = 0;
+  std::uint64_t faults_removed = 0;
   std::uint64_t nodes_removed = 0;
 };
 
@@ -53,8 +57,8 @@ struct ShrinkResult {
                                            const ShrinkOptions& options = {});
 
 /// Remove node v from the artifact: splice it out of the topology, drop
-/// its identifier and crash entries, and re-index every node above v.
-/// Exposed for tests; callers must re-check the predicate themselves.
+/// its identifier, crash, and fault entries, and re-index every node above
+/// v.  Exposed for tests; callers must re-check the predicate themselves.
 [[nodiscard]] ScheduleArtifact splice_node(const ScheduleArtifact& artifact,
                                            NodeId v);
 

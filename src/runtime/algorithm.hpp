@@ -24,6 +24,7 @@
 #include <optional>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -52,6 +53,19 @@ concept Algorithm =
         algo.step(state, view)
       } -> std::same_as<std::optional<typename A::Output>>;
       { A::color_code(output) } -> std::same_as<std::uint64_t>;
+    };
+
+/// An algorithm whose register round-trips through a fixed number of
+/// 64-bit words.  Required wherever register *contents* cross a raw-memory
+/// boundary: the seqlock cells of ThreadedExecutor, and fault injection
+/// that flips bits or overwrites words of a published register.
+template <typename A>
+concept RegisterCodable =
+    requires(std::span<const std::uint64_t> words,
+             const typename A::Register reg, std::vector<std::uint64_t>& out) {
+      { A::kRegisterWords } -> std::convertible_to<std::size_t>;
+      { A::decode_register(words) } -> std::same_as<typename A::Register>;
+      { reg.encode(out) };
     };
 
 }  // namespace ftcc

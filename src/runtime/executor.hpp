@@ -16,6 +16,18 @@
 // pseudo-code's write precedes the return test), and its register stays
 // frozen forever after.  A crashed node simply never appears in σ again.
 //
+// Beyond the paper's crash-stop adversary, the executor applies FaultPlan
+// events at activation boundaries (start of each step, before any write):
+// crash-recovery takes a node out of the working set for a fixed number of
+// steps and revives it with its private state wiped back to init() and its
+// register ⊥ / zeroed / rolled back to a stale snapshot; corruption mutates
+// the published words of a working node's register in place.  Registers the
+// adversary touched are *tainted* until their owner republishes, so monitors
+// can tell adversary writes from algorithm writes.  Faults never target a
+// terminated node's frozen register: no terminating algorithm can survive
+// that (nobody will ever rewrite it), so it is outside every fault model
+// we implement — see DESIGN.md "Fault model".
+//
 // The executor is deliberately sequential and deterministic: the paper's
 // model *is* an interleaving semantics, so simulating it with threads
 // would only add nondeterminism we would then have to remove.
@@ -27,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
 #include "runtime/algorithm.hpp"
@@ -52,14 +65,19 @@ class Executor {
       std::function<std::optional<std::string>(const Executor&)>;
 
   Executor(A algo, const Graph& graph, const IdAssignment& ids,
-           CrashPlan crash_plan = {})
+           FaultPlan fault_plan = {})
       : algo_(std::move(algo)),
         graph_(&graph),
-        crash_plan_(std::move(crash_plan)),
+        ids_(ids),
+        fault_plan_(std::move(fault_plan)),
         registers_(graph.node_count()),
+        prev_registers_(graph.node_count()),
         terminated_(graph.node_count(), false),
         crashed_(graph.node_count(), false),
+        down_(graph.node_count(), false),
+        tainted_(graph.node_count(), false),
         activations_(graph.node_count(), 0),
+        recoveries_(graph.node_count(), 0),
         outputs_(graph.node_count()) {
     FTCC_EXPECTS(ids.size() == graph.node_count());
     states_.reserve(graph.node_count());
@@ -77,7 +95,7 @@ class Executor {
   /// ignored).  Returns the number of nodes actually activated.
   std::size_t step(std::span<const NodeId> sigma) {
     ++now_;
-    apply_step_crashes();
+    apply_step_faults();
     scratch_sigma_.clear();
     if (in_sigma_.size() < graph_->node_count())
       in_sigma_.assign(graph_->node_count(), false);
@@ -91,8 +109,13 @@ class Executor {
       }
     }
     for (NodeId v : scratch_sigma_) in_sigma_[v] = false;
-    // Phase 1: all simultaneous writes.
-    for (NodeId v : scratch_sigma_) registers_[v] = algo_.publish(states_[v]);
+    // Phase 1: all simultaneous writes.  The previous register value is
+    // kept as the stale snapshot a crash-recovery fault may replay.
+    for (NodeId v : scratch_sigma_) {
+      prev_registers_[v] = registers_[v];
+      registers_[v] = algo_.publish(states_[v]);
+      tainted_[v] = false;  // the owner's own write heals any taint
+    }
     // Phases 2+3: reads and private transitions.  Registers are only
     // mutated in phase 1, so reading them lazily here is equivalent to a
     // separate snapshot phase.
@@ -108,7 +131,7 @@ class Executor {
           trace_->record(now_, v, TraceEventKind::returned,
                          A::color_code(*outputs_[v]));
       }
-      if (crash_plan_.crashes_at(v, now_, activations_[v])) {
+      if (fault_plan_.crashes_at(v, now_, activations_[v])) {
         crashed_[v] = true;
         if (trace_) trace_->record(now_, v, TraceEventKind::crashed);
       }
@@ -118,21 +141,35 @@ class Executor {
   }
 
   /// Run under a scheduler until every node terminated or crashed, or the
-  /// step budget is exhausted.
+  /// step budget is exhausted.  While a crash-recovery revival is pending
+  /// the run idles through empty steps rather than stopping early, so a
+  /// revived node always gets its chance to re-quiesce.
   ExecutionResult<Output> run(Scheduler& sched, std::uint64_t max_steps) {
     while (now_ < max_steps) {
       refresh_working();
-      if (working_.empty() || violation_) break;
+      if (violation_) break;
+      if (working_.empty()) {
+        if (!revival_pending()) break;
+        step({});  // nobody to schedule, but a revival clock is ticking
+        continue;
+      }
       const auto sigma = sched.next(working_, now_ + 1);
       step(sigma);
     }
     refresh_working();
     ExecutionResult<Output> result;
-    result.completed = working_.empty() && !violation_;
+    result.completed = working_.empty() && !revival_pending() && !violation_;
     result.steps = now_;
     result.activations = activations_;
     result.outputs = outputs_;
     result.crashed = std::vector<bool>(crashed_.begin(), crashed_.end());
+    result.fates.resize(graph_->node_count());
+    for (NodeId v = 0; v < graph_->node_count(); ++v) {
+      result.fates[v] = terminated_[v] ? NodeFate::terminated
+                        : crashed_[v] ? NodeFate::crashed
+                        : down_[v]    ? NodeFate::down
+                                      : NodeFate::timed_out;
+    }
     return result;
   }
 
@@ -140,10 +177,21 @@ class Executor {
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
   [[nodiscard]] bool is_working(NodeId v) const {
-    return !terminated_[v] && !crashed_[v];
+    return !terminated_[v] && !crashed_[v] && !down_[v];
   }
   [[nodiscard]] bool has_terminated(NodeId v) const { return terminated_[v]; }
   [[nodiscard]] bool has_crashed(NodeId v) const { return crashed_[v]; }
+  /// True while the node sits between a crash-recovery fault and its
+  /// revival step.
+  [[nodiscard]] bool is_down(NodeId v) const { return down_[v]; }
+  /// True iff the last write to v's register came from the adversary (a
+  /// corruption, or a zero/stale install at revival) rather than from the
+  /// algorithm.  Cleared by the owner's next publish.
+  [[nodiscard]] bool register_tainted(NodeId v) const { return tainted_[v]; }
+  /// How many times the node revived from a crash-recovery fault.
+  [[nodiscard]] std::uint64_t recovery_count(NodeId v) const {
+    return recoveries_[v];
+  }
   [[nodiscard]] const State& state(NodeId v) const { return states_[v]; }
   [[nodiscard]] const std::optional<Register>& published(NodeId v) const {
     return registers_[v];
@@ -162,14 +210,76 @@ class Executor {
   void crash(NodeId v) { crashed_[v] = true; }
 
  private:
-  void apply_step_crashes() {
-    if (crash_plan_.empty()) return;
-    for (NodeId v = 0; v < graph_->node_count(); ++v)
-      if (!crashed_[v] && crash_plan_.crashes_at(v, now_, activations_[v])) {
+  void apply_step_faults() {
+    if (fault_plan_.empty()) return;
+    for (NodeId v = 0; v < graph_->node_count(); ++v) {
+      if (!crashed_[v] && fault_plan_.crashes_at(v, now_, activations_[v])) {
         crashed_[v] = true;
         if (trace_ && !terminated_[v])
           trace_->record(now_, v, TraceEventKind::crashed);
       }
+      apply_recovery(v);
+      apply_corruptions(v);
+    }
+  }
+
+  void apply_recovery(NodeId v) {
+    const auto& fault = fault_plan_.recovery(v);
+    if (!fault) return;
+    // Crash-stop and termination both preempt a pending recovery: a frozen
+    // register is never rewritten, so there is nothing to recover into.
+    if (now_ == fault->at_step && is_working(v)) down_[v] = true;
+    if (now_ == fault->revive_step() && down_[v]) {
+      down_[v] = false;
+      ++recoveries_[v];
+      states_[v] = algo_.init(v, ids_[v], graph_->degree(v));
+      switch (fault->reg) {
+        case RecoveredRegister::bottom:
+          registers_[v] = std::nullopt;
+          break;
+        case RecoveredRegister::zero:
+          if constexpr (RegisterCodable<A>) {
+            const std::vector<std::uint64_t> zeros(A::kRegisterWords, 0);
+            registers_[v] = A::decode_register(zeros);
+          } else {
+            registers_[v] = std::nullopt;  // not codable: degrade to ⊥
+          }
+          break;
+        case RecoveredRegister::stale:
+          registers_[v] = prev_registers_[v];
+          break;
+      }
+      tainted_[v] = registers_[v].has_value();
+      if (trace_) trace_->record(now_, v, TraceEventKind::recovered);
+    }
+  }
+
+  void apply_corruptions(NodeId v) {
+    // A terminated node's register is frozen and off-limits (see the file
+    // comment); ⊥ has no bits to flip.
+    if (terminated_[v] || !registers_[v]) return;
+    for (const CorruptionFault& c : fault_plan_.corruptions(v)) {
+      if (c.at_step != now_) continue;
+      if constexpr (RegisterCodable<A>) {
+        std::vector<std::uint64_t> words;
+        words.reserve(A::kRegisterWords);
+        registers_[v]->encode(words);
+        const std::size_t i = c.word % words.size();
+        if (c.kind == CorruptionFault::Kind::bit_flip)
+          words[i] ^= std::uint64_t{1} << (c.value % 64);
+        else
+          words[i] = c.value;
+        registers_[v] = A::decode_register(words);
+        tainted_[v] = true;
+        if (trace_) trace_->record(now_, v, TraceEventKind::corrupted);
+      }
+    }
+  }
+
+  [[nodiscard]] bool revival_pending() const {
+    for (NodeId v = 0; v < graph_->node_count(); ++v)
+      if (down_[v]) return true;
+    return false;
   }
 
   void gather_view(NodeId v) {
@@ -195,12 +305,17 @@ class Executor {
 
   A algo_;
   const Graph* graph_;
-  CrashPlan crash_plan_;
+  IdAssignment ids_;
+  FaultPlan fault_plan_;
   std::vector<State> states_;
   std::vector<std::optional<Register>> registers_;
+  std::vector<std::optional<Register>> prev_registers_;
   std::vector<bool> terminated_;
   std::vector<bool> crashed_;
+  std::vector<bool> down_;
+  std::vector<bool> tainted_;
   std::vector<std::uint64_t> activations_;
+  std::vector<std::uint64_t> recoveries_;
   std::vector<std::optional<Output>> outputs_;
   std::vector<Invariant> invariants_;
   Trace* trace_ = nullptr;

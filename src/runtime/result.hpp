@@ -11,6 +11,24 @@
 
 namespace ftcc {
 
+/// Why a node stopped being (or never became) a source of further work.
+enum class NodeFate : std::uint8_t {
+  terminated,  ///< returned an output
+  crashed,     ///< crash-stop: removed from all future activation sets
+  down,        ///< crash-recovery fault still pending when the run ended
+  timed_out,   ///< still working when the step budget ran out
+};
+
+[[nodiscard]] constexpr const char* node_fate_name(NodeFate f) noexcept {
+  switch (f) {
+    case NodeFate::terminated: return "terminated";
+    case NodeFate::crashed: return "crashed";
+    case NodeFate::down: return "down";
+    case NodeFate::timed_out: return "timed-out";
+  }
+  return "?";
+}
+
 template <typename Output>
 struct ExecutionResult {
   /// True iff every node terminated or crashed within the step budget.
@@ -24,6 +42,23 @@ struct ExecutionResult {
   std::vector<std::optional<Output>> outputs;
   /// Which nodes crashed.
   std::vector<bool> crashed;
+  /// Per-node termination reason (empty only for default-constructed
+  /// results; the executor always fills it).
+  std::vector<NodeFate> fates;
+
+  [[nodiscard]] std::size_t fate_count(NodeFate f) const {
+    std::size_t c = 0;
+    for (auto x : fates) c += (x == f);
+    return c;
+  }
+
+  /// Nodes with the given fate, in index order.
+  [[nodiscard]] std::vector<NodeId> nodes_with_fate(NodeFate f) const {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < fates.size(); ++v)
+      if (fates[v] == f) out.push_back(v);
+    return out;
+  }
 
   /// Round complexity of the execution: max activations over all nodes.
   [[nodiscard]] std::uint64_t max_activations() const {

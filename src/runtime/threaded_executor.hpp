@@ -14,15 +14,31 @@
 // cutoff turns the theoretical livelock tail into a reported timeout).
 //
 // A node thread loops: seqlock-publish its register; seqlock-read both
-// neighbours (retry on torn reads); run the algorithm step; repeat until
-// it returns or hits the round cutoff.
+// neighbours (bounded retry on torn reads — see below); run the algorithm
+// step; repeat until it returns or hits the round cutoff.
+//
+// Torn reads are retried with exponential backoff, but only up to
+// ThreadedOptions::max_read_attempts: a writer that dies mid-publish
+// (seqlock version stuck odd) would otherwise peg a reader core forever —
+// fatal on single-CPU CI.  An exhausted read degrades to ⊥, the
+// sleeping-neighbour value every algorithm tolerates wait-free, and is
+// counted in ExecutionResult-adjacent torn_read_timeouts() so tests can
+// assert it never fires in healthy runs.
+//
+// Publish-point fault injection (ThreadedFault) exercises exactly those
+// paths: `corrupt_words` XORs the node's k-th published payload in place
+// (through the full seqlock write protocol, so the single-writer rule
+// holds), and `stall_mid_publish` leaves the version word odd and kills
+// the thread — a writer crashed mid-write.
 //
 // Algorithms additionally need `kRegisterWords` and `decode_register`
 // (see ThreadSafeAlgorithm below); provided for the cycle algorithms.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -35,14 +51,32 @@
 namespace ftcc {
 
 /// Extra requirements for running under real threads: a fixed register
-/// word count and a decoder matching Register::encode's layout.
+/// word count and a coder matching Register::encode's layout.
 template <typename A>
-concept ThreadSafeAlgorithm =
-    Algorithm<A> &&
-    requires(std::span<const std::uint64_t> words) {
-      { A::kRegisterWords } -> std::convertible_to<std::size_t>;
-      { A::decode_register(words) } -> std::same_as<typename A::Register>;
-    };
+concept ThreadSafeAlgorithm = Algorithm<A> && RegisterCodable<A>;
+
+/// A fault injected at a node's publish point (real-concurrency analogue
+/// of FaultPlan's register corruption and crash-stop).
+struct ThreadedFault {
+  enum class Kind : std::uint8_t {
+    corrupt_words,      ///< XOR the k-th published payload with `mask`
+    stall_mid_publish,  ///< die with the seqlock version left odd
+  };
+  NodeId node = 0;
+  Kind kind = Kind::corrupt_words;
+  /// Fire on this publish (0 = the node's first publish).
+  std::uint64_t after_publishes = 0;
+  /// XOR mask for corrupt_words, applied to every payload word.
+  std::uint64_t mask = 1;
+};
+
+struct ThreadedOptions {
+  /// Seqlock read retries before degrading the read to ⊥.  The default is
+  /// generous: a healthy writer finishes a publish in nanoseconds, so only
+  /// a dead writer ever exhausts this.
+  std::uint64_t max_read_attempts = std::uint64_t{1} << 20;
+  std::vector<ThreadedFault> faults;
+};
 
 template <ThreadSafeAlgorithm A>
 class ThreadedExecutor {
@@ -50,13 +84,21 @@ class ThreadedExecutor {
   using Register = typename A::Register;
   using Output = typename A::Output;
 
-  ThreadedExecutor(A algo, const Graph& graph, const IdAssignment& ids)
-      : algo_(std::move(algo)), graph_(&graph) {
+  ThreadedExecutor(A algo, const Graph& graph, const IdAssignment& ids,
+                   ThreadedOptions options = {})
+      : algo_(std::move(algo)), graph_(&graph), options_(std::move(options)) {
     FTCC_EXPECTS(ids.size() == graph.node_count());
     const auto n = graph.node_count();
     cells_.assign(static_cast<std::size_t>(n) * kCellWords, 0);
     outputs_.resize(n);
     activations_.assign(n, 0);
+    torn_read_timeouts_.assign(n, 0);
+    stalled_.assign(n, 0);
+    faults_.resize(n);
+    for (const ThreadedFault& f : options_.faults) {
+      FTCC_EXPECTS(f.node < n);
+      faults_[f.node].push_back(f);
+    }
     ids_ = ids;
   }
 
@@ -74,10 +116,27 @@ class ThreadedExecutor {
     result.activations = activations_;
     result.outputs = outputs_;
     result.crashed.assign(n, false);
+    result.fates.assign(n, NodeFate::timed_out);
     result.completed = true;
-    for (NodeId v = 0; v < n; ++v) result.completed &= outputs_[v].has_value();
+    for (NodeId v = 0; v < n; ++v) {
+      if (outputs_[v]) {
+        result.fates[v] = NodeFate::terminated;
+      } else if (stalled_[v]) {
+        // A mid-publish death is a crash: the node is gone for good.
+        result.fates[v] = NodeFate::crashed;
+        result.crashed[v] = true;
+      } else {
+        result.completed = false;
+      }
+    }
     result.steps = result.max_activations();
     return result;
+  }
+
+  /// How often node v gave up on a torn read and proceeded with ⊥ (only a
+  /// writer dead mid-publish can cause this; 0 in healthy runs).
+  [[nodiscard]] std::uint64_t torn_read_timeouts(NodeId v) const {
+    return torn_read_timeouts_[v];
   }
 
  private:
@@ -92,11 +151,7 @@ class ThreadedExecutor {
         cells_[static_cast<std::size_t>(v) * kCellWords + i]);
   }
 
-  void publish(NodeId v, const Register& reg) {
-    std::vector<std::uint64_t> words;
-    words.reserve(A::kRegisterWords);
-    reg.encode(words);
-    FTCC_EXPECTS(words.size() == A::kRegisterWords);
+  void store_words(NodeId v, const std::vector<std::uint64_t>& words) {
     auto version = word(v, 0);
     const std::uint64_t odd = version.load(std::memory_order_relaxed) + 1;
     version.store(odd, std::memory_order_release);
@@ -105,8 +160,43 @@ class ThreadedExecutor {
     version.store(odd + 1, std::memory_order_release);
   }
 
-  [[nodiscard]] std::optional<Register> read(NodeId v) {
-    for (;;) {
+  /// Publish, then apply any faults due at this publish.  Returns false if
+  /// the node died mid-publish (stall fault) and must stop its thread.
+  [[nodiscard]] bool publish(NodeId v, const Register& reg,
+                             std::uint64_t publish_index) {
+    std::vector<std::uint64_t> words;
+    words.reserve(A::kRegisterWords);
+    reg.encode(words);
+    FTCC_EXPECTS(words.size() == A::kRegisterWords);
+    store_words(v, words);
+    for (const ThreadedFault& f : faults_[v]) {
+      if (f.after_publishes != publish_index) continue;
+      if (f.kind == ThreadedFault::Kind::corrupt_words) {
+        for (auto& w : words) w ^= f.mask;
+        store_words(v, words);
+      } else {
+        // Die mid-write: version goes odd, half the payload lands, and the
+        // closing even store never happens.
+        auto version = word(v, 0);
+        version.store(version.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
+        if (!words.empty())
+          word(v, 1).store(~words[0], std::memory_order_relaxed);
+        stalled_[v] = 1;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Register> read(NodeId reader, NodeId v) {
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      if (attempt >= options_.max_read_attempts) {
+        // The writer died mid-publish; proceed as if v never woke.
+        ++torn_read_timeouts_[reader];
+        return std::nullopt;
+      }
+      backoff(attempt);
       const std::uint64_t v1 = word(v, 0).load(std::memory_order_acquire);
       if (v1 == 0) return std::nullopt;  // never written: ⊥
       if (v1 % 2 != 0) continue;         // writer in progress
@@ -122,14 +212,29 @@ class ThreadedExecutor {
     }
   }
 
+  /// Exponential backoff: spin briefly, then yield with geometrically
+  /// increasing frequency so a reader blocked on a slow (or dead) writer
+  /// releases its core instead of pegging it — the difference between a
+  /// microsecond hiccup and a livelock on single-CPU CI.
+  static void backoff(std::uint64_t attempt) {
+    if (attempt < 64) return;  // fast path: torn reads resolve in a few spins
+    if (attempt < 4096) {
+      // Yield on powers of two: 64, 128, 256, ... — exponentially rarer
+      // spinning between increasingly long waits.
+      if ((attempt & (attempt - 1)) == 0) std::this_thread::yield();
+      return;
+    }
+    std::this_thread::yield();  // saturated: cede the core every attempt
+  }
+
   void node_main(NodeId v, std::uint64_t max_rounds) {
     auto state = algo_.init(v, ids_[v], graph_->degree(v));
     const auto neighbors = graph_->neighbors(v);
     std::vector<std::optional<Register>> view(neighbors.size());
     for (std::uint64_t round = 0; round < max_rounds; ++round) {
-      publish(v, algo_.publish(state));
+      if (!publish(v, algo_.publish(state), round)) return;
       for (std::size_t i = 0; i < neighbors.size(); ++i)
-        view[i] = read(neighbors[i]);
+        view[i] = read(v, neighbors[i]);
       ++activations_[v];
       auto out = algo_.step(state, NeighborView<Register>(view));
       if (out) {
@@ -142,10 +247,15 @@ class ThreadedExecutor {
 
   A algo_;
   const Graph* graph_;
+  ThreadedOptions options_;
   IdAssignment ids_;
   std::vector<std::uint64_t> cells_;  // seqlock cells, kCellWords per node
   std::vector<std::optional<Output>> outputs_;
   std::vector<std::uint64_t> activations_;
+  // Slot v is written only by thread v and read after join.
+  std::vector<std::uint64_t> torn_read_timeouts_;
+  std::vector<std::uint8_t> stalled_;
+  std::vector<std::vector<ThreadedFault>> faults_;
 };
 
 }  // namespace ftcc

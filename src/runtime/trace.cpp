@@ -47,6 +47,12 @@ std::string Trace::to_string() const {
       case TraceEventKind::crashed:
         os << " [" << e.node << " crashed]";
         break;
+      case TraceEventKind::recovered:
+        os << " [" << e.node << " recovered]";
+        break;
+      case TraceEventKind::corrupted:
+        os << " [" << e.node << " corrupted]";
+        break;
     }
   }
   if (current_step != 0) os << '\n';

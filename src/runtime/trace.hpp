@@ -18,6 +18,8 @@ enum class TraceEventKind : std::uint8_t {
   activated,  ///< node performed a write-read-update round
   returned,   ///< node terminated with an output (same step as activated)
   crashed,    ///< node will never be scheduled again
+  recovered,  ///< node revived from a crash-recovery fault, state wiped
+  corrupted,  ///< adversary mutated the node's published register
 };
 
 struct TraceEvent {

@@ -60,6 +60,88 @@ TEST(Campaign, SingleAlgorithmSelectionIsHonored) {
   EXPECT_TRUE(report.failures.empty());
 }
 
+TEST(Campaign, FaultModeNoneLeavesTheTrialStreamUntouched) {
+  // fault_mode=none must not consume any extra RNG draws: its report is
+  // byte-identical to a plain campaign, so pre-fault seeds stay replayable.
+  CampaignOptions plain = small_options();
+  CampaignOptions none = small_options();
+  none.fault_mode = FaultMode::none;
+  const CampaignReport a = run_campaign(plain);
+  const CampaignReport b = run_campaign(none);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_NE(a.text.find("faults=none wrap=0"), std::string::npos);
+}
+
+TEST(Campaign, WrappedFaultCampaignsAreDeterministicAndGreen) {
+  // The acceptance property in miniature: wrapped algorithms keep every
+  // invariant green under a mixed corruption/crash-recovery barrage, and
+  // the whole campaign is reproducible byte for byte.
+  CampaignOptions options = small_options();
+  options.trials = 60;
+  options.fault_mode = FaultMode::mixed;
+  options.wrap = true;
+  const CampaignReport first = run_campaign(options);
+  const CampaignReport second = run_campaign(options);
+  EXPECT_EQ(first.text, second.text);
+  for (const auto& failure : first.failures)
+    ADD_FAILURE() << "trial " << failure.trial << ": " << failure.violation;
+  EXPECT_GT(first.ok, 0u);
+  EXPECT_NE(first.text.find("faults=mixed wrap=1"), std::string::npos);
+  EXPECT_NE(first.text.find("recoveries="), std::string::npos);
+  EXPECT_NE(first.text.find("corruptions="), std::string::npos);
+  EXPECT_NE(first.text.find("fates="), std::string::npos);
+}
+
+TEST(Campaign, EachFaultModeDrawsADifferentTrialStream) {
+  CampaignOptions options = small_options();
+  options.trials = 20;
+  options.wrap = true;
+  options.fault_mode = FaultMode::corrupt;
+  const CampaignReport corrupt = run_campaign(options);
+  options.fault_mode = FaultMode::recover;
+  const CampaignReport recover = run_campaign(options);
+  options.fault_mode = FaultMode::mixed;
+  const CampaignReport mixed = run_campaign(options);
+  EXPECT_NE(corrupt.text, recover.text);
+  EXPECT_NE(recover.text, mixed.text);
+  EXPECT_NE(corrupt.text, mixed.text);
+}
+
+TEST(Campaign, FaultedFailureArtifactsCarryTheirFaultsAndReplay) {
+  // Force failures (injected invariant) in a fault-mode campaign: each
+  // witness must record its surviving faults plus the wrapped flag, save
+  // to disk, load back, and replay to the same violation.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ftcc_fuzz_campaign_faults";
+  std::filesystem::remove_all(dir);
+
+  CampaignOptions options = small_options();
+  options.trials = 8;
+  options.inject = InjectedFault::no_termination;
+  options.fault_mode = FaultMode::mixed;
+  options.wrap = false;  // raw: the injected invariant still fires
+  options.artifact_dir = dir.string();
+  const CampaignReport report = run_campaign(options);
+  ASSERT_FALSE(report.failures.empty());
+
+  for (const auto& failure : report.failures) {
+    const auto& shrunk = failure.shrink.artifact;
+    // Faults can't be load-bearing for a termination-based violation, so
+    // the fault pass must have stripped every one the trial drew.
+    EXPECT_TRUE(shrunk.recoveries.empty());
+    EXPECT_TRUE(shrunk.corruptions.empty());
+    EXPECT_FALSE(shrunk.wrapped);
+    ASSERT_FALSE(failure.path.empty());
+    std::string error;
+    const auto loaded = load_schedule(failure.path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(*loaded, shrunk);
+    EXPECT_FALSE(
+        replay_violation(*loaded, InjectedFault::no_termination).empty());
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Campaign, InjectedFaultDrivesTheWholeFailurePipeline) {
   const auto dir =
       std::filesystem::temp_directory_path() / "ftcc_fuzz_campaign";

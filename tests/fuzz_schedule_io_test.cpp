@@ -76,6 +76,78 @@ TEST(ScheduleIo, GraphAndCrashPlanMaterialize) {
   EXPECT_FALSE(plan.crashes_at(3, 1, 0));
 }
 
+ScheduleArtifact faulted_artifact() {
+  ScheduleArtifact a = sample_artifact();
+  a.recoveries = {{1, {4, 3, RecoveredRegister::stale}},
+                  {3, {2, 1, RecoveredRegister::zero}}};
+  a.corruptions = {{0, {6, CorruptionFault::Kind::bit_flip, 2, 17}},
+                   {0, {6, CorruptionFault::Kind::overwrite, 1, 999}},
+                   {2, {1, CorruptionFault::Kind::overwrite, 0, 42}}};
+  a.wrapped = true;
+  return a;
+}
+
+TEST(ScheduleIo, FaultDirectivesRoundTrip) {
+  const ScheduleArtifact original = faulted_artifact();
+  const std::string text = serialize_schedule(original);
+  EXPECT_NE(text.find("recover 1 4 3 stale"), std::string::npos);
+  EXPECT_NE(text.find("corrupt 0 6 flip 2 17"), std::string::npos);
+  EXPECT_NE(text.find("wrapped 1"), std::string::npos);
+  std::string error;
+  const auto parsed = parse_schedule(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, original);
+  EXPECT_EQ(serialize_schedule(*parsed), text);
+}
+
+TEST(ScheduleIo, FaultFreeSerializationIsByteCompatibleWithTheOldFormat) {
+  // An artifact without faults must serialize to exactly the pre-fault
+  // format: no new directives appear, so old readers still parse it.
+  const std::string text = serialize_schedule(sample_artifact());
+  EXPECT_EQ(text.find("recover"), std::string::npos);
+  EXPECT_EQ(text.find("corrupt"), std::string::npos);
+  EXPECT_EQ(text.find("wrapped"), std::string::npos);
+}
+
+TEST(ScheduleIo, FaultPlanMaterializesInArtifactOrder) {
+  const ScheduleArtifact a = faulted_artifact();
+  const FaultPlan plan = a.fault_plan();
+  EXPECT_TRUE(plan.crashes_at(2, 7, 0));  // crash entries carry over
+  ASSERT_TRUE(plan.recovery(1).has_value());
+  EXPECT_EQ(plan.recovery(1)->revive_step(), 7u);
+  EXPECT_EQ(plan.recovery(1)->reg, RecoveredRegister::stale);
+  // Node 0's two same-step corruptions keep their serialized order.
+  ASSERT_EQ(plan.corruptions(0).size(), 2u);
+  EXPECT_EQ(plan.corruptions(0)[0].kind, CorruptionFault::Kind::bit_flip);
+  EXPECT_EQ(plan.corruptions(0)[1].kind, CorruptionFault::Kind::overwrite);
+  EXPECT_TRUE(plan.mutates_registers());
+}
+
+TEST(ScheduleIo, MalformedFaultLinesReportErrors) {
+  const std::string prologue =
+      "ftcc-schedule v1\nalgo six\ngraph cycle 3\nids 1 2 3\nsteps 0\n";
+  const struct {
+    const char* line;
+    const char* expect;
+  } cases[] = {
+      {"recover 0 1 2 sideways\n", "unknown register policy"},
+      {"recover 0 1\n", "expected node, at_step, down_steps, reg"},
+      {"recover 9 1 2 zero\n", "out of range"},
+      {"corrupt 0 1 flip 0\n", "expected node, at_step, kind, word, value"},
+      {"corrupt 0 1 smear 0 7\n", "unknown kind"},
+      {"corrupt 9 1 flip 0 7\n", "out of range"},
+      {"wrapped 2\n", "expected 0 or 1"},
+      {"wrapped maybe\n", "expected 0 or 1"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    EXPECT_FALSE(parse_schedule(prologue + c.line, &error).has_value())
+        << c.line;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "input: " << c.line << "\nerror: " << error;
+  }
+}
+
 TEST(ScheduleIo, TruncatedScheduleIsAnError) {
   ScheduleArtifact a = sample_artifact();
   std::string text = serialize_schedule(a);

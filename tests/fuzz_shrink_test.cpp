@@ -72,6 +72,46 @@ TEST(Shrink, MinimizesToTheSyntheticCore) {
   EXPECT_EQ(result.nodes_removed, 5u);
 }
 
+TEST(Shrink, SpliceNodeReindexesFaultEntries) {
+  ScheduleArtifact a = bulky_artifact(5, 1);
+  a.recoveries = {{1, {2, 1, RecoveredRegister::zero}},
+                  {2, {3, 1, RecoveredRegister::stale}},
+                  {4, {5, 2, RecoveredRegister::bottom}}};
+  a.corruptions = {{2, {1, CorruptionFault::Kind::bit_flip, 0, 7}},
+                   {3, {4, CorruptionFault::Kind::overwrite, 1, 9}}};
+  const ScheduleArtifact b = splice_node(a, 2);
+  ASSERT_EQ(b.recoveries.size(), 2u);  // node 2's entry is gone
+  EXPECT_EQ(b.recoveries[0].node, 1u);
+  EXPECT_EQ(b.recoveries[1].node, 3u);  // 4 -> 3
+  EXPECT_EQ(b.recoveries[1].fault.reg, RecoveredRegister::bottom);
+  ASSERT_EQ(b.corruptions.size(), 1u);
+  EXPECT_EQ(b.corruptions[0].node, 2u);  // 3 -> 2
+  EXPECT_EQ(b.corruptions[0].fault.value, 9u);
+}
+
+// Synthetic failure keyed to one specific fault entry: the fault pass must
+// strip every other recovery and corruption and count what it dropped.
+TEST(Shrink, FaultPassKeepsOnlyTheLoadBearingFault) {
+  ScheduleArtifact start = bulky_artifact(6, 3);
+  start.recoveries = {{0, {1, 1, RecoveredRegister::bottom}},
+                      {1, {2, 3, RecoveredRegister::stale}},
+                      {5, {4, 1, RecoveredRegister::zero}}};
+  start.corruptions = {{2, {1, CorruptionFault::Kind::bit_flip, 0, 3}},
+                       {3, {2, CorruptionFault::Kind::overwrite, 1, 8}}};
+  const auto fails = [](const ScheduleArtifact& a) {
+    for (const auto& r : a.recoveries)
+      if (r.fault.reg == RecoveredRegister::stale) return true;
+    return false;
+  };
+  ASSERT_TRUE(fails(start));
+  const ShrinkResult result = shrink_artifact(start, fails);
+  EXPECT_TRUE(fails(result.artifact));
+  ASSERT_EQ(result.artifact.recoveries.size(), 1u);
+  EXPECT_EQ(result.artifact.recoveries[0].fault.reg, RecoveredRegister::stale);
+  EXPECT_TRUE(result.artifact.corruptions.empty());
+  EXPECT_EQ(result.faults_removed, 4u);
+}
+
 TEST(Shrink, NonFailingArtifactIsReturnedUnchanged) {
   const ScheduleArtifact start = bulky_artifact(5, 3);
   const ShrinkResult result =
@@ -89,6 +129,31 @@ TEST(Shrink, RespectsTheCheckBudget) {
       options);
   EXPECT_LE(result.checks, 5u);
   EXPECT_TRUE(!result.artifact.sigmas.empty());
+}
+
+// End to end with faults aboard: the bulky artifact carries recovery and
+// corruption events that are NOT load-bearing for a termination-based
+// violation — the fault pass must strip them all, leaving a pure-schedule
+// witness that still replays.
+TEST(Shrink, NonLoadBearingFaultsAreStrippedFromTheWitness) {
+  ScheduleArtifact failing = bulky_artifact(6, 8);
+  failing.ids = alternating_ids(6);
+  failing.recoveries = {{1, {3, 2, RecoveredRegister::bottom}},
+                        {4, {2, 5, RecoveredRegister::zero}}};
+  failing.corruptions = {{0, {4, CorruptionFault::Kind::bit_flip, 1, 9}},
+                         {2, {5, CorruptionFault::Kind::overwrite, 2, 1}}};
+  const auto still_fails = [](const ScheduleArtifact& candidate) {
+    return !replay_violation(candidate, InjectedFault::no_termination).empty();
+  };
+  ASSERT_TRUE(still_fails(failing));
+  const ShrinkResult result = shrink_artifact(failing, still_fails);
+  EXPECT_TRUE(still_fails(result.artifact));
+  EXPECT_TRUE(result.artifact.recoveries.empty());
+  EXPECT_TRUE(result.artifact.corruptions.empty());
+  EXPECT_EQ(result.faults_removed, 4u);
+  const auto reparsed = parse_schedule(serialize_schedule(result.artifact));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(still_fails(*reparsed));
 }
 
 // End to end: under the injected "no termination" invariant, a solo

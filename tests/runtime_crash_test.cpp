@@ -80,6 +80,68 @@ TEST(CrashExecutor, NodeCanTerminateAtItsCrashActivation) {
   EXPECT_TRUE(ex.output(0).has_value());
 }
 
+TEST(CrashPlan, MixedTriggersOnOneNodeFireWhicheverComesFirst) {
+  // Both triggers on the same node: the activation trigger can fire long
+  // before the step trigger, and adding the later trigger must not delay
+  // the earlier one.
+  CrashPlan plan(4);
+  plan.crash_after_activations(2, 1);
+  plan.crash_at_step(2, 1000);
+  EXPECT_TRUE(plan.crashes_at(2, 5, 1));    // activations won the race
+  EXPECT_FALSE(plan.crashes_at(2, 5, 0));   // neither trigger reached
+  EXPECT_TRUE(plan.crashes_at(2, 1000, 0));  // step trigger alone
+}
+
+TEST(CrashExecutor, MixedTriggersStopTheNodeAtItsFirstActivation) {
+  const Graph g = make_cycle(4);
+  CrashPlan plan(4);
+  plan.crash_after_activations(2, 1);
+  plan.crash_at_step(2, 1000);  // never reached: the run ends first
+  Executor<SixColoring> ex(SixColoring{}, g, {10, 20, 30, 40}, plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 1000);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.crashed[2]);
+  EXPECT_EQ(result.activations[2], 1u);
+  EXPECT_TRUE(ex.published(2).has_value());  // it did write once
+  EXPECT_EQ(result.fates[2], NodeFate::crashed);
+}
+
+TEST(CrashExecutor, KZeroNodeIsDistinguishableFromASleeper) {
+  // crash_after_activations(v, 0) means the node never wakes: register ⊥
+  // forever and zero activations, but — unlike a merely unscheduled node —
+  // it is reported crashed and the run completes without it.
+  const Graph g = make_cycle(5);
+  CrashPlan plan(5);
+  plan.crash_after_activations(0, 0);
+  plan.crash_after_activations(3, 0);
+  Executor<SixColoring> ex(SixColoring{}, g, {9, 5, 21, 34, 2}, plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 1000);
+  ASSERT_TRUE(result.completed);
+  for (NodeId v : {NodeId{0}, NodeId{3}}) {
+    EXPECT_EQ(result.activations[v], 0u);
+    EXPECT_FALSE(ex.published(v).has_value());
+    EXPECT_EQ(result.fates[v], NodeFate::crashed);
+  }
+  EXPECT_EQ(result.terminated_count(), 3u);
+}
+
+TEST(CrashExecutor, PlanGrownPastTheNodeCountIsHarmless) {
+  // A plan sized for (or grown to) more nodes than the graph has must not
+  // disturb the executor: out-of-graph entries are simply never consulted.
+  const Graph g = make_cycle(3);
+  CrashPlan plan(3);
+  plan.crash_at_step(9, 1);  // grows the plan to 10 entries; node 9 ∉ C_3
+  plan.crash_after_activations(7, 0);
+  Executor<SixColoring> ex(SixColoring{}, g, {10, 20, 30}, plan);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 1000);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.terminated_count(), 3u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_FALSE(result.crashed[v]);
+}
+
 TEST(CrashExecutor, AllNodesCrashedCompletesImmediately) {
   const Graph g = make_cycle(3);
   CrashPlan plan(3);

@@ -11,6 +11,7 @@
 #include "core/algo1_six_coloring.hpp"
 #include "core/algo3_fast_five_coloring.hpp"
 #include "core/algo5_fast_six_coloring.hpp"
+#include "core/recovering.hpp"
 #include "graph/coloring.hpp"
 
 namespace ftcc {
@@ -96,6 +97,67 @@ TEST(Threaded, ActivationCountsArePlausible) {
     // Threads spin fast, but termination still bounds each node's rounds
     // well below the cutoff.
     EXPECT_LT(result.activations[v], 1'000'000u);
+  }
+}
+
+TEST(Threaded, HealthyRunsNeverTimeOutARead) {
+  // The bounded seqlock read must be invisible when every writer is alive:
+  // zero degraded reads across a full run.
+  const NodeId n = 16;
+  const Graph g = make_cycle(n);
+  ThreadedExecutor<SixColoring> ex(SixColoring{}, g, random_ids(n, 9));
+  const auto result = ex.run(1'000'000);
+  ASSERT_TRUE(result.completed);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(ex.torn_read_timeouts(v), 0u);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_EQ(result.fates[v], NodeFate::terminated);
+}
+
+TEST(Threaded, StallMidPublishDegradesToBottomNotLivelock) {
+  // A writer dying with the seqlock version odd used to pin its readers in
+  // an unbounded spin; now the read times out, degrades to ⊥ (a sleeping
+  // neighbour), and the survivors terminate.
+  const NodeId n = 8;
+  const Graph g = make_cycle(n);
+  ThreadedOptions options;
+  options.max_read_attempts = 20'000;  // small: force the timeout path fast
+  options.faults.push_back(
+      {0, ThreadedFault::Kind::stall_mid_publish, 0, 0});
+  ThreadedExecutor<SixColoring> ex(SixColoring{}, g, random_ids(n, 3),
+                                   options);
+  const auto result = ex.run(200'000);
+  ASSERT_TRUE(result.completed);  // the stalled node counts as crashed
+  EXPECT_EQ(result.fates[0], NodeFate::crashed);
+  EXPECT_TRUE(result.crashed[0]);
+  EXPECT_FALSE(result.outputs[0].has_value());
+  // Its neighbours hit the bounded-read timeout at least once each.
+  EXPECT_GT(ex.torn_read_timeouts(1), 0u);
+  EXPECT_GT(ex.torn_read_timeouts(n - 1), 0u);
+  const auto colors = to_partial_coloring<SixColoring>(result.outputs);
+  EXPECT_TRUE(is_proper_partial(g, colors));
+  for (NodeId v = 1; v < n; ++v)
+    EXPECT_EQ(result.fates[v], NodeFate::terminated);
+}
+
+TEST(Threaded, PublishPointCorruptionIsHealedByTheWrapper) {
+  // Corrupt a node's first published payload in place (through the full
+  // seqlock protocol).  Under Recovering<> the mangled register fails its
+  // checksum, readers see ⊥, and the next publish heals it — every run
+  // completes with a proper coloring.
+  using Wrapped = Recovering<SixColoring>;
+  const NodeId n = 8;
+  const Graph g = make_cycle(n);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    ThreadedOptions options;
+    options.faults.push_back(
+        {2, ThreadedFault::Kind::corrupt_words, 0, 0xdeadbeefULL});
+    options.faults.push_back(
+        {5, ThreadedFault::Kind::corrupt_words, 1, 0x40000001ULL});
+    ThreadedExecutor<Wrapped> ex(Wrapped{}, g, random_ids(n, seed), options);
+    const auto result = ex.run(1'000'000);
+    ASSERT_TRUE(result.completed) << "seed " << seed;
+    EXPECT_TRUE(
+        is_proper_total(g, to_partial_coloring<Wrapped>(result.outputs)));
   }
 }
 

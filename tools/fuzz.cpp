@@ -3,6 +3,8 @@
 //
 //   fuzz --seed=42 --trials=500 --nmax=32 --out=artifacts
 //   fuzz --seed=7 --inject=no-termination --trials=20   # demo the shrinker
+//   fuzz --seed=42 --inject=mixed --trials=10000        # faults, wrapped
+//   fuzz --seed=42 --inject=corrupt --raw               # expect violations
 //   fuzz --replay=artifacts/fail-3.sched
 //
 // The report written to stdout is a deterministic function of the flags:
@@ -27,18 +29,29 @@ int main(int argc, char** argv) {
             "directory for failure artifacts (empty: don't write)")
       .flag("shrink", true, "delta-debug failures to minimal witnesses")
       .flag("inject", std::string("none"),
-            "deliberately broken invariant: none, no-termination")
+            "fault to inject: none, no-termination (broken invariant), "
+            "corrupt, recover, mixed (real register/crash-recovery faults)")
+      .flag("raw", false,
+            "run fault trials without the Recovering<> wrapper (violations "
+            "expected under corruption)")
       .flag("replay", std::string(""),
             "replay a stored .sched artifact instead of fuzzing");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string replay_path = cli.get_string("replay");
   const std::string inject_name = cli.get_string("inject");
-  ftcc::InjectedFault inject;
+  ftcc::InjectedFault inject = ftcc::InjectedFault::none;
+  ftcc::FaultMode fault_mode = ftcc::FaultMode::none;
   if (inject_name == "none") {
-    inject = ftcc::InjectedFault::none;
+    // defaults
   } else if (inject_name == "no-termination") {
     inject = ftcc::InjectedFault::no_termination;
+  } else if (inject_name == "corrupt") {
+    fault_mode = ftcc::FaultMode::corrupt;
+  } else if (inject_name == "recover") {
+    fault_mode = ftcc::FaultMode::recover;
+  } else if (inject_name == "mixed") {
+    fault_mode = ftcc::FaultMode::mixed;
   } else {
     std::cerr << "unknown --inject value '" << inject_name << "'\n";
     return 2;
@@ -81,6 +94,10 @@ int main(int argc, char** argv) {
   options.artifact_dir = cli.get_string("out");
   options.shrink = cli.get_bool("shrink");
   options.inject = inject;
+  options.fault_mode = fault_mode;
+  // Real faults default to running under the self-healing wrapper; --raw
+  // exposes the unprotected algorithms (corruption is expected to bite).
+  options.wrap = fault_mode != ftcc::FaultMode::none && !cli.get_bool("raw");
   const std::string algo = cli.get_string("algo");
   if (algo != "all") {
     if (!ftcc::known_algorithm(algo)) {
