@@ -1,0 +1,96 @@
+// E21 — the happens-before race certifier: cost of certifying recorded
+// threaded executions (src/analysis/hb/).  Each cell records a real
+// ThreadedExecutor run with the event log attached, then times the full
+// offline pipeline — direct race checks, HB graph, vector clocks,
+// linearization, sequential re-execution, atomic collapse — over that
+// log.  Recording cost is measured separately as the run-time delta
+// against an uninstrumented run of the same configuration.
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/hb/certify.hpp"
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "core/algo5_fast_six_coloring.hpp"
+#include "runtime/threaded_executor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Algo>
+void sweep(Table& table, const char* name, bool faults) {
+  for (NodeId n : {8u, 16u, 32u}) {
+    const Graph g = make_cycle(n);
+    Summary events, certify_ms, record_delta_ms;
+    int certified = 0, atomic = 0;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto ids = random_ids(n, static_cast<std::uint64_t>(trial));
+      ThreadedOptions opts;
+      if (faults) {
+        opts.max_read_attempts = 1 << 16;
+        opts.faults.push_back(
+            {static_cast<NodeId>(trial) % n,
+             trial % 2 == 0 ? ThreadedFault::Kind::corrupt_words
+                            : ThreadedFault::Kind::stall_mid_publish,
+             static_cast<std::uint64_t>(trial) % 3, 0x5a5a});
+      }
+      // Uninstrumented run: the recording-overhead control.
+      double t0 = now_ms();
+      {
+        ThreadedExecutor<Algo> plain(Algo{}, g, ids, opts);
+        (void)plain.run(2'000'000);
+      }
+      const double plain_ms = now_ms() - t0;
+      ThreadedExecutor<Algo> ex(Algo{}, g, ids, opts);
+      HbLog log;
+      ex.attach_hb_log(&log);
+      t0 = now_ms();
+      (void)ex.run(2'000'000);
+      record_delta_ms.add((now_ms() - t0) - plain_ms);
+      t0 = now_ms();
+      const CertifyReport report = certify_log(Algo{}, g, ids, log);
+      certify_ms.add(now_ms() - t0);
+      events.add(static_cast<double>(report.events));
+      certified += report.ok();
+      atomic += report.atomic;
+    }
+    table.add_row({name, Table::cell(std::uint64_t{n}),
+                   faults ? "corrupt/stall" : "none",
+                   Table::cell(certified) + "/" + Table::cell(trials),
+                   Table::cell(atomic) + "/" + Table::cell(trials),
+                   Table::cell(events.median(), 0),
+                   Table::cell(certify_ms.mean(), 2),
+                   Table::cell(record_delta_ms.mean(), 2)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  Table table({"algorithm", "n (threads)", "faults", "certified", "atomic",
+               "events p50", "certify ms", "record Δms"});
+  sweep<SixColoring>(table, "algo1", false);
+  sweep<SixColoring>(table, "algo1", true);
+  sweep<SixColoringFast>(table, "algo5 (ext)", false);
+  sweep<FiveColoringFast>(table, "algo3", false);
+  table.print(
+      "E21 — certifying recorded threaded runs (10 runs per cell; "
+      "certified must be 10/10)");
+  std::printf(
+      "\nCertify cost is linear in the event count (reads dominate); the "
+      "atomic\ncolumn counts runs whose interleaving collapsed to the "
+      "paper's atomic model.\nRecording overhead (Δms) is noise-level: the "
+      "log is per-thread appends with\nno synchronization.  Fault rows "
+      "stay split-only by construction.\n");
+  return 0;
+}

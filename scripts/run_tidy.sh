@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every translation unit in compile_commands.json and
+# compare the diagnostics against the committed baseline.
+#
+#   scripts/run_tidy.sh [build-dir]               # check (CI invocation)
+#   scripts/run_tidy.sh --update-baseline [dir]   # regenerate the baseline
+#
+# A diagnostic is identified as `<repo-relative-file> [<check>]`; line
+# numbers are deliberately dropped so unrelated edits above a grandfathered
+# finding do not churn the baseline.  Exit status: 0 = no diagnostics
+# outside the baseline, 1 = new diagnostics, 2 = setup error.  When
+# clang-tidy is not installed the script reports and exits 0 so local
+# builds without LLVM keep working; CI installs it explicitly.
+set -u
+
+update=0
+if [ "${1:-}" = "--update-baseline" ]; then
+  update=1
+  shift
+fi
+build_dir=${1:-build}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+baseline="$repo_root/tidy-baseline.txt"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy: clang-tidy not installed; skipping (CI installs it)"
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy: $build_dir/compile_commands.json missing" \
+       "(configure with cmake first)" >&2
+  exit 2
+fi
+
+# Our own sources only: dependencies and generated code are not ours to lint.
+mapfile -t sources < <(
+  python3 - "$build_dir/compile_commands.json" "$repo_root" <<'EOF'
+import json, os, sys
+db, root = sys.argv[1], sys.argv[2]
+for entry in json.load(open(db)):
+    path = os.path.realpath(
+        os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.split(os.sep)[0] in ("src", "tools", "bench", "examples"):
+        print(path)
+EOF
+)
+if [ ${#sources[@]} -eq 0 ]; then
+  echo "run_tidy: no sources found in compile database" >&2
+  exit 2
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw" "$raw.keys"' EXIT
+clang-tidy -p "$build_dir" --quiet "${sources[@]}" >"$raw" 2>/dev/null
+
+# Normalize `path:line:col: warning: msg [check]` -> `relpath [check]`.
+sed -n 's/^\([^ :][^:]*\):[0-9][0-9]*:[0-9][0-9]*: *\(warning\|error\): .*\(\[[a-z0-9.,-]*\]\)$/\1 \3/p' \
+    "$raw" |
+  while read -r path check; do
+    echo "$(realpath --relative-to="$repo_root" "$path" 2>/dev/null ||
+            echo "$path") $check"
+  done | sort -u >"$raw.keys"
+
+if [ "$update" -eq 1 ]; then
+  {
+    grep '^#' "$baseline" 2>/dev/null
+    cat "$raw.keys"
+  } >"$baseline"
+  echo "run_tidy: baseline regenerated ($(wc -l <"$raw.keys") entries)"
+  exit 0
+fi
+
+new=$(grep -v -x -F -f <(grep -v '^#' "$baseline"; echo '#') "$raw.keys")
+if [ -n "$new" ]; then
+  echo "run_tidy: diagnostics outside tidy-baseline.txt:"
+  echo "$new"
+  echo "(fix, NOLINT with a reason, or run" \
+       "scripts/run_tidy.sh --update-baseline)"
+  exit 1
+fi
+echo "run_tidy: clean ($(wc -l <"$raw.keys") baselined diagnostics)"
+exit 0

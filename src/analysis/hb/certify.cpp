@@ -1,0 +1,284 @@
+#include "analysis/hb/certify.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace ftcc {
+
+namespace {
+
+/// A version-changing event of one cell: the k-th entry produced version
+/// 2(k+1) (publish/adversary), except a trailing stall which left the odd
+/// version behind.
+struct VersionEvent {
+  std::uint32_t index = 0;  ///< index into the owner's event slot
+  bool stall = false;
+  const std::vector<std::uint64_t>* words = nullptr;
+};
+
+std::string event_name(NodeId node, const HbEvent& e) {
+  std::ostringstream os;
+  os << "node " << node << " " << hb_event_kind_name(e.kind) << " round "
+     << e.round;
+  if (e.kind == HbEventKind::read || e.kind == HbEventKind::read_timeout)
+    os << " of " << e.peer;
+  os << " (version " << e.version << ")";
+  return os.str();
+}
+
+}  // namespace
+
+HbAnalysis analyze_hb(const HbLog& log, const Graph& graph) {
+  HbAnalysis out;
+  const NodeId n = graph.node_count();
+  FTCC_EXPECTS(log.node_count() == n);
+  const auto violate = [&](const char* kind, const std::string& message) {
+    out.violations.push_back({kind, message});
+  };
+
+  // --- Phase A: per-cell version protocol -------------------------------
+  std::vector<std::vector<VersionEvent>> changes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& events = log.events(u);
+    std::uint64_t last_even = 0;
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const HbEvent& e = events[i];
+      const bool last = i + 1 == events.size();
+      switch (e.kind) {
+        case HbEventKind::publish:
+        case HbEventKind::adversary:
+          if (e.version != last_even + 2) {
+            violate("version-protocol",
+                    event_name(u, e) + ": expected version " +
+                        std::to_string(last_even + 2) +
+                        " (seqlock versions advance by 2 per publish)");
+          }
+          last_even = e.version;
+          changes[u].push_back({i, false, &e.words});
+          break;
+        case HbEventKind::stall:
+          if (e.version != last_even + 1)
+            violate("version-protocol",
+                    event_name(u, e) + ": stalled version is not the "
+                                       "successor of the last even version");
+          if (!last)
+            violate("malformed",
+                    event_name(u, e) + ": events recorded after the stall");
+          changes[u].push_back({i, true, nullptr});
+          break;
+        case HbEventKind::finish:
+          if (!last)
+            violate("malformed",
+                    event_name(u, e) + ": events recorded after finish");
+          break;
+        case HbEventKind::read:
+        case HbEventKind::read_timeout:
+          break;
+      }
+    }
+  }
+
+  // --- Phase B: direct race checks on every read ------------------------
+  for (NodeId r = 0; r < n; ++r) {
+    // Highest version of each peer this reader has observed so far.
+    std::vector<std::uint64_t> last_seen(n, 0);
+    for (const HbEvent& e : log.events(r)) {
+      if (e.kind == HbEventKind::read_timeout) {
+        const auto& peer_changes = changes[e.peer];
+        if (peer_changes.empty() || !peer_changes.back().stall)
+          violate("degraded-read",
+                  event_name(r, e) +
+                      ": bounded retry exhausted but the writer never "
+                      "stalled mid-publish");
+        continue;
+      }
+      if (e.kind != HbEventKind::read) continue;
+      const std::uint64_t v = e.version;
+      if (v == 0) continue;  // ⊥: cell not yet written, nothing to check
+      if (v % 2 == 1) {
+        violate("overlap", event_name(r, e) +
+                               ": odd version — the read returned while a "
+                               "publish was in progress");
+        continue;
+      }
+      const std::uint64_t j = v / 2;
+      const auto& peer_changes = changes[e.peer];
+      const std::uint64_t even_count =
+          peer_changes.size() -
+          (!peer_changes.empty() && peer_changes.back().stall ? 1 : 0);
+      if (j > even_count) {
+        violate("phantom-version",
+                event_name(r, e) + ": only " + std::to_string(even_count) +
+                    " publishes of that cell exist");
+        continue;
+      }
+      if (*peer_changes[j - 1].words != e.words)
+        violate("torn-read",
+                event_name(r, e) +
+                    ": observed words differ from what publish " +
+                    std::to_string(j) + " stored — a mixed-version read "
+                                        "the seqlock must exclude");
+      if (v < last_seen[e.peer])
+        violate("stale-read",
+                event_name(r, e) + ": earlier read of the same cell saw "
+                                   "version " +
+                    std::to_string(last_seen[e.peer]) +
+                    " — single-writer versions never go backwards");
+      last_seen[e.peer] = std::max(last_seen[e.peer], v);
+    }
+  }
+  if (!out.violations.empty()) return out;
+
+  // --- Phase C: the happens-before graph --------------------------------
+  // Global ids are (node, index) in lexicographic order, which also makes
+  // the Kahn min-heap tie-break deterministic.
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v)
+    offset[v + 1] = offset[v] + log.events(v).size();
+  const std::size_t total = offset[n];
+  const auto gid = [&](NodeId node, std::uint32_t index) {
+    return offset[node] + index;
+  };
+  std::vector<std::vector<std::uint32_t>> succ(total);
+  std::vector<std::uint32_t> indegree(total, 0);
+  const auto edge = [&](std::size_t from, std::size_t to) {
+    succ[from].push_back(static_cast<std::uint32_t>(to));
+    ++indegree[to];
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& events = log.events(v);
+    for (std::uint32_t i = 0; i + 1 < events.size(); ++i)
+      edge(gid(v, i), gid(v, i + 1));  // program order
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const HbEvent& e = events[i];
+      if (e.kind == HbEventKind::read_timeout) {
+        // Only a stalled writer exhausts the retry bound (phase B proved
+        // the stall exists): the stall happens-before the degraded read.
+        edge(gid(e.peer, changes[e.peer].back().index), gid(v, i));
+        continue;
+      }
+      if (e.kind != HbEventKind::read) continue;
+      const auto& peer_changes = changes[e.peer];
+      const std::uint64_t j = e.version / 2;
+      if (j > 0)  // the j-th publish happened before this read ...
+        edge(gid(e.peer, peer_changes[j - 1].index), gid(v, i));
+      if (j < peer_changes.size())  // ... and the next version change after
+        edge(gid(v, i), gid(e.peer, peer_changes[j].index));
+    }
+  }
+
+  // --- Phase D: deterministic Kahn linearization ------------------------
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t id = 0; id < total; ++id)
+    if (indegree[id] == 0) ready.push(id);
+  const auto ref_of = [&](std::size_t id) {
+    const auto it = std::upper_bound(offset.begin(), offset.end(), id);
+    const NodeId node = static_cast<NodeId>(it - offset.begin() - 1);
+    return HbRef{node, static_cast<std::uint32_t>(id - offset[node])};
+  };
+  out.order.reserve(total);
+  // --- Phase E: vector clocks, computed as the order is emitted ---------
+  out.clocks.resize(n);
+  for (NodeId v = 0; v < n; ++v)
+    out.clocks[v].resize(log.events(v).size());
+  while (!ready.empty()) {
+    const std::size_t id = ready.top();
+    ready.pop();
+    const HbRef ref = ref_of(id);
+    out.order.push_back(ref);
+    auto& clock = out.clocks[ref.node][ref.index];
+    // Predecessor clocks were folded in when each pred was emitted (see
+    // the relaxation below) — a pred's clock is final at emission time, so
+    // pushing it forward along succ edges avoids storing pred lists.
+    if (clock.empty()) clock.assign(n, 0);
+    ++clock[ref.node];
+    for (const std::uint32_t next : succ[id]) {
+      const HbRef nref = ref_of(next);
+      auto& nclock = out.clocks[nref.node][nref.index];
+      if (nclock.empty()) nclock.assign(n, 0);
+      for (NodeId u = 0; u < n; ++u)
+        nclock[u] = std::max(nclock[u], clock[u]);
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  if (out.order.size() != total) {
+    // A cycle: the remaining events are mutually unorderable.
+    std::ostringstream os;
+    os << "the happens-before relation is cyclic; stuck events:";
+    int shown = 0;
+    for (std::size_t id = 0; id < total && shown < 4; ++id) {
+      if (indegree[id] == 0) continue;
+      const HbRef ref = ref_of(id);
+      os << " [" << event_name(ref.node, log.events(ref.node)[ref.index])
+         << "]";
+      ++shown;
+    }
+    violate("cycle", os.str());
+    out.order.clear();
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::optional<std::vector<std::vector<NodeId>>> collapse_atomic(
+    const HbLog& log, const Graph& graph) {
+  const NodeId n = graph.node_count();
+  // Faulty or degraded runs stay in the split model.
+  for (NodeId v = 0; v < n; ++v)
+    for (const HbEvent& e : log.events(v))
+      if (e.kind == HbEventKind::adversary || e.kind == HbEventKind::stall ||
+          e.kind == HbEventKind::read_timeout)
+        return std::nullopt;
+  // Round-level graph: R(v,r) must come after the writes it observed and
+  // before the writes it missed; a topological order of rounds is exactly
+  // a singleton σ-schedule of the paper's atomic model.
+  std::vector<std::uint64_t> rounds(n, 0);
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const HbEvent& e : log.events(v))
+      if (e.kind == HbEventKind::publish) ++rounds[v];
+    offset[v + 1] = offset[v] + rounds[v];
+  }
+  const std::size_t total = offset[n];
+  const auto rid = [&](NodeId v, std::uint64_t r) { return offset[v] + r; };
+  std::vector<std::vector<std::uint32_t>> succ(total);
+  std::vector<std::uint32_t> indegree(total, 0);
+  const auto edge = [&](std::size_t from, std::size_t to) {
+    succ[from].push_back(static_cast<std::uint32_t>(to));
+    ++indegree[to];
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t r = 0; r + 1 < rounds[v]; ++r)
+      edge(rid(v, r), rid(v, r + 1));
+    for (const HbEvent& e : log.events(v)) {
+      if (e.kind != HbEventKind::read) continue;
+      const std::uint64_t j = e.version / 2;  // publishes of peer observed
+      if (j > 0) edge(rid(e.peer, j - 1), rid(v, e.round));
+      if (j < rounds[e.peer]) edge(rid(v, e.round), rid(e.peer, j));
+    }
+  }
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t id = 0; id < total; ++id)
+    if (indegree[id] == 0) ready.push(id);
+  std::vector<std::vector<NodeId>> sigmas;
+  sigmas.reserve(total);
+  while (!ready.empty()) {
+    const std::size_t id = ready.top();
+    ready.pop();
+    const auto it = std::upper_bound(offset.begin(), offset.end(), id);
+    const NodeId v = static_cast<NodeId>(it - offset.begin() - 1);
+    sigmas.push_back({v});
+    for (const std::uint32_t next : succ[id])
+      if (--indegree[next] == 0) ready.push(next);
+  }
+  if (sigmas.size() != total) return std::nullopt;  // rounds interlock
+  return sigmas;
+}
+
+}  // namespace ftcc

@@ -7,13 +7,9 @@
 
 #include "analysis/harness.hpp"
 #include "analysis/invariants.hpp"
-#include "core/algo1_six_coloring.hpp"
-#include "core/algo2_five_coloring.hpp"
-#include "core/algo3_fast_five_coloring.hpp"
-#include "core/algo4_general_graph.hpp"
-#include "core/algo5_fast_six_coloring.hpp"
 #include "core/recovering.hpp"
 #include "faults/invariants.hpp"
+#include "fuzz/dispatch.hpp"
 #include "fuzz/recording_scheduler.hpp"
 #include "sched/adversary_search.hpp"
 #include "util/assert.hpp"
@@ -78,25 +74,10 @@ RecordedRun run_recorded(A algo, const Graph& graph, const IdAssignment& ids,
   return run;
 }
 
-/// Dispatch by campaign algorithm name; f receives the algorithm instance
-/// (wrapped in Recovering<> when `wrapped`), its mid-run palette component
-/// bound (each candidate's mex is over at most `bound` values), and
-/// whether it maintains a_p <= b_p.
+/// Local alias for the shared dispatcher (fuzz/dispatch.hpp).
 template <typename F>
 auto with_algorithm(const std::string& name, bool wrapped, F&& f) {
-  const auto dispatch = [&](auto algo, std::uint64_t bound, bool ordered) {
-    if (wrapped) return f(Recovering<decltype(algo)>{}, bound, ordered);
-    return f(std::move(algo), bound, ordered);
-  };
-  if (name == "six") return dispatch(SixColoring{}, std::uint64_t{2}, false);
-  if (name == "five")
-    return dispatch(FiveColoringLinear{}, std::uint64_t{4}, true);
-  if (name == "fast5")
-    return dispatch(FiveColoringFast{}, std::uint64_t{4}, true);
-  if (name == "delta2")
-    return dispatch(DeltaSquaredColoring{}, std::uint64_t{2}, false);
-  FTCC_EXPECTS(name == "fast6" && "unknown campaign algorithm");
-  return dispatch(SixColoringFast{}, std::uint64_t{2}, false);
+  return with_campaign_algorithm(name, wrapped, std::forward<F>(f));
 }
 
 /// Compact per-node fate tally for report lines: "5t/1c/0d/0x".
@@ -431,6 +412,25 @@ CampaignReport run_campaign(const CampaignOptions& options) {
      << " failures=" << report.failures.size() << "\n";
   report.text = os.str();
   return report;
+}
+
+std::vector<std::string> persist_failure_artifacts(
+    CampaignReport& report, const std::string& fallback_dir) {
+  std::vector<std::string> lines;
+  bool created = false;
+  for (CampaignFailure& failure : report.failures) {
+    if (!failure.path.empty()) continue;  // already saved by the campaign
+    if (!created) {
+      std::filesystem::create_directories(fallback_dir);
+      created = true;
+    }
+    failure.path = fallback_dir + "/fail-" + std::to_string(failure.trial) +
+                   ".sched";
+    FTCC_EXPECTS(save_schedule(failure.path, failure.shrink.artifact));
+    lines.push_back("artifact trial " + std::to_string(failure.trial) + ": " +
+                    failure.path);
+  }
+  return lines;
 }
 
 }  // namespace ftcc

@@ -111,4 +111,13 @@ struct CampaignReport {
 
 [[nodiscard]] CampaignReport run_campaign(const CampaignOptions& options);
 
+/// Ensure every failure has an on-disk replay artifact: failures whose
+/// path is still empty (the campaign ran without an artifact_dir) are
+/// saved into `fallback_dir`, which is created if needed.  Returns one
+/// "artifact trial N: path" line per newly saved artifact — tools/fuzz
+/// prints these so a failing run always names its replay files, even when
+/// --out was never passed (e.g. `--inject=corrupt --raw` demos).
+[[nodiscard]] std::vector<std::string> persist_failure_artifacts(
+    CampaignReport& report, const std::string& fallback_dir);
+
 }  // namespace ftcc

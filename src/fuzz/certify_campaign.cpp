@@ -1,0 +1,201 @@
+#include "fuzz/certify_campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/dispatch.hpp"
+#include "runtime/threaded_executor.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc {
+
+namespace {
+
+/// One threaded trial's configuration, all drawn from the trial seed (the
+/// same family spread as the schedule campaign's generate_trial).
+struct CertifyTrial {
+  std::string algo;
+  std::string graph_kind;
+  NodeId n = 0;
+  IdAssignment ids;
+  std::string ids_family;
+  bool wrapped = false;
+  std::vector<ThreadedFault> faults;
+};
+
+CertifyTrial generate_certify_trial(const std::vector<std::string>& algos,
+                                    NodeId n_min, NodeId n_max,
+                                    std::uint64_t trial_seed,
+                                    bool inject_faults) {
+  Xoshiro256 rng(trial_seed);
+  CertifyTrial cfg;
+  cfg.algo = algos[rng.below(algos.size())];
+  cfg.n = n_min + static_cast<NodeId>(rng.below(n_max - n_min + 1u));
+  cfg.graph_kind = (cfg.algo == "five" && rng.chance(0.25)) ? "path" : "cycle";
+  switch (rng.below(5)) {
+    case 0:
+      cfg.ids = random_ids(cfg.n, rng());
+      cfg.ids_family = "random";
+      break;
+    case 1:
+      cfg.ids = sorted_ids(cfg.n);
+      cfg.ids_family = "sorted";
+      break;
+    case 2:
+      cfg.ids = alternating_ids(cfg.n);
+      cfg.ids_family = "alternating";
+      break;
+    case 3: {
+      const NodeId run = 1 + static_cast<NodeId>(rng.below(cfg.n - 1));
+      cfg.ids = zigzag_ids(cfg.n, run);
+      cfg.ids_family = "zigzag(" + std::to_string(run) + ")";
+      break;
+    }
+    default:
+      cfg.ids = permutation_ids(cfg.n, rng());
+      cfg.ids_family = "perm";
+      break;
+  }
+  if (inject_faults && rng.chance(0.6)) {
+    cfg.wrapped = rng.chance(0.5);
+    const std::uint64_t count = 1 + rng.below(2);
+    for (std::uint64_t v : sample_distinct(cfg.n, count, rng)) {
+      ThreadedFault fault;
+      fault.node = static_cast<NodeId>(v);
+      fault.after_publishes = rng.below(4);
+      if (rng.chance(0.5)) {
+        fault.kind = ThreadedFault::Kind::corrupt_words;
+        fault.mask = rng() | 1;  // never a no-op corruption
+      } else {
+        fault.kind = ThreadedFault::Kind::stall_mid_publish;
+      }
+      cfg.faults.push_back(fault);
+    }
+    std::sort(cfg.faults.begin(), cfg.faults.end(),
+              [](const ThreadedFault& a, const ThreadedFault& b) {
+                return a.node < b.node;
+              });
+  }
+  return cfg;
+}
+
+}  // namespace
+
+CertifyReport certify_event_log(const EventLogArtifact& artifact) {
+  FTCC_EXPECTS(known_algorithm(artifact.algo));
+  const Graph graph = artifact.graph();
+  return with_campaign_algorithm(
+      artifact.algo, artifact.wrapped,
+      [&](auto algo, std::uint64_t /*bound*/, bool /*ordered*/) {
+        return certify_log(algo, graph, artifact.ids, artifact.log);
+      });
+}
+
+CertifyCampaignReport run_certify_campaign(
+    const CertifyCampaignOptions& options) {
+  FTCC_EXPECTS(options.n_min >= 3 && options.n_min <= options.n_max);
+  std::vector<std::string> algos =
+      options.algos.empty() ? campaign_algorithms() : options.algos;
+  for (const auto& name : algos) FTCC_EXPECTS(known_algorithm(name));
+  if (!options.artifact_dir.empty())
+    std::filesystem::create_directories(options.artifact_dir);
+
+  std::ostringstream os;
+  os << "ftcc-certify report v1\n";
+  os << "seed=" << options.seed << " trials=" << options.trials << " n=["
+     << options.n_min << "," << options.n_max << "] algos=";
+  for (std::size_t i = 0; i < algos.size(); ++i)
+    os << (i ? "," : "") << algos[i];
+  os << " faults=" << (options.inject_faults ? 1 : 0)
+     << " max_read_attempts=" << options.max_read_attempts << "\n";
+
+  CertifyCampaignReport report;
+  Xoshiro256 master(options.seed);
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    const std::uint64_t trial_seed = master();
+    const CertifyTrial cfg =
+        generate_certify_trial(algos, options.n_min, options.n_max,
+                               trial_seed, options.inject_faults);
+    const Graph graph =
+        cfg.graph_kind == "path" ? make_path(cfg.n) : make_cycle(cfg.n);
+    ThreadedOptions topts;
+    topts.max_read_attempts = options.max_read_attempts;
+    topts.faults = cfg.faults;
+
+    HbLog log;
+    const CertifyReport verdict = with_campaign_algorithm(
+        cfg.algo, cfg.wrapped,
+        [&](auto algo, std::uint64_t /*bound*/, bool /*ordered*/) {
+          ThreadedExecutor<decltype(algo)> ex(algo, graph, cfg.ids, topts);
+          ex.attach_hb_log(&log);
+          (void)ex.run(options.max_rounds);
+          return certify_log(algo, graph, cfg.ids, log);
+        });
+
+    ++report.trials;
+    os << "trial " << trial << " algo=" << cfg.algo
+       << " graph=" << cfg.graph_kind << " n=" << cfg.n
+       << " ids=" << cfg.ids_family << " wrapped=" << (cfg.wrapped ? 1 : 0)
+       << " faults=" << cfg.faults.size() << " -> ";
+    if (verdict.ok()) {
+      ++report.certified;
+      ++(verdict.atomic ? report.atomic : report.split);
+      os << "certified " << (verdict.atomic ? "atomic" : "split")
+         << " events=" << verdict.events << " rounds=" << verdict.rounds
+         << "\n";
+    } else {
+      CertifyCampaignFailure failure;
+      failure.trial = trial;
+      const auto& first = verdict.violations.front();
+      failure.verdict = "[" + first.kind + "] " + first.message;
+      failure.artifact.algo = cfg.algo;
+      failure.artifact.graph_kind = cfg.graph_kind;
+      failure.artifact.n = cfg.n;
+      failure.artifact.ids = cfg.ids;
+      failure.artifact.wrapped = cfg.wrapped;
+      failure.artifact.max_read_attempts = options.max_read_attempts;
+      failure.artifact.faults = cfg.faults;
+      failure.artifact.log = log;
+      failure.artifact.seed = options.seed;
+      failure.artifact.verdict = failure.verdict;
+      os << "FAIL " << failure.verdict << "\n";
+      if (!options.artifact_dir.empty()) {
+        failure.path = options.artifact_dir + "/race-" +
+                       std::to_string(trial) + ".eventlog";
+        FTCC_EXPECTS(save_event_log(failure.path, failure.artifact));
+        os << "witness trial " << trial << ": " << failure.path << "\n";
+      }
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  os << "summary trials=" << report.trials
+     << " certified=" << report.certified << " atomic=" << report.atomic
+     << " split=" << report.split << " failures=" << report.failures.size()
+     << "\n";
+  report.text = os.str();
+  return report;
+}
+
+std::vector<std::string> persist_certify_witnesses(
+    CertifyCampaignReport& report, const std::string& fallback_dir) {
+  std::vector<std::string> lines;
+  bool created = false;
+  for (CertifyCampaignFailure& failure : report.failures) {
+    if (!failure.path.empty()) continue;
+    if (!created) {
+      std::filesystem::create_directories(fallback_dir);
+      created = true;
+    }
+    failure.path = fallback_dir + "/race-" + std::to_string(failure.trial) +
+                   ".eventlog";
+    FTCC_EXPECTS(save_event_log(failure.path, failure.artifact));
+    lines.push_back("witness trial " + std::to_string(failure.trial) + ": " +
+                    failure.path);
+  }
+  return lines;
+}
+
+}  // namespace ftcc

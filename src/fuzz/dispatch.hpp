@@ -1,0 +1,44 @@
+// Campaign algorithm dispatch: maps the campaign's algorithm names
+// ("six", "five", "fast5", "delta2", "fast6" — see campaign_algorithms())
+// to concrete algorithm instances, optionally wrapped in the Recovering<>
+// self-healing layer.  Shared by the schedule-fuzzing campaign
+// (fuzz/campaign.cpp), the threaded certify campaign
+// (fuzz/certify_campaign.cpp), and tools/race.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/algo1_six_coloring.hpp"
+#include "core/algo2_five_coloring.hpp"
+#include "core/algo3_fast_five_coloring.hpp"
+#include "core/algo4_general_graph.hpp"
+#include "core/algo5_fast_six_coloring.hpp"
+#include "core/recovering.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+/// Dispatch by campaign algorithm name; f receives the algorithm instance
+/// (wrapped in Recovering<> when `wrapped`), its mid-run palette component
+/// bound (each candidate's mex is over at most `bound` values), and
+/// whether it maintains a_p <= b_p.
+template <typename F>
+auto with_campaign_algorithm(const std::string& name, bool wrapped, F&& f) {
+  const auto dispatch = [&](auto algo, std::uint64_t bound, bool ordered) {
+    if (wrapped) return f(Recovering<decltype(algo)>{}, bound, ordered);
+    return f(std::move(algo), bound, ordered);
+  };
+  if (name == "six") return dispatch(SixColoring{}, std::uint64_t{2}, false);
+  if (name == "five")
+    return dispatch(FiveColoringLinear{}, std::uint64_t{4}, true);
+  if (name == "fast5")
+    return dispatch(FiveColoringFast{}, std::uint64_t{4}, true);
+  if (name == "delta2")
+    return dispatch(DeltaSquaredColoring{}, std::uint64_t{2}, false);
+  FTCC_EXPECTS(name == "fast6" && "unknown campaign algorithm");
+  return dispatch(SixColoringFast{}, std::uint64_t{2}, false);
+}
+
+}  // namespace ftcc

@@ -40,6 +40,8 @@ NodeId walk_to_extremum(const IdAssignment& ids, NodeId start, NodeId first,
   NodeId prev = start;
   NodeId cur = first;
   FTCC_EXPECTS(less(ids[prev], ids[cur]));
+  // The walk ends at the chain's extremum, reached within n hops on a
+  // cycle of n nodes.  lint:allow(unbounded-spin)
   while (true) {
     if (dist[cur] != kUnset) break;
     const NodeId a = next_on_cycle(cur, n);

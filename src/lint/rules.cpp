@@ -1,0 +1,330 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+#include <tuple>
+
+namespace ftcc::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Word-boundary token search on one line (boundary on the left only —
+/// tokens like "rand(" already pin the right edge).
+bool has_token(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    if (pos == 0 || !is_ident(line[pos - 1])) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// The code part of a line (before any // comment).  Good enough for this
+/// codebase: no multi-line /* */ blocks in linted code, and a false waiver
+/// inside a string literal would only ever relax, never break the build.
+std::string code_part(const std::string& line) {
+  const std::size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool line_waives(const std::string& line, const std::string& rule) {
+  return line.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+struct FileScan {
+  const std::string& path;
+  std::vector<std::string> lines;
+  std::vector<Finding> findings;
+
+  void flag(std::size_t index, const std::string& rule,
+            const std::string& message) {
+    // Inline waiver: on the offending line or the line directly above.
+    if (line_waives(lines[index], rule)) return;
+    if (index > 0 && line_waives(lines[index - 1], rule)) return;
+    findings.push_back({path, index + 1, rule, message});
+  }
+};
+
+// Spelled as split literals so the table does not trip its own rule
+// (string literals are scanned on purpose: a token smuggled through a
+// macro string must not hide from the lint).
+constexpr std::array kConcurrencyTokens = {
+    "std::"  "atomic",  "std::"  "thread", "std::"  "jthread",
+    "std::"  "mutex",   "std::"  "shared_mutex", "std::"  "scoped_lock",
+    "std::"  "lock_guard", "std::"  "unique_lock",
+    "std::"  "condition_variable",
+};
+constexpr std::array kConcurrencyIncludes = {
+    "<atomic>", "<thread>", "<mutex>", "<shared_mutex>",
+    "<condition_variable>", "<stop_token>",
+};
+
+void check_concurrency(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string code = code_part(scan.lines[i]);
+    for (const char* token : kConcurrencyTokens)
+      if (has_token(code, token)) {
+        scan.flag(i, "concurrency-primitives",
+                  std::string(token) + " outside src/runtime/");
+        break;
+      }
+    if (code.find("#include") != std::string::npos)
+      for (const char* header : kConcurrencyIncludes)
+        if (code.find(header) != std::string::npos) {
+          scan.flag(i, "concurrency-primitives",
+                    std::string("#include ") + header +
+                        " outside src/runtime/");
+          break;
+        }
+  }
+}
+
+/// Does `code` at `pos` start an infinite loop header?  Returns the index
+/// just past the closing paren of the header on a hit.
+std::size_t infinite_loop_header(const std::string& code, std::size_t pos) {
+  const bool is_for = code.compare(pos, 3, "for") == 0;
+  const bool is_while = code.compare(pos, 5, "while") == 0;
+  if (!is_for && !is_while) return std::string::npos;
+  std::size_t open = code.find('(', pos + (is_for ? 3 : 5));
+  if (open == std::string::npos ||
+      code.find_first_not_of(" \t", pos + (is_for ? 3 : 5)) != open)
+    return std::string::npos;
+  int depth = 0;
+  std::size_t close = open;
+  for (; close < code.size(); ++close) {
+    if (code[close] == '(') ++depth;
+    if (code[close] == ')' && --depth == 0) break;
+  }
+  if (close >= code.size()) return std::string::npos;
+  const std::string inner = code.substr(open + 1, close - open - 1);
+  if (is_while) {
+    const std::string trimmed = [&] {
+      std::string t;
+      for (char c : inner)
+        if (c != ' ' && c != '\t') t.push_back(c);
+      return t;
+    }();
+    return (trimmed == "true" || trimmed == "1") ? close + 1
+                                                 : std::string::npos;
+  }
+  // for: the condition (between the two top-level semicolons) must be empty.
+  int pdepth = 0;
+  std::size_t first = std::string::npos, second = std::string::npos;
+  for (std::size_t k = 0; k < inner.size(); ++k) {
+    if (inner[k] == '(') ++pdepth;
+    if (inner[k] == ')') --pdepth;
+    if (inner[k] == ';' && pdepth == 0) {
+      if (first == std::string::npos) {
+        first = k;
+      } else {
+        second = k;
+        break;
+      }
+    }
+  }
+  if (first == std::string::npos || second == std::string::npos)
+    return std::string::npos;
+  const std::string cond = inner.substr(first + 1, second - first - 1);
+  return cond.find_first_not_of(" \t") == std::string::npos
+             ? close + 1
+             : std::string::npos;
+}
+
+constexpr std::array kBoundTokens = {
+    "attempt", "max_", "bound", "backoff", "retries", "retry", "budget",
+    "limit",   "fuel",
+};
+
+void check_unbounded_spin(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string code = code_part(scan.lines[i]);
+    std::size_t pos = 0;
+    bool flagged = false;
+    while (!flagged && pos < code.size()) {
+      const std::size_t f = code.find("for", pos);
+      const std::size_t w = code.find("while", pos);
+      const std::size_t hit = std::min(f, w);
+      if (hit == std::string::npos) break;
+      if (hit > 0 && is_ident(code[hit - 1])) {
+        pos = hit + 1;
+        continue;
+      }
+      const std::size_t after = infinite_loop_header(code, hit);
+      if (after == std::string::npos) {
+        pos = hit + 1;
+        continue;
+      }
+      // Infinite header found: the loop (header line through the matching
+      // close brace) must mention a bound/backoff token.
+      bool bounded = false;
+      int depth = 0;
+      bool opened = false;
+      for (std::size_t j = i; j < scan.lines.size(); ++j) {
+        const std::string body = code_part(scan.lines[j]);
+        for (const char* token : kBoundTokens)
+          if (has_token(body, token)) bounded = true;
+        const std::string scanned =
+            j == i ? body.substr(std::min(after, body.size())) : body;
+        for (const char c : scanned) {
+          if (c == '{') {
+            ++depth;
+            opened = true;
+          }
+          if (c == '}') --depth;
+        }
+        if (opened && depth <= 0) break;
+        if (!opened && j > i + 1) break;  // braceless one-liner
+      }
+      if (!bounded)
+        scan.flag(i, "unbounded-spin",
+                  "infinite loop without a bound or backoff (name the "
+                  "bound, or waive with lint:allow)");
+      flagged = true;
+      pos = hit + 1;
+    }
+  }
+}
+
+constexpr std::array kNondeterminismTokens = {
+    "rand(",          "srand(",        "std::time",
+    "time(nullptr",   "time(NULL",     "clock(",
+    "random_device",  "system_clock",  "steady_clock",
+    "high_resolution_clock", "getenv",
+};
+
+void check_nondeterminism(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string code = code_part(scan.lines[i]);
+    for (const char* token : kNondeterminismTokens)
+      if (has_token(code, token)) {
+        scan.flag(i, "nondeterminism",
+                  std::string(token) +
+                      " in seed-deterministic code (derive everything "
+                      "from the trial seed)");
+        break;
+      }
+  }
+}
+
+constexpr std::array kExecutorTokens = {
+    "Executor",
+    "ThreadedExecutor",
+    "Scheduler",
+};
+
+void check_snapshot_discipline(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string code = code_part(scan.lines[i]);
+    const std::size_t inc = code.find("#include \"runtime/");
+    if (inc != std::string::npos &&
+        code.find("runtime/algorithm.hpp") == std::string::npos) {
+      scan.flag(i, "snapshot-discipline",
+                "algorithm code may include only runtime/algorithm.hpp "
+                "from the runtime");
+      continue;
+    }
+    for (const char* token : kExecutorTokens)
+      if (has_token(code, token)) {
+        scan.flag(i, "snapshot-discipline",
+                  std::string(token) +
+                      " referenced from algorithm code (neighbour state "
+                      "is reachable only via the step() snapshot)");
+        break;
+      }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "concurrency-primitives",
+      "unbounded-spin",
+      "nondeterminism",
+      "snapshot-discipline",
+  };
+  return ids;
+}
+
+bool rule_applies(const std::string& rule, const std::string& path) {
+  const bool in_src = starts_with(path, "src/");
+  const bool in_tools = starts_with(path, "tools/");
+  if (rule == "concurrency-primitives")
+    return (in_src || in_tools) && !starts_with(path, "src/runtime/");
+  if (rule == "unbounded-spin") return in_src || in_tools;
+  if (rule == "nondeterminism")
+    return starts_with(path, "src/core/") || starts_with(path, "src/fuzz/");
+  if (rule == "snapshot-discipline") return starts_with(path, "src/core/");
+  return false;
+}
+
+std::vector<Finding> check_file(const std::string& path,
+                                const std::string& content) {
+  FileScan scan{path, {}, {}};
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) scan.lines.push_back(line);
+  if (rule_applies("concurrency-primitives", path)) check_concurrency(scan);
+  if (rule_applies("unbounded-spin", path)) check_unbounded_spin(scan);
+  if (rule_applies("nondeterminism", path)) check_nondeterminism(scan);
+  if (rule_applies("snapshot-discipline", path))
+    check_snapshot_discipline(scan);
+  std::sort(scan.findings.begin(), scan.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return std::move(scan.findings);
+}
+
+bool parse_baseline(const std::string& content,
+                    std::vector<std::pair<std::string, std::string>>& entries,
+                    std::string* error) {
+  std::istringstream in(content);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::string path, rule, extra;
+    if (!(ls >> path >> rule) || (ls >> extra)) {
+      if (error)
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": expected '<path> <rule>'";
+      return false;
+    }
+    if (std::find(rule_ids().begin(), rule_ids().end(), rule) ==
+        rule_ids().end()) {
+      if (error)
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": unknown rule '" + rule + "'";
+      return false;
+    }
+    entries.emplace_back(std::move(path), std::move(rule));
+  }
+  return true;
+}
+
+std::vector<Finding> apply_baseline(
+    std::vector<Finding> findings,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::erase_if(findings, [&](const Finding& f) {
+    return std::any_of(entries.begin(), entries.end(), [&](const auto& e) {
+      return e.first == f.file && e.second == f.rule;
+    });
+  });
+  return findings;
+}
+
+}  // namespace ftcc::lint

@@ -1,0 +1,67 @@
+// Project-discipline lint rules (tools/lint).  These are bespoke,
+// repo-specific invariants that generic clang-tidy checks cannot express;
+// each rule is a cheap line-oriented scan so the whole tree lints in
+// milliseconds and the rules stay unit-testable (tests/lint_test.cpp):
+//
+//   concurrency-primitives — std::atomic / std::thread / std::mutex and
+//       friends (and their headers) may appear only under src/runtime/.
+//       Everything above the runtime is the sequential state model; a
+//       stray atomic outside it is a design violation, not a style nit.
+//   unbounded-spin — every infinite loop (`while (true)`, `for (;;)`,
+//       empty for-condition) must reference a bound or backoff in its
+//       body (attempt counters, max_* limits, retry budgets).  The
+//       asynchronous model promises wait-freedom per activation; an
+//       unbounded spin is exactly the livelock the bounded seqlock read
+//       exists to prevent.
+//   nondeterminism — rand()/time()/clocks/random_device are banned from
+//       algorithm (src/core/) and fuzz (src/fuzz/) code.  Every trial must
+//       be a pure function of its seed or replay artifacts are worthless.
+//   snapshot-discipline — algorithm code (src/core/) may touch neighbour
+//       state only through the snapshot view passed to step(); including
+//       executor headers or naming executors/schedulers from an algorithm
+//       breaks the model boundary the proofs rely on.
+//
+// A finding on a line carrying (or directly below) a
+// `// lint:allow(rule-id)` comment is waived in place; anything else must
+// be listed in the committed baseline file or the lint fails.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftcc::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative path, as passed to check_file
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// All rule identifiers, for --help and the tests.
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// True iff `rule` applies to the repo-relative `path` at all (scoping:
+/// see the header comment).
+[[nodiscard]] bool rule_applies(const std::string& rule,
+                                const std::string& path);
+
+/// Scan one file's content; returns findings already filtered by inline
+/// `lint:allow` waivers (but not by the baseline).
+[[nodiscard]] std::vector<Finding> check_file(const std::string& path,
+                                              const std::string& content);
+
+/// Parse a baseline file: one `path rule` pair per line, `#` comments and
+/// blank lines ignored.  Returns false on malformed lines.
+[[nodiscard]] bool parse_baseline(
+    const std::string& content,
+    std::vector<std::pair<std::string, std::string>>& entries,
+    std::string* error = nullptr);
+
+/// Drop findings covered by baseline entries.
+[[nodiscard]] std::vector<Finding> apply_baseline(
+    std::vector<Finding> findings,
+    const std::vector<std::pair<std::string, std::string>>& entries);
+
+}  // namespace ftcc::lint

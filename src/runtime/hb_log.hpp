@@ -1,0 +1,109 @@
+// Happens-before event log: the raw material of the race/atomicity
+// certifier (src/analysis/hb/).  A ThreadedExecutor with a log attached
+// records, per node, every seqlock interaction as it happens:
+//
+//   publish      — a completed seqlock publish (resulting even version and
+//                  the payload words that went into the cell);
+//   adversary    — a corrupt_words fault republishing mangled payload
+//                  through the full protocol (still version-ordered);
+//   stall        — the writer died mid-publish, version left odd forever;
+//   read         — a completed neighbour read: the observed even version
+//                  and the raw words the reader decoded (version 0 = the
+//                  neighbour's cell was never written: ⊥);
+//   read_timeout — the bounded seqlock retry was exhausted and the read
+//                  degraded to ⊥ (only a dead writer can cause this);
+//   finish       — the node's step() returned an output (its color code).
+//
+// Each node's thread appends only to its own slot, so recording needs no
+// synchronization beyond the executor's final join; the certifier reads
+// the log single-threaded afterwards.  Program order within a slot is the
+// node's real execution order — that ordering, plus the version numbers
+// linking reads to the publishes they observed, is exactly the
+// happens-before structure the certifier rebuilds (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+enum class HbEventKind : std::uint8_t {
+  publish,       ///< owner completed a seqlock publish
+  adversary,     ///< corrupt_words fault republished mangled payload
+  stall,         ///< writer died mid-publish; version stuck odd
+  read,          ///< completed neighbour read (version 0 = ⊥, never written)
+  read_timeout,  ///< bounded retry exhausted; degraded to ⊥
+  finish,        ///< step() returned an output
+};
+
+[[nodiscard]] constexpr const char* hb_event_kind_name(
+    HbEventKind k) noexcept {
+  switch (k) {
+    case HbEventKind::publish: return "pub";
+    case HbEventKind::adversary: return "adv";
+    case HbEventKind::stall: return "stall";
+    case HbEventKind::read: return "read";
+    case HbEventKind::read_timeout: return "rdto";
+    case HbEventKind::finish: return "fin";
+  }
+  return "?";
+}
+
+struct HbEvent {
+  HbEventKind kind = HbEventKind::publish;
+  /// The recording node's local round (0-based activation index).
+  std::uint64_t round = 0;
+  /// read/read_timeout: the neighbour read.  Other kinds: the node itself.
+  NodeId peer = 0;
+  /// publish/adversary: the resulting even seqlock version.  stall: the
+  /// odd version left behind.  read: the observed version (0 = ⊥).
+  /// finish: the output's color code.
+  std::uint64_t version = 0;
+  /// publish/adversary: the payload words stored.  read: the raw words
+  /// observed (empty for ⊥).  Other kinds: empty.
+  std::vector<std::uint64_t> words;
+
+  friend bool operator==(const HbEvent&, const HbEvent&) = default;
+};
+
+/// Per-node event sequences.  Thread v writes only slot v; the slots are
+/// sized up front so recording never reallocates the outer vector.
+class HbLog {
+ public:
+  HbLog() = default;
+  explicit HbLog(NodeId n) { reset(n); }
+
+  void reset(NodeId n) {
+    events_.assign(n, {});
+    for (auto& slot : events_) slot.reserve(64);
+  }
+
+  void record(NodeId node, HbEvent event) {
+    FTCC_EXPECTS(node < events_.size());
+    events_[node].push_back(std::move(event));
+  }
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(events_.size());
+  }
+  [[nodiscard]] const std::vector<HbEvent>& events(NodeId node) const {
+    FTCC_EXPECTS(node < events_.size());
+    return events_[node];
+  }
+  [[nodiscard]] std::size_t total_events() const noexcept {
+    std::size_t total = 0;
+    for (const auto& slot : events_) total += slot.size();
+    return total;
+  }
+  [[nodiscard]] bool empty() const noexcept { return total_events() == 0; }
+
+  friend bool operator==(const HbLog&, const HbLog&) = default;
+
+ private:
+  std::vector<std::vector<HbEvent>> events_;
+};
+
+}  // namespace ftcc

@@ -45,6 +45,7 @@
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
 #include "runtime/algorithm.hpp"
+#include "runtime/hb_log.hpp"
 #include "runtime/result.hpp"
 #include "util/assert.hpp"
 
@@ -102,10 +103,18 @@ class ThreadedExecutor {
     ids_ = ids;
   }
 
+  /// Attach a happens-before event log filled during run() — every seqlock
+  /// publish, neighbour read (with observed version), fault, and return is
+  /// recorded per node for the race certifier (src/analysis/hb/).  The log
+  /// must outlive the executor; pass nullptr to detach.  Each node's
+  /// thread writes only its own slot, so recording is synchronization-free.
+  void attach_hb_log(HbLog* log) { hb_log_ = log; }
+
   /// Run every node on its own thread until all return or any node
   /// exhausts max_rounds (reported as completed = false for that node).
   ExecutionResult<Output> run(std::uint64_t max_rounds) {
     const NodeId n = graph_->node_count();
+    if (hb_log_) hb_log_->reset(n);
     std::vector<std::thread> threads;
     threads.reserve(n);
     for (NodeId v = 0; v < n; ++v)
@@ -151,13 +160,15 @@ class ThreadedExecutor {
         cells_[static_cast<std::size_t>(v) * kCellWords + i]);
   }
 
-  void store_words(NodeId v, const std::vector<std::uint64_t>& words) {
+  /// Full seqlock write protocol; returns the resulting (even) version.
+  std::uint64_t store_words(NodeId v, const std::vector<std::uint64_t>& words) {
     auto version = word(v, 0);
     const std::uint64_t odd = version.load(std::memory_order_relaxed) + 1;
     version.store(odd, std::memory_order_release);
     for (std::size_t i = 0; i < words.size(); ++i)
       word(v, i + 1).store(words[i], std::memory_order_relaxed);
     version.store(odd + 1, std::memory_order_release);
+    return odd + 1;
   }
 
   /// Publish, then apply any faults due at this publish.  Returns false if
@@ -168,47 +179,70 @@ class ThreadedExecutor {
     words.reserve(A::kRegisterWords);
     reg.encode(words);
     FTCC_EXPECTS(words.size() == A::kRegisterWords);
-    store_words(v, words);
+    const std::uint64_t version = store_words(v, words);
+    if (hb_log_)
+      hb_log_->record(v, {HbEventKind::publish, publish_index, v, version,
+                          words});
     for (const ThreadedFault& f : faults_[v]) {
       if (f.after_publishes != publish_index) continue;
       if (f.kind == ThreadedFault::Kind::corrupt_words) {
         for (auto& w : words) w ^= f.mask;
-        store_words(v, words);
+        const std::uint64_t adv_version = store_words(v, words);
+        if (hb_log_)
+          hb_log_->record(v, {HbEventKind::adversary, publish_index, v,
+                              adv_version, words});
       } else {
         // Die mid-write: version goes odd, half the payload lands, and the
         // closing even store never happens.
-        auto version = word(v, 0);
-        version.store(version.load(std::memory_order_relaxed) + 1,
-                      std::memory_order_release);
+        auto version_word = word(v, 0);
+        const std::uint64_t odd =
+            version_word.load(std::memory_order_relaxed) + 1;
+        version_word.store(odd, std::memory_order_release);
         if (!words.empty())
           word(v, 1).store(~words[0], std::memory_order_relaxed);
         stalled_[v] = 1;
+        if (hb_log_)
+          hb_log_->record(v, {HbEventKind::stall, publish_index, v, odd, {}});
         return false;
       }
     }
     return true;
   }
 
-  [[nodiscard]] std::optional<Register> read(NodeId reader, NodeId v) {
+  [[nodiscard]] std::optional<Register> read(NodeId reader, NodeId v,
+                                             std::uint64_t round) {
     for (std::uint64_t attempt = 0;; ++attempt) {
       if (attempt >= options_.max_read_attempts) {
         // The writer died mid-publish; proceed as if v never woke.
         ++torn_read_timeouts_[reader];
+        if (hb_log_)
+          hb_log_->record(reader,
+                          {HbEventKind::read_timeout, round, v, 0, {}});
         return std::nullopt;
       }
       backoff(attempt);
       const std::uint64_t v1 = word(v, 0).load(std::memory_order_acquire);
-      if (v1 == 0) return std::nullopt;  // never written: ⊥
-      if (v1 % 2 != 0) continue;         // writer in progress
+      if (v1 == 0) {  // never written: ⊥
+        if (hb_log_)
+          hb_log_->record(reader, {HbEventKind::read, round, v, 0, {}});
+        return std::nullopt;
+      }
+      if (v1 % 2 != 0) continue;  // writer in progress
       std::uint64_t words[8];
       FTCC_EXPECTS(A::kRegisterWords <= 8);
       for (std::size_t i = 0; i < A::kRegisterWords; ++i)
         words[i] = word(v, i + 1).load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       const std::uint64_t v2 = word(v, 0).load(std::memory_order_relaxed);
-      if (v1 == v2)
+      if (v1 == v2) {
+        if (hb_log_)
+          hb_log_->record(
+              reader, {HbEventKind::read, round, v, v1,
+                       std::vector<std::uint64_t>(words,
+                                                  words + A::kRegisterWords)});
         return A::decode_register(
             std::span<const std::uint64_t>(words, A::kRegisterWords));
+      }
     }
   }
 
@@ -234,11 +268,15 @@ class ThreadedExecutor {
     for (std::uint64_t round = 0; round < max_rounds; ++round) {
       if (!publish(v, algo_.publish(state), round)) return;
       for (std::size_t i = 0; i < neighbors.size(); ++i)
-        view[i] = read(v, neighbors[i]);
+        view[i] = read(v, neighbors[i], round);
       ++activations_[v];
       auto out = algo_.step(state, NeighborView<Register>(view));
       if (out) {
         outputs_[v] = std::move(*out);
+        if (hb_log_)
+          hb_log_->record(
+              v, {HbEventKind::finish, round, v, A::color_code(*outputs_[v]),
+                  {}});
         return;
       }
       if (round % 16 == 15) std::this_thread::yield();
@@ -256,6 +294,7 @@ class ThreadedExecutor {
   std::vector<std::uint64_t> torn_read_timeouts_;
   std::vector<std::uint8_t> stalled_;
   std::vector<std::vector<ThreadedFault>> faults_;
+  HbLog* hb_log_ = nullptr;
 };
 
 }  // namespace ftcc

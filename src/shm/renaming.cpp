@@ -25,6 +25,8 @@ std::optional<RankRenaming::Output> RankRenaming::step(
   // Pick the rank-th free name (0-based names; "free" = not suggested by
   // any other process in the snapshot).
   std::uint64_t remaining = rank;
+  // Terminates within rank + |suggestions| probes: at most n names are
+  // ever occupied.  lint:allow(unbounded-spin)
   for (std::uint64_t name = 0;; ++name) {
     if (std::find(others_suggestions.begin(), others_suggestions.end(),
                   name) != others_suggestions.end())

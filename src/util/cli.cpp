@@ -31,6 +31,11 @@ Cli& Cli::flag(const std::string& name, bool default_value,
   return *this;
 }
 
+Cli& Cli::accept_positionals() {
+  accept_positionals_ = true;
+  return *this;
+}
+
 bool Cli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -39,6 +44,10 @@ bool Cli::parse(int argc, char** argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (accept_positionals_) {
+        positionals_.push_back(std::move(arg));
+        continue;
+      }
       std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
       print_usage(argv[0]);
       return false;

@@ -1,11 +1,14 @@
 // A tiny --flag=value command-line parser shared by the examples.  Not a
 // general-purpose library: flags are uint64/double/string/bool, unknown
-// flags are an error, and --help prints the registered set.
+// flags are an error, and --help prints the registered set.  Non-flag
+// arguments are collected as positionals only when the tool opted in via
+// accept_positionals() (otherwise they stay an error, as before).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ftcc {
 
@@ -21,8 +24,15 @@ class Cli {
   Cli& flag(const std::string& name, bool default_value,
             const std::string& help);
 
+  /// Allow non-flag arguments; they land in positional() in argv order.
+  Cli& accept_positionals();
+
   /// Parse argv; returns false (after printing usage) on --help or error.
   [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positionals_;
+  }
 
   [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
@@ -38,6 +48,8 @@ class Cli {
   const Entry& lookup(const std::string& name, Entry::Kind kind) const;
   void print_usage(const char* prog) const;
   std::map<std::string, Entry> entries_;
+  std::vector<std::string> positionals_;
+  bool accept_positionals_ = false;
 };
 
 }  // namespace ftcc

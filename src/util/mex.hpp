@@ -16,6 +16,7 @@ namespace ftcc {
 /// Runs in O(|s|^2), which is optimal in practice for |s| <= 8.
 [[nodiscard]] constexpr std::uint64_t mex(
     std::span<const std::uint64_t> s) noexcept {
+  // lint:allow(unbounded-spin): mex(S) <= |S|, so at most |S|+1 probes.
   for (std::uint64_t candidate = 0;; ++candidate) {
     bool present = false;
     for (std::uint64_t v : s) {

@@ -179,6 +179,38 @@ TEST(Campaign, InjectedFaultDrivesTheWholeFailurePipeline) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Campaign, PersistFailureArtifactsFillsPathsAfterTheFact) {
+  // The --raw UX fix: a campaign run without an artifact dir leaves
+  // failure paths empty; persist_failure_artifacts saves them to a
+  // fallback dir so the tool can always print a replayable path.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ftcc_fuzz_campaign_persist";
+  std::filesystem::remove_all(dir);
+
+  CampaignOptions options = small_options();
+  options.trials = 8;
+  options.inject = InjectedFault::no_termination;
+  CampaignReport report = run_campaign(options);
+  ASSERT_FALSE(report.failures.empty());
+  for (const auto& failure : report.failures)
+    EXPECT_TRUE(failure.path.empty());
+
+  const auto lines = persist_failure_artifacts(report, dir.string());
+  ASSERT_EQ(lines.size(), report.failures.size());
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const auto& failure = report.failures[i];
+    ASSERT_FALSE(failure.path.empty());
+    EXPECT_NE(lines[i].find(failure.path), std::string::npos);
+    std::string error;
+    const auto loaded = load_schedule(failure.path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(*loaded, failure.shrink.artifact);
+  }
+  // Already-persisted failures are left alone on a second call.
+  EXPECT_TRUE(persist_failure_artifacts(report, dir.string()).empty());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Campaign, ReplayViolationIsCleanOnAnEmptySchedule) {
   ScheduleArtifact artifact;
   artifact.algo = "five";

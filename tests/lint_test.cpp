@@ -1,0 +1,222 @@
+#include "lint/rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftcc::lint {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const auto& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+TEST(LintScoping, RulesApplyWhereTheHeaderSaysTheyDo) {
+  // concurrency primitives: everywhere but the runtime.
+  EXPECT_TRUE(rule_applies("concurrency-primitives", "src/core/a.hpp"));
+  EXPECT_TRUE(rule_applies("concurrency-primitives", "tools/fuzz.cpp"));
+  EXPECT_FALSE(
+      rule_applies("concurrency-primitives", "src/runtime/executor.hpp"));
+  EXPECT_FALSE(rule_applies("concurrency-primitives", "tests/a_test.cpp"));
+  // spin loops: all product code.
+  EXPECT_TRUE(rule_applies("unbounded-spin", "src/runtime/executor.hpp"));
+  EXPECT_TRUE(rule_applies("unbounded-spin", "tools/race.cpp"));
+  // nondeterminism: algorithm and fuzz code only.
+  EXPECT_TRUE(rule_applies("nondeterminism", "src/core/algo.cpp"));
+  EXPECT_TRUE(rule_applies("nondeterminism", "src/fuzz/campaign.cpp"));
+  EXPECT_FALSE(rule_applies("nondeterminism", "src/util/rng.cpp"));
+  // snapshot discipline: algorithm code only.
+  EXPECT_TRUE(rule_applies("snapshot-discipline", "src/core/algo.cpp"));
+  EXPECT_FALSE(rule_applies("snapshot-discipline", "src/analysis/x.cpp"));
+  EXPECT_FALSE(rule_applies("made-up-rule", "src/core/algo.cpp"));
+}
+
+// ---------------------------------------------------------------------------
+// concurrency-primitives
+// ---------------------------------------------------------------------------
+
+TEST(LintConcurrency, FlagsPrimitivesAndHeadersOutsideRuntime) {
+  const std::string bad =
+      "#include <mutex>\n"
+      "std::mutex m;\n"
+      "std::atomic<int> counter;\n";
+  const auto findings = check_file("src/core/bad.hpp", bad);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& f : findings)
+    EXPECT_EQ(f.rule, "concurrency-primitives") << f.message;
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[2].line, 3u);
+}
+
+TEST(LintConcurrency, RuntimeAndCommentsAreClean) {
+  // The same content under src/runtime/ is the rule's legitimate home.
+  const std::string content = "#include <atomic>\nstd::atomic<int> x;\n";
+  EXPECT_TRUE(check_file("src/runtime/cell.hpp", content).empty());
+  // Mentions in comments are not code.
+  EXPECT_TRUE(
+      check_file("src/core/doc.hpp", "// uses no std::mutex at all\n")
+          .empty());
+  // Identifier substrings are not tokens.
+  EXPECT_TRUE(
+      check_file("src/core/ok.hpp", "int my_std::atomic_count;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// unbounded-spin
+// ---------------------------------------------------------------------------
+
+TEST(LintSpin, FlagsInfiniteLoopsWithoutABound) {
+  EXPECT_EQ(rules_of(check_file("src/graph/a.cpp",
+                                "while (true) {\n  poll();\n}\n")),
+            std::vector<std::string>{"unbounded-spin"});
+  EXPECT_EQ(rules_of(check_file("src/graph/b.cpp",
+                                "for (;;) {\n  poll();\n}\n")),
+            std::vector<std::string>{"unbounded-spin"});
+  EXPECT_EQ(rules_of(check_file("src/graph/c.cpp",
+                                "for (int i = 0;; ++i) spin();\n")),
+            std::vector<std::string>{"unbounded-spin"});
+}
+
+TEST(LintSpin, BoundedLoopsAreClean) {
+  // A bound token anywhere in the loop body satisfies the rule.
+  EXPECT_TRUE(check_file("src/graph/a.cpp",
+                         "while (true) {\n"
+                         "  if (++attempt > max_attempts) break;\n"
+                         "}\n")
+                  .empty());
+  // ... or in the header line itself.
+  EXPECT_TRUE(
+      check_file("src/graph/b.cpp", "for (;; ++attempt) step();\n").empty());
+  // Ordinary bounded loops never match.
+  EXPECT_TRUE(check_file("src/graph/c.cpp",
+                         "for (int i = 0; i < n; ++i) {\n}\n"
+                         "while (pending()) {\n}\n")
+                  .empty());
+  // `for`/`while` as identifier substrings are not loop keywords.
+  EXPECT_TRUE(
+      check_file("src/graph/d.cpp", "int wait_for(true);\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism
+// ---------------------------------------------------------------------------
+
+TEST(LintNondeterminism, FlagsWallClocksAndLibcRandomness) {
+  const std::string bad =
+      "int x = rand();\n"
+      "auto t = std::chrono::steady_clock::now();\n"
+      "std::random_device rd;\n";
+  const auto findings = check_file("src/fuzz/bad.cpp", bad);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "nondeterminism");
+  // Outside the deterministic zone the same content is fine.
+  EXPECT_TRUE(check_file("src/util/clock.cpp", bad).empty());
+}
+
+TEST(LintNondeterminism, SeededRngIsClean) {
+  EXPECT_TRUE(check_file("src/fuzz/ok.cpp",
+                         "SplitMix64 rng(seed);\n"
+                         "const auto roll = rng.next();\n")
+                  .empty());
+  // `operand(` does not match `rand(`: left word boundary.
+  EXPECT_TRUE(
+      check_file("src/core/ok.cpp", "int y = operand(0);\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// snapshot-discipline
+// ---------------------------------------------------------------------------
+
+TEST(LintSnapshot, FlagsExecutorLeaksIntoAlgorithms) {
+  const auto include_findings = check_file(
+      "src/core/bad.cpp", "#include \"runtime/executor.hpp\"\n");
+  ASSERT_EQ(include_findings.size(), 1u);
+  EXPECT_EQ(include_findings[0].rule, "snapshot-discipline");
+  const auto token_findings =
+      check_file("src/core/bad2.cpp", "ThreadedExecutor<Self> ex;\n");
+  ASSERT_EQ(token_findings.size(), 1u);
+  EXPECT_EQ(token_findings[0].rule, "snapshot-discipline");
+}
+
+TEST(LintSnapshot, AlgorithmContractHeaderIsAllowed) {
+  EXPECT_TRUE(check_file("src/core/ok.cpp",
+                         "#include \"runtime/algorithm.hpp\"\n"
+                         "NeighborView<Register> view;\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Waivers and the baseline
+// ---------------------------------------------------------------------------
+
+TEST(LintWaivers, InlineAllowSilencesOnLineAndLineAbove) {
+  EXPECT_TRUE(check_file("src/graph/a.cpp",
+                         "while (true) {  // lint:allow(unbounded-spin)\n"
+                         "}\n")
+                  .empty());
+  EXPECT_TRUE(check_file("src/graph/b.cpp",
+                         "// lint:allow(unbounded-spin): walk ends at a cut\n"
+                         "while (true) {\n"
+                         "}\n")
+                  .empty());
+  // A waiver names one rule; others on the same line still fire.
+  EXPECT_EQ(rules_of(check_file(
+                "src/graph/c.cpp",
+                "while (true) {  // lint:allow(nondeterminism)\n}\n")),
+            std::vector<std::string>{"unbounded-spin"});
+  // Two lines up is too far: the waiver must sit next to the code.
+  EXPECT_FALSE(check_file("src/graph/d.cpp",
+                          "// lint:allow(unbounded-spin)\n"
+                          "\n"
+                          "while (true) {\n}\n")
+                   .empty());
+}
+
+TEST(LintBaseline, ParsesCommentsAndRejectsGarbage) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::string error;
+  EXPECT_TRUE(parse_baseline("# comment\n"
+                             "\n"
+                             "src/core/a.cpp nondeterminism\n"
+                             "  src/core/b.cpp unbounded-spin\n",
+                             entries, &error))
+      << error;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "src/core/a.cpp");
+  EXPECT_EQ(entries[0].second, "nondeterminism");
+
+  entries.clear();
+  EXPECT_FALSE(parse_baseline("src/core/a.cpp\n", entries, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(
+      parse_baseline("src/core/a.cpp not-a-rule\n", entries, &error));
+  EXPECT_NE(error.find("unknown rule"), std::string::npos);
+  EXPECT_FALSE(
+      parse_baseline("src/core/a.cpp nondeterminism extra\n", entries,
+                     &error));
+}
+
+TEST(LintBaseline, DropsExactlyTheListedFileRulePairs) {
+  std::vector<Finding> findings = {
+      {"src/core/a.cpp", 1, "nondeterminism", "m"},
+      {"src/core/a.cpp", 2, "unbounded-spin", "m"},
+      {"src/core/b.cpp", 3, "nondeterminism", "m"},
+  };
+  const auto kept = apply_baseline(
+      std::move(findings), {{"src/core/a.cpp", "nondeterminism"}});
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].rule, "unbounded-spin");
+  EXPECT_EQ(kept[1].file, "src/core/b.cpp");
+}
+
+TEST(LintRuleIds, EveryRuleHasAnIdAndAScope) {
+  const auto& ids = rule_ids();
+  ASSERT_EQ(ids.size(), 4u);
+  for (const auto& id : ids)
+    EXPECT_TRUE(rule_applies(id, "src/core/x.cpp") ||
+                rule_applies(id, "src/runtime/x.cpp"))
+        << id;
+}
+
+}  // namespace
+}  // namespace ftcc::lint

@@ -77,5 +77,22 @@ TEST(ToBinaryString, FormatsMsbFirst) {
   EXPECT_EQ(to_binary_string(0b1011001), "1011001");
 }
 
+TEST(Bits, ZeroWidthAndMaxWidthIdentifiers) {
+  // The Cole–Vishkin reduction (Eq. (6)) must be well defined at both
+  // extremes of the id space: the all-zero id and 64-bit-saturated ids.
+  for (int k : {0, 1, 31, 63, 64, 100}) EXPECT_EQ(bit_at(0, k), 0u);
+  EXPECT_EQ(bit_at(~0ULL, 0), 1u);
+  EXPECT_EQ(bit_at(~0ULL, 63), 1u);
+  EXPECT_EQ(bit_at(~0ULL, 64), 0u);  // past the word: 0, not UB
+  EXPECT_EQ(bit_length(std::uint64_t{1} << 63), 64);
+  EXPECT_EQ(lowest_differing_bit(0, ~0ULL), 0);
+  EXPECT_EQ(lowest_differing_bit(0, std::uint64_t{1} << 63), 63);
+  EXPECT_EQ(lowest_differing_bit(~0ULL, ~0ULL >> 1), 63);
+  EXPECT_EQ(lowest_differing_bit(0, 0), 64);
+  EXPECT_EQ(to_binary_string(~0ULL), std::string(64, '1'));
+  EXPECT_EQ(to_binary_string(std::uint64_t{1} << 63),
+            "1" + std::string(63, '0'));
+}
+
 }  // namespace
 }  // namespace ftcc

@@ -66,6 +66,28 @@ TEST(SmallValueSet, MexBoundedByCapacity) {
   EXPECT_EQ(s.mex(), 4u);
 }
 
+TEST(Mex, EmptySpanMatchesEmptyInitializerList) {
+  // A node with no awake neighbours (empty neighbour set) takes color 0.
+  const std::span<const std::uint64_t> empty;
+  EXPECT_EQ(mex(empty), 0u);
+  std::vector<std::uint64_t> none;
+  EXPECT_EQ(mex(std::span<const std::uint64_t>(none)), 0u);
+}
+
+TEST(Mex, SaturatedValuesDoNotWrap) {
+  EXPECT_EQ(mex({~0ULL}), 0u);
+  EXPECT_EQ(mex({0, ~0ULL}), 1u);
+}
+
+TEST(SmallValueSet, CapacityOneStillComputesMex) {
+  // Degree-1 nodes (path endpoints) collect a single neighbour value.
+  SmallValueSet<1> s;
+  EXPECT_EQ(s.mex(), 0u);
+  s.insert(0);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.mex(), 1u);
+}
+
 TEST(SmallValueSetDeathTest, OverflowingCapacityAborts) {
   // Capacity is a contract: exceeding it means the caller sized the set
   // wrong for its algorithm, which must fail loudly.

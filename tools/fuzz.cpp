@@ -1,20 +1,28 @@
-// tools/fuzz — drive a schedule-fuzzing campaign, or replay a stored
-// counterexample artifact.
+// tools/fuzz — drive a schedule-fuzzing campaign, the threaded
+// certification campaign, or replay a stored counterexample artifact.
 //
 //   fuzz --seed=42 --trials=500 --nmax=32 --out=artifacts
 //   fuzz --seed=7 --inject=no-termination --trials=20   # demo the shrinker
 //   fuzz --seed=42 --inject=mixed --trials=10000        # faults, wrapped
 //   fuzz --seed=42 --inject=corrupt --raw               # expect violations
+//   fuzz --certify --seed=42 --trials=2000              # HB-certify threads
+//   fuzz --certify --inject=threaded --trials=2000      # ... with faults
 //   fuzz --replay=artifacts/fail-3.sched
 //
-// The report written to stdout is a deterministic function of the flags:
-// two invocations with the same seed produce byte-identical output.
+// The schedule-campaign report written to stdout is a deterministic
+// function of the flags: two invocations with the same seed produce
+// byte-identical output.  (--certify trial *configurations* are seed-
+// deterministic too, but the OS interleavings are not, by design.)
+// A failing run always names its replay artifacts: if --out was not
+// given they are saved under fuzz-artifacts/ (schedules) or
+// race-witnesses/ (event logs).
 // Exit status: 0 = no violations, 1 = violations found (or replay failed
 // to reproduce), 2 = usage or artifact error.
 #include <cstdio>
 #include <iostream>
 
 #include "fuzz/campaign.hpp"
+#include "fuzz/certify_campaign.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -34,16 +42,31 @@ int main(int argc, char** argv) {
       .flag("raw", false,
             "run fault trials without the Recovering<> wrapper (violations "
             "expected under corruption)")
+      .flag("certify", false,
+            "run ThreadedExecutor trials and certify each against the "
+            "state model via the happens-before log (see tools/race)")
       .flag("replay", std::string(""),
             "replay a stored .sched artifact instead of fuzzing");
   if (!cli.parse(argc, argv)) return 2;
 
+  const bool certify = cli.get_bool("certify");
   const std::string replay_path = cli.get_string("replay");
   const std::string inject_name = cli.get_string("inject");
   ftcc::InjectedFault inject = ftcc::InjectedFault::none;
   ftcc::FaultMode fault_mode = ftcc::FaultMode::none;
+  bool threaded_faults = false;
   if (inject_name == "none") {
     // defaults
+  } else if (certify) {
+    // The certify campaign's only fault class is the threaded publish-point
+    // one; accept "threaded" (or any of the register-fault names) to arm it.
+    if (inject_name != "threaded" && inject_name != "corrupt" &&
+        inject_name != "mixed") {
+      std::cerr << "unknown --inject value '" << inject_name
+                << "' for --certify (use threaded)\n";
+      return 2;
+    }
+    threaded_faults = true;
   } else if (inject_name == "no-termination") {
     inject = ftcc::InjectedFault::no_termination;
   } else if (inject_name == "corrupt") {
@@ -81,16 +104,44 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const auto n_min = static_cast<ftcc::NodeId>(cli.get_u64("nmin"));
+  const auto n_max = static_cast<ftcc::NodeId>(cli.get_u64("nmax"));
+  if (n_min < 3 || n_min > n_max) {
+    std::cerr << "invalid range --nmin=" << n_min << " --nmax=" << n_max
+              << " (need 3 <= nmin <= nmax)\n";
+    return 2;
+  }
+  const std::string algo_flag = cli.get_string("algo");
+  if (algo_flag != "all" && !ftcc::known_algorithm(algo_flag)) {
+    std::cerr << "unknown --algo value '" << algo_flag << "'\n";
+    return 2;
+  }
+
+  if (certify) {
+    ftcc::CertifyCampaignOptions options;
+    options.seed = cli.get_u64("seed");
+    options.trials = cli.get_u64("trials");
+    options.n_min = n_min;
+    // The schedule campaign's default n range is sized for sequential
+    // replay; threads are costlier, so cap the default certify range.
+    options.n_max = std::min<ftcc::NodeId>(n_max, 12);
+    options.artifact_dir = cli.get_string("out");
+    options.inject_faults = threaded_faults;
+    if (algo_flag != "all") options.algos = {algo_flag};
+    ftcc::CertifyCampaignReport report = ftcc::run_certify_campaign(options);
+    std::cout << report.text;
+    if (!report.failures.empty())
+      for (const std::string& line :
+           ftcc::persist_certify_witnesses(report, "race-witnesses"))
+        std::cout << line << "\n";
+    return report.failures.empty() ? 0 : 1;
+  }
+
   ftcc::CampaignOptions options;
   options.seed = cli.get_u64("seed");
   options.trials = cli.get_u64("trials");
-  options.n_min = static_cast<ftcc::NodeId>(cli.get_u64("nmin"));
-  options.n_max = static_cast<ftcc::NodeId>(cli.get_u64("nmax"));
-  if (options.n_min < 3 || options.n_min > options.n_max) {
-    std::cerr << "invalid range --nmin=" << options.n_min
-              << " --nmax=" << options.n_max << " (need 3 <= nmin <= nmax)\n";
-    return 2;
-  }
+  options.n_min = n_min;
+  options.n_max = n_max;
   options.artifact_dir = cli.get_string("out");
   options.shrink = cli.get_bool("shrink");
   options.inject = inject;
@@ -98,16 +149,15 @@ int main(int argc, char** argv) {
   // Real faults default to running under the self-healing wrapper; --raw
   // exposes the unprotected algorithms (corruption is expected to bite).
   options.wrap = fault_mode != ftcc::FaultMode::none && !cli.get_bool("raw");
-  const std::string algo = cli.get_string("algo");
-  if (algo != "all") {
-    if (!ftcc::known_algorithm(algo)) {
-      std::cerr << "unknown --algo value '" << algo << "'\n";
-      return 2;
-    }
-    options.algos = {algo};
-  }
+  if (algo_flag != "all") options.algos = {algo_flag};
 
-  const ftcc::CampaignReport report = ftcc::run_campaign(options);
+  ftcc::CampaignReport report = ftcc::run_campaign(options);
   std::cout << report.text;
+  // A failing campaign must always name its replay artifacts — also with
+  // --raw and no --out (the campaign itself only saves into --out).
+  if (!report.failures.empty())
+    for (const std::string& line :
+         ftcc::persist_failure_artifacts(report, "fuzz-artifacts"))
+      std::cout << line << "\n";
   return report.failures.empty() ? 0 : 1;
 }

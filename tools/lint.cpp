@@ -1,0 +1,100 @@
+// tools/lint — enforce the repo's bespoke discipline rules (src/lint/):
+// concurrency primitives confined to src/runtime/, no unbounded spin
+// loops, no nondeterminism in algorithm/fuzz code, and algorithm code
+// touching neighbour state only via the step() snapshot.
+//
+//   lint --root=.                 # lint src/ and tools/ (CI invocation)
+//   lint --root=. --rules         # list the rule ids
+//
+// Findings are waived either inline (`// lint:allow(rule-id)` on or above
+// the offending line — preferred, the justification lives next to the
+// code) or via the committed baseline file (one `path rule` per line).
+// Exit status: 0 = clean, 1 = findings, 2 = usage/configuration error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lint/rules.hpp"
+#include "util/cli.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftcc::Cli cli;
+  cli.flag("root", std::string("."), "repository root to lint")
+      .flag("baseline", std::string("lint-baseline.txt"),
+            "baseline file, relative to --root (missing = empty)")
+      .flag("rules", false, "list rule ids and exit");
+  if (!cli.parse(argc, argv)) return 2;
+
+  if (cli.get_bool("rules")) {
+    for (const std::string& id : ftcc::lint::rule_ids())
+      std::cout << id << "\n";
+    return 0;
+  }
+
+  const fs::path root = cli.get_string("root");
+  std::vector<std::pair<std::string, std::string>> baseline;
+  {
+    const fs::path baseline_path = root / cli.get_string("baseline");
+    std::string content;
+    if (read_file(baseline_path, content)) {
+      std::string error;
+      if (!ftcc::lint::parse_baseline(content, baseline, &error)) {
+        std::cerr << baseline_path.string() << ": " << error << "\n";
+        return 2;
+      }
+    }
+  }
+
+  std::vector<ftcc::lint::Finding> findings;
+  std::size_t files = 0;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());  // deterministic report order
+    for (const fs::path& path : paths) {
+      std::string content;
+      if (!read_file(path, content)) {
+        std::cerr << "cannot read " << path.string() << "\n";
+        return 2;
+      }
+      ++files;
+      const std::string rel =
+          fs::relative(path, root).generic_string();
+      for (auto& f : ftcc::lint::check_file(rel, content))
+        findings.push_back(std::move(f));
+    }
+  }
+  findings = ftcc::lint::apply_baseline(std::move(findings), baseline);
+
+  for (const auto& f : findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  std::cout << "lint: " << files << " files, " << findings.size()
+            << " finding" << (findings.size() == 1 ? "" : "s") << ", "
+            << baseline.size() << " baselined\n";
+  return findings.empty() ? 0 : 1;
+}
