@@ -12,6 +12,7 @@
 #include "core/algo5_fast_six_coloring.hpp"
 #include "sched/adversary_search.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -33,7 +34,8 @@ void row(Table& table, const char* name, NodeId n, const IdAssignment& ids,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("adversary", argc, argv);
   using namespace ftcc;
   Table table({"algorithm", "n", "worst rounds found", "worst family",
                "censored runs", "total runs", "proper"});
@@ -44,12 +46,12 @@ int main() {
     row<FiveColoringFast>(table, "algo3", n, sorted, 200000);
     row<SixColoringFast>(table, "algo5 (ext)", n, sorted, 200000);
   }
-  table.print(
+  out.table(table, 
       "E15 — adversary portfolio search on sorted identifiers (empirical "
       "worst case; censored = hit the step budget)");
   std::printf(
       "\nCensored runs are candidate livelocks: expected 0 for Algorithms "
       "1/5, possible for\n2/3 under the lockstep family (cf. E9's exact "
       "verdicts).\n");
-  return 0;
+  return out.finish();
 }

@@ -3,9 +3,11 @@
 // identifier shapes and schedulers.  Prints max/mean activations per cell
 // against the theorem bound.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo1_six_coloring.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("algo1_rounds", argc, argv);
   using namespace ftcc;
   using namespace ftcc::bench;
 
@@ -28,7 +30,7 @@ int main() {
       }
     }
   }
-  table.print(
+  out.table(table, 
       "E1 / Theorem 3.1 — Algorithm 1 (6-coloring): activations vs bound");
-  return 0;
+  return out.finish();
 }

@@ -3,10 +3,12 @@
 // = O(log n) on random identifiers.  Prints both regimes side by side,
 // plus the livelock caveat measured under simultaneous activation.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo2_five_coloring.hpp"
 #include "graph/chains.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("algo2_rounds", argc, argv);
   using namespace ftcc;
   using namespace ftcc::bench;
 
@@ -34,7 +36,7 @@ int main() {
            sync_cell.all_proper && single_cell.all_proper ? "yes" : "NO"});
     }
   }
-  table.print(
+  out.table(table, 
       "E3 / Theorem 3.11 — Algorithm 2 (5-coloring, linear): Θ(n) on sorted "
       "ids, Θ(longest chain) on random ids");
   std::printf(
@@ -42,5 +44,5 @@ int main() {
       "activate neighbours\nsimultaneously in lockstep, Algorithm 2 as "
       "printed can livelock; the bounds above are\nfor the schedulers "
       "shown, and hold exactly under interleaving semantics (see E9).\n");
-  return 0;
+  return out.finish();
 }

@@ -4,12 +4,14 @@
 // three orders of magnitude.  This is the series a "Figure 1" of a full
 // version would plot.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo2_five_coloring.hpp"
 #include "core/algo3_fast_five_coloring.hpp"
 #include "core/algo5_fast_six_coloring.hpp"
 #include "util/logstar.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("algo3_logstar", argc, argv);
   using namespace ftcc;
   using namespace ftcc::bench;
 
@@ -47,8 +49,8 @@ int main() {
              ? "yes"
              : "NO"});
   }
-  table.print(
+  out.table(table, 
       "E4 / Theorem 4.4 — Algorithm 3 (fast 5-coloring): O(log* n) "
       "activations on sorted identifiers");
-  return 0;
+  return out.finish();
 }

@@ -11,6 +11,7 @@
 #include "core/algo5_fast_six_coloring.hpp"
 #include "modelcheck/explorer.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -37,7 +38,8 @@ void row(Table& table, const char* name, A algo, const IdAssignment& ids,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("atomicity", argc, argv);
   Table table({"algorithm", "atomicity", "semantics", "configs",
                "wait-free", "safe", "exact worst rounds"});
   const IdAssignment ids3 = {10, 20, 30};
@@ -50,7 +52,7 @@ int main() {
       row(table, "algo5 (ext)", SixColoringFast{}, idsr, mode, atomicity);
     }
   }
-  table.print(
+  out.table(table, 
       "E16 — atomicity ablation on C_3: the paper's atomic write-read "
       "rounds vs split micro-steps (exhaustive)");
   std::printf(
@@ -58,5 +60,5 @@ int main() {
       "read.  Algorithms 1/5\nnever needed the immediate-snapshot atomicity;"
       " Algorithms 2/3 lose wait-freedom even\nunder singleton scheduling "
       "(staleness emulates lockstep).  Safety holds everywhere.\n");
-  return 0;
+  return out.finish();
 }

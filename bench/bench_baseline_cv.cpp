@@ -3,11 +3,13 @@
 // ~log*(n) + 3 rounds; Algorithm 3 pays a constant-factor premium for
 // tolerating full asynchrony and crashes, but scales identically.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo3_fast_five_coloring.hpp"
 #include "localmodel/cole_vishkin.hpp"
 #include "util/logstar.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("baseline_cv", argc, argv);
   using namespace ftcc;
   using namespace ftcc::bench;
 
@@ -31,12 +33,12 @@ int main() {
          Table::cell(sync_cell.max_activations.max(), 0),
          Table::cell(rand_cell.max_activations.max(), 0)});
   }
-  table.print(
+  out.table(table, 
       "E6 — synchronous Cole-Vishkin (LOCAL, failure-free) vs Algorithm 3 "
       "(asynchronous, crash-prone)");
   std::printf(
       "\nBoth scale as O(log* n); the asynchronous algorithm trades 2 extra "
       "colors and a\nconstant-factor more rounds for wait-freedom under "
       "crashes and arbitrary scheduling.\n");
-  return 0;
+  return out.finish();
 }

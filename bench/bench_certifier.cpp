@@ -15,6 +15,7 @@
 #include "runtime/threaded_executor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -76,14 +77,15 @@ void sweep(Table& table, const char* name, bool faults) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("certifier", argc, argv);
   Table table({"algorithm", "n (threads)", "faults", "certified", "atomic",
                "events p50", "certify ms", "record Δms"});
   sweep<SixColoring>(table, "algo1", false);
   sweep<SixColoring>(table, "algo1", true);
   sweep<SixColoringFast>(table, "algo5 (ext)", false);
   sweep<FiveColoringFast>(table, "algo3", false);
-  table.print(
+  out.table(table, 
       "E21 — certifying recorded threaded runs (10 runs per cell; "
       "certified must be 10/10)");
   std::printf(
@@ -92,5 +94,5 @@ int main() {
       "paper's atomic model.\nRecording overhead (Δms) is noise-level: the "
       "log is per-thread appends with\nno synchronization.  Fault rows "
       "stay split-only by construction.\n");
-  return 0;
+  return out.finish();
 }

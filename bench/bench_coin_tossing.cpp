@@ -8,6 +8,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "bench_gbench_json.hpp"
+#include "bench_json.hpp"
 #include "core/coin_tossing.hpp"
 #include "util/bits.hpp"
 #include "util/logstar.hpp"
@@ -18,7 +20,7 @@ namespace {
 
 using namespace ftcc;
 
-void print_tables() {
+void print_tables(bench::BenchOut& out) {
   // Lemma checks over exhaustive ranges.
   std::uint64_t contraction_checked = 0;
   bool contraction_ok = true;
@@ -50,7 +52,8 @@ void print_tables() {
                    Table::cell(std::int64_t{envelope_iterations_below_10(x)}),
                    Table::cell(std::int64_t{
                        log_star(static_cast<double>(x))})});
-  table.print("E10 / Lemma 4.1 — iterated reduction reaches <10 in O(log*)");
+  out.table(table,
+            "E10 / Lemma 4.1 — iterated reduction reaches <10 in O(log*)");
 }
 
 void BM_CvReduce(benchmark::State& state) {
@@ -68,8 +71,11 @@ BENCHMARK(BM_CvReduce);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  ftcc::bench::BenchOut out("coin_tossing", argc, argv);
+  print_tables(out);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  ftcc::bench::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  out.record(reporter.table(), "E10 — cv_reduce microbenchmark");
+  return out.finish();
 }

@@ -4,6 +4,7 @@
 // run.  The paper's model makes crashes schedule-equivalent, so this is
 // the fault-injection face of the same theorems.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo1_six_coloring.hpp"
 #include "core/algo2_five_coloring.hpp"
 #include "core/algo3_fast_five_coloring.hpp"
@@ -52,15 +53,16 @@ void sweep(Table& table, const char* name, Algo algo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("crash_tolerance", argc, argv);
   using namespace ftcc;
   Table table({"algorithm", "crash rate", "mean survivors (of 64)",
                "mean acts (survivors)", "max acts", "proper in all runs"});
   sweep(table, "algo1", SixColoring{}, linear_step_budget(64));
   sweep(table, "algo2", FiveColoringLinear{}, linear_step_budget(64));
   sweep(table, "algo3", FiveColoringFast{}, logstar_step_budget(64));
-  table.print(
+  out.table(table, 
       "E5 — crash-rate sweep on C_64 (random ids, random scheduler, 20 "
       "seeds per cell)");
-  return 0;
+  return out.finish();
 }

@@ -12,8 +12,10 @@
 #include "sched/schedulers.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("decoupled", argc, argv);
   using namespace ftcc;
 
   Table table({"n", "scheduler", "completed", "colors", "max acts",
@@ -59,12 +61,12 @@ int main() {
                    Table::cell(result.max_activations()),
                    Table::cell(stalled)});
   }
-  table.print(
+  out.table(table, 
       "E13 — DECOUPLED model (synchronous reliable network, asynchronous "
       "processes): Cole-Vishkin transfer, 3 colors, crash-fragile");
   std::printf(
       "\nFailure-free: 3 colors under every fair schedule.  One crash: the "
       "naive transfer\nstalls (the paper's model instead 5-colors through "
       "any number of crashes).\n");
-  return 0;
+  return out.finish();
 }

@@ -10,6 +10,7 @@
 // censoring reflects faults, not the E9 livelock.
 #include "analysis/containment.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo1_six_coloring.hpp"
 #include "core/algo5_fast_six_coloring.hpp"
 #include "core/recovering.hpp"
@@ -90,7 +91,8 @@ void all_classes(Table& table, const char* name, Algo algo) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("fault_containment", argc, argv);
   using namespace ftcc;
   Table table({"algorithm", "fault class", "mean changed decisions",
                "max radius (hops)", "mean extra acts", "faulty completed"});
@@ -98,9 +100,9 @@ int main() {
   all_classes(table, "algo5-ext", SixColoringFast{});
   all_classes(table, "algo1+wrap", Recovering<SixColoring>{});
   all_classes(table, "algo5-ext+wrap", Recovering<SixColoringFast>{});
-  table.print(
+  out.table(table, 
       "E20 — fault containment on C_32 (random ids, random-subset schedule "
       "prefix of 4n steps, 20 seeds per cell; radius -1 = no decision "
       "changed)");
-  return 0;
+  return out.finish();
 }

@@ -10,8 +10,10 @@
 #include "core/algo_four_coloring_attempt.hpp"
 #include "modelcheck/explorer.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("four_coloring", argc, argv);
   using namespace ftcc;
   const IdAssignment perms[] = {{10, 20, 30}, {10, 30, 20}, {20, 10, 30},
                                 {20, 30, 10}, {30, 10, 20}, {30, 20, 10}};
@@ -43,7 +45,7 @@ int main() {
            all_wf ? Table::cell(worst) : "inf", Table::cell(colors)});
     }
   }
-  table.print(
+  out.table(table, 
       "E19 / Property 2.3 — 4-color-clamped Algorithm 2 on C_3, "
       "exhaustively, across semantics");
   std::printf(
@@ -51,5 +53,5 @@ int main() {
       "activations (the paper's\nsets) or split write/read rounds (real "
       "shared memory).  Interleaved atomic immediate\nsnapshots are "
       "strictly stronger — there even 3 colors suffice on C_3.\n");
-  return 0;
+  return out.finish();
 }

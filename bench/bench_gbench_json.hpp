@@ -1,0 +1,49 @@
+// google-benchmark side of --json: a console reporter that additionally
+// records every (non-errored) run into a fixed-arity Table, so the two
+// gbench binaries emit the same "ftcc-bench-v1" document as the
+// table-only benches.  Counters are flattened into one "a=b;c=d" cell to
+// keep the grid rectangular across benchmarks with different counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "util/table.hpp"
+
+namespace ftcc::bench {
+
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string counters;
+      for (const auto& [name, counter] : run.counters) {
+        double value = counter.value;
+        // Mirror the console's per-second adjustment for rate counters.
+        if ((counter.flags & benchmark::Counter::kIsRate) &&
+            run.real_accumulated_time > 0)
+          value /= run.real_accumulated_time;
+        if (!counters.empty()) counters += ";";
+        counters += name + "=" + Table::cell(value);
+      }
+      table_.add_row({run.benchmark_name(),
+                      Table::cell(static_cast<std::uint64_t>(run.iterations)),
+                      Table::cell(run.GetAdjustedRealTime()),
+                      Table::cell(run.GetAdjustedCPUTime()),
+                      benchmark::GetTimeUnitString(run.time_unit), counters});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const Table& table() const noexcept { return table_; }
+
+ private:
+  Table table_{{"benchmark", "iterations", "real_time", "cpu_time", "unit",
+                "counters"}};
+};
+
+}  // namespace ftcc::bench

@@ -2,9 +2,11 @@
 // Sweeps graph families and degree caps; reports the palette actually used
 // against the (Δ+1)(Δ+2)/2 bound, activations, and properness.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo4_general_graph.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("general_graphs", argc, argv);
   using namespace ftcc;
   using namespace ftcc::bench;
 
@@ -56,8 +58,8 @@ int main() {
                    Table::cell(mean_acts.mean(), 2),
                    proper ? "yes" : "NO"});
   }
-  table.print(
+  out.table(table, 
       "E7 / Appendix A — Algorithm 4 on general graphs: palette vs O(Δ²) "
       "bound (10 seeds per family)");
-  return 0;
+  return out.finish();
 }

@@ -10,8 +10,10 @@
 #include "shm/immediate_snapshot.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("immediate_snapshot", argc, argv);
   using namespace ftcc;
 
   Table exhaustive({"n", "semantics", "atomicity", "configs", "wait-free",
@@ -45,7 +47,7 @@ int main() {
       }
     }
   }
-  exhaustive.print(
+  out.table(exhaustive, 
       "E17 — immediate snapshot from write-read rounds: exhaustive "
       "verification (self-inclusion, containment, immediacy)");
 
@@ -76,6 +78,6 @@ int main() {
                       Table::cell(std::uint64_t{n})});
   }
   std::printf("\n");
-  measured.print("E17 — immediate snapshot at larger n (randomized runs)");
-  return 0;
+  out.table(measured, "E17 — immediate snapshot at larger n (randomized runs)");
+  return out.finish();
 }

@@ -7,8 +7,10 @@
 #include "mis/greedy_mis.hpp"
 #include "modelcheck/explorer.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("mis_impossibility", argc, argv);
   using namespace ftcc;
 
   Table table({"n", "patience", "configs explored", "violation found",
@@ -44,12 +46,12 @@ int main() {
                      r.safety_violation ? *r.safety_violation : "-"});
     }
   }
-  table.print(
+  out.table(table, 
       "E11 / Property 2.1 — every patience parameterisation of the greedy "
       "MIS protocol fails on some schedule");
   std::printf(
       "\nThe impossibility (reduction to strong symmetry breaking) predicts "
       "every wait-free\nprotocol has such an execution; the checker "
       "exhibits one for each candidate.\n");
-  return 0;
+  return out.finish();
 }

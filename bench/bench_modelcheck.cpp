@@ -11,6 +11,7 @@
 #include "core/algo5_fast_six_coloring.hpp"
 #include "modelcheck/explorer.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -40,7 +41,8 @@ IdAssignment mixed_ids(NodeId n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("modelcheck", argc, argv);
   Table table({"algorithm", "n", "semantics", "configs", "transitions",
                "wait-free", "safe", "exact worst acts", "colors"});
   for (NodeId n : {3u, 4u, 5u}) {
@@ -53,7 +55,7 @@ int main() {
       row(table, "algo5 (ext)", SixColoringFast{}, n, ids, mode);
     }
   }
-  table.print(
+  out.table(table, 
       "E9 — exhaustive model checking: all schedules on C_3..C_5 "
       "(exact worst-case bounds; 'NO' = lockstep livelock finding)");
 
@@ -85,6 +87,6 @@ int main() {
   deep_row("algo2", FiveColoringLinear{}, 7, ActivationMode::singletons);
   deep_row("algo5 (ext)", SixColoringFast{}, 6, ActivationMode::sets);
   std::printf("\n");
-  deep.print("E9 (deeper) — C_6 and C_7 where affordable");
-  return 0;
+  out.table(deep, "E9 (deeper) — C_6 and C_7 where affordable");
+  return out.finish();
 }

@@ -5,9 +5,11 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/algo1_six_coloring.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("monotone_distance", argc, argv);
   using namespace ftcc;
   using namespace ftcc::bench;
 
@@ -64,8 +66,8 @@ int main() {
                    Table::cell(bucket.tightest_bound),
                    Table::cell(bucket.count), Table::cell(bucket.worst),
                    bucket.violated ? "NO" : "yes"});
-  table.print(
+  out.table(table, 
       "E2 / Lemma 3.9 — per-node activations vs min{3l,3l',l+l'}+4 "
       "(C_256, 3 id shapes x 10 seeds x 3 schedulers)");
-  return 0;
+  return out.finish();
 }

@@ -5,9 +5,11 @@
 // and the renaming lower-bound model coincide, which is why 5 colors are
 // necessary for the class of all cycles.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "shm/renaming.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("renaming", argc, argv);
   using namespace ftcc;
   using namespace ftcc::bench;
 
@@ -46,8 +48,8 @@ int main() {
                      unique ? "yes" : "NO"});
     }
   }
-  table.print(
+  out.table(table, 
       "E8 — rank-based (2n-1)-renaming on K_n (immediate-snapshot shared "
       "memory; 20 seeds per cell)");
-  return 0;
+  return out.finish();
 }

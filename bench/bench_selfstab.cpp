@@ -8,8 +8,10 @@
 #include "selfstab/greedy_recolor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("selfstab", argc, argv);
   using namespace ftcc;
 
   struct Family {
@@ -64,7 +66,7 @@ int main() {
                    Table::cell(static_cast<double>(result.moves), 0), "-",
                    "-"});
   }
-  table.print(
+  out.table(table, 
       "E14 — self-stabilizing greedy coloring: corruption recovery vs "
       "daemon (20 corrupt starts per cell)");
   std::printf(
@@ -72,5 +74,5 @@ int main() {
       "daemon: may\noscillate forever — the same simultaneity failure mode "
       "as the Algorithm 2\nlockstep livelock, in the self-stabilization "
       "world.\n");
-  return 0;
+  return out.finish();
 }

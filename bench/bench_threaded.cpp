@@ -14,6 +14,7 @@
 #include "runtime/threaded_executor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -54,13 +55,14 @@ void sweep(Table& table, const char* name, bool sorted) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("threaded", argc, argv);
   Table table({"algorithm", "n (threads)", "ids", "completed",
                "rounds p50", "rounds max", "wall ms (mean)", "proper"});
   sweep<SixColoring>(table, "algo1", false);
   sweep<SixColoringFast>(table, "algo5 (ext)", true);
   sweep<FiveColoringFast>(table, "algo3", false);
-  table.print(
+  out.table(table, 
       "E18 — real threads + seqlock registers (10 runs per cell; "
       "algo1/algo5 provably terminate, algo3 probabilistically)");
   std::printf(
@@ -68,5 +70,5 @@ int main() {
       "unchanged\nneighbour registers — wall-clock, not the model's "
       "activation complexity, is the\nrelevant column.  Safety must hold "
       "in every run (E16).\n");
-  return 0;
+  return out.finish();
 }

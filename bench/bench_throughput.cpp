@@ -4,6 +4,8 @@
 // the scales used by E1-E8.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.hpp"
+#include "bench_json.hpp"
 #include "core/algo1_six_coloring.hpp"
 #include "core/algo2_five_coloring.hpp"
 #include "core/algo3_fast_five_coloring.hpp"
@@ -50,4 +52,12 @@ BENCHMARK(BM_Algo1)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
 BENCHMARK(BM_Algo2)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
 BENCHMARK(BM_Algo3)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("throughput", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  ftcc::bench::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  out.record(reporter.table(),
+             "E12 — activations per second (google-benchmark runs)");
+  return out.finish();
+}

@@ -29,7 +29,8 @@ std::string event_name(NodeId node, const HbEvent& e) {
 
 }  // namespace
 
-HbAnalysis analyze_hb(const HbLog& log, const Graph& graph) {
+HbAnalysis analyze_hb(const HbLog& log, const Graph& graph,
+                      obs::TraceSink* trace) {
   HbAnalysis out;
   const NodeId n = graph.node_count();
   FTCC_EXPECTS(log.node_count() == n);
@@ -37,6 +38,7 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph) {
     out.violations.push_back({kind, message});
   };
 
+  obs::Span direct_span(trace, "certify.direct", "certify");
   // --- Phase A: per-cell version protocol -------------------------------
   std::vector<std::vector<VersionEvent>> changes(n);
   for (NodeId u = 0; u < n; ++u) {
@@ -128,8 +130,10 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph) {
       last_seen[e.peer] = std::max(last_seen[e.peer], v);
     }
   }
+  out.stage_us[0] = direct_span.end();
   if (!out.violations.empty()) return out;
 
+  obs::Span graph_span(trace, "certify.graph", "certify");
   // --- Phase C: the happens-before graph --------------------------------
   // Global ids are (node, index) in lexicographic order, which also makes
   // the Kahn min-heap tie-break deterministic.
@@ -168,6 +172,9 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph) {
     }
   }
 
+  out.stage_us[1] = graph_span.end();
+
+  obs::Span linearize_span(trace, "certify.linearize", "certify");
   // --- Phase D: deterministic Kahn linearization ------------------------
   std::priority_queue<std::size_t, std::vector<std::size_t>,
                       std::greater<>>
@@ -218,9 +225,11 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph) {
     }
     violate("cycle", os.str());
     out.order.clear();
+    out.stage_us[2] = linearize_span.end();
     return out;
   }
   out.ok = true;
+  out.stage_us[2] = linearize_span.end();
   return out;
 }
 

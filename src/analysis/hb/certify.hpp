@@ -39,6 +39,7 @@
 //      the report records which level was reached.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <sstream>
@@ -48,6 +49,7 @@
 #include "analysis/hb/event_log.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
+#include "obs/span.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/hb_log.hpp"
 #include "sched/schedulers.hpp"
@@ -80,6 +82,10 @@ struct HbAnalysis {
   /// Vector clock per event, addressed clocks[node][index][other_node]
   /// (valid iff ok).  clock(e)[u] = number of u's events HB-before-or-at e.
   std::vector<std::vector<std::vector<std::uint32_t>>> clocks;
+  /// Stage wall times in µs: [0] direct checks, [1] HB graph,
+  /// [2] linearization + vector clocks.  Diagnostics only — never fed back
+  /// into any decision.
+  std::array<std::uint64_t, 3> stage_us{};
 
   /// True iff neither event happens-before the other (they raced).
   [[nodiscard]] bool concurrent(const HbRef& a, const HbRef& b) const {
@@ -92,8 +98,10 @@ struct HbAnalysis {
 };
 
 /// Run well-formedness checks, build the HB graph, compute vector clocks,
-/// and linearize.  Pure function of the log and the topology.
-[[nodiscard]] HbAnalysis analyze_hb(const HbLog& log, const Graph& graph);
+/// and linearize.  Pure function of the log and the topology (stage_us and
+/// the optional trace spans record wall time but influence nothing).
+[[nodiscard]] HbAnalysis analyze_hb(const HbLog& log, const Graph& graph,
+                                    obs::TraceSink* trace = nullptr);
 
 /// Try to collapse a linearizable, fault-free log to a σ-schedule of the
 /// ATOMIC model (one singleton activation per completed round).  Returns
@@ -111,6 +119,10 @@ struct CertifyReport {
   std::vector<CertifyViolation> violations;
   /// The σ-schedule of the atomic collapse (valid iff atomic).
   std::vector<std::vector<NodeId>> atomic_schedule;
+  /// Stage wall times in µs: [0] direct checks, [1] HB graph,
+  /// [2] linearization, [3] sequential re-execution, [4] atomic collapse.
+  /// Stages that never ran (earlier failure) stay 0.
+  std::array<std::uint64_t, 5> stage_us{};
 
   [[nodiscard]] bool ok() const { return linearizable && equivalent; }
   [[nodiscard]] std::string summary() const {
@@ -328,22 +340,33 @@ bool replay_atomic(const A& algo, const Graph& graph, const IdAssignment& ids,
   return ok;
 }
 
-/// The full pipeline over a recorded log.
+/// The full pipeline over a recorded log.  When `trace` is non-null each
+/// stage lands as a complete event in the Chrome-trace sink; stage_us is
+/// filled either way.
 template <ThreadSafeAlgorithm A>
 CertifyReport certify_log(const A& algo, const Graph& graph,
-                          const IdAssignment& ids, const HbLog& log) {
+                          const IdAssignment& ids, const HbLog& log,
+                          obs::TraceSink* trace = nullptr) {
   FTCC_EXPECTS(ids.size() == graph.node_count());
   FTCC_EXPECTS(log.node_count() == graph.node_count());
   CertifyReport report;
   report.events = log.total_events();
-  HbAnalysis analysis = analyze_hb(log, graph);
+  HbAnalysis analysis = analyze_hb(log, graph, trace);
   report.violations = std::move(analysis.violations);
   report.linearizable = analysis.ok;
+  report.stage_us[0] = analysis.stage_us[0];
+  report.stage_us[1] = analysis.stage_us[1];
+  report.stage_us[2] = analysis.stage_us[2];
   if (!report.linearizable) return report;
-  report.rounds = replay_linearization(algo, graph, ids, log, analysis.order,
-                                       report.violations);
+  {
+    obs::Span span(trace, "certify.reexecute", "certify");
+    report.rounds = replay_linearization(algo, graph, ids, log,
+                                         analysis.order, report.violations);
+    report.stage_us[3] = span.end();
+  }
   report.equivalent = report.violations.empty();
   if (!report.equivalent) return report;
+  obs::Span span(trace, "certify.collapse", "certify");
   if (auto sigmas = collapse_atomic(log, graph)) {
     if (replay_atomic(algo, graph, ids, log, *sigmas, report.violations)) {
       report.atomic = true;
@@ -355,6 +378,7 @@ CertifyReport certify_log(const A& algo, const Graph& graph,
       report.equivalent = false;
     }
   }
+  report.stage_us[4] = span.end();
   return report;
 }
 

@@ -10,6 +10,7 @@
 #include "core/recovering.hpp"
 #include "faults/invariants.hpp"
 #include "fuzz/dispatch.hpp"
+#include "graph/chains.hpp"
 #include "fuzz/recording_scheduler.hpp"
 #include "sched/adversary_search.hpp"
 #include "util/assert.hpp"
@@ -26,6 +27,7 @@ struct RecordedRun {
   std::uint64_t max_acts = 0;
   std::vector<std::vector<NodeId>> sigmas;
   std::vector<NodeFate> fates;
+  std::vector<std::uint64_t> activations;
 };
 
 template <Algorithm A>
@@ -71,6 +73,7 @@ RecordedRun run_recorded(A algo, const Graph& graph, const IdAssignment& ids,
   run.max_acts = result.max_activations();
   run.sigmas = recorder.take();
   run.fates = result.fates;
+  run.activations = result.activations;
   return run;
 }
 
@@ -315,9 +318,39 @@ CampaignReport run_campaign(const CampaignOptions& options) {
      << " wrap=" << (options.wrap ? 1 : 0)
      << " shrink=" << (options.shrink ? 1 : 0) << "\n";
 
+  // Resolved observability handles (a null registry leaves them all null;
+  // each use is one branch).  Nothing below feeds back into the campaign.
+  struct {
+    obs::Counter* trials = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* censored = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* shrink_checks = nullptr;
+    obs::Histogram* trial_us = nullptr;
+    obs::Histogram* trial_steps = nullptr;
+    obs::Histogram* lemma39_headroom = nullptr;
+    obs::Gauge* trials_per_sec = nullptr;
+  } m;
+  if (options.metrics != nullptr) {
+    obs::Registry& reg = *options.metrics;
+    m.trials = &reg.counter("fuzz.trials");
+    m.ok = &reg.counter("fuzz.trials.ok");
+    m.censored = &reg.counter("fuzz.trials.censored");
+    m.failures = &reg.counter("fuzz.trials.failures");
+    m.shrink_checks = &reg.counter("fuzz.shrink.checks");
+    m.trial_us = &reg.histogram("fuzz.trial_us");
+    m.trial_steps = &reg.histogram("fuzz.trial_steps");
+    m.lemma39_headroom = &reg.histogram("fuzz.lemma39_headroom");
+    m.trials_per_sec = &reg.gauge("fuzz.trials_per_sec");
+  }
+  obs::Stopwatch campaign_watch;
+  const std::uint64_t progress_every =
+      std::max<std::uint64_t>(options.progress_every, 1);
+
   CampaignReport report;
   Xoshiro256 master(options.seed);
   for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    obs::Span trial_span(options.trace, "fuzz.trial", "fuzz", m.trial_us);
     const std::uint64_t trial_seed = master();
     TrialConfig cfg = generate_trial(algos, options.n_min, options.n_max,
                                      trial_seed, options.fault_mode);
@@ -334,6 +367,10 @@ CampaignReport run_campaign(const CampaignOptions& options) {
         });
 
     ++report.trials;
+    if (m.trials) {
+      m.trials->inc();
+      m.trial_steps->observe(run.steps);
+    }
     os << "trial " << trial << " algo=" << cfg.algo
        << " graph=" << cfg.graph_kind << " n=" << cfg.n
        << " ids=" << cfg.ids_family << " sched=" << cfg.sched_family
@@ -363,7 +400,9 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       failure.violation = *run.violation;
       failure.original_n = witness.n;
       failure.original_steps = witness.sigmas.size();
+      if (m.failures) m.failures->inc();
       if (options.shrink) {
+        obs::Span shrink_span(options.trace, "fuzz.shrink", "fuzz");
         ShrinkOptions shrink_options;
         shrink_options.max_checks = options.shrink_checks;
         shrink_options.min_nodes = cfg.graph_kind == "path" ? 2u : 3u;
@@ -375,6 +414,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
             shrink_options);
         failure.shrink.artifact.violation =
             replay_violation(failure.shrink.artifact, options.inject);
+        if (m.shrink_checks) m.shrink_checks->inc(failure.shrink.checks);
         os << "shrunk trial " << trial << ": n " << failure.original_n << "->"
            << failure.shrink.artifact.n << " steps " << failure.original_steps
            << "->" << failure.shrink.artifact.sigmas.size()
@@ -391,6 +431,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       report.failures.push_back(std::move(failure));
     } else if (!run.completed) {
       ++report.censored;
+      if (m.censored) m.censored->inc();
       os << "censored budget=" << budget << " fates=" << format_fates(run.fates);
       os << " timed_out=";
       bool first = true;
@@ -403,9 +444,39 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       os << "\n";
     } else {
       ++report.ok;
+      if (m.ok) m.ok->inc();
+      // Per-node headroom against the Lemma 3.9 activation bound
+      // min{3ℓ, 3ℓ′, ℓ+ℓ′}+4, meaningful exactly for clean Algorithm 1
+      // runs on the cycle (the lemma's setting: no crashes, no faults,
+      // no wrapper rounds inflating the count).
+      if (m.lemma39_headroom && cfg.algo == "six" &&
+          cfg.graph_kind == "cycle" && !options.wrap &&
+          cfg.crash_at_step.empty() && cfg.crash_after_acts.empty() &&
+          cfg.recoveries.empty() && cfg.corruptions.empty()) {
+        const MonotoneDistances dist = monotone_distances_on_cycle(cfg.ids);
+        for (NodeId v = 0; v < cfg.n; ++v) {
+          const auto l = static_cast<std::uint64_t>(dist.dist_to_max[v]);
+          const auto lp = static_cast<std::uint64_t>(dist.dist_to_min[v]);
+          const std::uint64_t bound =
+              std::min({3 * l, 3 * lp, l + lp}) + 4;
+          if (run.activations[v] <= bound)
+            m.lemma39_headroom->observe(bound - run.activations[v]);
+        }
+      }
       os << "ok steps=" << run.steps << " max_acts=" << run.max_acts
          << " fates=" << format_fates(run.fates) << "\n";
     }
+    if (options.on_progress && ((trial + 1) % progress_every == 0 ||
+                                trial + 1 == options.trials)) {
+      options.on_progress({trial + 1, options.trials, report.ok,
+                           report.censored, report.failures.size()});
+    }
+  }
+  if (m.trials_per_sec) {
+    const std::uint64_t campaign_us = campaign_watch.elapsed_us();
+    if (campaign_us > 0)
+      m.trials_per_sec->set(static_cast<double>(report.trials) * 1e6 /
+                            static_cast<double>(campaign_us));
   }
   os << "summary trials=" << report.trials << " ok=" << report.ok
      << " censored=" << report.censored

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "fuzz/schedule_io.hpp"
 #include "fuzz/shrink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace ftcc {
 
@@ -51,6 +54,15 @@ enum class FaultMode {
   return "?";
 }
 
+/// Running tallies handed to CampaignOptions::on_progress.
+struct CampaignProgress {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t censored = 0;
+  std::uint64_t failures = 0;
+};
+
 struct CampaignOptions {
   std::uint64_t seed = 1;
   std::uint64_t trials = 200;
@@ -71,6 +83,16 @@ struct CampaignOptions {
   bool wrap = false;
   /// Predicate-evaluation budget per shrink (each check is a replay).
   std::uint64_t shrink_checks = 20'000;
+  /// Observability (DESIGN.md §9), all optional.  Metrics and trace spans
+  /// record what the campaign did — they never feed a decision, and the
+  /// deterministic report text stays byte-identical whether or not they
+  /// are attached.  Both must outlive run_campaign().
+  obs::Registry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+  /// Called after every `progress_every`-th trial and after the last one
+  /// (tools/fuzz uses this for its TTY progress line).
+  std::function<void(const CampaignProgress&)> on_progress;
+  std::uint64_t progress_every = 500;
 };
 
 struct CampaignFailure {

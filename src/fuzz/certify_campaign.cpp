@@ -6,6 +6,7 @@
 
 #include "fuzz/campaign.hpp"
 #include "fuzz/dispatch.hpp"
+#include "obs/runtime_metrics.hpp"
 #include "runtime/threaded_executor.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -112,9 +113,48 @@ CertifyCampaignReport run_certify_campaign(
   os << " faults=" << (options.inject_faults ? 1 : 0)
      << " max_read_attempts=" << options.max_read_attempts << "\n";
 
+  // Resolved observability handles (see campaign.cpp): decision-free.
+  struct {
+    obs::Counter* trials = nullptr;
+    obs::Counter* certified = nullptr;
+    obs::Counter* atomic = nullptr;
+    obs::Counter* split = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Histogram* events = nullptr;
+    obs::Histogram* rounds = nullptr;
+    obs::Histogram* trial_us = nullptr;
+    obs::Histogram* stage_us[5] = {};
+    obs::Gauge* trials_per_sec = nullptr;
+  } m;
+  obs::ThreadedMetrics threaded_metrics;
+  if (options.metrics != nullptr) {
+    obs::Registry& reg = *options.metrics;
+    m.trials = &reg.counter("certify.trials");
+    m.certified = &reg.counter("certify.trials.certified");
+    m.atomic = &reg.counter("certify.trials.atomic");
+    m.split = &reg.counter("certify.trials.split");
+    m.failures = &reg.counter("certify.trials.failures");
+    m.events = &reg.histogram("certify.events");
+    m.rounds = &reg.histogram("certify.rounds");
+    m.trial_us = &reg.histogram("certify.trial_us");
+    static constexpr const char* kStageNames[5] = {
+        "certify.stage.direct_us", "certify.stage.graph_us",
+        "certify.stage.linearize_us", "certify.stage.reexecute_us",
+        "certify.stage.collapse_us"};
+    for (std::size_t i = 0; i < 5; ++i)
+      m.stage_us[i] = &reg.histogram(kStageNames[i]);
+    m.trials_per_sec = &reg.gauge("certify.trials_per_sec");
+    threaded_metrics = obs::ThreadedMetrics::create(reg);
+  }
+  obs::Stopwatch campaign_watch;
+  const std::uint64_t progress_every =
+      std::max<std::uint64_t>(options.progress_every, 1);
+
   CertifyCampaignReport report;
   Xoshiro256 master(options.seed);
   for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    obs::Span trial_span(options.trace, "certify.trial", "certify",
+                         m.trial_us);
     const std::uint64_t trial_seed = master();
     const CertifyTrial cfg =
         generate_certify_trial(algos, options.n_min, options.n_max,
@@ -131,11 +171,22 @@ CertifyCampaignReport run_certify_campaign(
         [&](auto algo, std::uint64_t /*bound*/, bool /*ordered*/) {
           ThreadedExecutor<decltype(algo)> ex(algo, graph, cfg.ids, topts);
           ex.attach_hb_log(&log);
-          (void)ex.run(options.max_rounds);
-          return certify_log(algo, graph, cfg.ids, log);
+          if (options.metrics != nullptr) ex.attach_metrics(&threaded_metrics);
+          {
+            obs::Span run_span(options.trace, "threaded.run", "certify");
+            (void)ex.run(options.max_rounds);
+          }
+          return certify_log(algo, graph, cfg.ids, log, options.trace);
         });
 
     ++report.trials;
+    if (m.trials) {
+      m.trials->inc();
+      m.events->observe(verdict.events);
+      m.rounds->observe(verdict.rounds);
+      for (std::size_t i = 0; i < 5; ++i)
+        m.stage_us[i]->observe(verdict.stage_us[i]);
+    }
     os << "trial " << trial << " algo=" << cfg.algo
        << " graph=" << cfg.graph_kind << " n=" << cfg.n
        << " ids=" << cfg.ids_family << " wrapped=" << (cfg.wrapped ? 1 : 0)
@@ -143,6 +194,10 @@ CertifyCampaignReport run_certify_campaign(
     if (verdict.ok()) {
       ++report.certified;
       ++(verdict.atomic ? report.atomic : report.split);
+      if (m.certified) {
+        m.certified->inc();
+        (verdict.atomic ? m.atomic : m.split)->inc();
+      }
       os << "certified " << (verdict.atomic ? "atomic" : "split")
          << " events=" << verdict.events << " rounds=" << verdict.rounds
          << "\n";
@@ -168,8 +223,20 @@ CertifyCampaignReport run_certify_campaign(
         FTCC_EXPECTS(save_event_log(failure.path, failure.artifact));
         os << "witness trial " << trial << ": " << failure.path << "\n";
       }
+      if (m.failures) m.failures->inc();
       report.failures.push_back(std::move(failure));
     }
+    if (options.on_progress && ((trial + 1) % progress_every == 0 ||
+                                trial + 1 == options.trials)) {
+      options.on_progress({trial + 1, options.trials, report.certified, 0,
+                           report.failures.size()});
+    }
+  }
+  if (m.trials_per_sec) {
+    const std::uint64_t campaign_us = campaign_watch.elapsed_us();
+    if (campaign_us > 0)
+      m.trials_per_sec->set(static_cast<double>(report.trials) * 1e6 /
+                            static_cast<double>(campaign_us));
   }
   os << "summary trials=" << report.trials
      << " certified=" << report.certified << " atomic=" << report.atomic

@@ -12,11 +12,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "analysis/hb/certify.hpp"
 #include "analysis/hb/event_log.hpp"
+#include "fuzz/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace ftcc {
 
@@ -41,6 +45,15 @@ struct CertifyCampaignOptions {
   std::uint64_t max_read_attempts = std::uint64_t{1} << 16;
   /// Per-node round cutoff (probabilistic-termination tail guard).
   std::uint64_t max_rounds = 4096;
+  /// Observability (DESIGN.md §9), all optional and decision-free: trial
+  /// and certifier-stage timings, ThreadedExecutor counters, and Chrome
+  /// trace spans.  Both must outlive run_certify_campaign().
+  obs::Registry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+  /// Called after every `progress_every`-th trial and after the last one
+  /// (CampaignProgress::censored stays 0: threaded trials never censor).
+  std::function<void(const CampaignProgress&)> on_progress;
+  std::uint64_t progress_every = 500;
 };
 
 struct CertifyCampaignFailure {

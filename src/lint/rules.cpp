@@ -195,11 +195,13 @@ void check_unbounded_spin(FileScan& scan) {
   }
 }
 
+// The clock names are split literals like the concurrency table: this
+// file is itself subject to the wall-clock rule below.
 constexpr std::array kNondeterminismTokens = {
     "rand(",          "srand(",        "std::time",
     "time(nullptr",   "time(NULL",     "clock(",
-    "random_device",  "system_clock",  "steady_clock",
-    "high_resolution_clock", "getenv",
+    "random_device",  "system_" "clock",  "steady_" "clock",
+    "high_resolution_" "clock", "getenv",
 };
 
 void check_nondeterminism(FileScan& scan) {
@@ -211,6 +213,37 @@ void check_nondeterminism(FileScan& scan) {
                   std::string(token) +
                       " in seed-deterministic code (derive everything "
                       "from the trial seed)");
+        break;
+      }
+  }
+}
+
+// Wall-clock confinement (DESIGN.md §9): time is read only behind the
+// obs::Stopwatch / obs::Span / TraceSink abstractions (src/obs/, where
+// the FTCC_OBS kill switch lives) and the runtime's timeout plumbing
+// (src/runtime/).  Anywhere else a clock read is either nondeterminism
+// leaking into a seed-deterministic subsystem or instrumentation that
+// bypasses the kill switches.  bench/ and tools/ are free to time
+// things; the lint only walks src/ for this rule.
+constexpr std::array kWallClockTokens = {
+    "std::" "chrono",
+    "<chro" "no>",
+    "steady_" "clock",
+    "system_" "clock",
+    "high_resolution_" "clock",
+    "clock_" "gettime",
+    "gettimeof" "day",
+};
+
+void check_wall_clock(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string code = code_part(scan.lines[i]);
+    for (const char* token : kWallClockTokens)
+      if (has_token(code, token)) {
+        scan.flag(i, "wall-clock",
+                  std::string(token) +
+                      " outside src/obs/ and src/runtime/ (time is read "
+                      "through obs::Stopwatch / obs::Span only)");
         break;
       }
   }
@@ -252,6 +285,7 @@ const std::vector<std::string>& rule_ids() {
       "unbounded-spin",
       "nondeterminism",
       "snapshot-discipline",
+      "wall-clock",
   };
   return ids;
 }
@@ -265,6 +299,9 @@ bool rule_applies(const std::string& rule, const std::string& path) {
   if (rule == "nondeterminism")
     return starts_with(path, "src/core/") || starts_with(path, "src/fuzz/");
   if (rule == "snapshot-discipline") return starts_with(path, "src/core/");
+  if (rule == "wall-clock")
+    return in_src && !starts_with(path, "src/obs/") &&
+           !starts_with(path, "src/runtime/");
   return false;
 }
 
@@ -279,6 +316,7 @@ std::vector<Finding> check_file(const std::string& path,
   if (rule_applies("nondeterminism", path)) check_nondeterminism(scan);
   if (rule_applies("snapshot-discipline", path))
     check_snapshot_discipline(scan);
+  if (rule_applies("wall-clock", path)) check_wall_clock(scan);
   std::sort(scan.findings.begin(), scan.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

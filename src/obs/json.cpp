@@ -1,0 +1,297 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ftcc::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double x) {
+  if (!std::isfinite(x)) return "0";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, x);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::object) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::boolean;
+  v.boolean_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double x) {
+  JsonValue v;
+  v.kind_ = Kind::number;
+  v.number_ = x;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::string;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::vector<JsonMember> members) {
+  JsonValue v;
+  v.kind_ = Kind::object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    error = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = JsonValue::string(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      out = JsonValue::boolean(true);
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      out = JsonValue::boolean(false);
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      out = JsonValue::make_null();
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text.data() + start, text.data() + pos, value);
+    if (ec != std::errc{} || end != text.data() + pos || pos == start) {
+      pos = start;
+      return fail("malformed number");
+    }
+    out = JsonValue::number(value);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos + 1 >= text.size()) return fail("truncated escape");
+        const char e = text[pos + 1];
+        pos += 2;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("malformed \\u escape");
+              }
+            }
+            pos += 4;
+            // The sink only ever emits \u00xx for control bytes; decode the
+            // BMP code point as UTF-8 so round-trips are loss-free.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      out = JsonValue::array({});
+      return true;
+    }
+    // lint:allow(unbounded-spin) — every pass consumes input or fails
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (!consume(']')) return false;
+    out = JsonValue::array(std::move(items));
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    std::vector<JsonMember> members;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      out = JsonValue::object({});
+      return true;
+    }
+    // lint:allow(unbounded-spin) — every pass consumes input or fails
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (!consume('}')) return false;
+    out = JsonValue::object(std::move(members));
+    return true;
+  }
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue& out, std::string* error) {
+  Parser p{text, 0, {}};
+  if (!p.parse_value(out)) {
+    if (error) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error)
+      *error = "trailing characters at offset " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ftcc::obs

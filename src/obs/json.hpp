@@ -1,0 +1,84 @@
+// Minimal JSON support for the observability layer: string escaping for
+// the writers (JSONL metrics sink, Chrome-trace span sink, bench --json)
+// and a small recursive-descent parser used to *validate and aggregate*
+// those files (tools/report, obs_test).  Deliberately not a general JSON
+// library: numbers are doubles, objects preserve insertion order, and the
+// parser favors precise error offsets over speed — every file it reads is
+// a few thousand lines of machine-written output.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftcc::obs {
+
+/// Escape a string for embedding between double quotes in JSON output.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest decimal form of x that parses back to the same double
+/// (std::to_chars); non-finite values — which JSON cannot carry — become
+/// "0".
+[[nodiscard]] std::string json_number(double x);
+
+class JsonValue;
+using JsonMember = std::pair<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  JsonValue() = default;
+  static JsonValue make_null() { return JsonValue(); }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::null; }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return kind_ == Kind::boolean;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::string;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::object;
+  }
+
+  [[nodiscard]] bool as_bool() const { return boolean_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] const std::vector<JsonMember>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Builders (used by the parser).
+  static JsonValue boolean(bool b);
+  static JsonValue number(double x);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<JsonMember> members);
+
+ private:
+  Kind kind_ = Kind::null;
+  bool boolean_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<JsonMember> members_;
+};
+
+/// Parse one JSON document.  On failure returns false and describes the
+/// problem (with a character offset) in *error when non-null.
+[[nodiscard]] bool json_parse(const std::string& text, JsonValue& out,
+                              std::string* error = nullptr);
+
+}  // namespace ftcc::obs

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ftcc::obs {
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) counts[i] = bucket(i);
+  return counts;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  return log2_bucket_quantile(counts, q);
+}
+
+double MetricSample::hist_quantile(double q) const {
+  std::vector<std::uint64_t> counts(Histogram::kBuckets, 0);
+  for (const auto& [index, c] : buckets) {
+    FTCC_EXPECTS(index < counts.size());
+    counts[index] = c;
+  }
+  return log2_bucket_quantile(counts, q);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) {
+    FTCC_EXPECTS(!gauges_.count(name) && !histograms_.count(name));
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) {
+    FTCC_EXPECTS(!counters_.count(name) && !histograms_.count(name));
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    FTCC_EXPECTS(!counters_.count(name) && !gauges_.count(name));
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::counter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::gauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::histogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = h->bucket(i);
+      if (c != 0) s.buckets.emplace_back(static_cast<std::uint32_t>(i), c);
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace ftcc::obs

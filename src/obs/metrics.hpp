@@ -1,0 +1,195 @@
+// The metrics registry (DESIGN.md §9): counters, gauges, and fixed-bucket
+// log₂ histograms behind stable handles, with two kill switches.
+//
+// Thread model.  *Registration* (Registry::counter/gauge/histogram) is
+// main-thread-only: resolve handles before spawning worker threads, the
+// way ThreadedExecutor resolves an obs::ThreadedMetrics struct in its
+// constructor.  *Updates* through a handle are lock-free relaxed atomics,
+// safe from any number of threads concurrently — that is the whole point,
+// and it is what keeps TSan green when node threads bump shared counters.
+// Relaxed ordering is sufficient: metric cells carry no synchronization
+// obligations; readers (snapshot(), after join) observe totals through
+// the joins/ends-of-scope that already order the program.
+//
+// This header is the audited exception to the concurrency-confinement
+// lint rule: the atomic cells live here (not in src/runtime/) because
+// the *sequential* executor, the fuzz campaigns, and the benches share
+// the same metric types; each std::atomic mention carries its waiver.
+//
+// Kill switches.  Runtime: metrics are attach-based — a null registry or
+// an unattached executor skips every update behind one branch.  Compile
+// time: -DFTCC_OBS_DISABLED (CMake -DFTCC_OBS=OFF) turns every update
+// into a no-op while keeping the API, so instrumented call sites compile
+// away entirely.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+// lint:allow(concurrency-primitives) — audited home of the metric cells.
+#include <atomic>
+
+#include "util/stats.hpp"
+
+namespace ftcc::obs {
+
+#if defined(FTCC_OBS_DISABLED)
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+/// Monotone event count.  inc() is a relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    if constexpr (kObsEnabled)
+      v_.fetch_add(delta, std::memory_order_relaxed);
+    else
+      (void)delta;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    if constexpr (kObsEnabled) return v_.load(std::memory_order_relaxed);
+    return 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};  // lint:allow(concurrency-primitives)
+};
+
+/// Last-write-wins scalar (stored as the bit pattern of a double).
+class Gauge {
+ public:
+  void set(double x) noexcept {
+    if constexpr (kObsEnabled)
+      bits_.store(std::bit_cast<std::uint64_t>(x), std::memory_order_relaxed);
+    else
+      (void)x;
+  }
+  [[nodiscard]] double value() const noexcept {
+    if constexpr (kObsEnabled)
+      return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+    return 0.0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // lint:allow(concurrency-primitives)
+};
+
+/// Fixed-bucket log₂ histogram over uint64 observations (bucket mapping
+/// and quantile math in util/stats.hpp).  observe() is two relaxed
+/// fetch_adds plus one bit_width.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = kLog2Buckets;
+
+  void observe(std::uint64_t x) noexcept {
+    if constexpr (kObsEnabled) {
+      buckets_[log2_bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+      sum_.fetch_add(x, std::memory_order_relaxed);
+    } else {
+      (void)x;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_)
+      total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    if constexpr (kObsEnabled) return sum_.load(std::memory_order_relaxed);
+    return 0;
+  }
+  /// Bulk merge for batched instrumentation (Executor::flush_metrics,
+  /// tests): add locally accumulated bucket counts and their value sum in
+  /// one pass — one fetch_add per non-empty bucket instead of two per
+  /// observation.
+  void merge_buckets(const std::array<std::uint64_t, kBuckets>& counts,
+                     std::uint64_t sum) noexcept {
+    if constexpr (kObsEnabled) {
+      for (std::size_t i = 0; i < kBuckets; ++i)
+        if (counts[i] != 0)
+          buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+      if (sum != 0) sum_.fetch_add(sum, std::memory_order_relaxed);
+    } else {
+      (void)counts;
+      (void)sum;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] double mean() const;
+  /// Bucket-resolution quantile (upper bound of the rank's bucket).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  // lint:allow(concurrency-primitives)
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};  // lint:allow(concurrency-primitives)
+};
+
+enum class MetricKind : std::uint8_t { counter, gauge, histogram };
+
+[[nodiscard]] constexpr const char* metric_kind_name(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::counter: return "counter";
+    case MetricKind::gauge: return "gauge";
+    case MetricKind::histogram: return "histogram";
+  }
+  return "?";
+}
+
+/// One metric frozen at snapshot time (also the unit tools/report
+/// aggregates after parsing a JSONL file back in).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::counter;
+  double value = 0.0;          ///< counter/gauge
+  std::uint64_t count = 0;     ///< histogram
+  std::uint64_t sum = 0;       ///< histogram
+  /// Sparse non-empty histogram buckets as (index, count).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  [[nodiscard]] double hist_mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Quantile from the sparse buckets (histograms only).
+  [[nodiscard]] double hist_quantile(double q) const;
+};
+
+/// Owns the metric cells; names are dotted paths ("fuzz.trials.ok").
+/// Lookup creates on first use and returns a reference that stays valid
+/// (and worker-thread-safe for updates) for the registry's lifetime.
+/// Registration is main-thread-only — see the header comment.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// All metrics, sorted by name (counters and gauges included even when
+  /// still zero, so runs are diffable field-for-field).
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ftcc::obs

@@ -1,0 +1,353 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc::obs {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+bool line_error(std::string* error, std::size_t lineno,
+                const std::string& what) {
+  return set_error(error, "line " + std::to_string(lineno) + ": " + what);
+}
+
+/// True when x is a non-negative integer representable as uint64.
+bool as_u64(const JsonValue* v, std::uint64_t& out) {
+  if (v == nullptr || !v->is_number()) return false;
+  const double x = v->as_number();
+  if (!(x >= 0.0) || x != std::floor(x) || x >= 1.8446744073709552e19)
+    return false;
+  out = static_cast<std::uint64_t>(x);
+  return true;
+}
+
+bool parse_metric_line(const JsonValue& obj, std::size_t lineno,
+                       MetricSample& s, std::string* error) {
+  const JsonValue* kind = obj.find("kind");
+  const JsonValue* name = obj.find("name");
+  if (kind == nullptr || !kind->is_string())
+    return line_error(error, lineno, "missing \"kind\"");
+  if (name == nullptr || !name->is_string() || name->as_string().empty())
+    return line_error(error, lineno, "missing \"name\"");
+  s.name = name->as_string();
+  const std::string& k = kind->as_string();
+  if (k == "counter" || k == "gauge") {
+    s.kind = k == "counter" ? MetricKind::counter : MetricKind::gauge;
+    const JsonValue* value = obj.find("value");
+    if (value == nullptr || !value->is_number())
+      return line_error(error, lineno, "missing numeric \"value\"");
+    s.value = value->as_number();
+    if (s.kind == MetricKind::counter) {
+      std::uint64_t u = 0;
+      if (!as_u64(value, u))
+        return line_error(error, lineno, "counter value not a u64");
+    }
+    return true;
+  }
+  if (k == "histogram") {
+    s.kind = MetricKind::histogram;
+    if (!as_u64(obj.find("count"), s.count))
+      return line_error(error, lineno, "histogram missing u64 \"count\"");
+    if (!as_u64(obj.find("sum"), s.sum))
+      return line_error(error, lineno, "histogram missing u64 \"sum\"");
+    const JsonValue* buckets = obj.find("buckets");
+    if (buckets == nullptr || !buckets->is_array())
+      return line_error(error, lineno, "histogram missing \"buckets\"");
+    std::uint64_t total = 0;
+    std::int64_t prev = -1;
+    for (const JsonValue& pair : buckets->items()) {
+      if (!pair.is_array() || pair.items().size() != 2)
+        return line_error(error, lineno, "bucket not an [index,count] pair");
+      std::uint64_t index = 0;
+      std::uint64_t c = 0;
+      if (!as_u64(&pair.items()[0], index) || !as_u64(&pair.items()[1], c))
+        return line_error(error, lineno, "bucket entries not u64");
+      if (index >= Histogram::kBuckets)
+        return line_error(error, lineno, "bucket index out of range");
+      if (static_cast<std::int64_t>(index) <= prev)
+        return line_error(error, lineno, "bucket indices not increasing");
+      if (c == 0)
+        return line_error(error, lineno, "empty bucket serialized");
+      prev = static_cast<std::int64_t>(index);
+      total += c;
+      s.buckets.emplace_back(static_cast<std::uint32_t>(index), c);
+    }
+    if (total != s.count)
+      return line_error(error, lineno, "bucket counts disagree with count");
+    return true;
+  }
+  return line_error(error, lineno, "unknown metric kind \"" + k + "\"");
+}
+
+}  // namespace
+
+bool parse_metrics_jsonl(const std::string& text, MetricsFile& out,
+                         std::string* error) {
+  out = MetricsFile{};
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_meta = false;
+  for (; std::getline(in, line); ) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue obj;
+    std::string perr;
+    if (!json_parse(line, obj, &perr))
+      return line_error(error, lineno, perr);
+    if (!obj.is_object())
+      return line_error(error, lineno, "not a JSON object");
+    const JsonValue* kind = obj.find("kind");
+    if (!saw_meta) {
+      const JsonValue* schema = obj.find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->as_string() != kMetricsSchema)
+        return line_error(error, lineno,
+                          std::string("first line must declare schema \"") +
+                              kMetricsSchema + "\"");
+      if (kind == nullptr || !kind->is_string() ||
+          kind->as_string() != "meta")
+        return line_error(error, lineno, "first line must be the meta line");
+      for (const auto& [k, v] : obj.members()) {
+        if (k == "schema" || k == "kind") continue;
+        if (!v.is_string())
+          return line_error(error, lineno, "meta field \"" + k +
+                                               "\" not a string");
+        out.meta[k] = v.as_string();
+      }
+      saw_meta = true;
+      continue;
+    }
+    if (kind != nullptr && kind->is_string() && kind->as_string() == "meta")
+      return line_error(error, lineno, "duplicate meta line");
+    MetricSample s;
+    if (!parse_metric_line(obj, lineno, s, error)) return false;
+    out.samples.push_back(std::move(s));
+  }
+  if (!saw_meta) return set_error(error, "empty payload (no meta line)");
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  for (std::size_t i = 1; i < out.samples.size(); ++i)
+    if (out.samples[i].name == out.samples[i - 1].name)
+      return set_error(error,
+                       "duplicate metric \"" + out.samples[i].name + "\"");
+  return true;
+}
+
+MetricsFile merge_metrics(const std::vector<MetricsFile>& files) {
+  MetricsFile out;
+  std::map<std::string, MetricSample> merged;
+  for (const MetricsFile& f : files) {
+    for (const auto& [k, v] : f.meta) out.meta.emplace(k, v);
+    for (const MetricSample& s : f.samples) {
+      auto [it, fresh] = merged.emplace(s.name, s);
+      if (fresh) continue;
+      MetricSample& m = it->second;
+      FTCC_EXPECTS(m.kind == s.kind);
+      switch (s.kind) {
+        case MetricKind::counter: m.value += s.value; break;
+        case MetricKind::gauge: m.value = s.value; break;
+        case MetricKind::histogram: {
+          std::vector<std::uint64_t> counts(Histogram::kBuckets, 0);
+          for (const auto& [index, c] : m.buckets) counts[index] += c;
+          for (const auto& [index, c] : s.buckets) counts[index] += c;
+          m.buckets.clear();
+          for (std::size_t i = 0; i < counts.size(); ++i)
+            if (counts[i] != 0)
+              m.buckets.emplace_back(static_cast<std::uint32_t>(i),
+                                     counts[i]);
+          m.count += s.count;
+          m.sum += s.sum;
+          break;
+        }
+      }
+    }
+  }
+  out.samples.reserve(merged.size());
+  for (auto& [name, s] : merged) out.samples.push_back(std::move(s));
+  return out;
+}
+
+Table metrics_table(const MetricsFile& file) {
+  Table t({"metric", "kind", "value", "count", "mean", "p50", "p90", "p99"});
+  for (const MetricSample& s : file.samples) {
+    switch (s.kind) {
+      case MetricKind::counter:
+        t.add_row({s.name, "counter",
+                   Table::cell(static_cast<std::uint64_t>(s.value)), "-", "-",
+                   "-", "-", "-"});
+        break;
+      case MetricKind::gauge:
+        t.add_row({s.name, "gauge", Table::cell(s.value), "-", "-", "-", "-",
+                   "-"});
+        break;
+      case MetricKind::histogram:
+        t.add_row({s.name, "histogram", "-", Table::cell(s.count),
+                   Table::cell(s.hist_mean()),
+                   Table::cell(s.hist_quantile(0.50), 0),
+                   Table::cell(s.hist_quantile(0.90), 0),
+                   Table::cell(s.hist_quantile(0.99), 0)});
+        break;
+    }
+  }
+  return t;
+}
+
+Table metrics_diff_table(const MetricsFile& a, const MetricsFile& b) {
+  auto scalar = [](const MetricSample& s) {
+    return s.kind == MetricKind::histogram ? static_cast<double>(s.count)
+                                           : s.value;
+  };
+  std::map<std::string, const MetricSample*> ma;
+  std::map<std::string, const MetricSample*> mb;
+  for (const MetricSample& s : a.samples) ma[s.name] = &s;
+  for (const MetricSample& s : b.samples) mb[s.name] = &s;
+  std::vector<std::string> names;
+  for (const auto& [n, s] : ma) names.push_back(n);
+  for (const auto& [n, s] : mb)
+    if (!ma.count(n)) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  Table t({"metric", "kind", "a", "b", "delta"});
+  for (const std::string& n : names) {
+    const MetricSample* sa = ma.count(n) ? ma[n] : nullptr;
+    const MetricSample* sb = mb.count(n) ? mb[n] : nullptr;
+    const MetricSample* any = sa != nullptr ? sa : sb;
+    t.add_row({n, metric_kind_name(any->kind),
+               sa != nullptr ? Table::cell(scalar(*sa)) : std::string("-"),
+               sb != nullptr ? Table::cell(scalar(*sb)) : std::string("-"),
+               sa != nullptr && sb != nullptr
+                   ? Table::cell(scalar(*sb) - scalar(*sa))
+                   : std::string("-")});
+  }
+  return t;
+}
+
+bool check_metrics_jsonl(const std::string& text, std::string* error) {
+  MetricsFile parsed;
+  return parse_metrics_jsonl(text, parsed, error);
+}
+
+bool check_bench_json(const std::string& text, std::string* error) {
+  JsonValue doc;
+  std::string perr;
+  if (!json_parse(text, doc, &perr)) return set_error(error, perr);
+  if (!doc.is_object()) return set_error(error, "not a JSON object");
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kBenchSchema)
+    return set_error(error, std::string("\"schema\" must be \"") +
+                                kBenchSchema + "\"");
+  const JsonValue* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->as_string().empty())
+    return set_error(error, "missing \"bench\" name");
+  const JsonValue* tables = doc.find("tables");
+  if (tables == nullptr || !tables->is_array())
+    return set_error(error, "missing \"tables\" array");
+  for (std::size_t i = 0; i < tables->items().size(); ++i) {
+    const JsonValue& table = tables->items()[i];
+    const std::string where = "tables[" + std::to_string(i) + "]";
+    if (!table.is_object()) return set_error(error, where + " not an object");
+    const JsonValue* title = table.find("title");
+    if (title == nullptr || !title->is_string())
+      return set_error(error, where + " missing string \"title\"");
+    const JsonValue* headers = table.find("headers");
+    if (headers == nullptr || !headers->is_array() ||
+        headers->items().empty())
+      return set_error(error, where + " missing non-empty \"headers\"");
+    for (const JsonValue& h : headers->items())
+      if (!h.is_string())
+        return set_error(error, where + " header not a string");
+    const JsonValue* rows = table.find("rows");
+    if (rows == nullptr || !rows->is_array())
+      return set_error(error, where + " missing \"rows\" array");
+    for (const JsonValue& row : rows->items()) {
+      if (!row.is_array() || row.items().size() != headers->items().size())
+        return set_error(error,
+                         where + " row arity disagrees with headers");
+      for (const JsonValue& cell : row.items())
+        if (!cell.is_string())
+          return set_error(error, where + " cell not a string");
+    }
+  }
+  return true;
+}
+
+bool check_chrome_trace(const std::string& text, std::string* error) {
+  JsonValue doc;
+  std::string perr;
+  if (!json_parse(text, doc, &perr)) return set_error(error, perr);
+  if (!doc.is_object()) return set_error(error, "not a JSON object");
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    return set_error(error, "missing \"traceEvents\" array");
+  for (std::size_t i = 0; i < events->items().size(); ++i) {
+    const JsonValue& e = events->items()[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (!e.is_object()) return set_error(error, where + " not an object");
+    const JsonValue* name = e.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty())
+      return set_error(error, where + " missing \"name\"");
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1)
+      return set_error(error, where + " missing one-char \"ph\"");
+    std::uint64_t u = 0;
+    if (!as_u64(e.find("ts"), u))
+      return set_error(error, where + " missing u64 \"ts\"");
+    if (e.find("pid") == nullptr || e.find("tid") == nullptr)
+      return set_error(error, where + " missing pid/tid");
+    if (ph->as_string() == "X" && !as_u64(e.find("dur"), u))
+      return set_error(error, where + " complete event missing \"dur\"");
+  }
+  return true;
+}
+
+bool check_payload(const std::string& text, std::string* error,
+                   std::string* kind) {
+  // The metrics format is JSONL, so sniff its meta line alone; the other
+  // two are single documents.
+  const std::size_t eol = text.find('\n');
+  const std::string first = text.substr(0, eol);
+  JsonValue head;
+  if (json_parse(first, head, nullptr) && head.is_object()) {
+    const JsonValue* schema = head.find("schema");
+    if (schema != nullptr && schema->is_string() &&
+        schema->as_string() == kMetricsSchema) {
+      if (kind) *kind = "metrics";
+      return check_metrics_jsonl(text, error);
+    }
+  }
+  JsonValue doc;
+  std::string perr;
+  if (!json_parse(text, doc, &perr)) return set_error(error, perr);
+  if (doc.is_object() && doc.find("traceEvents") != nullptr) {
+    if (kind) *kind = "trace";
+    return check_chrome_trace(text, error);
+  }
+  if (doc.is_object()) {
+    const JsonValue* schema = doc.find("schema");
+    if (schema != nullptr && schema->is_string() &&
+        schema->as_string() == kBenchSchema) {
+      if (kind) *kind = "bench";
+      return check_bench_json(text, error);
+    }
+  }
+  return set_error(error,
+                   "unrecognized payload (not metrics JSONL, bench JSON, "
+                   "or a Chrome trace)");
+}
+
+}  // namespace ftcc::obs

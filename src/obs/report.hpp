@@ -1,0 +1,63 @@
+// Reading side of the observability exports (tools/report, obs_test):
+// parse "ftcc-metrics-v1" JSONL back into samples, merge runs, render
+// util/table summaries, and structurally validate every machine-readable
+// artifact this repo emits (metrics JSONL, BENCH_*.json, Chrome-trace
+// span files).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
+
+namespace ftcc::obs {
+
+inline constexpr const char* kBenchSchema = "ftcc-bench-v1";
+
+/// One parsed metrics JSONL file: the meta line's free-form fields plus
+/// the metric samples, sorted by name.
+struct MetricsFile {
+  std::map<std::string, std::string> meta;
+  std::vector<MetricSample> samples;
+};
+
+/// Parse a full JSONL payload.  On failure returns false and describes
+/// the first offending line in *error (1-based line numbers).
+[[nodiscard]] bool parse_metrics_jsonl(const std::string& text,
+                                       MetricsFile& out,
+                                       std::string* error = nullptr);
+
+/// Aggregate runs: counters sum, gauges keep the last file's value,
+/// histograms add counts/sums bucket-wise.  Meta fields keep the first
+/// file's value; a metric must have the same kind everywhere.
+[[nodiscard]] MetricsFile merge_metrics(const std::vector<MetricsFile>& files);
+
+/// metric | kind | value | count | mean | p50 | p90 | p99 ("-" where a
+/// column does not apply to the metric's kind).
+[[nodiscard]] Table metrics_table(const MetricsFile& file);
+
+/// Field-for-field comparison of two runs over the union of metric names
+/// (scalar per metric: counter/gauge value, histogram count).
+[[nodiscard]] Table metrics_diff_table(const MetricsFile& a,
+                                       const MetricsFile& b);
+
+// ---- structural validators (exit-code material for `report --check`) ----
+
+[[nodiscard]] bool check_metrics_jsonl(const std::string& text,
+                                       std::string* error = nullptr);
+/// BENCH_*.json: {"schema":"ftcc-bench-v1","bench":name,"tables":[...]},
+/// every table an all-string grid with row arity == header arity.
+[[nodiscard]] bool check_bench_json(const std::string& text,
+                                    std::string* error = nullptr);
+/// {"traceEvents":[...]} with well-formed complete/instant events.
+[[nodiscard]] bool check_chrome_trace(const std::string& text,
+                                      std::string* error = nullptr);
+/// Sniff which of the three formats `text` is and validate it as that;
+/// *kind (when non-null) is set to "metrics", "bench", or "trace".
+[[nodiscard]] bool check_payload(const std::string& text,
+                                 std::string* error = nullptr,
+                                 std::string* kind = nullptr);
+
+}  // namespace ftcc::obs

@@ -1,0 +1,32 @@
+#include "obs/runtime_metrics.hpp"
+
+namespace ftcc::obs {
+
+ExecutorMetrics ExecutorMetrics::create(Registry& reg,
+                                        const std::string& prefix) {
+  ExecutorMetrics m;
+  m.activations = &reg.counter(prefix + ".activations");
+  m.publishes = &reg.counter(prefix + ".publishes");
+  m.crashes = &reg.counter(prefix + ".crashes");
+  m.recoveries = &reg.counter(prefix + ".recoveries");
+  m.corruptions = &reg.counter(prefix + ".corruptions");
+  m.terminations = &reg.counter(prefix + ".terminations");
+  m.termination_step = &reg.histogram(prefix + ".termination_step");
+  return m;
+}
+
+ThreadedMetrics ThreadedMetrics::create(Registry& reg,
+                                        const std::string& prefix) {
+  ThreadedMetrics m;
+  m.activations = &reg.counter(prefix + ".activations");
+  m.publishes = &reg.counter(prefix + ".publishes");
+  m.read_retries = &reg.counter(prefix + ".read_retries");
+  m.read_timeouts = &reg.counter(prefix + ".read_timeouts");
+  m.stalls = &reg.counter(prefix + ".stalls");
+  m.corruptions = &reg.counter(prefix + ".corruptions");
+  m.terminations = &reg.counter(prefix + ".terminations");
+  m.rounds_to_finish = &reg.histogram(prefix + ".rounds_to_finish");
+  return m;
+}
+
+}  // namespace ftcc::obs

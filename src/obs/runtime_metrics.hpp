@@ -1,0 +1,50 @@
+// Metric bundles the executors update (DESIGN.md §9).  A bundle is a set
+// of registry handles resolved once, on the main thread, then attached to
+// an executor (Executor::attach_metrics / ThreadedExecutor::attach_metrics)
+// — the executors never see the Registry, only stable cell pointers, and
+// a detached executor pays one null check per would-be update.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ftcc::obs {
+
+/// Sequential Executor instrumentation.  Counters cover the paper-level
+/// events (activations, register publishes, crash/recover/corrupt faults,
+/// terminations); the histogram records the step index at which each node
+/// terminated — the distribution Lemma 3.9 bounds.
+struct ExecutorMetrics {
+  Counter* activations = nullptr;
+  Counter* publishes = nullptr;
+  Counter* crashes = nullptr;
+  Counter* recoveries = nullptr;
+  Counter* corruptions = nullptr;
+  Counter* terminations = nullptr;
+  Histogram* termination_step = nullptr;
+
+  static ExecutorMetrics create(Registry& reg,
+                                const std::string& prefix = "executor");
+};
+
+/// ThreadedExecutor instrumentation.  Node threads buffer these counts in
+/// a thread-local struct and flush once at thread exit (one relaxed
+/// fetch_add per counter per thread), so the instrumented hot loop stays
+/// within noise of the baseline.  read_retries counts seqlock reread
+/// attempts beyond the first; stalls counts injected mid-publish stalls.
+struct ThreadedMetrics {
+  Counter* activations = nullptr;
+  Counter* publishes = nullptr;
+  Counter* read_retries = nullptr;
+  Counter* read_timeouts = nullptr;
+  Counter* stalls = nullptr;
+  Counter* corruptions = nullptr;
+  Counter* terminations = nullptr;
+  Histogram* rounds_to_finish = nullptr;
+
+  static ThreadedMetrics create(Registry& reg,
+                                const std::string& prefix = "threaded");
+};
+
+}  // namespace ftcc::obs

@@ -1,0 +1,64 @@
+#include "obs/sink.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc::obs {
+
+void create_parent_dirs(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;  // best effort: the open below reports real failures
+  std::filesystem::create_directories(parent, ec);
+}
+
+std::string metrics_to_jsonl(const std::vector<MetricSample>& samples,
+                             const std::map<std::string, std::string>& meta) {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kMetricsSchema << "\",\"kind\":\"meta\"";
+  for (const auto& [k, v] : meta) {
+    FTCC_EXPECTS(k != "schema" && k != "kind");
+    os << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+  }
+  os << "}\n";
+  for (const MetricSample& s : samples) {
+    os << "{\"kind\":\"" << metric_kind_name(s.kind) << "\",\"name\":\""
+       << json_escape(s.name) << "\"";
+    switch (s.kind) {
+      case MetricKind::counter:
+        os << ",\"value\":" << static_cast<std::uint64_t>(s.value);
+        break;
+      case MetricKind::gauge:
+        os << ",\"value\":" << json_number(s.value);
+        break;
+      case MetricKind::histogram:
+        os << ",\"count\":" << s.count << ",\"sum\":" << s.sum
+           << ",\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i) os << ",";
+          os << "[" << s.buckets[i].first << "," << s.buckets[i].second
+             << "]";
+        }
+        os << "]";
+        break;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+bool write_metrics_jsonl(const std::string& path, const Registry& registry,
+                         const std::map<std::string, std::string>& meta) {
+  create_parent_dirs(path);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics_to_jsonl(registry.snapshot(), meta);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ftcc::obs

@@ -1,0 +1,43 @@
+// JSONL metrics export, schema "ftcc-metrics-v1" (DESIGN.md §9).
+//
+// One JSON object per line.  The first line is a meta record carrying the
+// schema tag plus free-form string fields (tool, seed, campaign shape);
+// every following line is one metric, sorted by name so two runs diff
+// line-for-line:
+//
+//   {"schema":"ftcc-metrics-v1","kind":"meta","tool":"fuzz","seed":"7"}
+//   {"kind":"counter","name":"fuzz.trials","value":1000}
+//   {"kind":"gauge","name":"fuzz.trials_per_sec","value":812.5}
+//   {"kind":"histogram","name":"fuzz.trial_us","count":1000,"sum":43210,
+//    "buckets":[[4,12],[5,988]]}
+//
+// Histogram buckets are sparse (index, count) pairs into the log₂ bucket
+// grid of util/stats.hpp.  tools/report parses this format back with
+// obs/report.hpp.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ftcc::obs {
+
+inline constexpr const char* kMetricsSchema = "ftcc-metrics-v1";
+
+/// Create `path`'s parent directories if any (best effort — the caller's
+/// subsequent open reports real failures).  Lets --metrics=obs/run.jsonl
+/// work without a prior mkdir.
+void create_parent_dirs(const std::string& path);
+
+/// Serialize a snapshot.  `meta` keys "schema" and "kind" are reserved.
+[[nodiscard]] std::string metrics_to_jsonl(
+    const std::vector<MetricSample>& samples,
+    const std::map<std::string, std::string>& meta = {});
+
+/// Snapshot `registry` and write it to `path`; false on I/O failure.
+bool write_metrics_jsonl(const std::string& path, const Registry& registry,
+                         const std::map<std::string, std::string>& meta = {});
+
+}  // namespace ftcc::obs

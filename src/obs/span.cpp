@@ -1,0 +1,92 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+
+namespace ftcc::obs {
+
+namespace {
+
+std::uint64_t monotonic_ns() noexcept {
+  if constexpr (!kObsEnabled) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Stopwatch::Stopwatch() noexcept : start_ns_(monotonic_ns()) {}
+
+std::uint64_t Stopwatch::elapsed_us() const noexcept {
+  if constexpr (!kObsEnabled) return 0;
+  return (monotonic_ns() - start_ns_) / 1000;
+}
+
+TraceSink::TraceSink() noexcept = default;
+
+std::uint64_t TraceSink::now_us() const noexcept {
+  return clock_.elapsed_us();
+}
+
+void TraceSink::complete(std::string name, std::string cat,
+                         std::uint64_t ts_us, std::uint64_t dur_us) {
+  events_.push_back({std::move(name), std::move(cat), 'X', ts_us, dur_us});
+}
+
+void TraceSink::instant(std::string name, std::string cat) {
+  events_.push_back({std::move(name), std::move(cat), 'i', now_us(), 0});
+}
+
+std::string TraceSink::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i) os << ",";
+    os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << (e.cat.empty() ? "ftcc" : json_escape(e.cat))
+       << "\",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us
+       << ",\"pid\":0,\"tid\":0";
+    if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
+    if (e.ph == 'i') os << ",\"s\":\"g\"";
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+bool TraceSink::write(const std::string& path) const {
+  create_parent_dirs(path);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+Span::Span(TraceSink* sink, std::string name, std::string cat,
+           Histogram* hist)
+    : sink_(sink),
+      hist_(hist),
+      name_(std::move(name)),
+      cat_(std::move(cat)),
+      open_(true) {
+  if (sink_) start_us_ = sink_->now_us();
+}
+
+std::uint64_t Span::end() {
+  if (!open_) return 0;
+  open_ = false;
+  const std::uint64_t dur = watch_.elapsed_us();
+  if (sink_) sink_->complete(std::move(name_), std::move(cat_), start_us_, dur);
+  if (hist_) hist_->observe(dur);
+  return dur;
+}
+
+}  // namespace ftcc::obs

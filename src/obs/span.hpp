@@ -1,0 +1,90 @@
+// RAII tracing spans and the Chrome-trace-event sink (DESIGN.md §9).
+//
+// Wall-clock lives HERE by construction: the `wall-clock` lint rule
+// confines std::chrono clocks to src/obs/ and src/runtime/ (plus bench
+// and tools), so model, analysis, and fuzz code measures time only
+// through Stopwatch/Span — which cannot feed a decision back into a
+// deterministic trial, only into metrics and trace files.
+//
+// The sink speaks the Chrome trace-event JSON format ("traceEvents"
+// with ph="X" complete events, microsecond timestamps), which both
+// chrome://tracing and Perfetto load directly.  It is single-threaded
+// on purpose: every current producer (the fuzz loop, the certifier
+// after its joins) runs on the main thread.  When FTCC_OBS_DISABLED is
+// set, Stopwatch and Span never touch the clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ftcc::obs {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept;
+  /// Microseconds since construction (0 when obs is compiled out).
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+};
+
+class TraceSink {
+ public:
+  TraceSink() noexcept;
+
+  /// Microseconds since the sink was created (the trace's time origin).
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  void complete(std::string name, std::string cat, std::uint64_t ts_us,
+                std::uint64_t dur_us);
+  void instant(std::string name, std::string cat);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// {"traceEvents":[...]} — loads in Perfetto / chrome://tracing.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string cat;
+    char ph = 'X';
+    std::uint64_t ts_us = 0;
+    std::uint64_t dur_us = 0;
+  };
+  std::vector<Event> events_;
+  Stopwatch clock_;
+};
+
+/// Times a scope.  Always measures (so callers can use end()'s return
+/// value for stage timings); records a complete event into `sink` and
+/// observes the duration in `hist` when those are non-null.  Under
+/// FTCC_OBS_DISABLED every duration is 0 and nothing touches the clock.
+class Span {
+ public:
+  Span(TraceSink* sink, std::string name, std::string cat = "",
+       Histogram* hist = nullptr);
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Close early (idempotent); returns the span's duration in µs.
+  std::uint64_t end();
+
+ private:
+  TraceSink* sink_;
+  Histogram* hist_;
+  std::string name_;
+  std::string cat_;
+  Stopwatch watch_;            ///< duration source
+  std::uint64_t start_us_ = 0; ///< position on the sink's timeline
+  bool open_;
+};
+
+}  // namespace ftcc::obs

@@ -41,6 +41,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
+#include "obs/runtime_metrics.hpp"
 #include "graph/ids.hpp"
 #include "runtime/algorithm.hpp"
 #include "runtime/crash.hpp"
@@ -91,6 +92,34 @@ class Executor {
   /// must outlive the executor (or be detached with attach_trace(nullptr)).
   void attach_trace(Trace* trace) { trace_ = trace; }
 
+  /// Attach a metric bundle (obs::ExecutorMetrics::create); like the
+  /// trace, the cells must outlive the executor.  Detached (the default),
+  /// instrumentation costs one branch per event.  Events accumulate in
+  /// plain per-executor integers and reach the shared atomic cells in one
+  /// flush_metrics() pass at the end of each run() (the batching that
+  /// keeps the attached overhead inside the <=5% budget of bench_obs).
+  void attach_metrics(const obs::ExecutorMetrics* metrics) {
+    metrics_ = metrics;
+  }
+
+  /// Publish the locally accumulated counts into the attached cells and
+  /// reset them.  run() calls this on exit; tests that drive step() by
+  /// hand call it before reading the registry.
+  void flush_metrics() {
+    if (!metrics_) return;
+    if (pending_.publishes) metrics_->publishes->inc(pending_.publishes);
+    if (pending_.activations) metrics_->activations->inc(pending_.activations);
+    if (pending_.crashes) metrics_->crashes->inc(pending_.crashes);
+    if (pending_.recoveries) metrics_->recoveries->inc(pending_.recoveries);
+    if (pending_.corruptions) metrics_->corruptions->inc(pending_.corruptions);
+    if (pending_.terminations) {
+      metrics_->terminations->inc(pending_.terminations);
+      metrics_->termination_step->merge_buckets(pending_.term_step_buckets,
+                                               pending_.term_step_sum);
+    }
+    pending_ = PendingMetrics{};
+  }
+
   /// Execute one time step with activation set sigma (non-working nodes are
   /// ignored).  Returns the number of nodes actually activated.
   std::size_t step(std::span<const NodeId> sigma) {
@@ -116,6 +145,10 @@ class Executor {
       registers_[v] = algo_.publish(states_[v]);
       tainted_[v] = false;  // the owner's own write heals any taint
     }
+    if (metrics_) {
+      pending_.publishes += scratch_sigma_.size();
+      pending_.activations += scratch_sigma_.size();
+    }
     // Phases 2+3: reads and private transitions.  Registers are only
     // mutated in phase 1, so reading them lazily here is equivalent to a
     // separate snapshot phase.
@@ -130,10 +163,16 @@ class Executor {
         if (trace_)
           trace_->record(now_, v, TraceEventKind::returned,
                          A::color_code(*outputs_[v]));
+        if (metrics_) {
+          ++pending_.terminations;
+          ++pending_.term_step_buckets[log2_bucket_index(now_)];
+          pending_.term_step_sum += now_;
+        }
       }
       if (fault_plan_.crashes_at(v, now_, activations_[v])) {
         crashed_[v] = true;
         if (trace_) trace_->record(now_, v, TraceEventKind::crashed);
+        if (metrics_) ++pending_.crashes;
       }
     }
     check_invariants();
@@ -170,6 +209,7 @@ class Executor {
                         : down_[v]    ? NodeFate::down
                                       : NodeFate::timed_out;
     }
+    flush_metrics();
     return result;
   }
 
@@ -217,6 +257,7 @@ class Executor {
         crashed_[v] = true;
         if (trace_ && !terminated_[v])
           trace_->record(now_, v, TraceEventKind::crashed);
+        if (metrics_ && !terminated_[v]) ++pending_.crashes;
       }
       apply_recovery(v);
       apply_corruptions(v);
@@ -251,6 +292,7 @@ class Executor {
       }
       tainted_[v] = registers_[v].has_value();
       if (trace_) trace_->record(now_, v, TraceEventKind::recovered);
+      if (metrics_) ++pending_.recoveries;
     }
   }
 
@@ -272,6 +314,7 @@ class Executor {
         registers_[v] = A::decode_register(words);
         tainted_[v] = true;
         if (trace_) trace_->record(now_, v, TraceEventKind::corrupted);
+        if (metrics_) ++pending_.corruptions;
       }
     }
   }
@@ -319,6 +362,19 @@ class Executor {
   std::vector<std::optional<Output>> outputs_;
   std::vector<Invariant> invariants_;
   Trace* trace_ = nullptr;
+  const obs::ExecutorMetrics* metrics_ = nullptr;
+  /// Locally batched metric events (see attach_metrics / flush_metrics).
+  struct PendingMetrics {
+    std::uint64_t publishes = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t terminations = 0;
+    std::array<std::uint64_t, obs::Histogram::kBuckets> term_step_buckets{};
+    std::uint64_t term_step_sum = 0;
+  };
+  PendingMetrics pending_;
   std::optional<std::string> violation_;
   std::uint64_t now_ = 0;
   std::vector<NodeId> working_;

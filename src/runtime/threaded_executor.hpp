@@ -44,6 +44,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
+#include "obs/runtime_metrics.hpp"
 #include "runtime/algorithm.hpp"
 #include "runtime/hb_log.hpp"
 #include "runtime/result.hpp"
@@ -110,6 +111,16 @@ class ThreadedExecutor {
   /// thread writes only its own slot, so recording is synchronization-free.
   void attach_hb_log(HbLog* log) { hb_log_ = log; }
 
+  /// Attach a metric bundle (obs::ThreadedMetrics::create).  Node threads
+  /// accumulate counts in a stack-local struct and flush them into the
+  /// shared atomic cells exactly once, when the thread finishes — the hot
+  /// publish/read loop sees only plain integer increments, which is what
+  /// keeps the instrumented executor within noise of the baseline (see
+  /// bench_obs).  The cells must outlive the executor.
+  void attach_metrics(const obs::ThreadedMetrics* metrics) {
+    metrics_ = metrics;
+  }
+
   /// Run every node on its own thread until all return or any node
   /// exhausts max_rounds (reported as completed = false for that node).
   ExecutionResult<Output> run(std::uint64_t max_rounds) {
@@ -149,6 +160,46 @@ class ThreadedExecutor {
   }
 
  private:
+  /// Per-thread metric accumulator (plain integers; no sharing until the
+  /// owning thread flushes it at exit).
+  struct LocalCounts {
+    std::uint64_t activations = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t read_retries = 0;
+    std::uint64_t read_timeouts = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t terminations = 0;
+    std::optional<std::uint64_t> rounds_to_finish;
+  };
+
+  void flush_counts(const LocalCounts& c) const {
+    if (!metrics_) return;
+    metrics_->activations->inc(c.activations);
+    metrics_->publishes->inc(c.publishes);
+    metrics_->read_retries->inc(c.read_retries);
+    metrics_->read_timeouts->inc(c.read_timeouts);
+    metrics_->stalls->inc(c.stalls);
+    metrics_->corruptions->inc(c.corruptions);
+    metrics_->terminations->inc(c.terminations);
+    if (c.rounds_to_finish)
+      metrics_->rounds_to_finish->observe(*c.rounds_to_finish);
+  }
+
+  /// Flushes a LocalCounts on every exit path out of node_main.
+  class CountsFlusher {
+   public:
+    CountsFlusher(const ThreadedExecutor* ex, const LocalCounts* counts)
+        : ex_(ex), counts_(counts) {}
+    ~CountsFlusher() { ex_->flush_counts(*counts_); }
+    CountsFlusher(const CountsFlusher&) = delete;
+    CountsFlusher& operator=(const CountsFlusher&) = delete;
+
+   private:
+    const ThreadedExecutor* ex_;
+    const LocalCounts* counts_;
+  };
+
   // Seqlock cell layout per node: [version][payload words].  Even version
   // = stable; writers bump to odd, store payload, bump to even; readers
   // retry until two equal even version reads bracket the payload.
@@ -174,12 +225,13 @@ class ThreadedExecutor {
   /// Publish, then apply any faults due at this publish.  Returns false if
   /// the node died mid-publish (stall fault) and must stop its thread.
   [[nodiscard]] bool publish(NodeId v, const Register& reg,
-                             std::uint64_t publish_index) {
+                             std::uint64_t publish_index, LocalCounts& c) {
     std::vector<std::uint64_t> words;
     words.reserve(A::kRegisterWords);
     reg.encode(words);
     FTCC_EXPECTS(words.size() == A::kRegisterWords);
     const std::uint64_t version = store_words(v, words);
+    ++c.publishes;
     if (hb_log_)
       hb_log_->record(v, {HbEventKind::publish, publish_index, v, version,
                           words});
@@ -188,6 +240,7 @@ class ThreadedExecutor {
       if (f.kind == ThreadedFault::Kind::corrupt_words) {
         for (auto& w : words) w ^= f.mask;
         const std::uint64_t adv_version = store_words(v, words);
+        ++c.corruptions;
         if (hb_log_)
           hb_log_->record(v, {HbEventKind::adversary, publish_index, v,
                               adv_version, words});
@@ -201,6 +254,7 @@ class ThreadedExecutor {
         if (!words.empty())
           word(v, 1).store(~words[0], std::memory_order_relaxed);
         stalled_[v] = 1;
+        ++c.stalls;
         if (hb_log_)
           hb_log_->record(v, {HbEventKind::stall, publish_index, v, odd, {}});
         return false;
@@ -210,11 +264,14 @@ class ThreadedExecutor {
   }
 
   [[nodiscard]] std::optional<Register> read(NodeId reader, NodeId v,
-                                             std::uint64_t round) {
+                                             std::uint64_t round,
+                                             LocalCounts& c) {
     for (std::uint64_t attempt = 0;; ++attempt) {
       if (attempt >= options_.max_read_attempts) {
         // The writer died mid-publish; proceed as if v never woke.
         ++torn_read_timeouts_[reader];
+        c.read_retries += attempt;
+        ++c.read_timeouts;
         if (hb_log_)
           hb_log_->record(reader,
                           {HbEventKind::read_timeout, round, v, 0, {}});
@@ -223,6 +280,7 @@ class ThreadedExecutor {
       backoff(attempt);
       const std::uint64_t v1 = word(v, 0).load(std::memory_order_acquire);
       if (v1 == 0) {  // never written: ⊥
+        c.read_retries += attempt;
         if (hb_log_)
           hb_log_->record(reader, {HbEventKind::read, round, v, 0, {}});
         return std::nullopt;
@@ -235,6 +293,7 @@ class ThreadedExecutor {
       std::atomic_thread_fence(std::memory_order_acquire);
       const std::uint64_t v2 = word(v, 0).load(std::memory_order_relaxed);
       if (v1 == v2) {
+        c.read_retries += attempt;
         if (hb_log_)
           hb_log_->record(
               reader, {HbEventKind::read, round, v, v1,
@@ -262,17 +321,22 @@ class ThreadedExecutor {
   }
 
   void node_main(NodeId v, std::uint64_t max_rounds) {
+    LocalCounts counts;
+    CountsFlusher flusher(this, &counts);
     auto state = algo_.init(v, ids_[v], graph_->degree(v));
     const auto neighbors = graph_->neighbors(v);
     std::vector<std::optional<Register>> view(neighbors.size());
     for (std::uint64_t round = 0; round < max_rounds; ++round) {
-      if (!publish(v, algo_.publish(state), round)) return;
+      if (!publish(v, algo_.publish(state), round, counts)) return;
       for (std::size_t i = 0; i < neighbors.size(); ++i)
-        view[i] = read(v, neighbors[i], round);
+        view[i] = read(v, neighbors[i], round, counts);
       ++activations_[v];
+      ++counts.activations;
       auto out = algo_.step(state, NeighborView<Register>(view));
       if (out) {
         outputs_[v] = std::move(*out);
+        counts.terminations = 1;
+        counts.rounds_to_finish = round + 1;
         if (hb_log_)
           hb_log_->record(
               v, {HbEventKind::finish, round, v, A::color_code(*outputs_[v]),
@@ -295,6 +359,7 @@ class ThreadedExecutor {
   std::vector<std::uint8_t> stalled_;
   std::vector<std::vector<ThreadedFault>> faults_;
   HbLog* hb_log_ = nullptr;
+  const obs::ThreadedMetrics* metrics_ = nullptr;
 };
 
 }  // namespace ftcc

@@ -154,14 +154,16 @@ class ReplayScheduler final : public Scheduler {
       : sigmas_(std::move(sigmas)) {}
 
   std::vector<NodeId> next(std::span<const NodeId> working,
-                           std::uint64_t /*t*/) override {
-    if (cursor_ < sigmas_.size()) return sigmas_[cursor_++];
+                           std::uint64_t t) override {
+    // Indexed by the step number, not a cursor: the executor steps through
+    // crash-recovery down windows without consulting the scheduler, and a
+    // cursor would come back out of the window desynchronized.
+    if (t >= 1 && t - 1 < sigmas_.size()) return sigmas_[t - 1];
     return {working.begin(), working.end()};
   }
 
  private:
   std::vector<std::vector<NodeId>> sigmas_;
-  std::size_t cursor_ = 0;
 };
 
 /// Named scheduler factory for sweeps: "sync", "random", "single",

@@ -1,12 +1,47 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "util/assert.hpp"
 
 namespace ftcc {
+
+std::size_t log2_bucket_index(std::uint64_t x) noexcept {
+  return static_cast<std::size_t>(std::bit_width(x));
+}
+
+std::uint64_t log2_bucket_lower(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  return std::uint64_t{1} << (bucket - 1);
+}
+
+std::uint64_t log2_bucket_upper(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+double log2_bucket_quantile(std::span<const std::uint64_t> counts, double q) {
+  FTCC_EXPECTS(q >= 0.0 && q <= 1.0);
+  FTCC_EXPECTS(counts.size() <= kLog2Buckets);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank)
+      return static_cast<double>(log2_bucket_upper(b));
+  }
+  return static_cast<double>(log2_bucket_upper(counts.size() - 1));
+}
 
 void Summary::add(double x) {
   samples_.push_back(x);

@@ -5,10 +5,33 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace ftcc {
+
+// --- Fixed log₂ histogram buckets (shared with obs::Histogram) ----------
+//
+// Bucket 0 holds the value 0; bucket k (1..64) holds [2^(k-1), 2^k - 1].
+// The mapping is std::bit_width, so it costs one instruction — cheap
+// enough for hot-path metrics — and 65 buckets cover every uint64.
+inline constexpr std::size_t kLog2Buckets = 65;
+
+/// Which bucket a value lands in (== std::bit_width(x)).
+[[nodiscard]] std::size_t log2_bucket_index(std::uint64_t x) noexcept;
+/// Smallest value of a bucket (0 for bucket 0).
+[[nodiscard]] std::uint64_t log2_bucket_lower(std::size_t bucket) noexcept;
+/// Largest value of a bucket (UINT64_MAX for bucket 64).
+[[nodiscard]] std::uint64_t log2_bucket_upper(std::size_t bucket) noexcept;
+
+/// Nearest-rank q-quantile over per-bucket counts (counts may be shorter
+/// than kLog2Buckets; missing tail buckets count as empty).  Returns the
+/// upper bound of the bucket containing the rank — a conservative
+/// (over-)estimate with at most 2x relative error, which is what a
+/// fixed-bucket histogram can promise.  Empty counts yield 0.
+[[nodiscard]] double log2_bucket_quantile(std::span<const std::uint64_t> counts,
+                                          double q);
 
 class Summary {
  public:
@@ -24,6 +47,12 @@ class Summary {
   /// Exact q-quantile (nearest-rank), q in [0, 1].
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
+  // The percentiles tools/report and the benches tabulate.  Exact (from
+  // retained samples), so small-sample cells stay honest: p99 of 10
+  // samples is the max, not an interpolation artifact.
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
 
   /// "n=5 min=1 mean=2.4 p50=2 p95=4 max=5" — for bench table cells.
   [[nodiscard]] std::string brief() const;

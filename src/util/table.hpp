@@ -31,6 +31,15 @@ class Table {
   /// for piping bench series into external plotting.
   [[nodiscard]] std::string to_csv() const;
 
+  // Structured access — the bench --json writer serializes tables.
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

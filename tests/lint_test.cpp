@@ -1,5 +1,7 @@
 #include "lint/rules.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace ftcc::lint {
@@ -106,11 +108,12 @@ TEST(LintNondeterminism, FlagsWallClocksAndLibcRandomness) {
       "int x = rand();\n"
       "auto t = std::chrono::steady_clock::now();\n"
       "std::random_device rd;\n";
-  const auto findings = check_file("src/fuzz/bad.cpp", bad);
-  ASSERT_EQ(findings.size(), 3u);
-  for (const auto& f : findings) EXPECT_EQ(f.rule, "nondeterminism");
-  // Outside the deterministic zone the same content is fine.
-  EXPECT_TRUE(check_file("src/util/clock.cpp", bad).empty());
+  const auto rules = rules_of(check_file("src/fuzz/bad.cpp", bad));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "nondeterminism"), 3);
+  // Outside the deterministic zone the same content draws no
+  // nondeterminism findings (the clock line is still a wall-clock hit).
+  const auto util = rules_of(check_file("src/util/clock.cpp", bad));
+  EXPECT_EQ(std::count(util.begin(), util.end(), "nondeterminism"), 0);
 }
 
 TEST(LintNondeterminism, SeededRngIsClean) {
@@ -209,9 +212,54 @@ TEST(LintBaseline, DropsExactlyTheListedFileRulePairs) {
   EXPECT_EQ(kept[1].file, "src/core/b.cpp");
 }
 
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(LintWallClock, ConfinedToObsAndRuntime) {
+  EXPECT_TRUE(rule_applies("wall-clock", "src/fuzz/campaign.cpp"));
+  EXPECT_TRUE(rule_applies("wall-clock", "src/analysis/hb/certify.cpp"));
+  EXPECT_FALSE(rule_applies("wall-clock", "src/obs/span.cpp"));
+  EXPECT_FALSE(rule_applies("wall-clock", "src/runtime/threaded_executor.hpp"));
+  // bench and tools time things freely; the rule only walks src/.
+  EXPECT_FALSE(rule_applies("wall-clock", "tools/fuzz.cpp"));
+  EXPECT_FALSE(rule_applies("wall-clock", "bench/bench_obs.cpp"));
+}
+
+TEST(LintWallClock, FlagsClockReadsOutsideTheirHome) {
+  const std::string bad =
+      "#include <chrono>\n"
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "struct timeval tv; gettimeofday(&tv, nullptr);\n"
+      "clock_gettime(CLOCK_MONOTONIC, &ts);\n";
+  // src/analysis/ is outside both clock homes and outside the
+  // nondeterminism zone, so every finding below is wall-clock.
+  const auto findings = check_file("src/analysis/certify.cpp", bad);
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "wall-clock") << f.message;
+
+  // The same content is legitimate in the observability layer and the
+  // runtime (seqlock read timeouts).
+  EXPECT_TRUE(check_file("src/obs/span.cpp", bad).empty());
+  EXPECT_TRUE(check_file("src/runtime/threaded_executor.hpp", bad).empty());
+}
+
+TEST(LintWallClock, WaiversAndCommentsAreRespected) {
+  EXPECT_TRUE(check_file("src/analysis/x.cpp",
+                         "// a comment naming steady_clock is fine\n")
+                  .empty());
+  EXPECT_TRUE(check_file("src/analysis/x.cpp",
+                         "// lint:allow(wall-clock) — audited exception\n"
+                         "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+  EXPECT_FALSE(check_file("src/analysis/x.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n")
+                   .empty());
+}
+
 TEST(LintRuleIds, EveryRuleHasAnIdAndAScope) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 4u);
+  ASSERT_EQ(ids.size(), 5u);
   for (const auto& id : ids)
     EXPECT_TRUE(rule_applies(id, "src/core/x.cpp") ||
                 rule_applies(id, "src/runtime/x.cpp"))

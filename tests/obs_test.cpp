@@ -1,0 +1,395 @@
+// The observability subsystem (DESIGN.md §9): metric cells and registry
+// snapshots, JSONL export/parse round-trips, run merging and diffing, the
+// structural validators behind `tools/report --check`, the Chrome-trace
+// span sink, the executors' attached counters, and the guarantee that
+// attaching metrics to a fuzz campaign never changes its deterministic
+// report.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/algo1_six_coloring.hpp"
+#include "fuzz/campaign.hpp"
+#include "graph/ids.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/runtime_metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/threaded_executor.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ftcc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// metric cells + registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterGaugeHistogramSemantics) {
+  Registry reg;
+  Counter& c = reg.counter("a.count");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  Gauge& g = reg.gauge("a.rate");
+  g.set(2.5);
+  g.set(-1.25);  // last write wins
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+
+  Histogram& h = reg.histogram("a.us");
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);    // bucket 3: [4,7]
+  h.observe(100);  // bucket 7: [64,127]
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.bucket(log2_bucket_index(0)), 1u);
+  EXPECT_EQ(h.bucket(log2_bucket_index(5)), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 26.5);
+  // Quantiles resolve to the rank's bucket upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 127.0);
+
+  // Handles are create-on-first-use and stable.
+  EXPECT_EQ(&reg.counter("a.count"), &c);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(ObsMetrics, HistogramMergeBucketsMatchesObserve) {
+  Registry reg;
+  Histogram& direct = reg.histogram("direct");
+  Histogram& batched = reg.histogram("batched");
+  std::array<std::uint64_t, Histogram::kBuckets> local{};
+  std::uint64_t local_sum = 0;
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 500u, 500u}) {
+    direct.observe(v);
+    ++local[log2_bucket_index(v)];
+    local_sum += v;
+  }
+  batched.merge_buckets(local, local_sum);
+  EXPECT_EQ(batched.count(), direct.count());
+  EXPECT_EQ(batched.sum(), direct.sum());
+  EXPECT_EQ(batched.bucket_counts(), direct.bucket_counts());
+}
+
+TEST(ObsMetrics, SnapshotIsSortedAndSparse) {
+  Registry reg;
+  reg.counter("z.last").inc(7);
+  reg.gauge("m.mid").set(1.5);
+  reg.histogram("a.first").observe(9);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.first");
+  EXPECT_EQ(samples[1].name, "m.mid");
+  EXPECT_EQ(samples[2].name, "z.last");
+  EXPECT_EQ(samples[0].kind, MetricKind::histogram);
+  ASSERT_EQ(samples[0].buckets.size(), 1u);  // sparse: one non-empty bucket
+  EXPECT_EQ(samples[0].buckets[0].first, log2_bucket_index(9));
+  EXPECT_EQ(samples[0].buckets[0].second, 1u);
+  EXPECT_DOUBLE_EQ(samples[2].value, 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON primitives
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, EscapeAndNumber) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(812.5), "812.5");
+  // Non-finite values cannot be carried by JSON.
+  EXPECT_EQ(json_number(1.0 / 0.0), "0");
+}
+
+TEST(ObsJson, ParseRoundTrip) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json_parse(R"({"a":[1,2.5,"x\n"],"b":{"c":true,"d":null},"e":-3})",
+                         v, &error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.5);
+  EXPECT_EQ(a->items()[2].as_string(), "x\n");
+  EXPECT_TRUE(v.find("b")->find("c")->as_bool());
+  EXPECT_TRUE(v.find("b")->find("d")->is_null());
+  EXPECT_DOUBLE_EQ(v.find("e")->as_number(), -3.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+
+  EXPECT_FALSE(json_parse("{\"a\":}", v, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+  EXPECT_FALSE(json_parse("[1,2] trailing", v, &error));
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export -> parse round-trip, merge, tables
+// ---------------------------------------------------------------------------
+
+Registry& example_registry(Registry& reg) {
+  reg.counter("fuzz.trials").inc(100);
+  reg.counter("fuzz.trials.ok").inc(99);
+  reg.gauge("fuzz.trials_per_sec").set(812.5);
+  Histogram& h = reg.histogram("fuzz.trial_us");
+  for (std::uint64_t v : {3u, 9u, 9u, 2000u}) h.observe(v);
+  return reg;
+}
+
+TEST(ObsSink, JsonlRoundTripPreservesEverySample) {
+  Registry reg;
+  const std::string text = metrics_to_jsonl(example_registry(reg).snapshot(),
+                                            {{"tool", "test"}, {"seed", "7"}});
+  // Line 1 is the meta record with the schema tag.
+  EXPECT_EQ(text.find(kMetricsSchema), text.find("ftcc-"));
+
+  MetricsFile parsed;
+  std::string error;
+  ASSERT_TRUE(parse_metrics_jsonl(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed.meta.at("tool"), "test");
+  EXPECT_EQ(parsed.meta.at("seed"), "7");
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(parsed.samples.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(parsed.samples[i].name, samples[i].name);
+    EXPECT_EQ(parsed.samples[i].kind, samples[i].kind);
+    EXPECT_DOUBLE_EQ(parsed.samples[i].value, samples[i].value);
+    EXPECT_EQ(parsed.samples[i].count, samples[i].count);
+    EXPECT_EQ(parsed.samples[i].sum, samples[i].sum);
+    EXPECT_EQ(parsed.samples[i].buckets, samples[i].buckets);
+  }
+}
+
+TEST(ObsReport, MergeSumsCountersAndAddsHistograms) {
+  Registry r1, r2;
+  const std::string t1 =
+      metrics_to_jsonl(example_registry(r1).snapshot(), {{"run", "a"}});
+  r2.counter("fuzz.trials").inc(50);
+  r2.gauge("fuzz.trials_per_sec").set(100.0);
+  r2.histogram("fuzz.trial_us").observe(9);
+  const std::string t2 =
+      metrics_to_jsonl(r2.snapshot(), {{"run", "b"}});
+
+  MetricsFile a, b;
+  ASSERT_TRUE(parse_metrics_jsonl(t1, a));
+  ASSERT_TRUE(parse_metrics_jsonl(t2, b));
+  const MetricsFile merged = merge_metrics({a, b});
+  EXPECT_EQ(merged.meta.at("run"), "a");  // first file wins
+  const auto find = [&](const std::string& name) -> const MetricSample& {
+    for (const auto& s : merged.samples)
+      if (s.name == name) return s;
+    ADD_FAILURE() << name << " missing";
+    return merged.samples.front();
+  };
+  EXPECT_DOUBLE_EQ(find("fuzz.trials").value, 150.0);        // summed
+  EXPECT_DOUBLE_EQ(find("fuzz.trials_per_sec").value, 100.0);  // last wins
+  EXPECT_EQ(find("fuzz.trial_us").count, 5u);                // bucket-added
+  EXPECT_EQ(find("fuzz.trial_us").sum, 2030u);
+  EXPECT_DOUBLE_EQ(find("fuzz.trials.ok").value, 99.0);  // only in run a
+}
+
+TEST(ObsReport, TablesCoverEveryMetricAndDiffSigns) {
+  Registry reg;
+  MetricsFile file;
+  ASSERT_TRUE(parse_metrics_jsonl(
+      metrics_to_jsonl(example_registry(reg).snapshot()), file));
+  const Table table = metrics_table(file);
+  ASSERT_EQ(table.headers().size(), 8u);
+  EXPECT_EQ(table.rows().size(), file.samples.size());
+
+  MetricsFile other = file;  // same run: all deltas zero
+  const Table diff = metrics_diff_table(file, other);
+  EXPECT_EQ(diff.rows().size(), file.samples.size());
+  for (const auto& row : diff.rows()) EXPECT_EQ(row.back(), "0.000");
+}
+
+// ---------------------------------------------------------------------------
+// structural validators
+// ---------------------------------------------------------------------------
+
+TEST(ObsCheck, AcceptsOwnOutputsRejectsMalformed) {
+  Registry reg;
+  const std::string good = metrics_to_jsonl(example_registry(reg).snapshot(),
+                                            {{"tool", "test"}});
+  std::string error, kind;
+  EXPECT_TRUE(check_metrics_jsonl(good, &error)) << error;
+  EXPECT_TRUE(check_payload(good, &error, &kind));
+  EXPECT_EQ(kind, "metrics");
+
+  // Meta line must come first.
+  EXPECT_FALSE(check_metrics_jsonl(
+      "{\"kind\":\"counter\",\"name\":\"x\",\"value\":1}\n", &error));
+  // Histogram bucket counts must sum to the count field.
+  EXPECT_FALSE(check_metrics_jsonl(
+      std::string("{\"schema\":\"ftcc-metrics-v1\",\"kind\":\"meta\"}\n") +
+          "{\"kind\":\"histogram\",\"name\":\"h\",\"count\":3,\"sum\":9,"
+          "\"buckets\":[[2,1]]}\n",
+      &error));
+  // Duplicate metric names are an export bug.
+  EXPECT_FALSE(check_metrics_jsonl(
+      std::string("{\"schema\":\"ftcc-metrics-v1\",\"kind\":\"meta\"}\n") +
+          "{\"kind\":\"counter\",\"name\":\"x\",\"value\":1}\n"
+          "{\"kind\":\"counter\",\"name\":\"x\",\"value\":2}\n",
+      &error));
+
+  const std::string bench =
+      R"({"schema":"ftcc-bench-v1","bench":"demo","tables":[)"
+      R"({"title":"t","headers":["a","b"],"rows":[["1","2"]]}]})";
+  EXPECT_TRUE(check_bench_json(bench, &error)) << error;
+  EXPECT_TRUE(check_payload(bench, &error, &kind));
+  EXPECT_EQ(kind, "bench");
+  // Row arity must match the header arity.
+  EXPECT_FALSE(check_bench_json(
+      R"({"schema":"ftcc-bench-v1","bench":"demo","tables":[)"
+      R"({"title":"t","headers":["a","b"],"rows":[["1"]]}]})",
+      &error));
+  // Cells must be strings.
+  EXPECT_FALSE(check_bench_json(
+      R"({"schema":"ftcc-bench-v1","bench":"demo","tables":[)"
+      R"({"title":"t","headers":["a"],"rows":[[1]]}]})",
+      &error));
+}
+
+TEST(ObsSpan, SinkEmitsValidChromeTrace) {
+  TraceSink sink;
+  {
+    Span outer(&sink, "outer", "test");
+    Span inner(&sink, "inner", "test");
+    (void)inner.end();
+    EXPECT_EQ(inner.end(), 0u);  // idempotent: a second close is a no-op
+  }
+  sink.instant("marker", "test");
+  ASSERT_EQ(sink.size(), 3u);
+
+  const std::string json = sink.to_json();
+  std::string error, kind;
+  EXPECT_TRUE(check_chrome_trace(json, &error)) << error;
+  EXPECT_TRUE(check_payload(json, &error, &kind));
+  EXPECT_EQ(kind, "trace");
+
+  // Spot the structure Perfetto needs: ph "X" complete events with ts+dur
+  // and the instant marker.
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(json, doc));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 3u);
+  EXPECT_EQ(events->items()[0].find("name")->as_string(), "inner");
+  EXPECT_EQ(events->items()[0].find("ph")->as_string(), "X");
+  EXPECT_NE(events->items()[0].find("dur"), nullptr);
+  EXPECT_EQ(events->items()[2].find("ph")->as_string(), "i");
+
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[{"name":"x"}]})"));
+}
+
+TEST(ObsSpan, UnsinkedSpanStillMeasuresIntoHistogram) {
+  Registry reg;
+  Histogram& h = reg.histogram("stage_us");
+  {
+    Span span(nullptr, "stage", "", &h);
+  }
+  EXPECT_EQ(h.count(), 1u);  // duration recorded even without a sink
+}
+
+// ---------------------------------------------------------------------------
+// executors with attached metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsRuntime, ExecutorCountsMatchTheRun) {
+  Registry reg;
+  const ExecutorMetrics m = ExecutorMetrics::create(reg);
+  const NodeId n = 8;
+  const Graph g = make_cycle(n);
+  Executor<SixColoring> ex(SixColoring{}, g, random_ids(n, 1));
+  ex.attach_metrics(&m);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 100000);
+  ASSERT_TRUE(result.completed);
+  std::uint64_t total = 0;
+  for (const std::uint64_t a : result.activations) total += a;
+  EXPECT_EQ(m.activations->value(), total);
+  EXPECT_EQ(m.publishes->value(), total);
+  EXPECT_EQ(m.terminations->value(), n);
+  EXPECT_EQ(m.termination_step->count(), n);
+  EXPECT_EQ(m.crashes->value(), 0u);
+}
+
+TEST(ObsRuntime, StepDrivenExecutorNeedsExplicitFlush) {
+  Registry reg;
+  const ExecutorMetrics m = ExecutorMetrics::create(reg);
+  const Graph g = make_cycle(3);
+  Executor<SixColoring> ex(SixColoring{}, g, {10, 20, 30});
+  ex.attach_metrics(&m);
+  const NodeId sigma[] = {0, 1};
+  ex.step(sigma);
+  EXPECT_EQ(m.activations->value(), 0u);  // still batched locally
+  ex.flush_metrics();
+  EXPECT_EQ(m.activations->value(), 2u);
+  ex.flush_metrics();  // flushing is idempotent once drained
+  EXPECT_EQ(m.activations->value(), 2u);
+}
+
+TEST(ObsRuntime, ThreadedExecutorCountersFlushOnJoin) {
+  Registry reg;
+  const ThreadedMetrics m = ThreadedMetrics::create(reg);
+  const NodeId n = 6;
+  const Graph g = make_cycle(n);
+  ThreadedExecutor<SixColoring> ex(SixColoring{}, g, random_ids(n, 2), {});
+  ex.attach_metrics(&m);
+  (void)ex.run(4096);
+  EXPECT_EQ(m.terminations->value(), n);
+  EXPECT_EQ(m.rounds_to_finish->count(), n);
+  EXPECT_GE(m.activations->value(), n);   // every node ran at least once
+  EXPECT_GE(m.publishes->value(), n);
+  EXPECT_EQ(m.corruptions->value(), 0u);  // no faults injected
+}
+
+// ---------------------------------------------------------------------------
+// the campaign guarantee: metrics are decision-free
+// ---------------------------------------------------------------------------
+
+TEST(ObsCampaign, AttachingMetricsNeverChangesTheReport) {
+  CampaignOptions plain;
+  plain.seed = 11;
+  plain.trials = 15;
+  plain.n_min = 4;
+  plain.n_max = 10;
+  const CampaignReport before = run_campaign(plain);
+
+  Registry reg;
+  TraceSink trace;
+  CampaignOptions instrumented = plain;
+  instrumented.metrics = &reg;
+  instrumented.trace = &trace;
+  std::uint64_t progress_calls = 0;
+  instrumented.on_progress = [&](const CampaignProgress& p) {
+    ++progress_calls;
+    EXPECT_LE(p.done, p.total);
+  };
+  instrumented.progress_every = 5;
+  const CampaignReport after = run_campaign(instrumented);
+
+  // Byte-identical deterministic report, with or without observability.
+  EXPECT_EQ(before.text, after.text);
+  EXPECT_EQ(reg.counter("fuzz.trials").value(), 15u);
+  EXPECT_EQ(reg.counter("fuzz.trials.ok").value() +
+                reg.counter("fuzz.trials.censored").value() +
+                reg.counter("fuzz.trials.failures").value(),
+            15u);
+  EXPECT_EQ(reg.histogram("fuzz.trial_us").count(), 15u);
+  EXPECT_GE(trace.size(), 15u);          // one fuzz.trial span per trial
+  EXPECT_EQ(progress_calls, 3u);         // 15 trials / progress_every=5
+  EXPECT_TRUE(check_chrome_trace(trace.to_json()));
+
+  MetricsFile parsed;
+  std::string error;
+  ASSERT_TRUE(
+      parse_metrics_jsonl(metrics_to_jsonl(reg.snapshot()), parsed, &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace ftcc::obs

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/algo1_six_coloring.hpp"
 #include "core/algo3_fast_five_coloring.hpp"
+#include "faults/fault_plan.hpp"
 #include "runtime/executor.hpp"
 #include "sched/schedulers.hpp"
 
@@ -89,6 +91,59 @@ TEST(Trace, ToScheduleGroupsByStep) {
   EXPECT_EQ(schedule[0], (std::vector<NodeId>{2, 0}));
   EXPECT_TRUE(schedule[1].empty());
   EXPECT_EQ(schedule[2], std::vector<NodeId>{1});
+}
+
+TEST(Trace, FaultEventsDoNotLeakIntoTheSchedule) {
+  Trace trace;
+  trace.record(1, 0, TraceEventKind::activated);
+  trace.record(1, 1, TraceEventKind::corrupted);
+  trace.record(2, 1, TraceEventKind::recovered);
+  trace.record(2, 2, TraceEventKind::activated);
+  trace.record(2, 2, TraceEventKind::returned, 3);
+  const auto schedule = trace.to_schedule();
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0], std::vector<NodeId>{0});
+  EXPECT_EQ(schedule[1], std::vector<NodeId>{2});
+}
+
+TEST(Trace, FaultyRunRoundTripsThroughToSchedule) {
+  // A run under recovery + corruption faults records the fault events in
+  // the trace, yet to_schedule() yields pure activations — replaying that
+  // schedule under the *same* plan reproduces the run event for event.
+  const NodeId n = 8;
+  const Graph g = make_cycle(n);
+  const auto ids = random_ids(n, 7);
+  FaultPlan plan(n);
+  plan.recover(2, {4, 2, RecoveredRegister::zero});
+  plan.corrupt(5, {3, CorruptionFault::Kind::bit_flip, 0, 1});
+  plan.corrupt(5, {6, CorruptionFault::Kind::overwrite, 0, 999});
+
+  Trace trace;
+  Executor<SixColoring> original(SixColoring{}, g, ids, plan);
+  original.attach_trace(&trace);
+  RandomSubsetScheduler sched(0.6, 17);
+  const auto first = original.run(sched, 100000);
+  ASSERT_TRUE(first.completed);
+  EXPECT_FALSE(trace.filter(TraceEventKind::recovered).empty());
+  EXPECT_FALSE(trace.filter(TraceEventKind::corrupted).empty());
+
+  // The schedule holds activations only: its entry count matches the
+  // activation count even though the trace carries fault events.
+  const auto schedule = trace.to_schedule();
+  std::size_t scheduled = 0;
+  for (const auto& step : schedule) scheduled += step.size();
+  EXPECT_EQ(scheduled, trace.filter(TraceEventKind::activated).size());
+
+  Trace replay_trace;
+  Executor<SixColoring> replayed(SixColoring{}, g, ids, plan);
+  replayed.attach_trace(&replay_trace);
+  ReplayScheduler replay(schedule);
+  const auto second = replayed.run(replay, 100000);
+  ASSERT_TRUE(second.completed);
+  EXPECT_EQ(first.activations, second.activations);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_EQ(first.outputs[v], second.outputs[v]) << "node " << v;
+  EXPECT_EQ(trace.events(), replay_trace.events());
 }
 
 TEST(Trace, TimelineFormatting) {

@@ -44,6 +44,48 @@ TEST(Summary, InterleavedAddAndQuery) {
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
 }
 
+TEST(Summary, NamedPercentilesAreExact) {
+  Summary s;
+  for (int i = 1; i <= 200; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.p50(), 100.0);
+  EXPECT_DOUBLE_EQ(s.p90(), 180.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 198.0);
+  // Small-sample honesty: p99 of few samples is the max, not interpolation.
+  Summary tiny;
+  tiny.add_all({1, 2, 3});
+  EXPECT_DOUBLE_EQ(tiny.p99(), 3.0);
+}
+
+TEST(Log2Buckets, IndexAndBoundsPartitionUint64) {
+  EXPECT_EQ(log2_bucket_index(0), 0u);
+  EXPECT_EQ(log2_bucket_index(1), 1u);
+  EXPECT_EQ(log2_bucket_index(2), 2u);
+  EXPECT_EQ(log2_bucket_index(3), 2u);
+  EXPECT_EQ(log2_bucket_index(4), 3u);
+  EXPECT_EQ(log2_bucket_index(~std::uint64_t{0}), kLog2Buckets - 1);
+  // Every bucket's bounds contain exactly the values that map to it.
+  for (std::size_t b = 0; b < kLog2Buckets; ++b) {
+    EXPECT_EQ(log2_bucket_index(log2_bucket_lower(b)), b);
+    EXPECT_EQ(log2_bucket_index(log2_bucket_upper(b)), b);
+    if (b + 1 < kLog2Buckets) {
+      EXPECT_EQ(log2_bucket_upper(b) + 1, log2_bucket_lower(b + 1));
+    }
+  }
+}
+
+TEST(Log2Buckets, QuantileIsNearestRankOverCumulativeCounts) {
+  std::vector<std::uint64_t> counts(kLog2Buckets, 0);
+  counts[1] = 50;  // fifty 1s
+  counts[3] = 50;  // fifty values in [4,7]
+  EXPECT_DOUBLE_EQ(log2_bucket_quantile(counts, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(log2_bucket_quantile(counts, 0.9), 7.0);
+  EXPECT_DOUBLE_EQ(log2_bucket_quantile(counts, 0.0), 1.0);  // rank floor 1
+  // Empty histogram and short count vectors are well-defined.
+  EXPECT_DOUBLE_EQ(log2_bucket_quantile({}, 0.5), 0.0);
+  const std::uint64_t short_counts[] = {0, 3};
+  EXPECT_DOUBLE_EQ(log2_bucket_quantile(short_counts, 1.0), 1.0);
+}
+
 TEST(Summary, BriefMentionsCount) {
   Summary s;
   s.add_all({1, 2, 3});

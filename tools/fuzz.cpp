@@ -18,12 +18,38 @@
 // race-witnesses/ (event logs).
 // Exit status: 0 = no violations, 1 = violations found (or replay failed
 // to reproduce), 2 = usage or artifact error.
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "fuzz/campaign.hpp"
 #include "fuzz/certify_campaign.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+/// Overwriting progress line, shown only on an interactive stdout (CI logs
+/// and pipes stay clean).  The final call erases itself so the report text
+/// starts on a fresh line.
+void print_progress(const ftcc::CampaignProgress& p) {
+  if (p.done == p.total) {
+    std::printf("\r\033[2K");
+  } else {
+    std::printf("\r[%llu/%llu] ok=%llu censored=%llu failures=%llu",
+                static_cast<unsigned long long>(p.done),
+                static_cast<unsigned long long>(p.total),
+                static_cast<unsigned long long>(p.ok),
+                static_cast<unsigned long long>(p.censored),
+                static_cast<unsigned long long>(p.failures));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ftcc::Cli cli;
@@ -46,7 +72,16 @@ int main(int argc, char** argv) {
             "run ThreadedExecutor trials and certify each against the "
             "state model via the happens-before log (see tools/race)")
       .flag("replay", std::string(""),
-            "replay a stored .sched artifact instead of fuzzing");
+            "replay a stored .sched artifact instead of fuzzing")
+      .flag("metrics", std::string(""),
+            "write campaign metrics (ftcc-metrics-v1 JSONL) to this path; "
+            "aggregate or diff with tools/report")
+      .flag("trace", std::string(""),
+            "write per-trial / certifier-stage spans as a Chrome trace "
+            "(load in Perfetto) to this path")
+      .flag("progress", true,
+            "overwriting progress line every 500 trials (interactive "
+            "stdout only; pipes and CI logs never see it)");
   if (!cli.parse(argc, argv)) return 2;
 
   const bool certify = cli.get_bool("certify");
@@ -117,6 +152,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Observability plumbing shared by both campaign kinds.  The registry
+  // and sink live here so they outlive the campaign; files are written
+  // after the run (write failures are usage errors, not fuzz verdicts).
+  const std::string metrics_path = cli.get_string("metrics");
+  const std::string trace_path = cli.get_string("trace");
+  ftcc::obs::Registry registry;
+  ftcc::obs::TraceSink trace;
+  const bool show_progress =
+      cli.get_bool("progress") && isatty(fileno(stdout)) != 0;
+  const auto write_observability = [&](const char* mode) -> bool {
+    if (!metrics_path.empty()) {
+      const std::map<std::string, std::string> meta{
+          {"tool", "fuzz"},
+          {"mode", mode},
+          {"seed", std::to_string(cli.get_u64("seed"))},
+          {"trials", std::to_string(cli.get_u64("trials"))},
+          {"algo", algo_flag},
+          {"inject", inject_name}};
+      if (!ftcc::obs::write_metrics_jsonl(metrics_path, registry, meta)) {
+        std::cerr << "cannot write metrics file " << metrics_path << "\n";
+        return false;
+      }
+    }
+    if (!trace_path.empty() && !trace.write(trace_path)) {
+      std::cerr << "cannot write trace file " << trace_path << "\n";
+      return false;
+    }
+    return true;
+  };
+
   if (certify) {
     ftcc::CertifyCampaignOptions options;
     options.seed = cli.get_u64("seed");
@@ -128,12 +193,16 @@ int main(int argc, char** argv) {
     options.artifact_dir = cli.get_string("out");
     options.inject_faults = threaded_faults;
     if (algo_flag != "all") options.algos = {algo_flag};
+    if (!metrics_path.empty()) options.metrics = &registry;
+    if (!trace_path.empty()) options.trace = &trace;
+    if (show_progress) options.on_progress = print_progress;
     ftcc::CertifyCampaignReport report = ftcc::run_certify_campaign(options);
     std::cout << report.text;
     if (!report.failures.empty())
       for (const std::string& line :
            ftcc::persist_certify_witnesses(report, "race-witnesses"))
         std::cout << line << "\n";
+    if (!write_observability("certify")) return 2;
     return report.failures.empty() ? 0 : 1;
   }
 
@@ -150,6 +219,9 @@ int main(int argc, char** argv) {
   // exposes the unprotected algorithms (corruption is expected to bite).
   options.wrap = fault_mode != ftcc::FaultMode::none && !cli.get_bool("raw");
   if (algo_flag != "all") options.algos = {algo_flag};
+  if (!metrics_path.empty()) options.metrics = &registry;
+  if (!trace_path.empty()) options.trace = &trace;
+  if (show_progress) options.on_progress = print_progress;
 
   ftcc::CampaignReport report = ftcc::run_campaign(options);
   std::cout << report.text;
@@ -159,5 +231,6 @@ int main(int argc, char** argv) {
     for (const std::string& line :
          ftcc::persist_failure_artifacts(report, "fuzz-artifacts"))
       std::cout << line << "\n";
+  if (!write_observability("campaign")) return 2;
   return report.failures.empty() ? 0 : 1;
 }

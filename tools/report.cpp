@@ -1,0 +1,115 @@
+// tools/report — read the machine-readable observability artifacts the
+// rest of the repo emits and turn them back into something a human (or a
+// CI gate) can use.
+//
+//   report run-a.jsonl                 # one run as a summary table
+//   report run-a.jsonl run-b.jsonl     # merged (counters sum, hists add)
+//   report --diff run-a.jsonl run-b.jsonl
+//   report --check run.jsonl BENCH_colorings.json spans.trace.json
+//
+// --check validates any mix of the three formats (metrics JSONL, bench
+// JSON, Chrome trace); format is sniffed per file.  Exit status: 0 = ok,
+// 2 = usage error, unreadable file, or failed validation.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool load_metrics(const std::string& path, ftcc::obs::MetricsFile& out) {
+  std::string text;
+  if (!slurp(path, text)) {
+    std::cerr << "cannot read " << path << "\n";
+    return false;
+  }
+  std::string error;
+  if (!ftcc::obs::parse_metrics_jsonl(text, out, &error)) {
+    std::cerr << path << ": " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+void print_meta(const ftcc::obs::MetricsFile& file) {
+  if (file.meta.empty()) return;
+  std::cout << "meta:";
+  for (const auto& [k, v] : file.meta) std::cout << " " << k << "=" << v;
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftcc::Cli cli;
+  cli.flag("diff", false,
+           "compare exactly two metrics JSONL runs field by field")
+      .flag("check", false,
+            "structurally validate each file (metrics JSONL, BENCH_*.json, "
+            "or Chrome trace — format sniffed per file)")
+      .accept_positionals();
+  if (!cli.parse(argc, argv)) return 2;
+  const std::vector<std::string>& paths = cli.positional();
+  if (paths.empty()) {
+    std::cerr << "usage: report [--diff|--check] <file>...\n";
+    return 2;
+  }
+
+  if (cli.get_bool("check")) {
+    bool all_ok = true;
+    for (const std::string& path : paths) {
+      std::string text;
+      if (!slurp(path, text)) {
+        std::cout << "FAIL " << path << ": cannot read\n";
+        all_ok = false;
+        continue;
+      }
+      std::string error, kind;
+      if (ftcc::obs::check_payload(text, &error, &kind)) {
+        std::cout << "ok   " << path << " (" << kind << ")\n";
+      } else {
+        std::cout << "FAIL " << path << ": " << error << "\n";
+        all_ok = false;
+      }
+    }
+    return all_ok ? 0 : 2;
+  }
+
+  if (cli.get_bool("diff")) {
+    if (paths.size() != 2) {
+      std::cerr << "--diff needs exactly two metrics files\n";
+      return 2;
+    }
+    ftcc::obs::MetricsFile a, b;
+    if (!load_metrics(paths[0], a) || !load_metrics(paths[1], b)) return 2;
+    ftcc::obs::metrics_diff_table(a, b).print(paths[0] + " vs " + paths[1]);
+    return 0;
+  }
+
+  std::vector<ftcc::obs::MetricsFile> files;
+  for (const std::string& path : paths) {
+    ftcc::obs::MetricsFile file;
+    if (!load_metrics(path, file)) return 2;
+    files.push_back(std::move(file));
+  }
+  const ftcc::obs::MetricsFile merged = ftcc::obs::merge_metrics(files);
+  print_meta(merged);
+  const std::string title = paths.size() == 1
+                                ? paths[0]
+                                : std::to_string(paths.size()) + " runs merged";
+  ftcc::obs::metrics_table(merged).print(title);
+  return 0;
+}
