@@ -103,8 +103,13 @@ class Recovering {
 
   [[nodiscard]] static std::uint64_t checksum(const typename A::Register& inner,
                                               std::uint64_t x0) {
-    std::vector<std::uint64_t> words;
-    words.reserve(A::kRegisterWords);
+    // Per-thread scratch: checksum runs once per publish and once per
+    // neighbour per activation — the wrapper's hot path — and must not
+    // allocate in steady state (tests/executor_alloc_test.cpp).
+    // thread_local rather than a member because ThreadedExecutor shares
+    // one algorithm object across its node threads.
+    thread_local std::vector<std::uint64_t> words;
+    words.clear();
     inner.encode(words);
     std::uint64_t h = 0x243f6a8885a308d3ULL ^ x0;  // position-dependent chain
     for (std::uint64_t w : words) {
@@ -138,10 +143,13 @@ class Recovering {
   [[nodiscard]] std::optional<Output> step(State& s,
                                            NeighborView<Register> view) const {
     // Authenticate the view once; everything below sees only inner
-    // registers that some node's publish() actually emitted.  The view is
-    // a local: ThreadedExecutor shares one algorithm object across node
-    // threads, so step() must not touch shared scratch.
-    std::vector<std::optional<typename A::Register>> inner_view(view.size());
+    // registers that some node's publish() actually emitted.  The scratch
+    // is thread_local, not a member: ThreadedExecutor shares one algorithm
+    // object across node threads (each thread gets its own buffer), and
+    // the sequential executor reuses the buffer across activations so the
+    // steady state stays allocation-free.
+    thread_local InnerView inner_view;
+    inner_view.assign(view.size(), std::nullopt);
     for (std::size_t i = 0; i < view.size(); ++i)
       if (view[i] && authentic(*view[i])) inner_view[i] = view[i]->inner;
 

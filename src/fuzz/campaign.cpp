@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 
 #include "analysis/harness.hpp"
@@ -12,6 +13,8 @@
 #include "fuzz/dispatch.hpp"
 #include "graph/chains.hpp"
 #include "fuzz/recording_scheduler.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/worker_pool.hpp"
 #include "sched/adversary_search.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -57,12 +60,30 @@ void install_monitors(Executor<A>& ex, std::uint64_t palette_bound,
   }
 }
 
+/// One reusable executor per (thread, algorithm type).  reset() re-arms
+/// the arena in place, so after the first trial on a thread the hot path
+/// constructs nothing (tests/executor_alloc_test.cpp pins the property).
+/// thread_local because the WorkerPool runs trials from several threads;
+/// the executor keeps pointers to the caller's graph/plan only until the
+/// next reset, and no trial touches another trial's executor.
+template <Algorithm A>
+Executor<A>& pooled_executor(A algo, const Graph& graph,
+                             const IdAssignment& ids,
+                             const FaultPlan& faults) {
+  thread_local std::unique_ptr<Executor<A>> slot;
+  if (!slot)
+    slot = std::make_unique<Executor<A>>(std::move(algo), graph, ids, faults);
+  else
+    slot->reset(std::move(algo), graph, ids, faults);
+  return *slot;
+}
+
 template <Algorithm A>
 RecordedRun run_recorded(A algo, const Graph& graph, const IdAssignment& ids,
                          const FaultPlan& faults, Scheduler& sched,
                          std::uint64_t max_steps, std::uint64_t palette_bound,
                          bool ordered, InjectedFault inject) {
-  Executor<A> ex(std::move(algo), graph, ids, faults);
+  Executor<A>& ex = pooled_executor(std::move(algo), graph, ids, faults);
   install_monitors(ex, palette_bound, ordered, inject);
   RecordingScheduler recorder(sched);
   const auto result = ex.run(recorder, max_steps);
@@ -286,8 +307,8 @@ std::string replay_violation(const ScheduleArtifact& artifact,
   return with_algorithm(
       artifact.algo, artifact.wrapped,
       [&](auto algo, std::uint64_t bound, bool ordered) -> std::string {
-        Executor<decltype(algo)> ex(std::move(algo), graph, artifact.ids,
-                                    faults);
+        auto& ex = pooled_executor(std::move(algo), graph, artifact.ids,
+                                   faults);
         install_monitors(ex, bound, ordered, inject);
         ReplayScheduler sched(artifact.sigmas);
         // Exactly the recorded steps: the artifact IS the schedule, so a
@@ -306,17 +327,17 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   if (!options.artifact_dir.empty())
     std::filesystem::create_directories(options.artifact_dir);
 
-  std::ostringstream os;
-  os << "ftcc-fuzz report v1\n";
-  os << "seed=" << options.seed << " trials=" << options.trials << " n=["
-     << options.n_min << "," << options.n_max << "] algos=";
+  std::ostringstream out;
+  out << "ftcc-fuzz report v1\n";
+  out << "seed=" << options.seed << " trials=" << options.trials << " n=["
+      << options.n_min << "," << options.n_max << "] algos=";
   for (std::size_t i = 0; i < algos.size(); ++i)
-    os << (i ? "," : "") << algos[i];
-  os << " inject="
-     << (options.inject == InjectedFault::none ? "none" : "no-termination")
-     << " faults=" << fault_mode_name(options.fault_mode)
-     << " wrap=" << (options.wrap ? 1 : 0)
-     << " shrink=" << (options.shrink ? 1 : 0) << "\n";
+    out << (i ? "," : "") << algos[i];
+  out << " inject="
+      << (options.inject == InjectedFault::none ? "none" : "no-termination")
+      << " faults=" << fault_mode_name(options.fault_mode)
+      << " wrap=" << (options.wrap ? 1 : 0)
+      << " shrink=" << (options.shrink ? 1 : 0) << "\n";
 
   // Resolved observability handles (a null registry leaves them all null;
   // each use is one branch).  Nothing below feeds back into the campaign.
@@ -347,13 +368,48 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   const std::uint64_t progress_every =
       std::max<std::uint64_t>(options.progress_every, 1);
 
-  CampaignReport report;
+  // Pre-draw every trial's sub-seed in trial order — the exact stream the
+  // sequential loop consumed — so the worker count has no effect on which
+  // trials run or on anything they draw.
+  std::vector<std::uint64_t> seeds(options.trials);
   Xoshiro256 master(options.seed);
-  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
-    obs::Span trial_span(options.trace, "fuzz.trial", "fuzz", m.trial_us);
-    const std::uint64_t trial_seed = master();
+  for (auto& s : seeds) s = master();
+
+  // Every trial owns a report chunk, an outcome kind, and a failure slot;
+  // the merge after the pool joins concatenates them in trial order, which
+  // makes the report (and the failure list) byte-identical for any jobs.
+  struct TrialOutcome {
+    std::string text;
+    TrialTally::Outcome kind = TrialTally::Outcome::ok;
+    std::optional<CampaignFailure> failure;
+  };
+  std::vector<TrialOutcome> outcomes(options.trials);
+
+  std::function<void(const TallyProgress&)> tally_cb;
+  if (options.on_progress)
+    tally_cb = [&options](const TallyProgress& p) {
+      options.on_progress({p.done, p.total, p.ok, p.censored, p.failures});
+    };
+  TrialTally tally(options.trials, progress_every, std::move(tally_cb));
+
+  WorkerPool pool(options.jobs);
+  obs::PoolMetrics pool_metrics;
+  if (options.metrics != nullptr) {
+    pool_metrics = obs::PoolMetrics::create(*options.metrics, "fuzz.pool");
+    pool.attach_metrics(&pool_metrics);
+  }
+  // The TraceSink is single-threaded by design (obs/span.hpp), so spans
+  // reach it only when the pool is too; the duration histograms are
+  // relaxed-atomic and safe from every worker.
+  obs::TraceSink* trace = pool.jobs() == 1 ? options.trace : nullptr;
+
+  CampaignReport report;
+  const auto run_trial = [&](std::size_t trial, unsigned /*worker*/) {
+    obs::Span trial_span(trace, "fuzz.trial", "fuzz", m.trial_us);
+    TrialOutcome& slot = outcomes[trial];
+    std::ostringstream os;
     TrialConfig cfg = generate_trial(algos, options.n_min, options.n_max,
-                                     trial_seed, options.fault_mode);
+                                     seeds[trial], options.fault_mode);
     const std::uint64_t budget = linear_step_budget(cfg.n);
     const Graph graph =
         cfg.graph_kind == "path" ? make_path(cfg.n) : make_cycle(cfg.n);
@@ -366,7 +422,6 @@ CampaignReport run_campaign(const CampaignOptions& options) {
                               options.inject);
         });
 
-    ++report.trials;
     if (m.trials) {
       m.trials->inc();
       m.trial_steps->observe(run.steps);
@@ -402,7 +457,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       failure.original_steps = witness.sigmas.size();
       if (m.failures) m.failures->inc();
       if (options.shrink) {
-        obs::Span shrink_span(options.trace, "fuzz.shrink", "fuzz");
+        obs::Span shrink_span(trace, "fuzz.shrink", "fuzz");
         ShrinkOptions shrink_options;
         shrink_options.max_checks = options.shrink_checks;
         shrink_options.min_nodes = cfg.graph_kind == "path" ? 2u : 3u;
@@ -428,9 +483,10 @@ CampaignReport run_campaign(const CampaignOptions& options) {
         FTCC_EXPECTS(save_schedule(failure.path, failure.shrink.artifact));
         os << "artifact trial " << trial << ": " << failure.path << "\n";
       }
-      report.failures.push_back(std::move(failure));
+      slot.kind = TrialTally::Outcome::failed;
+      slot.failure = std::move(failure);
     } else if (!run.completed) {
-      ++report.censored;
+      slot.kind = TrialTally::Outcome::censored;
       if (m.censored) m.censored->inc();
       os << "censored budget=" << budget << " fates=" << format_fates(run.fates);
       os << " timed_out=";
@@ -443,7 +499,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
         }
       os << "\n";
     } else {
-      ++report.ok;
+      slot.kind = TrialTally::Outcome::ok;
       if (m.ok) m.ok->inc();
       // Per-node headroom against the Lemma 3.9 activation bound
       // min{3ℓ, 3ℓ′, ℓ+ℓ′}+4, meaningful exactly for clean Algorithm 1
@@ -466,10 +522,23 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       os << "ok steps=" << run.steps << " max_acts=" << run.max_acts
          << " fates=" << format_fates(run.fates) << "\n";
     }
-    if (options.on_progress && ((trial + 1) % progress_every == 0 ||
-                                trial + 1 == options.trials)) {
-      options.on_progress({trial + 1, options.trials, report.ok,
-                           report.censored, report.failures.size()});
+    slot.text = os.str();
+    tally.record(slot.kind);
+  };
+  pool.run(options.trials, run_trial);
+
+  // Deterministic merge: concatenate the per-trial chunks and drain the
+  // failure slots in trial order — exactly what the sequential loop
+  // emitted, whatever worker ran whatever trial.
+  for (TrialOutcome& slot : outcomes) {
+    ++report.trials;
+    out << slot.text;
+    switch (slot.kind) {
+      case TrialTally::Outcome::ok: ++report.ok; break;
+      case TrialTally::Outcome::censored: ++report.censored; break;
+      case TrialTally::Outcome::failed:
+        report.failures.push_back(std::move(*slot.failure));
+        break;
     }
   }
   if (m.trials_per_sec) {
@@ -478,10 +547,10 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       m.trials_per_sec->set(static_cast<double>(report.trials) * 1e6 /
                             static_cast<double>(campaign_us));
   }
-  os << "summary trials=" << report.trials << " ok=" << report.ok
-     << " censored=" << report.censored
-     << " failures=" << report.failures.size() << "\n";
-  report.text = os.str();
+  out << "summary trials=" << report.trials << " ok=" << report.ok
+      << " censored=" << report.censored
+      << " failures=" << report.failures.size() << "\n";
+  report.text = out.str();
   return report;
 }
 

@@ -66,6 +66,13 @@ struct CampaignProgress {
 struct CampaignOptions {
   std::uint64_t seed = 1;
   std::uint64_t trials = 200;
+  /// Worker threads (runtime/worker_pool.hpp).  1 = the sequential loop,
+  /// inline on the caller.  Any value yields byte-identical reports and
+  /// identical shrunk witnesses: trial sub-seeds are pre-drawn from the
+  /// master stream in trial order, every trial writes its own report
+  /// chunk and failure slot, and the merge concatenates in trial order
+  /// (the determinism contract tests/fuzz_parallel_test.cpp pins).
+  unsigned jobs = 1;
   NodeId n_min = 4;
   NodeId n_max = 24;
   /// Subset of campaign_algorithms(); empty = all five.

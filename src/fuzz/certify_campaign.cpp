@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 
 #include "fuzz/campaign.hpp"
 #include "fuzz/dispatch.hpp"
 #include "obs/runtime_metrics.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/threaded_executor.hpp"
+#include "runtime/worker_pool.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -150,15 +153,45 @@ CertifyCampaignReport run_certify_campaign(
   const std::uint64_t progress_every =
       std::max<std::uint64_t>(options.progress_every, 1);
 
-  CertifyCampaignReport report;
+  // Same deterministic-merge shape as run_campaign: sub-seeds pre-drawn in
+  // trial order, one result slot per trial, trial-order concatenation.
+  std::vector<std::uint64_t> seeds(options.trials);
   Xoshiro256 master(options.seed);
-  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
-    obs::Span trial_span(options.trace, "certify.trial", "certify",
-                         m.trial_us);
-    const std::uint64_t trial_seed = master();
+  for (auto& s : seeds) s = master();
+
+  enum class Verdict : std::uint8_t { atomic, split, failed };
+  struct TrialOutcome {
+    std::string text;
+    Verdict verdict = Verdict::atomic;
+    std::optional<CertifyCampaignFailure> failure;
+  };
+  std::vector<TrialOutcome> outcomes(options.trials);
+
+  std::function<void(const TallyProgress&)> tally_cb;
+  if (options.on_progress)
+    tally_cb = [&options](const TallyProgress& p) {
+      // CampaignProgress::censored stays 0: threaded trials never censor.
+      options.on_progress({p.done, p.total, p.ok, 0, p.failures});
+    };
+  TrialTally tally(options.trials, progress_every, std::move(tally_cb));
+
+  WorkerPool pool(options.jobs);
+  obs::PoolMetrics pool_metrics;
+  if (options.metrics != nullptr) {
+    pool_metrics = obs::PoolMetrics::create(*options.metrics, "certify.pool");
+    pool.attach_metrics(&pool_metrics);
+  }
+  // Single-threaded TraceSink: spans only when the pool is sequential too.
+  obs::TraceSink* trace = pool.jobs() == 1 ? options.trace : nullptr;
+
+  CertifyCampaignReport report;
+  const auto run_trial = [&](std::size_t trial, unsigned /*worker*/) {
+    obs::Span trial_span(trace, "certify.trial", "certify", m.trial_us);
+    TrialOutcome& slot = outcomes[trial];
+    std::ostringstream ts;
     const CertifyTrial cfg =
         generate_certify_trial(algos, options.n_min, options.n_max,
-                               trial_seed, options.inject_faults);
+                               seeds[trial], options.inject_faults);
     const Graph graph =
         cfg.graph_kind == "path" ? make_path(cfg.n) : make_cycle(cfg.n);
     ThreadedOptions topts;
@@ -173,13 +206,12 @@ CertifyCampaignReport run_certify_campaign(
           ex.attach_hb_log(&log);
           if (options.metrics != nullptr) ex.attach_metrics(&threaded_metrics);
           {
-            obs::Span run_span(options.trace, "threaded.run", "certify");
+            obs::Span run_span(trace, "threaded.run", "certify");
             (void)ex.run(options.max_rounds);
           }
-          return certify_log(algo, graph, cfg.ids, log, options.trace);
+          return certify_log(algo, graph, cfg.ids, log, trace);
         });
 
-    ++report.trials;
     if (m.trials) {
       m.trials->inc();
       m.events->observe(verdict.events);
@@ -187,18 +219,17 @@ CertifyCampaignReport run_certify_campaign(
       for (std::size_t i = 0; i < 5; ++i)
         m.stage_us[i]->observe(verdict.stage_us[i]);
     }
-    os << "trial " << trial << " algo=" << cfg.algo
+    ts << "trial " << trial << " algo=" << cfg.algo
        << " graph=" << cfg.graph_kind << " n=" << cfg.n
        << " ids=" << cfg.ids_family << " wrapped=" << (cfg.wrapped ? 1 : 0)
        << " faults=" << cfg.faults.size() << " -> ";
     if (verdict.ok()) {
-      ++report.certified;
-      ++(verdict.atomic ? report.atomic : report.split);
+      slot.verdict = verdict.atomic ? Verdict::atomic : Verdict::split;
       if (m.certified) {
         m.certified->inc();
         (verdict.atomic ? m.atomic : m.split)->inc();
       }
-      os << "certified " << (verdict.atomic ? "atomic" : "split")
+      ts << "certified " << (verdict.atomic ? "atomic" : "split")
          << " events=" << verdict.events << " rounds=" << verdict.rounds
          << "\n";
     } else {
@@ -216,20 +247,38 @@ CertifyCampaignReport run_certify_campaign(
       failure.artifact.log = log;
       failure.artifact.seed = options.seed;
       failure.artifact.verdict = failure.verdict;
-      os << "FAIL " << failure.verdict << "\n";
+      ts << "FAIL " << failure.verdict << "\n";
       if (!options.artifact_dir.empty()) {
         failure.path = options.artifact_dir + "/race-" +
                        std::to_string(trial) + ".eventlog";
         FTCC_EXPECTS(save_event_log(failure.path, failure.artifact));
-        os << "witness trial " << trial << ": " << failure.path << "\n";
+        ts << "witness trial " << trial << ": " << failure.path << "\n";
       }
       if (m.failures) m.failures->inc();
-      report.failures.push_back(std::move(failure));
+      slot.verdict = Verdict::failed;
+      slot.failure = std::move(failure);
     }
-    if (options.on_progress && ((trial + 1) % progress_every == 0 ||
-                                trial + 1 == options.trials)) {
-      options.on_progress({trial + 1, options.trials, report.certified, 0,
-                           report.failures.size()});
+    slot.text = ts.str();
+    tally.record(slot.verdict == Verdict::failed ? TrialTally::Outcome::failed
+                                                 : TrialTally::Outcome::ok);
+  };
+  pool.run(options.trials, run_trial);
+
+  for (TrialOutcome& slot : outcomes) {
+    ++report.trials;
+    os << slot.text;
+    switch (slot.verdict) {
+      case Verdict::atomic:
+        ++report.certified;
+        ++report.atomic;
+        break;
+      case Verdict::split:
+        ++report.certified;
+        ++report.split;
+        break;
+      case Verdict::failed:
+        report.failures.push_back(std::move(*slot.failure));
+        break;
     }
   }
   if (m.trials_per_sec) {

@@ -27,6 +27,13 @@ namespace ftcc {
 struct CertifyCampaignOptions {
   std::uint64_t seed = 1;
   std::uint64_t trials = 100;
+  /// Worker threads running whole trials concurrently (each trial already
+  /// spawns its own node threads — this multiplies them, which is the
+  /// point: more cross-trial scheduler pressure per wall-clock second).
+  /// Trial configurations stay seed-deterministic for any value; the text
+  /// report was never byte-deterministic (the OS interleaving decides
+  /// rounds/atomicity), so parallel certify trades nothing away.
+  unsigned jobs = 1;
   NodeId n_min = 3;
   NodeId n_max = 10;
   /// Subset of campaign_algorithms(); empty = all five.

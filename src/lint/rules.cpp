@@ -89,6 +89,33 @@ void check_concurrency(FileScan& scan) {
   }
 }
 
+// Thread creation is confined to src/runtime/ (the WorkerPool and the
+// ThreadedExecutor own every fork/join edge); split literals as above so
+// the table does not flag itself.  Narrower than concurrency-primitives:
+// that rule scopes where primitives may *appear*, this one pins where
+// threads may be *born* — which is why it also covers std::async, a
+// spawn that needs no <thread> include.
+constexpr std::array kThreadSpawnTokens = {
+    "std::" "thread",
+    "std::" "jthread",
+    "std::" "async",
+    "pthread_" "create",
+};
+
+void check_thread_spawn(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string code = code_part(scan.lines[i]);
+    for (const char* token : kThreadSpawnTokens)
+      if (has_token(code, token)) {
+        scan.flag(i, "thread-spawn",
+                  std::string(token) +
+                      " outside src/runtime/ (spawn threads only through "
+                      "the runtime WorkerPool / ThreadedExecutor)");
+        break;
+      }
+  }
+}
+
 /// Does `code` at `pos` start an infinite loop header?  Returns the index
 /// just past the closing paren of the header on a hit.
 std::size_t infinite_loop_header(const std::string& code, std::size_t pos) {
@@ -286,6 +313,7 @@ const std::vector<std::string>& rule_ids() {
       "nondeterminism",
       "snapshot-discipline",
       "wall-clock",
+      "thread-spawn",
   };
   return ids;
 }
@@ -302,6 +330,8 @@ bool rule_applies(const std::string& rule, const std::string& path) {
   if (rule == "wall-clock")
     return in_src && !starts_with(path, "src/obs/") &&
            !starts_with(path, "src/runtime/");
+  if (rule == "thread-spawn")
+    return (in_src || in_tools) && !starts_with(path, "src/runtime/");
   return false;
 }
 
@@ -317,6 +347,7 @@ std::vector<Finding> check_file(const std::string& path,
   if (rule_applies("snapshot-discipline", path))
     check_snapshot_discipline(scan);
   if (rule_applies("wall-clock", path)) check_wall_clock(scan);
+  if (rule_applies("thread-spawn", path)) check_thread_spawn(scan);
   std::sort(scan.findings.begin(), scan.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

@@ -20,6 +20,15 @@
 //       state only through the snapshot view passed to step(); including
 //       executor headers or naming executors/schedulers from an algorithm
 //       breaks the model boundary the proofs rely on.
+//   wall-clock — clocks are read only behind src/obs/ (Stopwatch/Span,
+//       where the FTCC_OBS kill switch lives) and src/runtime/ timeout
+//       plumbing; anywhere else in src/ a clock read is nondeterminism
+//       or instrumentation that bypasses the kill switch.
+//   thread-spawn — thread creation (std::thread / std::jthread /
+//       std::async / pthread_create) is confined to src/runtime/: the
+//       WorkerPool and the ThreadedExecutor own every fork/join edge, so
+//       determinism merge rules and TSan certification audit one place.
+//       Everything above parallelises by handing the pool a task lambda.
 //
 // A finding on a line carrying (or directly below) a
 // `// lint:allow(rule-id)` comment is waived in place; anything else must

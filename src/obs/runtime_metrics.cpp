@@ -29,4 +29,13 @@ ThreadedMetrics ThreadedMetrics::create(Registry& reg,
   return m;
 }
 
+PoolMetrics PoolMetrics::create(Registry& reg, const std::string& prefix) {
+  PoolMetrics m;
+  m.tasks = &reg.counter(prefix + ".tasks");
+  m.steals = &reg.counter(prefix + ".steals");
+  m.queue_depth = &reg.gauge(prefix + ".queue_depth");
+  m.tasks_per_worker = &reg.histogram(prefix + ".tasks_per_worker");
+  return m;
+}
+
 }  // namespace ftcc::obs

@@ -47,4 +47,19 @@ struct ThreadedMetrics {
                                 const std::string& prefix = "threaded");
 };
 
+/// WorkerPool instrumentation (DESIGN.md §10).  tasks counts dispatched
+/// work items; steals counts items a worker drained from another worker's
+/// stripe; queue_depth is the live count of not-yet-finished items (last
+/// write wins — a progress gauge, not an accounting identity); the
+/// histogram records how many items each worker ended up running, so a
+/// skewed campaign (one straggler stripe) is visible in the JSONL.
+struct PoolMetrics {
+  Counter* tasks = nullptr;
+  Counter* steals = nullptr;
+  Gauge* queue_depth = nullptr;
+  Histogram* tasks_per_worker = nullptr;
+
+  static PoolMetrics create(Registry& reg, const std::string& prefix = "pool");
+};
+
 }  // namespace ftcc::obs

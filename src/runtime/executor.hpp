@@ -30,7 +30,14 @@
 //
 // The executor is deliberately sequential and deterministic: the paper's
 // model *is* an interleaving semantics, so simulating it with threads
-// would only add nondeterminism we would then have to remove.
+// would only add nondeterminism we would then have to remove.  Campaign
+// parallelism runs *whole executors* on worker threads (DESIGN.md §10);
+// to make that cheap, the executor is reusable: reset() re-arms it for a
+// new trial while keeping every heap block it ever grew — registers live
+// in flat RegisterFile arenas (contiguous slots + presence bitmaps), the
+// neighbour-view scratch is pre-sized to the graph's maximum degree, and
+// a steady-state activation performs zero heap allocations (asserted by
+// tests/executor_alloc_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +52,7 @@
 #include "graph/ids.hpp"
 #include "runtime/algorithm.hpp"
 #include "runtime/crash.hpp"
+#include "runtime/register_file.hpp"
 #include "runtime/result.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
@@ -67,25 +75,59 @@ class Executor {
 
   Executor(A algo, const Graph& graph, const IdAssignment& ids,
            FaultPlan fault_plan = {})
-      : algo_(std::move(algo)),
-        graph_(&graph),
-        ids_(ids),
-        fault_plan_(std::move(fault_plan)),
-        registers_(graph.node_count()),
-        prev_registers_(graph.node_count()),
-        terminated_(graph.node_count(), false),
-        crashed_(graph.node_count(), false),
-        down_(graph.node_count(), false),
-        tainted_(graph.node_count(), false),
-        activations_(graph.node_count(), 0),
-        recoveries_(graph.node_count(), 0),
-        outputs_(graph.node_count()) {
-    FTCC_EXPECTS(ids.size() == graph.node_count());
-    states_.reserve(graph.node_count());
-    for (NodeId v = 0; v < graph.node_count(); ++v)
-      states_.push_back(algo_.init(v, ids[v], graph.degree(v)));
+      : algo_(std::move(algo)) {
+    rearm(graph, ids, std::move(fault_plan));
   }
 
+  /// Re-arm for a fresh trial, reusing every buffer this executor ever
+  /// grew (the per-worker reuse path of the parallel campaigns).  The
+  /// result is indistinguishable from a newly constructed executor:
+  /// invariants are cleared and trace/metrics are detached, exactly like
+  /// a fresh build.  `graph` must outlive the next run, as always.
+  void reset(A algo, const Graph& graph, const IdAssignment& ids,
+             FaultPlan fault_plan = {}) {
+    algo_ = std::move(algo);
+    rearm(graph, ids, std::move(fault_plan));
+  }
+
+ private:
+  void rearm(const Graph& graph, const IdAssignment& ids,
+             FaultPlan fault_plan) {
+    FTCC_EXPECTS(ids.size() == graph.node_count());
+    graph_ = &graph;
+    ids_.assign(ids.begin(), ids.end());
+    fault_plan_ = std::move(fault_plan);
+    const NodeId n = graph.node_count();
+    registers_.reset(n);
+    prev_registers_.reset(n);
+    terminated_.assign(n, false);
+    crashed_.assign(n, false);
+    down_.assign(n, false);
+    tainted_.assign(n, false);
+    activations_.assign(n, 0);
+    recoveries_.assign(n, 0);
+    outputs_.assign(n, std::nullopt);
+    invariants_.clear();
+    trace_ = nullptr;
+    metrics_ = nullptr;
+    pending_ = PendingMetrics{};
+    violation_.reset();
+    now_ = 0;
+    down_count_ = 0;
+    states_.clear();
+    states_.reserve(n);
+    for (NodeId v = 0; v < n; ++v)
+      states_.push_back(algo_.init(v, ids[v], graph.degree(v)));
+    working_.clear();
+    working_.reserve(n);
+    scratch_sigma_.clear();
+    scratch_sigma_.reserve(n);
+    in_sigma_.assign(n, false);
+    if (scratch_view_.size() < static_cast<std::size_t>(graph.max_degree()))
+      scratch_view_.resize(static_cast<std::size_t>(graph.max_degree()));
+  }
+
+ public:
   void add_invariant(Invariant inv) { invariants_.push_back(std::move(inv)); }
 
   /// Attach an event log filled for the rest of the execution; the trace
@@ -141,8 +183,8 @@ class Executor {
     // Phase 1: all simultaneous writes.  The previous register value is
     // kept as the stale snapshot a crash-recovery fault may replay.
     for (NodeId v : scratch_sigma_) {
-      prev_registers_[v] = registers_[v];
-      registers_[v] = algo_.publish(states_[v]);
+      prev_registers_.copy_from(registers_, v);
+      registers_.store(v, algo_.publish(states_[v]));
       tainted_[v] = false;  // the owner's own write heals any taint
     }
     if (metrics_) {
@@ -155,8 +197,7 @@ class Executor {
     for (NodeId v : scratch_sigma_) {
       ++activations_[v];
       if (trace_) trace_->record(now_, v, TraceEventKind::activated);
-      gather_view(v);
-      auto out = algo_.step(states_[v], NeighborView<Register>(scratch_view_));
+      auto out = algo_.step(states_[v], gather_view(v));
       if (out) {
         outputs_[v] = std::move(*out);
         terminated_[v] = true;
@@ -233,8 +274,12 @@ class Executor {
     return recoveries_[v];
   }
   [[nodiscard]] const State& state(NodeId v) const { return states_[v]; }
-  [[nodiscard]] const std::optional<Register>& published(NodeId v) const {
-    return registers_[v];
+  /// The register contents, ⊥ as std::nullopt.  Returned by value since
+  /// the registers moved into flat arena storage (there is no
+  /// std::optional object to reference); a Register is a few words, and
+  /// `const auto&` call sites bind the temporary as before.
+  [[nodiscard]] std::optional<Register> published(NodeId v) const {
+    return registers_.get(v);
   }
   [[nodiscard]] std::uint64_t activation_count(NodeId v) const {
     return activations_[v];
@@ -269,28 +314,32 @@ class Executor {
     if (!fault) return;
     // Crash-stop and termination both preempt a pending recovery: a frozen
     // register is never rewritten, so there is nothing to recover into.
-    if (now_ == fault->at_step && is_working(v)) down_[v] = true;
+    if (now_ == fault->at_step && is_working(v)) {
+      down_[v] = true;
+      ++down_count_;
+    }
     if (now_ == fault->revive_step() && down_[v]) {
       down_[v] = false;
+      --down_count_;
       ++recoveries_[v];
       states_[v] = algo_.init(v, ids_[v], graph_->degree(v));
       switch (fault->reg) {
         case RecoveredRegister::bottom:
-          registers_[v] = std::nullopt;
+          registers_.erase(v);
           break;
         case RecoveredRegister::zero:
           if constexpr (RegisterCodable<A>) {
-            const std::vector<std::uint64_t> zeros(A::kRegisterWords, 0);
-            registers_[v] = A::decode_register(zeros);
+            words_scratch_.assign(A::kRegisterWords, 0);
+            registers_.store(v, A::decode_register(words_scratch_));
           } else {
-            registers_[v] = std::nullopt;  // not codable: degrade to ⊥
+            registers_.erase(v);  // not codable: degrade to ⊥
           }
           break;
         case RecoveredRegister::stale:
-          registers_[v] = prev_registers_[v];
+          registers_.copy_from(prev_registers_, v);
           break;
       }
-      tainted_[v] = registers_[v].has_value();
+      tainted_[v] = registers_.has(v);
       if (trace_) trace_->record(now_, v, TraceEventKind::recovered);
       if (metrics_) ++pending_.recoveries;
     }
@@ -299,19 +348,18 @@ class Executor {
   void apply_corruptions(NodeId v) {
     // A terminated node's register is frozen and off-limits (see the file
     // comment); ⊥ has no bits to flip.
-    if (terminated_[v] || !registers_[v]) return;
+    if (terminated_[v] || !registers_.has(v)) return;
     for (const CorruptionFault& c : fault_plan_.corruptions(v)) {
       if (c.at_step != now_) continue;
       if constexpr (RegisterCodable<A>) {
-        std::vector<std::uint64_t> words;
-        words.reserve(A::kRegisterWords);
-        registers_[v]->encode(words);
-        const std::size_t i = c.word % words.size();
+        words_scratch_.clear();
+        registers_.ref(v).encode(words_scratch_);
+        const std::size_t i = c.word % words_scratch_.size();
         if (c.kind == CorruptionFault::Kind::bit_flip)
-          words[i] ^= std::uint64_t{1} << (c.value % 64);
+          words_scratch_[i] ^= std::uint64_t{1} << (c.value % 64);
         else
-          words[i] = c.value;
-        registers_[v] = A::decode_register(words);
+          words_scratch_[i] = c.value;
+        registers_.store(v, A::decode_register(words_scratch_));
         tainted_[v] = true;
         if (trace_) trace_->record(now_, v, TraceEventKind::corrupted);
         if (metrics_) ++pending_.corruptions;
@@ -319,15 +367,21 @@ class Executor {
     }
   }
 
-  [[nodiscard]] bool revival_pending() const {
-    for (NodeId v = 0; v < graph_->node_count(); ++v)
-      if (down_[v]) return true;
-    return false;
-  }
+  [[nodiscard]] bool revival_pending() const { return down_count_ > 0; }
 
-  void gather_view(NodeId v) {
-    scratch_view_.clear();
-    for (NodeId u : graph_->neighbors(v)) scratch_view_.push_back(registers_[u]);
+  /// Copy v's neighbour registers into the pre-sized scratch and return a
+  /// span over exactly degree(v) slots.  No allocation: the scratch was
+  /// sized to max_degree at reset and the optionals assign in place.
+  [[nodiscard]] NeighborView<Register> gather_view(NodeId v) {
+    const auto neigh = graph_->neighbors(v);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const NodeId u = neigh[i];
+      if (registers_.has(u))
+        scratch_view_[i] = registers_.ref(u);
+      else
+        scratch_view_[i].reset();
+    }
+    return NeighborView<Register>(scratch_view_.data(), neigh.size());
   }
 
   void refresh_working() {
@@ -347,12 +401,12 @@ class Executor {
   }
 
   A algo_;
-  const Graph* graph_;
+  const Graph* graph_ = nullptr;
   IdAssignment ids_;
   FaultPlan fault_plan_;
   std::vector<State> states_;
-  std::vector<std::optional<Register>> registers_;
-  std::vector<std::optional<Register>> prev_registers_;
+  RegisterFile<Register> registers_;
+  RegisterFile<Register> prev_registers_;
   std::vector<bool> terminated_;
   std::vector<bool> crashed_;
   std::vector<bool> down_;
@@ -377,10 +431,12 @@ class Executor {
   PendingMetrics pending_;
   std::optional<std::string> violation_;
   std::uint64_t now_ = 0;
+  NodeId down_count_ = 0;
   std::vector<NodeId> working_;
   std::vector<NodeId> scratch_sigma_;
   std::vector<bool> in_sigma_;
   std::vector<std::optional<Register>> scratch_view_;
+  std::vector<std::uint64_t> words_scratch_;
 };
 
 }  // namespace ftcc

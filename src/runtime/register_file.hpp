@@ -1,0 +1,86 @@
+// Flat arena storage for the executor's register array.  The sequential
+// executor used to model "register v is ⊥ or holds a value" as
+// std::vector<std::optional<Register>>; that is one engaged-flag byte per
+// slot plus padding, and — worse for the reuse path — reconstructing the
+// vector per trial reallocates.  RegisterFile keeps the registers in one
+// contiguous std::vector<Register> (plain words, cache-dense) with a
+// separate presence bitmap (one bit per node, 64 nodes per word), and
+// reset(n) re-initialises in place without giving capacity back.  The
+// presence bit is authoritative: a cleared bit means ⊥ no matter what the
+// slot words say, so erase() is a single bit clear and never touches the
+// slot.
+//
+// This is the arena layout DESIGN.md §10 describes; Executor<A> owns two
+// of these (current and previous registers) and a reusable executor keeps
+// their heap blocks across reset() — the zero-allocation steady state the
+// allocation-hook test asserts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+template <typename Reg>
+class RegisterFile {
+ public:
+  /// Size (or re-size) to n slots, all ⊥.  Keeps both vectors' capacity:
+  /// after the first trial at the high-water n, reset is allocation-free.
+  void reset(std::size_t n) {
+    slots_.clear();
+    slots_.resize(n);
+    present_.assign((n + 63) / 64, 0);
+    size_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool has(std::size_t v) const {
+    return (present_[v >> 6] >> (v & 63)) & 1u;
+  }
+
+  /// The stored value; meaningful only while has(v).
+  [[nodiscard]] const Reg& ref(std::size_t v) const { return slots_[v]; }
+
+  void store(std::size_t v, const Reg& r) {
+    slots_[v] = r;
+    present_[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
+  void store(std::size_t v, Reg&& r) {
+    slots_[v] = std::move(r);
+    present_[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
+
+  /// Back to ⊥ (a bit clear; the slot words are left behind and ignored).
+  void erase(std::size_t v) {
+    present_[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+  }
+
+  /// this[v] = other[v], presence included (the stale-snapshot copy the
+  /// executor does in write phase 1 and at crash-recovery revival).
+  void copy_from(const RegisterFile& other, std::size_t v) {
+    FTCC_EXPECTS(v < size_ && v < other.size_);
+    slots_[v] = other.slots_[v];
+    if (other.has(v))
+      present_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    else
+      present_[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+  }
+
+  /// Materialise the slot as the optional the public executor API exposes.
+  [[nodiscard]] std::optional<Reg> get(std::size_t v) const {
+    if (!has(v)) return std::nullopt;
+    return slots_[v];
+  }
+
+ private:
+  std::vector<Reg> slots_;
+  std::vector<std::uint64_t> present_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftcc

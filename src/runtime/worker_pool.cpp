@@ -1,0 +1,106 @@
+#include "runtime/worker_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ftcc {
+
+unsigned hardware_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+namespace {
+
+/// Shared dispatch state for one run(): a cursor per stripe.  Cursors are
+/// padded apart so two workers bumping adjacent stripes do not false-share
+/// a cache line.
+struct alignas(64) StripeCursor {
+  std::atomic<std::uint64_t> next{0};
+};
+
+struct RunState {
+  std::size_t count = 0;
+  unsigned jobs = 1;
+  std::vector<StripeCursor> cursors;
+  std::atomic<std::uint64_t> remaining{0};
+  std::atomic<std::uint64_t> steals{0};
+};
+
+/// Drain loop for one worker: own stripe first (i = w, w+jobs, ...), then
+/// sweep the other stripes for leftovers.  Returns tasks executed.
+std::uint64_t drain(RunState& state, const WorkerPool::Task& task,
+                    unsigned worker, const ftcc::obs::PoolMetrics* metrics) {
+  std::uint64_t ran = 0;
+  const auto run_index = [&](std::size_t index, bool stolen) {
+    task(index, worker);
+    ++ran;
+    if (stolen) state.steals.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t left =
+        state.remaining.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (metrics != nullptr && metrics->queue_depth != nullptr)
+      metrics->queue_depth->set(static_cast<double>(left));
+  };
+  for (unsigned lap = 0; lap < state.jobs; ++lap) {
+    const unsigned stripe = (worker + lap) % state.jobs;
+    // Bounded by state.count: the stripe cursor strictly increases, so the
+    // break below fires after at most ceil(count / jobs) iterations.
+    // lint:allow(unbounded-spin)
+    for (;;) {
+      const std::uint64_t k =
+          state.cursors[stripe].next.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t index = stripe + k * state.jobs;
+      if (index >= state.count) break;
+      run_index(index, lap != 0);
+    }
+  }
+  return ran;
+}
+
+}  // namespace
+
+void WorkerPool::run(std::size_t count, const Task& task) {
+  if (count == 0) return;
+  if (jobs_ == 1) {
+    // The sequential path: no threads, no atomics, ascending order —
+    // byte-for-byte the loop a --jobs=1 campaign always ran.
+    for (std::size_t i = 0; i < count; ++i) task(i, 0);
+    if (metrics_ != nullptr) {
+      if (metrics_->tasks != nullptr) metrics_->tasks->inc(count);
+      if (metrics_->tasks_per_worker != nullptr)
+        metrics_->tasks_per_worker->observe(count);
+      if (metrics_->queue_depth != nullptr) metrics_->queue_depth->set(0.0);
+    }
+    return;
+  }
+
+  RunState state;
+  state.count = count;
+  state.jobs = jobs_;
+  state.cursors = std::vector<StripeCursor>(jobs_);
+  state.remaining.store(count, std::memory_order_relaxed);
+
+  std::vector<std::uint64_t> per_worker(jobs_, 0);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(jobs_ - 1);
+    for (unsigned w = 1; w < jobs_; ++w)
+      threads.emplace_back([&state, &task, &per_worker, w, this] {
+        per_worker[w] = drain(state, task, w, metrics_);
+      });
+    per_worker[0] = drain(state, task, 0, metrics_);
+  }  // jthread joins: every task happens-before this point
+
+  if (metrics_ != nullptr) {
+    if (metrics_->tasks != nullptr) metrics_->tasks->inc(count);
+    if (metrics_->steals != nullptr)
+      metrics_->steals->inc(state.steals.load(std::memory_order_relaxed));
+    if (metrics_->tasks_per_worker != nullptr)
+      for (unsigned w = 0; w < jobs_; ++w)
+        metrics_->tasks_per_worker->observe(per_worker[w]);
+  }
+}
+
+}  // namespace ftcc

@@ -1,0 +1,62 @@
+// Deterministic fork/join worker pool (DESIGN.md §10).  run(count, task)
+// executes task(i) for every index i in [0, count) across `jobs` workers
+// and returns when all are done.  Dispatch is *seed-sharded*: worker w
+// owns the round-robin stripe {i : i mod jobs == w} and drains it through
+// a per-stripe atomic cursor; a worker whose own stripe is exhausted
+// steals from the other stripes, so a straggler trial never idles the
+// rest of the pool.  Which worker runs which index is therefore
+// intentionally NOT deterministic — determinism lives one level up, in
+// the merge rules: callers give every index its own pre-drawn seed and
+// its own result slot and concatenate in index order, which makes the
+// merged output byte-identical for any worker count (the property the
+// jobs=1-vs-jobs=8 campaign test pins).
+//
+// Threads are spawned per run() and joined before it returns: thread
+// creation happens-before the first task on that thread, and every task
+// happens-before the join, so tasks need no synchronisation with the
+// caller beyond writing disjoint slots — the discipline TSan certifies in
+// CI.  jobs == 1 never spawns and runs every index inline on the caller
+// in ascending order: exactly the sequential loop it replaces.
+//
+// This header (and the ThreadedExecutor) are why thread spawning is
+// confined to src/runtime/ by the `thread-spawn` lint rule: everything
+// above the runtime parallelises by handing this pool a task lambda.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "obs/runtime_metrics.hpp"
+
+namespace ftcc {
+
+/// Workers to use when the caller does not say: hardware concurrency,
+/// clamped to at least 1 (the C++ runtime may report 0 = unknown).
+[[nodiscard]] unsigned hardware_workers() noexcept;
+
+class WorkerPool {
+ public:
+  /// task(index, worker): worker in [0, jobs) identifies the executing
+  /// worker — worker 0 is the calling thread — so tasks can keep
+  /// per-worker scratch (the campaigns use thread_local executors).
+  using Task = std::function<void(std::size_t index, unsigned worker)>;
+
+  explicit WorkerPool(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Resolved obs handles (obs::PoolMetrics::create); must outlive the
+  /// pool.  Updates are relaxed atomics — safe from every worker.
+  void attach_metrics(const obs::PoolMetrics* metrics) { metrics_ = metrics; }
+
+  /// Run all `count` tasks; blocks until every one finished.  Tasks must
+  /// not throw (the project's failure mode is the aborting FTCC_EXPECTS).
+  void run(std::size_t count, const Task& task);
+
+ private:
+  unsigned jobs_;
+  const obs::PoolMetrics* metrics_ = nullptr;
+};
+
+}  // namespace ftcc

@@ -1,0 +1,144 @@
+// Zero-allocation hot path: once an Executor has run a warm-up trial, a
+// steady-state activation (publish + snapshot + step + bookkeeping) must
+// perform no heap allocation at all — the arena register file, the
+// pre-sized snapshot scratch, and reset()'s capacity reuse exist for this.
+// The test replaces global operator new/delete with counting hooks; the
+// hooks are program-wide, so allocations inside the algorithm itself
+// (e.g. Recovering<>'s checksum scratch) are counted too.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/algo1_six_coloring.hpp"
+#include "core/recovering.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "runtime/executor.hpp"
+
+namespace {
+std::size_t g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ftcc {
+namespace {
+
+constexpr NodeId kN = 8;
+
+/// Drive the executor synchronously to completion with a preallocated
+/// activation buffer, returning the heap allocations the steps performed.
+template <Algorithm A>
+std::size_t allocations_to_completion(Executor<A>& ex, NodeId n,
+                                      std::vector<NodeId>& sigma,
+                                      std::uint64_t max_steps) {
+  const std::size_t before = g_allocations;
+  for (std::uint64_t t = 0; t < max_steps; ++t) {
+    sigma.clear();  // capacity preserved: no allocation
+    for (NodeId v = 0; v < n; ++v)
+      if (!ex.has_terminated(v)) sigma.push_back(v);
+    if (sigma.empty()) break;
+    (void)ex.step(sigma);
+  }
+  return g_allocations - before;
+}
+
+TEST(ExecutorAlloc, SteadyStateActivationsAreAllocationFree) {
+  const Graph graph = make_cycle(kN);
+  const IdAssignment ids = random_ids(kN, 42);
+  std::vector<NodeId> sigma;
+  sigma.reserve(kN);
+
+  Executor<SixColoring> ex(SixColoring{}, graph, ids);
+  // Warm-up run: first activations size the arena, the snapshot scratch,
+  // and any lazily-grown buffers.
+  (void)allocations_to_completion(ex, kN, sigma, 10'000);
+
+  // Steady state: a fresh trial on the SAME executor via reset() must not
+  // touch the heap at all — not in reset, not in any activation.
+  ex.reset(SixColoring{}, graph, ids);
+  const std::size_t during = allocations_to_completion(ex, kN, sigma, 10'000);
+  EXPECT_EQ(during, 0u);
+  for (NodeId v = 0; v < kN; ++v) EXPECT_TRUE(ex.has_terminated(v));
+}
+
+TEST(ExecutorAlloc, SteadyStateHoldsUnderTheRecoveringWrapper) {
+  const Graph graph = make_cycle(kN);
+  const IdAssignment ids = random_ids(kN, 1337);
+  std::vector<NodeId> sigma;
+  sigma.reserve(kN);
+
+  using Wrapped = Recovering<SixColoring>;
+  Executor<Wrapped> ex(Wrapped{}, graph, ids);
+  (void)allocations_to_completion(ex, kN, sigma, 10'000);
+
+  ex.reset(Wrapped{}, graph, ids);
+  const std::size_t during = allocations_to_completion(ex, kN, sigma, 10'000);
+  EXPECT_EQ(during, 0u);
+  for (NodeId v = 0; v < kN; ++v) EXPECT_TRUE(ex.has_terminated(v));
+}
+
+TEST(ExecutorAlloc, ResetReproducesAFreshExecutorsOutputs) {
+  const Graph graph = make_cycle(kN);
+  const IdAssignment ids = random_ids(kN, 7);
+  std::vector<NodeId> sigma;
+  sigma.reserve(kN);
+
+  Executor<SixColoring> fresh(SixColoring{}, graph, ids);
+  (void)allocations_to_completion(fresh, kN, sigma, 10'000);
+
+  // The executor borrows the graph, so the warm-up C3 must stay alive
+  // until reset() re-points it at the target instance.
+  const Graph warmup = make_cycle(3);
+  Executor<SixColoring> reused(SixColoring{}, warmup, IdAssignment{3, 1, 2});
+  (void)allocations_to_completion(reused, 3, sigma, 10'000);
+  reused.reset(SixColoring{}, graph, ids);
+  (void)allocations_to_completion(reused, kN, sigma, 10'000);
+
+  for (NodeId v = 0; v < kN; ++v) {
+    ASSERT_TRUE(fresh.output(v).has_value());
+    ASSERT_TRUE(reused.output(v).has_value());
+    EXPECT_EQ(SixColoring::color_code(*fresh.output(v)),
+              SixColoring::color_code(*reused.output(v)));
+  }
+}
+
+}  // namespace
+}  // namespace ftcc

@@ -257,9 +257,56 @@ TEST(LintWallClock, WaiversAndCommentsAreRespected) {
                    .empty());
 }
 
+// ---------------------------------------------------------------------------
+// thread-spawn
+// ---------------------------------------------------------------------------
+
+TEST(LintThreadSpawn, ConfinedToTheRuntime) {
+  EXPECT_TRUE(rule_applies("thread-spawn", "src/fuzz/campaign.cpp"));
+  EXPECT_TRUE(rule_applies("thread-spawn", "src/modelcheck/explorer.hpp"));
+  EXPECT_TRUE(rule_applies("thread-spawn", "tools/fuzz.cpp"));
+  EXPECT_FALSE(rule_applies("thread-spawn", "src/runtime/worker_pool.cpp"));
+  // Tests and benches spawn threads to exercise the pool itself.
+  EXPECT_FALSE(rule_applies("thread-spawn", "tests/runtime_parallel_test.cpp"));
+  EXPECT_FALSE(rule_applies("thread-spawn", "bench/bench_parallel.cpp"));
+}
+
+TEST(LintThreadSpawn, FlagsEverySpawnSpelling) {
+  // std::async spawns without any <thread> include, so it is a
+  // thread-spawn finding even where concurrency-primitives sees nothing.
+  const auto async_findings = check_file(
+      "tools/helper.cpp", "auto f = std::async(std::launch::async, run);\n");
+  ASSERT_EQ(async_findings.size(), 1u);
+  EXPECT_EQ(async_findings[0].rule, "thread-spawn");
+  const auto pthread_findings = check_file(
+      "src/fuzz/bad.cpp", "pthread_create(&tid, nullptr, fn, arg);\n");
+  ASSERT_EQ(pthread_findings.size(), 1u);
+  EXPECT_EQ(pthread_findings[0].rule, "thread-spawn");
+  // A jthread outside the runtime violates both the placement rule and
+  // the spawn rule; both must fire.
+  const auto rules =
+      rules_of(check_file("src/core/bad.cpp", "std::jthread t(work);\n"));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "thread-spawn"), 1);
+  EXPECT_EQ(
+      std::count(rules.begin(), rules.end(), "concurrency-primitives"), 1);
+}
+
+TEST(LintThreadSpawn, RuntimeCommentsAndWaiversAreClean) {
+  EXPECT_TRUE(
+      check_file("src/runtime/worker_pool.cpp", "std::jthread t(work);\n")
+          .empty());
+  EXPECT_TRUE(check_file("tools/doc.cpp",
+                         "// hand the pool a lambda, never std::async\n")
+                  .empty());
+  EXPECT_TRUE(check_file("tools/waived.cpp",
+                         "// lint:allow(thread-spawn): audited exception\n"
+                         "auto f = std::async(run);\n")
+                  .empty());
+}
+
 TEST(LintRuleIds, EveryRuleHasAnIdAndAScope) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 5u);
+  ASSERT_EQ(ids.size(), 6u);
   for (const auto& id : ids)
     EXPECT_TRUE(rule_applies(id, "src/core/x.cpp") ||
                 rule_applies(id, "src/runtime/x.cpp"))

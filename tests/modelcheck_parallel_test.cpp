@@ -1,0 +1,205 @@
+// run_parallel() vs run(): the parallel explorer's level-synchronised BFS
+// plus sequential DFS replay must reproduce the sequential checker's
+// result field for field — verdicts, exact counts, worst-case DPs, the
+// first livelock witness, the first safety violation — for any worker
+// count (DESIGN.md §10).
+#include "modelcheck/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algo1_six_coloring.hpp"
+#include "graph/ids.hpp"
+
+namespace ftcc {
+namespace {
+
+// Same tiny hand-analysable algorithms as modelcheck_explorer_test.cpp.
+
+class CountDown {
+ public:
+  struct Register {
+    std::uint64_t count = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(count);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    std::uint64_t count = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, count});
+    }
+  };
+  using Output = std::uint64_t;
+
+  explicit CountDown(std::uint64_t k) : k_(k) {}
+  State init(NodeId, std::uint64_t id, int) const { return {id, 0}; }
+  Register publish(const State& s) const { return {s.count}; }
+  std::optional<Output> step(State& s, NeighborView<Register>) const {
+    if (++s.count >= k_) return s.id;
+    return std::nullopt;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+
+ private:
+  std::uint64_t k_;
+};
+static_assert(Algorithm<CountDown>);
+
+class Forever {
+ public:
+  struct Register {
+    std::uint64_t ignored = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(ignored);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
+  };
+  using Output = std::uint64_t;
+
+  State init(NodeId, std::uint64_t id, int) const { return {id}; }
+  Register publish(const State&) const { return {}; }
+  std::optional<Output> step(State&, NeighborView<Register>) const {
+    return std::nullopt;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+static_assert(Algorithm<Forever>);
+
+class ConstantColor {
+ public:
+  struct Register {
+    std::uint64_t ignored = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(ignored);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
+  };
+  using Output = std::uint64_t;
+
+  State init(NodeId, std::uint64_t id, int) const { return {id}; }
+  Register publish(const State&) const { return {}; }
+  std::optional<Output> step(State&, NeighborView<Register>) const {
+    return 7;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+static_assert(Algorithm<ConstantColor>);
+
+IdAssignment iota3() { return {10, 20, 30}; }
+
+void expect_equal(const ModelCheckResult& a, const ModelCheckResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.wait_free, b.wait_free);
+  EXPECT_EQ(a.outputs_proper, b.outputs_proper);
+  EXPECT_EQ(a.safety_violation, b.safety_violation);
+  EXPECT_EQ(a.configs, b.configs);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.terminal_configs, b.terminal_configs);
+  EXPECT_EQ(a.worst_case_activations, b.worst_case_activations);
+  EXPECT_EQ(a.worst_case_steps, b.worst_case_steps);
+  EXPECT_EQ(a.colors_used, b.colors_used);
+  EXPECT_EQ(a.livelock_prefix, b.livelock_prefix);
+  EXPECT_EQ(a.livelock_loop, b.livelock_loop);
+}
+
+TEST(ParallelExplorer, SixColoringMatchesSequentialInBothModes) {
+  for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
+    ModelCheckOptions<SixColoring> options;
+    options.mode = mode;
+    ModelChecker<SixColoring> mc(SixColoring{}, make_cycle(4),
+                                 random_ids(4, 2026), options);
+    const auto sequential = mc.run();
+    const auto parallel = mc.run_parallel(4);
+    ASSERT_TRUE(sequential.completed);
+    EXPECT_TRUE(parallel.wait_free);
+    expect_equal(sequential, parallel);
+  }
+}
+
+TEST(ParallelExplorer, CountDownExactCountsSurviveParallelism) {
+  ModelCheckOptions<CountDown> options;
+  options.mode = ActivationMode::sets;
+  ModelChecker<CountDown> mc(CountDown{2}, make_cycle(3), iota3(), options);
+  const auto parallel = mc.run_parallel(4);
+  ASSERT_TRUE(parallel.completed);
+  EXPECT_EQ(parallel.configs, 27u);  // the known counter-grid size
+  EXPECT_EQ(parallel.terminal_configs, 1u);
+  EXPECT_EQ(parallel.worst_case_steps, 6u);
+  expect_equal(mc.run(), parallel);
+}
+
+TEST(ParallelExplorer, FirstLivelockWitnessIsIdentical) {
+  // DFS replay must surface the SAME cycle run() finds first, not just
+  // some cycle — witnesses feed replay tooling and golden logs.
+  for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
+    ModelCheckOptions<Forever> options;
+    options.mode = mode;
+    ModelChecker<Forever> mc(Forever{}, make_cycle(3), iota3(), options);
+    const auto sequential = mc.run();
+    const auto parallel = mc.run_parallel(8);
+    EXPECT_FALSE(parallel.wait_free);
+    ASSERT_FALSE(parallel.livelock_loop.empty());
+    expect_equal(sequential, parallel);
+  }
+}
+
+TEST(ParallelExplorer, FirstSafetyViolationIsIdentical) {
+  ModelCheckOptions<ConstantColor> options;
+  options.mode = ActivationMode::sets;
+  ModelChecker<ConstantColor> mc(ConstantColor{}, make_cycle(3), iota3(),
+                                 options);
+  const auto sequential = mc.run();
+  const auto parallel = mc.run_parallel(4);
+  EXPECT_FALSE(parallel.outputs_proper);
+  ASSERT_TRUE(parallel.safety_violation.has_value());
+  EXPECT_NE(parallel.safety_violation->find("improper"), std::string::npos);
+  expect_equal(sequential, parallel);
+}
+
+TEST(ParallelExplorer, WorkerCountNeverChangesTheResult) {
+  ModelCheckOptions<CountDown> options;
+  options.mode = ActivationMode::sets;
+  ModelChecker<CountDown> mc(CountDown{3}, make_cycle(3), iota3(), options);
+  const auto two = mc.run_parallel(2);
+  const auto eight = mc.run_parallel(8);
+  ASSERT_TRUE(two.completed);
+  expect_equal(two, eight);
+  expect_equal(mc.run(), two);
+}
+
+TEST(ParallelExplorer, JobsOneDelegatesToSequentialRun) {
+  ModelCheckOptions<CountDown> options;
+  options.mode = ActivationMode::singletons;
+  ModelChecker<CountDown> mc(CountDown{2}, make_cycle(3), iota3(), options);
+  expect_equal(mc.run(), mc.run_parallel(1));
+}
+
+TEST(ParallelExplorer, BudgetExhaustionIsDeterministicAcrossJobs) {
+  // Budget-exceeded partial tallies may differ from run()'s (different
+  // traversal order hits the cap on different configs) but must be
+  // identical for every worker count, and the verdict must agree.
+  ModelCheckOptions<CountDown> options;
+  options.mode = ActivationMode::sets;
+  options.max_configs = 5;
+  ModelChecker<CountDown> mc(CountDown{4}, make_cycle(3), iota3(), options);
+  const auto sequential = mc.run();
+  const auto two = mc.run_parallel(2);
+  const auto eight = mc.run_parallel(8);
+  EXPECT_FALSE(sequential.completed);
+  EXPECT_FALSE(two.completed);
+  EXPECT_FALSE(two.wait_free);
+  expect_equal(two, eight);
+}
+
+}  // namespace
+}  // namespace ftcc

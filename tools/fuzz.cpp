@@ -5,14 +5,17 @@
 //   fuzz --seed=7 --inject=no-termination --trials=20   # demo the shrinker
 //   fuzz --seed=42 --inject=mixed --trials=10000        # faults, wrapped
 //   fuzz --seed=42 --inject=corrupt --raw               # expect violations
+//   fuzz --seed=42 --trials=10000 --jobs=8              # parallel campaign
 //   fuzz --certify --seed=42 --trials=2000              # HB-certify threads
 //   fuzz --certify --inject=threaded --trials=2000      # ... with faults
 //   fuzz --replay=artifacts/fail-3.sched
 //
 // The schedule-campaign report written to stdout is a deterministic
-// function of the flags: two invocations with the same seed produce
-// byte-identical output.  (--certify trial *configurations* are seed-
-// deterministic too, but the OS interleavings are not, by design.)
+// function of the flags *excluding* --jobs: two invocations with the same
+// seed produce byte-identical output for any worker count (trial sub-seeds
+// are pre-drawn and results merge in trial order — see CampaignOptions).
+// (--certify trial *configurations* are seed-deterministic too, but the
+// OS interleavings are not, by design.)
 // A failing run always names its replay artifacts: if --out was not
 // given they are saved under fuzz-artifacts/ (schedules) or
 // race-witnesses/ (event logs).
@@ -28,6 +31,7 @@
 #include "fuzz/certify_campaign.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
+#include "runtime/worker_pool.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -81,7 +85,10 @@ int main(int argc, char** argv) {
             "(load in Perfetto) to this path")
       .flag("progress", true,
             "overwriting progress line every 500 trials (interactive "
-            "stdout only; pipes and CI logs never see it)");
+            "stdout only; pipes and CI logs never see it)")
+      .flag("jobs", std::uint64_t{0},
+            "worker threads for the campaign (0 = all hardware cores; "
+            "the report is byte-identical for any value)");
   if (!cli.parse(argc, argv)) return 2;
 
   const bool certify = cli.get_bool("certify");
@@ -157,6 +164,14 @@ int main(int argc, char** argv) {
   // after the run (write failures are usage errors, not fuzz verdicts).
   const std::string metrics_path = cli.get_string("metrics");
   const std::string trace_path = cli.get_string("trace");
+  const std::uint64_t jobs_flag = cli.get_u64("jobs");
+  const unsigned jobs = jobs_flag == 0
+                            ? ftcc::hardware_workers()
+                            : static_cast<unsigned>(jobs_flag);
+  if (!trace_path.empty() && jobs > 1)
+    std::cerr << "note: trace spans are recorded only at --jobs=1 "
+                 "(the sink is single-threaded); running with --jobs="
+              << jobs << "\n";
   ftcc::obs::Registry registry;
   ftcc::obs::TraceSink trace;
   const bool show_progress =
@@ -192,6 +207,7 @@ int main(int argc, char** argv) {
     options.n_max = std::min<ftcc::NodeId>(n_max, 12);
     options.artifact_dir = cli.get_string("out");
     options.inject_faults = threaded_faults;
+    options.jobs = jobs;
     if (algo_flag != "all") options.algos = {algo_flag};
     if (!metrics_path.empty()) options.metrics = &registry;
     if (!trace_path.empty()) options.trace = &trace;
@@ -212,6 +228,7 @@ int main(int argc, char** argv) {
   options.n_min = n_min;
   options.n_max = n_max;
   options.artifact_dir = cli.get_string("out");
+  options.jobs = jobs;
   options.shrink = cli.get_bool("shrink");
   options.inject = inject;
   options.fault_mode = fault_mode;
