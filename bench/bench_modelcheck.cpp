@@ -5,11 +5,18 @@
 // executions.  This table is where the reproduction finding shows up:
 // Algorithms 2 and 3 lose wait-freedom under set semantics (lockstep
 // livelock) while Algorithm 1 keeps it, and safety never fails anywhere.
+// E24 extends this bench with the reduction layers (DESIGN.md §11): the
+// same instances re-explored with the compressed state store, the cycle-
+// symmetry quotient, and the commuting-activation reduction, reporting
+// stored-state footprint, quotient factor, and pruned transitions —
+// differentially pinned against the unreduced explorer inline (the
+// 'matches' column re-checks the verdict against run()).
 #include "core/algo1_six_coloring.hpp"
 #include "core/algo2_five_coloring.hpp"
 #include "core/algo3_fast_five_coloring.hpp"
 #include "core/algo5_fast_six_coloring.hpp"
 #include "modelcheck/explorer.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 #include "bench_json.hpp"
 
@@ -88,5 +95,56 @@ int main(int argc, char** argv) {
   deep_row("algo5 (ext)", SixColoringFast{}, 6, ActivationMode::sets);
   std::printf("\n");
   out.table(deep, "E9 (deeper) — C_6 and C_7 where affordable");
+
+  // E24 — the three reduction layers, all on, against the unreduced run.
+  Table reduced({"algorithm", "n", "configs", "classes", "store MB",
+                 "B/state", "sym hits", "commute skips", "elapsed us",
+                 "matches"});
+  auto reduced_row = [&reduced](const char* name, auto algo, NodeId n,
+                                bool check_against_unreduced) {
+    using A = decltype(algo);
+    ModelCheckOptions<A> options;
+    options.mode = ActivationMode::sets;
+    options.max_configs = 20'000'000;
+    options.reductions.compress = true;
+    options.reductions.symmetry = true;
+    options.reductions.commute = true;
+    ModelChecker<A> checker(algo, make_cycle(n), mixed_ids(n), options);
+    obs::Stopwatch watch;
+    const auto r = checker.run_reduced(1);
+    const std::uint64_t us = watch.elapsed_us();
+    std::string matches = "-";
+    if (check_against_unreduced) {
+      ModelCheckOptions<A> plain;
+      plain.mode = ActivationMode::sets;
+      plain.max_configs = 20'000'000;
+      ModelChecker<A> ref(algo, make_cycle(n), mixed_ids(n), plain);
+      const auto rr = ref.run();
+      matches = (r.wait_free == rr.wait_free &&
+                 r.outputs_proper == rr.outputs_proper &&
+                 r.worst_case_steps == rr.worst_case_steps)
+                    ? "yes"
+                    : "NO";
+    }
+    const double mb = static_cast<double>(r.store_bytes) / (1024.0 * 1024.0);
+    const double per_state =
+        r.configs == 0 ? 0.0
+                       : static_cast<double>(r.store_bytes) /
+                             static_cast<double>(r.configs);
+    reduced.add_row(
+        {name, Table::cell(std::uint64_t{n}), Table::cell(r.configs),
+         Table::cell(r.canonical_classes), Table::cell(mb, 2),
+         Table::cell(per_state, 1), Table::cell(r.sym_hits),
+         Table::cell(r.commute_skipped), Table::cell(us), matches});
+  };
+  reduced_row("algo1", SixColoring{}, 5, true);
+  reduced_row("algo1", SixColoring{}, 6, true);
+  reduced_row("algo1", SixColoring{}, 7, false);
+  reduced_row("algo2", FiveColoringLinear{}, 5, true);
+  reduced_row("algo5 (ext)", SixColoringFast{}, 6, true);
+  std::printf("\n");
+  out.table(reduced,
+            "E24 — reduction layers (compress+symmetry+commute) vs the "
+            "unreduced explorer");
   return out.finish();
 }

@@ -304,6 +304,34 @@ void check_snapshot_discipline(FileScan& scan) {
   }
 }
 
+// The reduction internals of the model checker (the compressed state
+// store, the cycle-symmetry canonicaliser, the commuting-activation
+// enumerator) are implementation layers of the reduced explorer, with
+// invariants the differential suite certifies as a bundle.  Product code
+// must consume them through modelcheck/explorer.hpp so a future layer
+// change stays a one-header refactor; only the checker itself (and tests,
+// benches, tools — not walked by this rule) may reach in.
+constexpr std::array kModelcheckInternalHeaders = {
+    "modelcheck/state_store.hpp",
+    "modelcheck/symmetry.hpp",
+    "modelcheck/reduction.hpp",
+};
+
+void check_modelcheck_internal(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string code = code_part(scan.lines[i]);
+    if (code.find("#include") == std::string::npos) continue;
+    for (const char* header : kModelcheckInternalHeaders)
+      if (code.find(header) != std::string::npos) {
+        scan.flag(i, "modelcheck-internal",
+                  std::string(header) +
+                      " included outside src/modelcheck/ (consume the "
+                      "reductions through modelcheck/explorer.hpp)");
+        break;
+      }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
@@ -314,6 +342,7 @@ const std::vector<std::string>& rule_ids() {
       "snapshot-discipline",
       "wall-clock",
       "thread-spawn",
+      "modelcheck-internal",
   };
   return ids;
 }
@@ -332,6 +361,8 @@ bool rule_applies(const std::string& rule, const std::string& path) {
            !starts_with(path, "src/runtime/");
   if (rule == "thread-spawn")
     return (in_src || in_tools) && !starts_with(path, "src/runtime/");
+  if (rule == "modelcheck-internal")
+    return in_src && !starts_with(path, "src/modelcheck/");
   return false;
 }
 
@@ -348,6 +379,8 @@ std::vector<Finding> check_file(const std::string& path,
     check_snapshot_discipline(scan);
   if (rule_applies("wall-clock", path)) check_wall_clock(scan);
   if (rule_applies("thread-spawn", path)) check_thread_spawn(scan);
+  if (rule_applies("modelcheck-internal", path))
+    check_modelcheck_internal(scan);
   std::sort(scan.findings.begin(), scan.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

@@ -29,6 +29,12 @@
 //       WorkerPool and the ThreadedExecutor own every fork/join edge, so
 //       determinism merge rules and TSan certification audit one place.
 //       Everything above parallelises by handing the pool a task lambda.
+//   modelcheck-internal — the reduced explorer's internal layers
+//       (modelcheck/state_store.hpp, symmetry.hpp, reduction.hpp) may be
+//       included only from src/modelcheck/ itself; product code consumes
+//       the reductions through modelcheck/explorer.hpp.  Tests, benches,
+//       and tools are outside this rule's scope so they can probe the
+//       layers directly.
 //
 // A finding on a line carrying (or directly below) a
 // `// lint:allow(rule-id)` comment is waived in place; anything else must

@@ -1,0 +1,261 @@
+// Cycle-symmetry quotient for the model checker (ROADMAP item 1).  The
+// automorphism group of C_n is the dihedral group D_n: n rotations and n
+// reflections, 2n maps in total.  Applied JOINTLY to the per-node state
+// and the identifier sequence (identifiers live inside the per-node
+// blocks — they were baked into states by init()), every automorphism
+// maps reachable configurations to reachable configurations and preserves
+// verdicts, because
+//
+//   (a) init() never reads the node index (only the identifier and the
+//       degree), so the initial configuration of the rotated instance IS
+//       the rotated initial configuration, and
+//   (b) every step() implementation is invariant under permuting its
+//       neighbour view (algorithms 1/2/3/5 iterate the view
+//       symmetrically; the Cole–Vishkin update uses min/max/mex) — so
+//       apply() commutes with automorphisms.
+//
+// The canonical form of a configuration is the lexicographically minimal
+// block sequence over the 2n candidate orderings; the explorer then
+// stores one representative per orbit, for a quotient factor of up to 2n
+// on symmetric instances (alternating identifiers; see EXPERIMENTS.md
+// E24).  Permutations travel with each edge (4 bits per position, packed
+// into a uint64) so the per-node worst-case DP and livelock witnesses can
+// be translated back into the coordinates of the original instance.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/assert.hpp"
+
+namespace ftcc {
+
+/// Result of canonicalisation: perm[v] is the CANONICAL position of the
+/// block originally at node v (orig -> canon).
+struct CycleCanon {
+  std::array<std::uint8_t, 16> perm{};
+  bool identity = true;
+};
+
+// ---- Packed node permutations (n <= 16, 4 bits per position). --------
+
+[[nodiscard]] inline std::uint64_t pack_perm(
+    const std::array<std::uint8_t, 16>& p, NodeId n) {
+  std::uint64_t packed = 0;
+  for (NodeId v = 0; v < n; ++v)
+    packed |= static_cast<std::uint64_t>(p[v] & 0xF) << (4 * v);
+  return packed;
+}
+
+[[nodiscard]] inline std::uint32_t perm_at(std::uint64_t packed, NodeId v) {
+  return static_cast<std::uint32_t>(packed >> (4 * v)) & 0xFu;
+}
+
+[[nodiscard]] inline std::uint64_t identity_perm(NodeId n) {
+  std::uint64_t packed = 0;
+  for (NodeId v = 0; v < n; ++v)
+    packed |= static_cast<std::uint64_t>(v) << (4 * v);
+  return packed;
+}
+
+/// (f ∘ g): v -> f(g(v)).
+[[nodiscard]] inline std::uint64_t compose_perm(std::uint64_t f,
+                                                std::uint64_t g, NodeId n) {
+  std::uint64_t packed = 0;
+  for (NodeId v = 0; v < n; ++v)
+    packed |= static_cast<std::uint64_t>(perm_at(f, perm_at(g, v)))
+              << (4 * v);
+  return packed;
+}
+
+[[nodiscard]] inline std::uint64_t invert_perm(std::uint64_t p, NodeId n) {
+  std::uint64_t packed = 0;
+  for (NodeId v = 0; v < n; ++v)
+    packed |= static_cast<std::uint64_t>(v) << (4 * perm_at(p, v));
+  return packed;
+}
+
+/// Scatter: bit perm(v) of the result is bit v of `mask`.
+[[nodiscard]] inline std::uint32_t permute_bits(std::uint32_t mask,
+                                                std::uint64_t perm,
+                                                NodeId n) {
+  std::uint32_t out = 0;
+  for (NodeId v = 0; v < n; ++v)
+    if (mask & (1u << v)) out |= 1u << perm_at(perm, v);
+  return out;
+}
+
+/// Gather: bit v of the result is bit perm(v) of `mask` (the inverse of
+/// permute_bits with the same perm — used to pull frame-coordinate
+/// activation sets back into original coordinates).
+[[nodiscard]] inline std::uint32_t unpermute_bits(std::uint32_t mask,
+                                                  std::uint64_t perm,
+                                                  NodeId n) {
+  std::uint32_t out = 0;
+  for (NodeId v = 0; v < n; ++v)
+    if (mask & (1u << perm_at(perm, v))) out |= 1u << v;
+  return out;
+}
+
+// ---- Canonicalisation under D_n. -------------------------------------
+
+namespace detail {
+
+/// Candidate (shift, reflect) maps canonical position i to original node
+/// (shift ± i) mod n.
+[[nodiscard]] inline NodeId candidate_source(std::uint32_t shift,
+                                             bool reflect, std::uint32_t i,
+                                             NodeId n) {
+  const std::uint32_t un = n;
+  return static_cast<NodeId>(
+      reflect ? (shift + un - (i % un)) % un : (shift + i) % un);
+}
+
+/// Lexicographic comparison of two candidate block orderings without
+/// materialising either: walks the concatenated word sequences.  Returns
+/// negative / 0 / positive like memcmp.
+[[nodiscard]] inline int compare_candidates(
+    std::span<const std::uint64_t> words,
+    std::span<const std::uint32_t> offsets, NodeId n, std::uint32_t sa,
+    bool ra, std::uint32_t sb, bool rb) {
+  std::uint32_t ia = 0, ib = 0;      // canonical block index per side
+  std::uint32_t wa = 0, wb = 0;      // word index within the block
+  while (ia < n && ib < n) {
+    const NodeId va = candidate_source(sa, ra, ia, n);
+    const NodeId vb = candidate_source(sb, rb, ib, n);
+    const std::uint32_t la = offsets[va + 1] - offsets[va];
+    const std::uint32_t lb = offsets[vb + 1] - offsets[vb];
+    while (wa < la && wb < lb) {
+      const std::uint64_t x = words[offsets[va] + wa];
+      const std::uint64_t y = words[offsets[vb] + wb];
+      if (x != y) return x < y ? -1 : 1;
+      ++wa;
+      ++wb;
+    }
+    if (wa == la) {
+      ++ia;
+      wa = 0;
+    }
+    if (wb == lb) {
+      ++ib;
+      wb = 0;
+    }
+  }
+  // Equal prefixes; a shorter concatenation sorts first.  (For the
+  // explorer's keys all candidates have equal total length, so this
+  // branch only matters for arbitrary test inputs.)
+  if (ia != n || ib != n) return ia == n ? -1 : 1;
+  return 0;
+}
+
+}  // namespace detail
+
+/// Canonicalise a block sequence under D_n.  Block v occupies
+/// words[offsets[v] .. offsets[v+1]); `offsets` has n+1 entries.  Writes
+/// the canonical concatenated word sequence to `canonical_out`
+/// (cleared first) and returns the orig->canon position map.
+///
+/// The minimum over all 2n candidates is taken with a deterministic tie
+/// break (smallest shift, rotation before reflection), so equal inputs
+/// always produce the identical permutation — the merge phase of the
+/// parallel explorer depends on that.
+inline CycleCanon canonicalize_cycle_blocks(
+    std::span<const std::uint64_t> words,
+    std::span<const std::uint32_t> offsets, NodeId n,
+    std::vector<std::uint64_t>& canonical_out) {
+  FTCC_EXPECTS(n >= 1 && n <= 16);
+  FTCC_EXPECTS(offsets.size() == static_cast<std::size_t>(n) + 1);
+  std::uint32_t best_shift = 0;
+  bool best_reflect = false;
+  for (int reflect = 0; reflect < 2; ++reflect) {
+    for (std::uint32_t shift = 0; shift < n; ++shift) {
+      if (reflect == 0 && shift == 0) continue;  // the incumbent
+      if (detail::compare_candidates(words, offsets, n, shift,
+                                     reflect != 0, best_shift,
+                                     best_reflect) < 0) {
+        best_shift = shift;
+        best_reflect = reflect != 0;
+      }
+    }
+  }
+  CycleCanon canon;
+  canonical_out.clear();
+  canonical_out.reserve(words.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId v = detail::candidate_source(best_shift, best_reflect, i, n);
+    canon.perm[v] = static_cast<std::uint8_t>(i);
+    for (std::uint32_t w = offsets[v]; w < offsets[v + 1]; ++w)
+      canonical_out.push_back(words[w]);
+  }
+  for (NodeId v = 0; v < n; ++v) canon.identity &= canon.perm[v] == v;
+  return canon;
+}
+
+/// Apply the D_n element (shift, reflect) to a block sequence: the block
+/// at node v moves to node candidate position — i.e. output block i is
+/// input block (shift ± i) mod n.  Test helper (property tests) and the
+/// debug certificate's probe.
+inline void rotate_reflect_blocks(std::span<const std::uint64_t> words,
+                                  std::span<const std::uint32_t> offsets,
+                                  NodeId n, std::uint32_t shift,
+                                  bool reflect,
+                                  std::vector<std::uint64_t>& words_out,
+                                  std::vector<std::uint32_t>& offsets_out) {
+  words_out.clear();
+  offsets_out.clear();
+  offsets_out.push_back(0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId v = detail::candidate_source(shift, reflect, i, n);
+    for (std::uint32_t w = offsets[v]; w < offsets[v + 1]; ++w)
+      words_out.push_back(words[w]);
+    offsets_out.push_back(static_cast<std::uint32_t>(words_out.size()));
+  }
+}
+
+/// Certificate of canonicity: canonicalising every rotation/reflection of
+/// the input yields the same canonical word sequence, and the canonical
+/// form is a fixed point.  O(2n) canonicalisations — called per interned
+/// configuration in debug builds (see the explorer), and directly by the
+/// property tests in every build type.
+[[nodiscard]] inline bool certify_canonical(
+    std::span<const std::uint64_t> words,
+    std::span<const std::uint32_t> offsets, NodeId n,
+    std::span<const std::uint64_t> expected_canonical) {
+  std::vector<std::uint64_t> rw, canon;
+  std::vector<std::uint32_t> ro;
+  for (int reflect = 0; reflect < 2; ++reflect)
+    for (std::uint32_t shift = 0; shift < n; ++shift) {
+      rotate_reflect_blocks(words, offsets, n, shift, reflect != 0, rw, ro);
+      (void)canonicalize_cycle_blocks(rw, ro, n, canon);
+      if (!std::equal(canon.begin(), canon.end(),
+                      expected_canonical.begin(), expected_canonical.end()))
+        return false;
+    }
+  return true;
+}
+
+/// The quotient is sound only on the standard cycle labelling (node v
+/// adjacent to v±1 mod n): that is the graph whose automorphisms D_n
+/// describes.  make_cycle() produces exactly this shape.
+[[nodiscard]] inline bool is_standard_cycle(const Graph& g) {
+  const NodeId n = g.node_count();
+  if (n < 3) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) != 2) return false;
+    const NodeId prev = static_cast<NodeId>((v + n - 1) % n);
+    const NodeId next = static_cast<NodeId>((v + 1) % n);
+    bool has_prev = false, has_next = false;
+    for (const NodeId u : g.neighbors(v)) {
+      has_prev |= u == prev;
+      has_next |= u == next;
+    }
+    if (!has_prev || !has_next) return false;
+  }
+  return true;
+}
+
+}  // namespace ftcc

@@ -38,4 +38,16 @@ PoolMetrics PoolMetrics::create(Registry& reg, const std::string& prefix) {
   return m;
 }
 
+McMetrics McMetrics::create(Registry& reg, const std::string& prefix) {
+  McMetrics m;
+  m.states = &reg.counter(prefix + ".states");
+  m.transitions = &reg.counter(prefix + ".transitions");
+  m.store_entries = &reg.counter(prefix + ".store_entries");
+  m.store_bytes = &reg.gauge(prefix + ".store_bytes");
+  m.bytes_per_state = &reg.gauge(prefix + ".bytes_per_state");
+  m.quotient_hits = &reg.counter(prefix + ".quotient_hits");
+  m.commute_skips = &reg.counter(prefix + ".commute_skips");
+  return m;
+}
+
 }  // namespace ftcc::obs

@@ -62,4 +62,23 @@ struct PoolMetrics {
   static PoolMetrics create(Registry& reg, const std::string& prefix = "pool");
 };
 
+/// Model-checker instrumentation (DESIGN.md §11).  states counts stored
+/// (interned) configurations and transitions explored edges; store_entries
+/// and store_bytes/bytes_per_state describe the tree-compressed visited
+/// set; quotient_hits counts generated configurations whose canonical form
+/// differed from the raw one (the symmetry layer's hit rate) and
+/// commute_skips the activation sets the commuting-activation reduction
+/// pruned.  Updated once per run_reduced() call, on the main thread.
+struct McMetrics {
+  Counter* states = nullptr;
+  Counter* transitions = nullptr;
+  Counter* store_entries = nullptr;
+  Gauge* store_bytes = nullptr;
+  Gauge* bytes_per_state = nullptr;
+  Counter* quotient_hits = nullptr;
+  Counter* commute_skips = nullptr;
+
+  static McMetrics create(Registry& reg, const std::string& prefix = "mc");
+};
+
 }  // namespace ftcc::obs

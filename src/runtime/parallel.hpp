@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -37,10 +38,22 @@ namespace ftcc {
 /// workers concurrently AS LONG AS no insert is in flight; emplace() and
 /// reserve() must run single-threaded between parallel phases.  The
 /// explorer's level-synchronised BFS alternates exactly like that.
-template <typename Key, typename Hash>
+///
+/// A second, stronger contract the striping buys for free: two threads
+/// may call emplace() CONCURRENTLY as long as their keys land in
+/// different shards (shard_index() is a pure function of the key), since
+/// each shard is an independent unordered_map.  The stress test
+/// (tests/runtime_stripedmap_test.cpp) exercises exactly this partition
+/// under TSan.  The shard count is a compile-time parameter so the store
+/// can be sized for 10⁸+ compressed handles (more shards = smaller
+/// per-shard rehashes); it must be a power of two.
+template <typename Key, typename Hash = std::hash<Key>,
+          std::size_t Shards = 16>
 class StripedKeyMap {
  public:
-  static constexpr std::size_t kShards = 16;
+  static_assert(Shards >= 2 && (Shards & (Shards - 1)) == 0,
+                "shard count must be a power of two");
+  static constexpr std::size_t kShards = Shards;
 
   /// Pre-size every shard for ~`total` keys overall (the rehash-churn fix:
   /// one up-front allocation instead of log(total) rehashes per shard).
@@ -74,11 +87,22 @@ class StripedKeyMap {
     return m;
   }
 
+  /// Which shard `key` lives in — exposed so callers can PARTITION keys
+  /// across threads (concurrent emplace into distinct shards is safe; see
+  /// the class comment).
+  [[nodiscard]] std::size_t shard_index(const Key& key) const {
+    return shard_of(key);
+  }
+
  private:
   [[nodiscard]] std::size_t shard_of(const Key& key) const {
     // Shard on the high bits: unordered_map buckets consume the low bits,
     // so reusing them would correlate shard choice with bucket choice.
-    return (Hash{}(key) >> 59) & (kShards - 1);
+    // (64 - bit_width(kShards)) keeps the historical bit window for the
+    // default 16 shards: bits 59..62.
+    constexpr unsigned kShift =
+        64 - static_cast<unsigned>(std::bit_width(kShards));
+    return (Hash{}(key) >> kShift) & (kShards - 1);
   }
 
   std::array<std::unordered_map<Key, std::uint32_t, Hash>, kShards> shards_;

@@ -1,0 +1,137 @@
+// Shared model-checker test fixtures: the tiny hand-analysable algorithms
+// (previously duplicated between modelcheck_explorer_test.cpp and
+// modelcheck_parallel_test.cpp), their pinned expected counts, and the
+// field-for-field result comparator the differential harness reuses.
+// Header-only, test tree only.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "modelcheck/explorer.hpp"
+#include "runtime/algorithm.hpp"
+
+namespace ftcc::testalgo {
+
+// Terminates after exactly K activations, outputs its node id.  Its
+// configuration graph is a grid over per-node counters: worst-case
+// activations are exactly K for every node, and there are no cycles.
+class CountDown {
+ public:
+  struct Register {
+    std::uint64_t count = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(count);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    std::uint64_t count = 0;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.insert(out.end(), {id, count});
+    }
+  };
+  using Output = std::uint64_t;
+
+  explicit CountDown(std::uint64_t k) : k_(k) {}
+  State init(NodeId, std::uint64_t id, int) const { return {id, 0}; }
+  Register publish(const State& s) const { return {s.count}; }
+  std::optional<Output> step(State& s, NeighborView<Register>) const {
+    if (++s.count >= k_) return s.id;
+    return std::nullopt;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+
+ private:
+  std::uint64_t k_;
+};
+static_assert(Algorithm<CountDown>);
+
+// Never terminates: the checker must detect a cycle (the single self-loop
+// configuration) and report non-wait-freedom.
+class Forever {
+ public:
+  struct Register {
+    std::uint64_t ignored = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(ignored);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
+  };
+  using Output = std::uint64_t;
+
+  State init(NodeId, std::uint64_t id, int) const { return {id}; }
+  Register publish(const State&) const { return {}; }
+  std::optional<Output> step(State&, NeighborView<Register>) const {
+    return std::nullopt;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+static_assert(Algorithm<Forever>);
+
+// Terminates instantly with a constant color: adjacent equal outputs — the
+// built-in properness check must fire.
+class ConstantColor {
+ public:
+  struct Register {
+    std::uint64_t ignored = 0;
+    friend bool operator==(const Register&, const Register&) = default;
+    void encode(std::vector<std::uint64_t>& out) const {
+      out.push_back(ignored);
+    }
+  };
+  struct State {
+    std::uint64_t id = 0;
+    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
+  };
+  using Output = std::uint64_t;
+
+  State init(NodeId, std::uint64_t id, int) const { return {id}; }
+  Register publish(const State&) const { return {}; }
+  std::optional<Output> step(State&, NeighborView<Register>) const {
+    return 7;
+  }
+  static std::uint64_t color_code(const Output& o) { return o; }
+};
+static_assert(Algorithm<ConstantColor>);
+
+inline IdAssignment iota3() { return {10, 20, 30}; }
+
+// Pinned counts for CountDown{2} on C3 under set semantics: per node the
+// three distinguishable situations (count=0 reg ⊥ / count=1 reg 0 /
+// terminated reg 1) are fully independent, so 3³ = 27 configurations, one
+// all-terminated configuration, and the slowest execution takes 6 steps.
+inline constexpr std::uint64_t kCountDown2C3Configs = 27;
+inline constexpr std::uint64_t kCountDown2C3Terminal = 1;
+inline constexpr std::uint64_t kCountDown2C3WorstSteps = 6;
+
+/// Field-for-field equality of two explorer results (the run() contract
+/// every alternative exploration path must reproduce).  The run_reduced
+/// instrumentation fields are intentionally excluded: they describe the
+/// exploration engine, not the model.
+inline void expect_equal(const ModelCheckResult& a,
+                         const ModelCheckResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.wait_free, b.wait_free);
+  EXPECT_EQ(a.outputs_proper, b.outputs_proper);
+  EXPECT_EQ(a.safety_violation, b.safety_violation);
+  EXPECT_EQ(a.configs, b.configs);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.terminal_configs, b.terminal_configs);
+  EXPECT_EQ(a.worst_case_activations, b.worst_case_activations);
+  EXPECT_EQ(a.worst_case_steps, b.worst_case_steps);
+  EXPECT_EQ(a.colors_used, b.colors_used);
+  EXPECT_EQ(a.livelock_prefix, b.livelock_prefix);
+  EXPECT_EQ(a.livelock_loop, b.livelock_loop);
+}
+
+}  // namespace ftcc::testalgo

@@ -304,9 +304,48 @@ TEST(LintThreadSpawn, RuntimeCommentsAndWaiversAreClean) {
                   .empty());
 }
 
+// ---------------------------------------------------------------------------
+// modelcheck-internal
+// ---------------------------------------------------------------------------
+
+TEST(LintModelcheckInternal, ConfinedToTheCheckerItself) {
+  EXPECT_TRUE(rule_applies("modelcheck-internal", "src/core/a.hpp"));
+  EXPECT_TRUE(rule_applies("modelcheck-internal", "src/analysis/b.cpp"));
+  EXPECT_FALSE(
+      rule_applies("modelcheck-internal", "src/modelcheck/explorer.hpp"));
+  EXPECT_FALSE(rule_applies("modelcheck-internal", "tests/a_test.cpp"));
+  EXPECT_FALSE(rule_applies("modelcheck-internal", "tools/mc.cpp"));
+  EXPECT_FALSE(rule_applies("modelcheck-internal", "bench/b.cpp"));
+}
+
+TEST(LintModelcheckInternal, FlagsEveryInternalHeader) {
+  for (const char* header :
+       {"modelcheck/state_store.hpp", "modelcheck/symmetry.hpp",
+        "modelcheck/reduction.hpp"}) {
+    const auto findings = check_file(
+        "src/analysis/rounds.cpp",
+        std::string("#include \"") + header + "\"\n");
+    ASSERT_EQ(findings.size(), 1u) << header;
+    EXPECT_EQ(findings[0].rule, "modelcheck-internal");
+  }
+  // The facade header stays importable from anywhere.
+  EXPECT_TRUE(check_file("src/analysis/rounds.cpp",
+                         "#include \"modelcheck/explorer.hpp\"\n")
+                  .empty());
+  // Mentioning a header in prose is not an include.
+  EXPECT_TRUE(check_file("src/analysis/rounds.cpp",
+                         "// see modelcheck/symmetry.hpp for the proof\n")
+                  .empty());
+  // Inline waivers work as for every other rule.
+  EXPECT_TRUE(check_file("src/analysis/rounds.cpp",
+                         "// lint:allow(modelcheck-internal): audited\n"
+                         "#include \"modelcheck/symmetry.hpp\"\n")
+                  .empty());
+}
+
 TEST(LintRuleIds, EveryRuleHasAnIdAndAScope) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 6u);
+  ASSERT_EQ(ids.size(), 7u);
   for (const auto& id : ids)
     EXPECT_TRUE(rule_applies(id, "src/core/x.cpp") ||
                 rule_applies(id, "src/runtime/x.cpp"))

@@ -1,100 +1,20 @@
 // Mechanics of the exhaustive model checker, pinned down with tiny
-// purpose-built algorithms whose configuration graphs are known by hand.
+// purpose-built algorithms whose configuration graphs are known by hand
+// (shared with the parallel and differential suites via
+// expected_counts.hpp).
 #include "modelcheck/explorer.hpp"
 
 #include <gtest/gtest.h>
 
+#include "expected_counts.hpp"
+
 namespace ftcc {
 namespace {
 
-// Terminates after exactly K activations, outputs its node id.  Its
-// configuration graph is a grid over per-node counters: worst-case
-// activations are exactly K for every node, and there are no cycles.
-class CountDown {
- public:
-  struct Register {
-    std::uint64_t count = 0;
-    friend bool operator==(const Register&, const Register&) = default;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.push_back(count);
-    }
-  };
-  struct State {
-    std::uint64_t id = 0;
-    std::uint64_t count = 0;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.insert(out.end(), {id, count});
-    }
-  };
-  using Output = std::uint64_t;
-
-  explicit CountDown(std::uint64_t k) : k_(k) {}
-  State init(NodeId, std::uint64_t id, int) const { return {id, 0}; }
-  Register publish(const State& s) const { return {s.count}; }
-  std::optional<Output> step(State& s, NeighborView<Register>) const {
-    if (++s.count >= k_) return s.id;
-    return std::nullopt;
-  }
-  static std::uint64_t color_code(const Output& o) { return o; }
-
- private:
-  std::uint64_t k_;
-};
-static_assert(Algorithm<CountDown>);
-
-// Never terminates: the checker must detect a cycle (the single self-loop
-// configuration) and report non-wait-freedom.
-class Forever {
- public:
-  struct Register {
-    std::uint64_t ignored = 0;
-    friend bool operator==(const Register&, const Register&) = default;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.push_back(ignored);
-    }
-  };
-  struct State {
-    std::uint64_t id = 0;
-    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
-  };
-  using Output = std::uint64_t;
-
-  State init(NodeId, std::uint64_t id, int) const { return {id}; }
-  Register publish(const State&) const { return {}; }
-  std::optional<Output> step(State&, NeighborView<Register>) const {
-    return std::nullopt;
-  }
-  static std::uint64_t color_code(const Output& o) { return o; }
-};
-static_assert(Algorithm<Forever>);
-
-// Terminates instantly with a constant color: adjacent equal outputs — the
-// built-in properness check must fire.
-class ConstantColor {
- public:
-  struct Register {
-    std::uint64_t ignored = 0;
-    friend bool operator==(const Register&, const Register&) = default;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.push_back(ignored);
-    }
-  };
-  struct State {
-    std::uint64_t id = 0;
-    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
-  };
-  using Output = std::uint64_t;
-
-  State init(NodeId, std::uint64_t id, int) const { return {id}; }
-  Register publish(const State&) const { return {}; }
-  std::optional<Output> step(State&, NeighborView<Register>) const {
-    return 7;
-  }
-  static std::uint64_t color_code(const Output& o) { return o; }
-};
-static_assert(Algorithm<ConstantColor>);
-
-IdAssignment iota3() { return {10, 20, 30}; }
+using testalgo::ConstantColor;
+using testalgo::CountDown;
+using testalgo::Forever;
+using testalgo::iota3;
 
 TEST(Explorer, CountDownExactWorstCase) {
   for (std::uint64_t k : {1ull, 2ull, 3ull}) {
@@ -111,19 +31,13 @@ TEST(Explorer, CountDownExactWorstCase) {
 }
 
 TEST(Explorer, CountDownConfigCountIsCounterGrid) {
-  // With K=2 each node contributes: counter 0 (register ⊥), counter 1
-  // (register 0), counter 1 (register ⊥ impossible)... enumerate simply:
-  // the checker must at least reach the all-terminated configuration and
-  // the total must be the product structure of independent counters.
   ModelCheckOptions<CountDown> options;
   options.mode = ActivationMode::sets;
   ModelChecker<CountDown> mc(CountDown{2}, make_cycle(3), iota3(), options);
   const auto r = mc.run();
   ASSERT_TRUE(r.completed);
-  // Per node: (count=0, reg ⊥), (count=1, reg 0), (terminated, reg 1):
-  // 3 distinguishable per-node situations, fully independent => 27 configs.
-  EXPECT_EQ(r.configs, 27u);
-  EXPECT_EQ(r.terminal_configs, 1u);
+  EXPECT_EQ(r.configs, testalgo::kCountDown2C3Configs);
+  EXPECT_EQ(r.terminal_configs, testalgo::kCountDown2C3Terminal);
 }
 
 TEST(Explorer, WorstCaseStepsIsLongestExecution) {
@@ -135,7 +49,7 @@ TEST(Explorer, WorstCaseStepsIsLongestExecution) {
     ModelChecker<CountDown> mc(CountDown{2}, make_cycle(3), iota3(), options);
     const auto r = mc.run();
     ASSERT_TRUE(r.completed && r.wait_free);
-    EXPECT_EQ(r.worst_case_steps, 6u);
+    EXPECT_EQ(r.worst_case_steps, testalgo::kCountDown2C3WorstSteps);
     EXPECT_EQ(r.worst_case_rounds(), 2u);
   }
 }

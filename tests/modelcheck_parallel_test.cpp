@@ -2,115 +2,24 @@
 // plus sequential DFS replay must reproduce the sequential checker's
 // result field for field — verdicts, exact counts, worst-case DPs, the
 // first livelock witness, the first safety violation — for any worker
-// count (DESIGN.md §10).
+// count (DESIGN.md §10).  Fixtures and pinned counts come from
+// expected_counts.hpp.
 #include "modelcheck/explorer.hpp"
 
 #include <gtest/gtest.h>
 
 #include "core/algo1_six_coloring.hpp"
+#include "expected_counts.hpp"
 #include "graph/ids.hpp"
 
 namespace ftcc {
 namespace {
 
-// Same tiny hand-analysable algorithms as modelcheck_explorer_test.cpp.
-
-class CountDown {
- public:
-  struct Register {
-    std::uint64_t count = 0;
-    friend bool operator==(const Register&, const Register&) = default;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.push_back(count);
-    }
-  };
-  struct State {
-    std::uint64_t id = 0;
-    std::uint64_t count = 0;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.insert(out.end(), {id, count});
-    }
-  };
-  using Output = std::uint64_t;
-
-  explicit CountDown(std::uint64_t k) : k_(k) {}
-  State init(NodeId, std::uint64_t id, int) const { return {id, 0}; }
-  Register publish(const State& s) const { return {s.count}; }
-  std::optional<Output> step(State& s, NeighborView<Register>) const {
-    if (++s.count >= k_) return s.id;
-    return std::nullopt;
-  }
-  static std::uint64_t color_code(const Output& o) { return o; }
-
- private:
-  std::uint64_t k_;
-};
-static_assert(Algorithm<CountDown>);
-
-class Forever {
- public:
-  struct Register {
-    std::uint64_t ignored = 0;
-    friend bool operator==(const Register&, const Register&) = default;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.push_back(ignored);
-    }
-  };
-  struct State {
-    std::uint64_t id = 0;
-    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
-  };
-  using Output = std::uint64_t;
-
-  State init(NodeId, std::uint64_t id, int) const { return {id}; }
-  Register publish(const State&) const { return {}; }
-  std::optional<Output> step(State&, NeighborView<Register>) const {
-    return std::nullopt;
-  }
-  static std::uint64_t color_code(const Output& o) { return o; }
-};
-static_assert(Algorithm<Forever>);
-
-class ConstantColor {
- public:
-  struct Register {
-    std::uint64_t ignored = 0;
-    friend bool operator==(const Register&, const Register&) = default;
-    void encode(std::vector<std::uint64_t>& out) const {
-      out.push_back(ignored);
-    }
-  };
-  struct State {
-    std::uint64_t id = 0;
-    void encode(std::vector<std::uint64_t>& out) const { out.push_back(id); }
-  };
-  using Output = std::uint64_t;
-
-  State init(NodeId, std::uint64_t id, int) const { return {id}; }
-  Register publish(const State&) const { return {}; }
-  std::optional<Output> step(State&, NeighborView<Register>) const {
-    return 7;
-  }
-  static std::uint64_t color_code(const Output& o) { return o; }
-};
-static_assert(Algorithm<ConstantColor>);
-
-IdAssignment iota3() { return {10, 20, 30}; }
-
-void expect_equal(const ModelCheckResult& a, const ModelCheckResult& b) {
-  EXPECT_EQ(a.completed, b.completed);
-  EXPECT_EQ(a.wait_free, b.wait_free);
-  EXPECT_EQ(a.outputs_proper, b.outputs_proper);
-  EXPECT_EQ(a.safety_violation, b.safety_violation);
-  EXPECT_EQ(a.configs, b.configs);
-  EXPECT_EQ(a.transitions, b.transitions);
-  EXPECT_EQ(a.terminal_configs, b.terminal_configs);
-  EXPECT_EQ(a.worst_case_activations, b.worst_case_activations);
-  EXPECT_EQ(a.worst_case_steps, b.worst_case_steps);
-  EXPECT_EQ(a.colors_used, b.colors_used);
-  EXPECT_EQ(a.livelock_prefix, b.livelock_prefix);
-  EXPECT_EQ(a.livelock_loop, b.livelock_loop);
-}
+using testalgo::ConstantColor;
+using testalgo::CountDown;
+using testalgo::expect_equal;
+using testalgo::Forever;
+using testalgo::iota3;
 
 TEST(ParallelExplorer, SixColoringMatchesSequentialInBothModes) {
   for (auto mode : {ActivationMode::singletons, ActivationMode::sets}) {
@@ -132,9 +41,9 @@ TEST(ParallelExplorer, CountDownExactCountsSurviveParallelism) {
   ModelChecker<CountDown> mc(CountDown{2}, make_cycle(3), iota3(), options);
   const auto parallel = mc.run_parallel(4);
   ASSERT_TRUE(parallel.completed);
-  EXPECT_EQ(parallel.configs, 27u);  // the known counter-grid size
-  EXPECT_EQ(parallel.terminal_configs, 1u);
-  EXPECT_EQ(parallel.worst_case_steps, 6u);
+  EXPECT_EQ(parallel.configs, testalgo::kCountDown2C3Configs);
+  EXPECT_EQ(parallel.terminal_configs, testalgo::kCountDown2C3Terminal);
+  EXPECT_EQ(parallel.worst_case_steps, testalgo::kCountDown2C3WorstSteps);
   expect_equal(mc.run(), parallel);
 }
 

@@ -1,0 +1,148 @@
+// StripedKeyMap under stress: adversarial keys engineered to collide in
+// the shard-selection bit window, a million concurrent emplaces
+// partitioned by shard_index() across real threads (the documented
+// distinct-shard contract — run this binary under TSan to certify it),
+// and bitwise determinism of contents regardless of insertion schedule.
+#include "runtime/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftcc {
+namespace {
+
+/// The explorer's handle hash (modelcheck/explorer.hpp detail::U64Hash):
+/// splitmix64 finalisation so sequential handles spread across shards.
+struct U64Hash {
+  std::size_t operator()(std::uint64_t x) const noexcept {
+    std::uint64_t s = x ^ 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(splitmix64(s));
+  }
+};
+
+using Map = StripedKeyMap<std::uint64_t, U64Hash, 16>;
+
+TEST(StripedKeyMap, AdversarialKeysSharingShardBitsStayCorrect) {
+  // Mine keys whose hashes all land in shard 0 — the worst case for the
+  // high-bit window — and check the map still resolves every one.
+  Map map;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; keys.size() < 4096; ++k)
+    if (map.shard_index(k) == 0) keys.push_back(k);
+  map.reserve(keys.size());
+  for (std::uint32_t i = 0; i < keys.size(); ++i)
+    map.emplace(std::uint64_t{keys[i]}, i);
+  EXPECT_EQ(map.size(), keys.size());
+  EXPECT_EQ(map.max_shard_size(), keys.size());  // all in one shard
+  for (std::uint32_t i = 0; i < keys.size(); ++i) {
+    const auto found = map.find(keys[i]);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, i);
+  }
+  EXPECT_FALSE(map.find(keys.back() + (1u << 20)).has_value() &&
+               map.shard_index(keys.back() + (1u << 20)) != 0);
+}
+
+TEST(StripedKeyMap, MillionConcurrentDistinctShardInserts) {
+  // The documented stronger contract: emplace() from many threads is safe
+  // when the keys are partitioned by shard_index().  One thread per shard
+  // group, 2^20 keys total.  TSan over this test is the certificate.
+  constexpr std::uint64_t kKeys = 1u << 20;
+  constexpr unsigned kThreads = 8;  // 2 shards per thread
+  Map map;
+  map.reserve(kKeys);
+
+  // Pre-partition sequentially so the parallel phase does emplace ONLY.
+  std::vector<std::vector<std::uint64_t>> by_thread(kThreads);
+  Map probe;
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    by_thread[probe.shard_index(k) % kThreads].push_back(k);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t)
+    workers.emplace_back([&map, &by_thread, t] {
+      for (const std::uint64_t k : by_thread[t])
+        map.emplace(std::uint64_t{k},
+                    static_cast<std::uint32_t>(k & 0xffffffffu));
+    });
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(map.size(), kKeys);
+  // Concurrent finds after the insert phase (the probe phase contract).
+  std::vector<std::thread> readers;
+  std::vector<std::uint64_t> miss(kThreads, 0);
+  for (unsigned t = 0; t < kThreads; ++t)
+    readers.emplace_back([&map, &miss, t] {
+      for (std::uint64_t k = t; k < kKeys; k += kThreads) {
+        const auto found = map.find(k);
+        if (!found || *found != (k & 0xffffffffu)) ++miss[t];
+      }
+    });
+  for (auto& r : readers) r.join();
+  for (unsigned t = 0; t < kThreads; ++t) EXPECT_EQ(miss[t], 0u);
+}
+
+TEST(StripedKeyMap, ContentsIndependentOfInsertionSchedule) {
+  // Same key set inserted (a) sequentially in order, (b) concurrently by
+  // shard partition — identical lookups and shard occupancy afterwards:
+  // the property the explorer's --jobs invariance rests on.
+  constexpr std::uint64_t kKeys = 50'000;
+  Map seq;
+  seq.reserve(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    seq.emplace(std::uint64_t{k}, static_cast<std::uint32_t>(k));
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    Map par;
+    par.reserve(kKeys);
+    std::vector<std::vector<std::uint64_t>> by_thread(threads);
+    for (std::uint64_t k = 0; k < kKeys; ++k)
+      by_thread[seq.shard_index(k) % threads].push_back(k);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t)
+      workers.emplace_back([&par, &by_thread, t] {
+        for (const std::uint64_t k : by_thread[t])
+          par.emplace(std::uint64_t{k}, static_cast<std::uint32_t>(k));
+      });
+    for (auto& w : workers) w.join();
+
+    EXPECT_EQ(par.size(), seq.size());
+    EXPECT_EQ(par.max_shard_size(), seq.max_shard_size());
+    for (std::uint64_t k = 0; k < kKeys; k += 97)
+      EXPECT_EQ(par.find(k), seq.find(k));
+  }
+}
+
+TEST(StripedKeyMap, VectorKeysWorkThroughTheSameContract) {
+  // The uncompressed explorer path keys on std::vector<std::uint64_t>.
+  struct VecHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& v) const noexcept {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ v.size();
+      for (const auto w : v) {
+        std::uint64_t s = w ^ h;
+        h = splitmix64(s) + (h << 6) + (h >> 2);
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  StripedKeyMap<std::vector<std::uint64_t>, VecHash> map;
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    map.emplace({i, i * 3, ~static_cast<std::uint64_t>(i)}, i);
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const auto found =
+        map.find({i, i * 3, ~static_cast<std::uint64_t>(i)});
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, i);
+  }
+  EXPECT_FALSE(map.find({1, 2, 3}).has_value());
+}
+
+}  // namespace
+}  // namespace ftcc
