@@ -8,13 +8,27 @@ namespace ftcc {
 
 namespace {
 
-/// A version-changing event of one cell: the k-th entry produced version
-/// 2(k+1) (publish/adversary), except a trailing stall which left the odd
-/// version behind.
+/// A version-changing event of one cell, in the owner's program order:
+/// publishes and adversary writes advance the even version by 2; a stall
+/// leaves the odd successor behind (healed by the next publish if the node
+/// was revived, final otherwise).
 struct VersionEvent {
   std::uint32_t index = 0;  ///< index into the owner's event slot
   bool stall = false;
   const std::vector<std::uint64_t>* words = nullptr;
+};
+
+/// Positions of the even (publish/adversary) entries within one cell's
+/// VersionEvent list: the j-th even change produced version 2(j+1), even
+/// when stalls are interleaved (restart-with-revival heals a stall with a
+/// later publish, so a stall is no longer always the trailing entry).
+struct CellChanges {
+  std::vector<VersionEvent> all;
+  std::vector<std::uint32_t> evens;  ///< indices into `all`
+  /// Index into `all` of the last stall, or npos32 when the cell never
+  /// stalled.
+  static constexpr std::uint32_t npos32 = 0xffffffffu;
+  std::uint32_t last_stall = npos32;
 };
 
 std::string event_name(NodeId node, const HbEvent& e) {
@@ -40,13 +54,15 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph,
 
   obs::Span direct_span(trace, "certify.direct", "certify");
   // --- Phase A: per-cell version protocol -------------------------------
-  std::vector<std::vector<VersionEvent>> changes(n);
+  std::vector<CellChanges> changes(n);
   for (NodeId u = 0; u < n; ++u) {
     const auto& events = log.events(u);
     std::uint64_t last_even = 0;
     for (std::uint32_t i = 0; i < events.size(); ++i) {
       const HbEvent& e = events[i];
       const bool last = i + 1 == events.size();
+      const bool next_is_revive =
+          !last && events[i + 1].kind == HbEventKind::revive;
       switch (e.kind) {
         case HbEventKind::publish:
         case HbEventKind::adversary:
@@ -57,17 +73,32 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph,
                         " (seqlock versions advance by 2 per publish)");
           }
           last_even = e.version;
-          changes[u].push_back({i, false, &e.words});
+          changes[u].evens.push_back(
+              static_cast<std::uint32_t>(changes[u].all.size()));
+          changes[u].all.push_back({i, false, &e.words});
           break;
         case HbEventKind::stall:
           if (e.version != last_even + 1)
             violate("version-protocol",
                     event_name(u, e) + ": stalled version is not the "
                                        "successor of the last even version");
-          if (!last)
+          // A mid-publish death ends the node — unless the supervisor
+          // revived it, in which case the revive event follows directly
+          // and the next publish heals the odd version.
+          if (!last && !next_is_revive)
             violate("malformed",
                     event_name(u, e) + ": events recorded after the stall");
-          changes[u].push_back({i, true, nullptr});
+          changes[u].last_stall =
+              static_cast<std::uint32_t>(changes[u].all.size());
+          changes[u].all.push_back({i, true, nullptr});
+          break;
+        case HbEventKind::revive:
+          if (i == 0 || (events[i - 1].kind != HbEventKind::stall &&
+                         events[i - 1].kind != HbEventKind::adversary))
+            violate("malformed",
+                    event_name(u, e) +
+                        ": revive without a preceding crash (stall or "
+                        "adversary register write)");
           break;
         case HbEventKind::finish:
           if (!last)
@@ -87,8 +118,7 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph,
     std::vector<std::uint64_t> last_seen(n, 0);
     for (const HbEvent& e : log.events(r)) {
       if (e.kind == HbEventKind::read_timeout) {
-        const auto& peer_changes = changes[e.peer];
-        if (peer_changes.empty() || !peer_changes.back().stall)
+        if (changes[e.peer].last_stall == CellChanges::npos32)
           violate("degraded-read",
                   event_name(r, e) +
                       ": bounded retry exhausted but the writer never "
@@ -105,17 +135,15 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph,
         continue;
       }
       const std::uint64_t j = v / 2;
-      const auto& peer_changes = changes[e.peer];
-      const std::uint64_t even_count =
-          peer_changes.size() -
-          (!peer_changes.empty() && peer_changes.back().stall ? 1 : 0);
+      const CellChanges& peer_changes = changes[e.peer];
+      const std::uint64_t even_count = peer_changes.evens.size();
       if (j > even_count) {
         violate("phantom-version",
                 event_name(r, e) + ": only " + std::to_string(even_count) +
                     " publishes of that cell exist");
         continue;
       }
-      if (*peer_changes[j - 1].words != e.words)
+      if (*peer_changes.all[peer_changes.evens[j - 1]].words != e.words)
         violate("torn-read",
                 event_name(r, e) +
                     ": observed words differ from what publish " +
@@ -158,17 +186,34 @@ HbAnalysis analyze_hb(const HbLog& log, const Graph& graph,
       const HbEvent& e = events[i];
       if (e.kind == HbEventKind::read_timeout) {
         // Only a stalled writer exhausts the retry bound (phase B proved
-        // the stall exists): the stall happens-before the degraded read.
-        edge(gid(e.peer, changes[e.peer].back().index), gid(v, i));
+        // the stall exists): the stall happens-before the degraded read,
+        // and — when the node was revived — the degraded read happens
+        // before the publish that healed the odd version.  (A node stalls
+        // at most once per run under the FaultPlan contract, so the last
+        // stall is the stall.)
+        const CellChanges& peer_changes = changes[e.peer];
+        edge(gid(e.peer, peer_changes.all[peer_changes.last_stall].index),
+             gid(v, i));
+        if (peer_changes.last_stall + 1 < peer_changes.all.size())
+          edge(gid(v, i),
+               gid(e.peer,
+                   peer_changes.all[peer_changes.last_stall + 1].index));
         continue;
       }
       if (e.kind != HbEventKind::read) continue;
-      const auto& peer_changes = changes[e.peer];
+      const CellChanges& peer_changes = changes[e.peer];
       const std::uint64_t j = e.version / 2;
-      if (j > 0)  // the j-th publish happened before this read ...
-        edge(gid(e.peer, peer_changes[j - 1].index), gid(v, i));
-      if (j < peer_changes.size())  // ... and the next version change after
-        edge(gid(v, i), gid(e.peer, peer_changes[j].index));
+      // The j-th publish happened before this read, and the read happened
+      // before the *next version change of any kind* — the (j+1)-th
+      // publish, or a stall that froze the cell between the two.
+      std::size_t next_change = 0;  // j == 0: the ⊥ read precedes them all
+      if (j > 0) {
+        const std::uint32_t even_pos = peer_changes.evens[j - 1];
+        edge(gid(e.peer, peer_changes.all[even_pos].index), gid(v, i));
+        next_change = even_pos + 1;
+      }
+      if (next_change < peer_changes.all.size())
+        edge(gid(v, i), gid(e.peer, peer_changes.all[next_change].index));
     }
   }
 
@@ -240,7 +285,8 @@ std::optional<std::vector<std::vector<NodeId>>> collapse_atomic(
   for (NodeId v = 0; v < n; ++v)
     for (const HbEvent& e : log.events(v))
       if (e.kind == HbEventKind::adversary || e.kind == HbEventKind::stall ||
-          e.kind == HbEventKind::read_timeout)
+          e.kind == HbEventKind::read_timeout ||
+          e.kind == HbEventKind::revive)
         return std::nullopt;
   // Round-level graph: R(v,r) must come after the writes it observed and
   // before the writes it missed; a topological order of rounds is exactly

@@ -39,6 +39,7 @@
 //      the report records which level was reached.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -192,7 +193,7 @@ std::uint64_t replay_linearization(const A& algo, const Graph& graph,
     const HbEvent& e = log.events(ref.node)[ref.index];
     const NodeId v = ref.node;
     auto& rn = nodes[v];
-    if (rn.dead) {
+    if (rn.dead && e.kind != HbEventKind::revive) {
       diverge(v, e.round, "event", "events after a mid-publish stall");
       break;
     }
@@ -218,9 +219,21 @@ std::uint64_t replay_linearization(const A& algo, const Graph& graph,
         registers[v] = A::decode_register(e.words);
         break;
       case HbEventKind::stall:
-        // The trashed cell reads as ⊥ from here on (timed-out readers).
+        // The trashed cell reads as ⊥ from here on (timed-out readers),
+        // until a revival's first publish heals the odd version.
         registers[v] = std::nullopt;
         rn.dead = true;
+        break;
+      case HbEventKind::revive:
+        // Restart-with-revival (src/dist/): the process is re-forked with
+        // its private state wiped back to init().  The register keeps
+        // whatever the crash left — ⊥ after a torn publish (stall), the
+        // adversary's value after a zeroed recovery — until the revived
+        // node publishes.
+        rn.dead = false;
+        rn.state = algo.init(v, ids[v], graph.degree(v));
+        rn.reads_this_round = 0;
+        std::fill(rn.view.begin(), rn.view.end(), std::nullopt);
         break;
       case HbEventKind::read:
       case HbEventKind::read_timeout: {

@@ -29,6 +29,7 @@ void serialize_event(std::ostringstream& os, const HbEvent& e) {
       for (std::uint64_t w : e.words) os << " " << w;
       break;
     case HbEventKind::stall:
+    case HbEventKind::revive:
     case HbEventKind::finish:
       os << " " << e.version;
       break;
@@ -57,8 +58,11 @@ bool parse_event(const std::string& directive, std::istringstream& ls,
     if (!next_u64(e.version)) return fail(error, directive + ": bad version");
     std::uint64_t w = 0;
     while (next_u64(w)) e.words.push_back(w);
-  } else if (directive == "stall" || directive == "fin") {
-    e.kind = directive == "stall" ? HbEventKind::stall : HbEventKind::finish;
+  } else if (directive == "stall" || directive == "rev" ||
+             directive == "fin") {
+    e.kind = directive == "stall"  ? HbEventKind::stall
+             : directive == "rev" ? HbEventKind::revive
+                                  : HbEventKind::finish;
     if (!next_u64(e.version)) return fail(error, directive + ": bad value");
   } else if (directive == "read" || directive == "rdto") {
     std::uint64_t peer = 0;

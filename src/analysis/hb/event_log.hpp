@@ -26,7 +26,8 @@
 //
 // Event lines: `pub round version words...`, `adv round version words...`,
 // `stall round odd_version`, `read round peer version words...` (version 0
-// = ⊥, no words), `rdto round peer`, `fin round color_code`.  `seed` and
+// = ⊥, no words), `rdto round peer`, `rev round version` (multi-process
+// restart-with-revival, src/dist/), `fin round color_code`.  `seed` and
 // `verdict` are provenance, ignored on load.  Parsing is strict: a
 // declared event count not matched by that many event lines, an unknown
 // directive, or a malformed number is an error surfaced to the caller.

@@ -1,0 +1,394 @@
+#include "dist/dist_campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "analysis/hb/certify.hpp"
+#include "dist/supervisor.hpp"
+#include "fuzz/dispatch.hpp"
+#include "graph/coloring.hpp"
+#include "graph/ids.hpp"
+#include "obs/span.hpp"
+#include "sched/schedulers.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ftcc::dist {
+
+namespace {
+
+/// One multi-process trial's configuration, all drawn from the trial
+/// seed (the same family spread as the certify campaign's generator).
+struct DistTrial {
+  std::string algo;
+  std::string graph_kind;
+  NodeId n = 0;
+  IdAssignment ids;
+  std::string ids_family;
+  bool wrapped = false;
+  FaultPlan plan;
+  std::vector<std::uint8_t> torn_crash;
+  std::string sched_name;
+  std::unique_ptr<Scheduler> sched;
+  std::string fault_desc;
+};
+
+void draw_fault(DistTrial& cfg, NodeId v, std::uint64_t kind, Xoshiro256& rng,
+                std::ostringstream& desc) {
+  switch (kind) {
+    case 0:
+      cfg.plan.crash_at_step(v, rng.below(6));
+      desc << " kill-clean(" << v << ")";
+      break;
+    case 1:
+      cfg.plan.crash_at_step(v, rng.below(6));
+      cfg.torn_crash[v] = 1;
+      desc << " kill-torn(" << v << ")";
+      break;
+    case 2:
+      cfg.plan.recover(v, {rng.below(4), 1 + rng.below(4),
+                           RecoveredRegister::stale});
+      desc << " pause(" << v << ")";
+      break;
+    case 3:
+      cfg.plan.recover(v, {rng.below(4), 1 + rng.below(4),
+                           RecoveredRegister::bottom});
+      desc << " revive-bottom(" << v << ")";
+      break;
+    case 4:
+      cfg.plan.recover(v, {rng.below(4), 1 + rng.below(4),
+                           RecoveredRegister::zero});
+      desc << " revive-zero(" << v << ")";
+      break;
+    case 5:
+      cfg.plan.corrupt(v, {rng.below(6), CorruptionFault::Kind::bit_flip, 0,
+                           rng()});
+      desc << " delay(" << v << ")";
+      break;
+    default:
+      cfg.plan.corrupt(v, {rng.below(6), CorruptionFault::Kind::overwrite, 0,
+                           rng()});
+      desc << " dup(" << v << ")";
+      break;
+  }
+}
+
+DistTrial generate_dist_trial(const std::vector<std::string>& algos,
+                              NodeId n_min, NodeId n_max,
+                              std::uint64_t trial_seed, DistFaultMode mode) {
+  Xoshiro256 rng(trial_seed);
+  DistTrial cfg;
+  cfg.algo = algos[rng.below(algos.size())];
+  cfg.n = n_min + static_cast<NodeId>(rng.below(n_max - n_min + 1u));
+  cfg.graph_kind = (cfg.algo == "five" && rng.chance(0.25)) ? "path" : "cycle";
+  switch (rng.below(5)) {
+    case 0:
+      cfg.ids = random_ids(cfg.n, rng());
+      cfg.ids_family = "random";
+      break;
+    case 1:
+      cfg.ids = sorted_ids(cfg.n);
+      cfg.ids_family = "sorted";
+      break;
+    case 2:
+      cfg.ids = alternating_ids(cfg.n);
+      cfg.ids_family = "alternating";
+      break;
+    case 3: {
+      const NodeId run = 1 + static_cast<NodeId>(rng.below(cfg.n - 1));
+      cfg.ids = zigzag_ids(cfg.n, run);
+      cfg.ids_family = "zigzag(" + std::to_string(run) + ")";
+      break;
+    }
+    default:
+      cfg.ids = permutation_ids(cfg.n, rng());
+      cfg.ids_family = "perm";
+      break;
+  }
+  cfg.plan = FaultPlan(cfg.n);
+  cfg.torn_crash.assign(cfg.n, 0);
+  std::ostringstream desc;
+  if (mode != DistFaultMode::none && rng.chance(0.75)) {
+    cfg.wrapped = rng.chance(0.5);
+    const std::uint64_t count = 1 + rng.below(2);
+    for (std::uint64_t v : sample_distinct(cfg.n, count, rng)) {
+      std::uint64_t kind = 0;
+      switch (mode) {
+        case DistFaultMode::kill: kind = rng.below(2); break;
+        case DistFaultMode::pause: kind = 2; break;
+        default: kind = rng.below(7); break;
+      }
+      draw_fault(cfg, static_cast<NodeId>(v), kind, rng, desc);
+    }
+  }
+  cfg.fault_desc = desc.str();
+  switch (rng.below(4)) {
+    case 0:
+      cfg.sched = std::make_unique<SynchronousScheduler>();
+      cfg.sched_name = "sync";
+      break;
+    case 1:
+      cfg.sched = std::make_unique<RandomSubsetScheduler>(0.7, rng());
+      cfg.sched_name = "subset";
+      break;
+    case 2:
+      cfg.sched = std::make_unique<RoundRobinScheduler>(1 + rng.below(2));
+      cfg.sched_name = "rr";
+      break;
+    default:
+      cfg.sched = std::make_unique<StaggeredScheduler>(1 + rng.below(2));
+      cfg.sched_name = "staggered";
+      break;
+  }
+  return cfg;
+}
+
+/// Per-trial decision digest: chained splitmix64 over every node's
+/// (fate, color, activations).  Per-trial digests are XORed into the
+/// campaign digest, so it is independent of trial completion order.
+std::uint64_t decisions_digest(std::uint64_t trial,
+                               const ExecutionResult<std::uint64_t>& result) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL ^ trial;
+  for (NodeId v = 0; v < result.fates.size(); ++v) {
+    state ^= splitmix64(state) + static_cast<std::uint64_t>(result.fates[v]);
+    state ^= splitmix64(state) +
+             (result.outputs[v] ? *result.outputs[v] + 1 : 0);
+    state ^= splitmix64(state) + result.activations[v];
+  }
+  return splitmix64(state);
+}
+
+}  // namespace
+
+std::optional<DistFaultMode> parse_dist_fault_mode(const std::string& name) {
+  if (name == "none") return DistFaultMode::none;
+  if (name == "kill") return DistFaultMode::kill;
+  if (name == "pause") return DistFaultMode::pause;
+  if (name == "mixed") return DistFaultMode::mixed;
+  return std::nullopt;
+}
+
+DistCampaignReport run_dist_campaign(const DistCampaignOptions& options) {
+  FTCC_EXPECTS(options.n_min >= 3 && options.n_min <= options.n_max);
+  std::vector<std::string> algos =
+      options.algos.empty() ? campaign_algorithms() : options.algos;
+  for (const auto& name : algos) FTCC_EXPECTS(known_algorithm(name));
+  if (!options.artifact_dir.empty())
+    std::filesystem::create_directories(options.artifact_dir);
+  if (!options.log_dir.empty())
+    std::filesystem::create_directories(options.log_dir);
+
+  std::ostringstream os;
+  os << "ftcc-dist report v1\n";
+  os << "seed=" << options.seed << " trials=" << options.trials << " n=["
+     << options.n_min << "," << options.n_max << "] algos=";
+  for (std::size_t i = 0; i < algos.size(); ++i)
+    os << (i ? "," : "") << algos[i];
+  os << " inject=" << dist_fault_mode_name(options.inject)
+     << " overlap=" << (options.overlap ? 1 : 0)
+     << " max_read_attempts=" << options.max_read_attempts << "\n";
+
+  struct {
+    obs::Counter* trials = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* certified = nullptr;
+    obs::Counter* violations = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Histogram* steps = nullptr;
+    obs::Histogram* events = nullptr;
+    obs::Histogram* trial_us = nullptr;
+    obs::Gauge* trials_per_sec = nullptr;
+  } m;
+  if (options.metrics != nullptr) {
+    obs::Registry& reg = *options.metrics;
+    m.trials = &reg.counter("dist.trials");
+    m.completed = &reg.counter("dist.trials.completed");
+    m.certified = &reg.counter("dist.trials.certified");
+    m.violations = &reg.counter("dist.trials.violations");
+    m.failures = &reg.counter("dist.trials.failures");
+    m.crashes = &reg.counter("dist.nodes.crashed");
+    m.steps = &reg.histogram("dist.steps");
+    m.events = &reg.histogram("dist.events");
+    m.trial_us = &reg.histogram("dist.trial_us");
+    m.trials_per_sec = &reg.gauge("dist.trials_per_sec");
+  }
+  obs::Stopwatch campaign_watch;
+  const std::uint64_t progress_every =
+      std::max<std::uint64_t>(options.progress_every, 1);
+
+  // Sub-seeds pre-drawn in trial order, exactly like run_campaign, so
+  // the trial stream is stable under any future change to trial count.
+  std::vector<std::uint64_t> seeds(options.trials);
+  Xoshiro256 master(options.seed);
+  for (auto& s : seeds) s = master();
+
+  DistCampaignReport report;
+  std::uint64_t ok_trials = 0;
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    obs::Stopwatch trial_watch;
+    DistTrial cfg = generate_dist_trial(algos, options.n_min, options.n_max,
+                                        seeds[trial], options.inject);
+    const Graph graph =
+        cfg.graph_kind == "path" ? make_path(cfg.n) : make_cycle(cfg.n);
+
+    DistOptions dopts;
+    dopts.max_read_attempts = options.max_read_attempts;
+    dopts.overlap = options.overlap;
+    dopts.torn_crash = cfg.torn_crash;
+
+    HbLog log;
+    ExecutionResult<std::uint64_t> result;
+    std::string runtime_error;
+    const CertifyReport verdict = with_campaign_algorithm(
+        cfg.algo, cfg.wrapped,
+        [&](auto algo, std::uint64_t /*bound*/, bool /*ordered*/) {
+          DistExecutor<decltype(algo)> ex(algo, graph, cfg.ids, cfg.plan,
+                                          dopts);
+          ex.attach_hb_log(&log);
+          result = ex.run(*cfg.sched, options.max_steps);
+          runtime_error = ex.error();
+          return certify_log(algo, graph, cfg.ids, log);
+        });
+
+    PartialColoring colors(cfg.n);
+    for (NodeId v = 0; v < cfg.n; ++v)
+      if (result.outputs[v]) colors[v] = *result.outputs[v];
+    const bool proper = is_proper_partial(graph, colors);
+    const std::uint64_t digest = decisions_digest(trial, result);
+    report.decisions_digest ^= digest;
+
+    ++report.trials;
+    if (result.completed) ++report.completed;
+    if (verdict.ok()) ++report.certified;
+    if (!proper) ++report.violations;
+    if (m.trials) {
+      m.trials->inc();
+      if (result.completed) m.completed->inc();
+      if (verdict.ok()) m.certified->inc();
+      if (!proper) m.violations->inc();
+      m.crashes->inc(result.fate_count(NodeFate::crashed));
+      m.steps->observe(result.steps);
+      m.events->observe(log.total_events());
+      m.trial_us->observe(trial_watch.elapsed_us());
+    }
+
+    os << "trial " << trial << " algo=" << cfg.algo
+       << " graph=" << cfg.graph_kind << " n=" << cfg.n
+       << " ids=" << cfg.ids_family << " wrapped=" << (cfg.wrapped ? 1 : 0)
+       << " sched=" << cfg.sched_name << " faults=["
+       << (cfg.fault_desc.empty() ? "" : cfg.fault_desc.substr(1)) << "] -> "
+       << (result.completed ? "completed" : "partial")
+       << " terminated=" << result.terminated_count() << "/" << cfg.n
+       << " crashed=" << result.fate_count(NodeFate::crashed)
+       << " steps=" << result.steps << " proper=" << (proper ? 1 : 0) << " "
+       << (verdict.ok() ? (verdict.atomic ? "certified atomic"
+                                          : "certified split")
+                        : "CERTIFY-FAIL")
+       << " digest=" << digest << "\n";
+
+    EventLogArtifact artifact;
+    artifact.algo = cfg.algo;
+    artifact.graph_kind = cfg.graph_kind;
+    artifact.n = cfg.n;
+    artifact.ids = cfg.ids;
+    artifact.wrapped = cfg.wrapped;
+    artifact.max_read_attempts = options.max_read_attempts;
+    artifact.log = log;
+    artifact.seed = options.seed;
+
+    std::string failure_verdict;
+    if (!runtime_error.empty()) {
+      failure_verdict = "[runtime] " + runtime_error;
+    } else if (!proper) {
+      failure_verdict = "[invariant] improper partial coloring";
+    } else if (!verdict.ok()) {
+      const auto& first = verdict.violations.front();
+      failure_verdict = "[" + first.kind + "] " + first.message;
+    }
+    if (!failure_verdict.empty()) {
+      DistCampaignFailure failure;
+      failure.trial = trial;
+      failure.verdict = failure_verdict;
+      artifact.verdict = failure_verdict;
+      failure.artifact = artifact;
+      if (!options.artifact_dir.empty()) {
+        failure.path = options.artifact_dir + "/dist-" +
+                       std::to_string(trial) + ".eventlog";
+        if (save_event_log(failure.path, failure.artifact)) {
+          os << "witness trial " << trial << ": " << failure.path << "\n";
+        } else {
+          os << "warning trial " << trial << ": could not save witness to "
+             << failure.path << "\n";
+          failure.path.clear();
+        }
+      }
+      if (m.failures) m.failures->inc();
+      os << "FAIL trial " << trial << " " << failure_verdict << "\n";
+      report.failures.push_back(std::move(failure));
+    } else {
+      ++ok_trials;
+    }
+    if (!options.log_dir.empty()) {
+      const std::string path =
+          options.log_dir + "/trial-" + std::to_string(trial) + ".eventlog";
+      if (!save_event_log(path, artifact))
+        os << "warning trial " << trial << ": could not save log to " << path
+           << "\n";
+    }
+    if (options.on_progress &&
+        ((trial + 1) % progress_every == 0 || trial + 1 == options.trials))
+      options.on_progress({trial + 1, options.trials, ok_trials, 0,
+                           static_cast<std::uint64_t>(
+                               report.failures.size())});
+  }
+
+  if (m.trials_per_sec) {
+    const std::uint64_t campaign_us = campaign_watch.elapsed_us();
+    if (campaign_us > 0)
+      m.trials_per_sec->set(static_cast<double>(report.trials) * 1e6 /
+                            static_cast<double>(campaign_us));
+  }
+  os << "summary trials=" << report.trials << " completed=" << report.completed
+     << " certified=" << report.certified
+     << " violations=" << report.violations
+     << " failures=" << report.failures.size()
+     << " digest=" << report.decisions_digest << "\n";
+  report.text = os.str();
+  return report;
+}
+
+bool persist_dist_witnesses(DistCampaignReport& report,
+                            const std::string& fallback_dir,
+                            std::vector<std::string>& lines,
+                            std::string* error) {
+  bool created = false;
+  for (DistCampaignFailure& failure : report.failures) {
+    if (!failure.path.empty()) continue;
+    if (!created) {
+      std::error_code ec;
+      std::filesystem::create_directories(fallback_dir, ec);
+      if (ec) {
+        if (error)
+          *error = "cannot create witness directory '" + fallback_dir +
+                   "': " + ec.message();
+        return false;
+      }
+      created = true;
+    }
+    failure.path = fallback_dir + "/dist-" + std::to_string(failure.trial) +
+                   ".eventlog";
+    if (!save_event_log(failure.path, failure.artifact)) {
+      if (error) *error = "cannot write witness '" + failure.path + "'";
+      failure.path.clear();
+      return false;
+    }
+    lines.push_back("witness trial " + std::to_string(failure.trial) + ": " +
+                    failure.path);
+  }
+  return true;
+}
+
+}  // namespace ftcc::dist

@@ -1,0 +1,188 @@
+// The node-process side of the multi-process backend (DESIGN.md §12.4).
+// After fork() the child calls run_dist_node() and never returns: it
+// loops on control frames from the supervisor, performing one
+// write-read-update activation per ACTIVATE and reporting the HbEvents
+// it generated in the ACK.  Its registers live in the shared-memory
+// seqlock cells (dist/shm_region.hpp); its private state lives in this
+// process only — which is what makes SIGKILL a *real* crash-stop and a
+// re-fork a *real* revival with amnesia.
+//
+// The child allocates freely here (it is a normal process, not a signal
+// handler) but exits only via _exit(): running atexit handlers or
+// flushing stdio it shares with the supervisor would corrupt the
+// parent's streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <sched.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "dist/protocol.hpp"
+#include "dist/shm_region.hpp"
+#include "dist/wire.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "runtime/threaded_executor.hpp"
+
+namespace ftcc::dist {
+
+struct NodeConfig {
+  NodeId v = 0;
+  std::uint64_t max_read_attempts = std::uint64_t{1} << 12;
+};
+
+namespace detail {
+
+/// Seqlock publish that heals a predecessor's torn write: when a crash
+/// left the version odd, the revived incarnation must not bump to odd
+/// again (that would make two version increments for one publish and
+/// break the certifier's Phase A arithmetic) — it overwrites the
+/// payload and closes the cell with the next even version.
+template <typename Region>
+std::uint64_t publish_words(Region& shm, NodeId v,
+                            const std::vector<std::uint64_t>& words) {
+  auto version = shm.word(v, 0);
+  const std::uint64_t cur = version.load(std::memory_order_relaxed);
+  if (cur % 2 == 0) {
+    version.store(cur + 1, std::memory_order_release);
+    for (std::size_t i = 0; i < words.size(); ++i)
+      shm.word(v, i + 1).store(words[i], std::memory_order_relaxed);
+    version.store(cur + 2, std::memory_order_release);
+    return cur + 2;
+  }
+  for (std::size_t i = 0; i < words.size(); ++i)
+    shm.word(v, i + 1).store(words[i], std::memory_order_relaxed);
+  version.store(cur + 1, std::memory_order_release);
+  return cur + 1;
+}
+
+}  // namespace detail
+
+/// Child-process main loop.  Never returns; exits via _exit(0) on QUIT
+/// or termination, or dies by its own SIGKILL on a torn-crash order.
+template <ThreadSafeAlgorithm A>
+[[noreturn]] void run_dist_node(const A& algo, const Graph& graph,
+                                const IdAssignment& ids, ShmRegion& shm,
+                                int fd, const NodeConfig& config) {
+  using Register = typename A::Register;
+  const NodeId v = config.v;
+  auto state = algo.init(v, ids[v], graph.degree(v));
+  const auto neighbors = graph.neighbors(v);
+  std::vector<std::optional<Register>> view(neighbors.size());
+
+  // One iteration per control frame; the loop ends only through _exit.
+  for (;;) {  // lint:allow(unbounded-spin)
+    auto frame = read_frame(fd);
+    if (!frame || frame->empty()) ::_exit(0);  // supervisor died: fold
+    WireReader r(*frame);
+    std::uint8_t op = 0;
+    if (!r.u8(op)) ::_exit(0);
+    if (op == static_cast<std::uint8_t>(Op::quit)) ::_exit(0);
+    if (op != static_cast<std::uint8_t>(Op::activate)) ::_exit(0);
+    const auto msg = decode_activate(r);
+    if (!msg) ::_exit(0);
+
+    AckMsg ack;
+    std::vector<std::uint64_t> words;
+    words.reserve(A::kRegisterWords);
+    algo.publish(state).encode(words);
+
+    if (msg->crash != 0) {
+      // Real torn write: odd version, corrupted first payload word, no
+      // closing store — then die for good.  No ACK is ever sent; the
+      // supervisor reaps the corpse and synthesises the stall event.
+      auto version = shm.word(v, 0);
+      const std::uint64_t odd = version.load(std::memory_order_relaxed) + 1;
+      version.store(odd, std::memory_order_release);
+      if (!words.empty())
+        shm.word(v, 1).store(~words[0], std::memory_order_relaxed);
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(137);  // unreachable; SIGKILL cannot be handled
+    }
+
+    const std::uint64_t version = detail::publish_words(shm, v, words);
+    ack.events.push_back(
+        {HbEventKind::publish, msg->round, v, version, words});
+
+    if (msg->delay_us > 0) {
+      struct timespec ts;
+      ts.tv_sec = msg->delay_us / 1000000;
+      ts.tv_nsec = static_cast<long>(msg->delay_us % 1000000) * 1000;
+      ::nanosleep(&ts, nullptr);
+    }
+
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId peer = neighbors[i];
+      // Bounded seqlock read, same contract as ThreadedExecutor::read.
+      // Returns false on retry exhaustion (writer dead mid-publish).
+      std::uint64_t observed_version = 0;
+      std::vector<std::uint64_t> observed;
+      const auto read_once = [&]() -> bool {
+        for (std::uint64_t attempt = 0; attempt < config.max_read_attempts;
+             ++attempt) {
+          if (attempt >= 64) ::sched_yield();
+          const std::uint64_t v1 =
+              shm.word(peer, 0).load(std::memory_order_acquire);
+          if (v1 == 0) {  // never written: ⊥
+            observed_version = 0;
+            observed.clear();
+            return true;
+          }
+          if (v1 % 2 != 0) continue;  // writer in progress (or dead mid-write)
+          std::uint64_t raw[8];
+          static_assert(A::kRegisterWords <= 8);
+          for (std::size_t j = 0; j < A::kRegisterWords; ++j)
+            raw[j] = shm.word(peer, j + 1).load(std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_acquire);
+          const std::uint64_t v2 =
+              shm.word(peer, 0).load(std::memory_order_relaxed);
+          if (v1 != v2) continue;
+          observed_version = v1;
+          observed.assign(raw, raw + A::kRegisterWords);
+          return true;
+        }
+        return false;
+      };
+      bool resolved = read_once();
+      if (resolved && (msg->dup_mask >> i & 1u) != 0) {
+        // Duplicate delivery of the read request: sample the register a
+        // second time and adopt the later observation.  Only what the
+        // algorithm actually consumes is logged — a single read event —
+        // so the log stays a truthful record of the used observation.
+        resolved = read_once();
+      }
+      if (!resolved) {
+        // Retry budget exhausted: the writer is dead mid-publish.
+        // Degrade to ⊥, exactly like the threaded backend.
+        ack.events.push_back(
+            {HbEventKind::read_timeout, msg->round, peer, 0, {}});
+        view[i] = std::nullopt;
+        continue;
+      }
+      ack.events.push_back(
+          {HbEventKind::read, msg->round, peer, observed_version, observed});
+      view[i] = observed.empty()
+                    ? std::nullopt
+                    : std::optional<Register>(A::decode_register(
+                          std::span<const std::uint64_t>(observed.data(),
+                                                         observed.size())));
+    }
+
+    auto out = algo.step(state, NeighborView<Register>(view));
+    if (out) {
+      ack.terminated = true;
+      ack.color = A::color_code(*out);
+      ack.events.push_back(
+          {HbEventKind::finish, msg->round, v, ack.color, {}});
+    }
+    if (!write_frame(fd, encode_ack(ack))) ::_exit(0);
+    if (ack.terminated) ::_exit(0);
+  }
+}
+
+}  // namespace ftcc::dist

@@ -1,0 +1,132 @@
+// Control-channel protocol between the supervisor and its node
+// processes (DESIGN.md §12.3).  All messages ride dist/wire.hpp frames;
+// integers are little-endian.
+//
+//   supervisor → node
+//     ACTIVATE  u8 op=1 | u64 round | u8 crash | u32 delay_us | u32 dup_mask
+//       crash:    0 = run normally, 1 = tear the publish (odd version +
+//                 corrupt word, then SIGKILL yourself) — real crash-stop
+//       delay_us: sleep this long before the read phase (injected
+//                 asynchrony on register reads)
+//       dup_mask: bit i set = deliver neighbour i's register from the
+//                 cached previous observation instead of re-reading
+//                 (injected duplication/staleness of delivery)
+//     QUIT      u8 op=2
+//
+//   node → supervisor
+//     ACK       u8 op=3 | u8 terminated | u64 color |
+//               u32 n_events | n_events × {
+//                 u8 kind | u64 round | u32 peer | u64 version |
+//                 u8 n_words | n_words × u64 }
+//       Events are the HbEvents the activation generated, in order —
+//       the supervisor folds them into the run's HbLog so the PR-3
+//       certifier validates distributed runs unchanged.
+//
+// A torn-crash ACTIVATE never gets an ACK (the child is dead by
+// SIGKILL); the supervisor detects the death via waitpid and
+// synthesises the stall event from the cell it can still read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dist/wire.hpp"
+#include "runtime/hb_log.hpp"
+
+namespace ftcc::dist {
+
+enum class Op : std::uint8_t {
+  activate = 1,
+  quit = 2,
+  ack = 3,
+};
+
+struct ActivateMsg {
+  std::uint64_t round = 0;
+  std::uint8_t crash = 0;  ///< 1 = tear publish then SIGKILL self
+  std::uint32_t delay_us = 0;
+  std::uint32_t dup_mask = 0;
+};
+
+struct AckMsg {
+  bool terminated = false;
+  std::uint64_t color = 0;
+  std::vector<HbEvent> events;
+};
+
+inline std::vector<std::uint8_t> encode_activate(const ActivateMsg& m) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::activate));
+  w.u64(m.round);
+  w.u8(m.crash);
+  w.u32(m.delay_us);
+  w.u32(m.dup_mask);
+  return std::move(w.buf);
+}
+
+inline std::vector<std::uint8_t> encode_quit() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::quit));
+  return std::move(w.buf);
+}
+
+inline std::vector<std::uint8_t> encode_ack(const AckMsg& m) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::ack));
+  w.u8(m.terminated ? 1 : 0);
+  w.u64(m.color);
+  w.u32(static_cast<std::uint32_t>(m.events.size()));
+  for (const HbEvent& e : m.events) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u64(e.round);
+    w.u32(e.peer);
+    w.u64(e.version);
+    w.u8(static_cast<std::uint8_t>(e.words.size()));
+    for (std::uint64_t word : e.words) w.u64(word);
+  }
+  return std::move(w.buf);
+}
+
+inline std::optional<ActivateMsg> decode_activate(WireReader& r) {
+  ActivateMsg m;
+  if (!r.u64(m.round) || !r.u8(m.crash) || !r.u32(m.delay_us) ||
+      !r.u32(m.dup_mask) || !r.done())
+    return std::nullopt;
+  return m;
+}
+
+inline std::optional<AckMsg> decode_ack(WireReader& r) {
+  AckMsg m;
+  std::uint8_t terminated = 0;
+  std::uint32_t n_events = 0;
+  if (!r.u8(terminated) || !r.u64(m.color) || !r.u32(n_events))
+    return std::nullopt;
+  m.terminated = terminated != 0;
+  // An activation emits at most one event per register plus a handful
+  // of bookkeeping entries; anything huge is a corrupt frame.
+  if (n_events > 4096) return std::nullopt;
+  m.events.reserve(n_events);
+  for (std::uint32_t i = 0; i < n_events; ++i) {
+    HbEvent e;
+    std::uint8_t kind = 0;
+    std::uint8_t n_words = 0;
+    if (!r.u8(kind) || !r.u64(e.round) || !r.u32(e.peer) ||
+        !r.u64(e.version) || !r.u8(n_words))
+      return std::nullopt;
+    if (kind > static_cast<std::uint8_t>(HbEventKind::finish))
+      return std::nullopt;
+    e.kind = static_cast<HbEventKind>(kind);
+    e.words.reserve(n_words);
+    for (std::uint8_t j = 0; j < n_words; ++j) {
+      std::uint64_t word = 0;
+      if (!r.u64(word)) return std::nullopt;
+      e.words.push_back(word);
+    }
+    m.events.push_back(std::move(e));
+  }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace ftcc::dist

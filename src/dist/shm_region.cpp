@@ -1,0 +1,55 @@
+#include "dist/shm_region.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "dist/janitor.hpp"
+
+namespace ftcc::dist {
+
+namespace {
+// Distinguishes segments of successive executors within one process.
+std::atomic<std::uint64_t> g_sequence{0};
+}  // namespace
+
+ShmRegion::ShmRegion(NodeId n, std::size_t payload_words) {
+  cell_words_ = 1 + payload_words;
+  total_bytes_ = static_cast<std::size_t>(n) * cell_words_ * sizeof(std::uint64_t);
+  const std::uint64_t seq = g_sequence.fetch_add(1, std::memory_order_relaxed);
+  name_ = "/ftcc-dist-" + std::to_string(::getpid()) + "-" + std::to_string(seq);
+  fs_path_ = "/dev/shm" + name_;
+  janitor_install();
+  const int fd =
+      ::shm_open(name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return;
+  if (::ftruncate(fd, static_cast<off_t>(total_bytes_)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name_.c_str());
+    return;
+  }
+  void* mapped = ::mmap(nullptr, total_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    ::shm_unlink(name_.c_str());
+    return;
+  }
+  base_ = static_cast<std::uint64_t*>(mapped);
+  // ftruncate zero-fills, so every cell starts at version 0 / payload ⊥.
+  janitor_add_path(fs_path_.c_str());
+}
+
+ShmRegion::~ShmRegion() {
+  if (base_ != nullptr) {
+    ::munmap(base_, total_bytes_);
+    ::shm_unlink(name_.c_str());
+    janitor_remove_path(fs_path_.c_str());
+    base_ = nullptr;
+  }
+}
+
+}  // namespace ftcc::dist

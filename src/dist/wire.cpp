@@ -1,0 +1,84 @@
+#include "dist/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace ftcc::dist {
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n > 0) {
+      p += n;
+      remaining -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::read(fd, p, remaining);
+    if (n > 0) {
+      p += n;
+      remaining -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // n == 0 is EOF: the peer died or closed its end.
+  }
+  return true;
+}
+
+int wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  std::memset(&pfd, 0, sizeof(pfd));
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  // Bounded by the poll timeout itself; the loop only restarts on EINTR.
+  for (;;) {  // lint:allow(unbounded-spin)
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return 0;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    // POLLHUP/POLLERR also count as "readable": the next read reports
+    // the EOF/error and the caller handles the death explicitly.
+    return 1;
+  }
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t header[4];
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  if (!write_all(fd, header, sizeof(header))) return false;
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(int fd) {
+  std::uint8_t header[4];
+  if (!read_all(fd, header, sizeof(header))) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameBytes) return std::nullopt;
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0 && !read_all(fd, payload.data(), len)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace ftcc::dist

@@ -1,0 +1,93 @@
+// Byte-level plumbing of the multi-process backend (DESIGN.md §12): the
+// supervisor and its node processes talk over anonymous UNIX stream
+// socketpairs, exchanging length-prefixed frames.  Everything here is
+// EINTR- and partial-I/O-safe — a signal landing mid-read (SIGCHLD from a
+// dying sibling, SIGCONT after a pause fault) must never corrupt the
+// stream — and every loop is bounded by the byte count it still owes, so
+// a peer that dies mid-frame surfaces as a clean failure, not a hang.
+//
+// A frame is a 4-byte little-endian payload length followed by the
+// payload.  Protocol content (opcodes, activation commands, event
+// batches) lives in dist/protocol.hpp; this layer never interprets it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ftcc::dist {
+
+/// Largest frame either side will accept.  Generously above anything the
+/// protocol produces (an ACK carrying a whole activation's events is a
+/// few hundred bytes); a length beyond it means a corrupt stream.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// write(2) until all `size` bytes left, retrying on EINTR and partial
+/// writes.  False on any other error (EPIPE after a peer death included).
+[[nodiscard]] bool write_all(int fd, const void* data, std::size_t size);
+
+/// read(2) until all `size` bytes arrived, retrying on EINTR and partial
+/// reads.  False on EOF or error.
+[[nodiscard]] bool read_all(int fd, void* data, std::size_t size);
+
+/// poll(2) for readability.  Returns 1 when readable (or the peer hung
+/// up — the next read_all reports the EOF), 0 on timeout, -1 on error.
+/// EINTR restarts the poll with the same timeout (the wait may stretch,
+/// never shrink — liveness budgets stay conservative).
+[[nodiscard]] int wait_readable(int fd, int timeout_ms);
+
+/// Send one length-prefixed frame.
+[[nodiscard]] bool write_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+/// Receive one length-prefixed frame; nullopt on EOF, error, or a length
+/// above kMaxFrameBytes.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_frame(int fd);
+
+/// Little-endian append-only payload builder.
+struct WireWriter {
+  std::vector<std::uint8_t> buf;
+
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+};
+
+/// Bounds-checked little-endian cursor over a received payload.
+struct WireReader {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  explicit WireReader(const std::vector<std::uint8_t>& payload)
+      : data(payload.data()), size(payload.size()) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& out) {
+    if (pos + 1 > size) return false;
+    out = data[pos++];
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& out) {
+    if (pos + 4 > size) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+      out |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    return true;
+  }
+  [[nodiscard]] bool u64(std::uint64_t& out) {
+    if (pos + 8 > size) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i)
+      out |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+    return true;
+  }
+  [[nodiscard]] bool done() const { return pos == size; }
+};
+
+}  // namespace ftcc::dist

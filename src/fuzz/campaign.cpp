@@ -480,8 +480,15 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       if (!options.artifact_dir.empty()) {
         failure.path = options.artifact_dir + "/fail-" +
                        std::to_string(trial) + ".sched";
-        FTCC_EXPECTS(save_schedule(failure.path, failure.shrink.artifact));
-        os << "artifact trial " << trial << ": " << failure.path << "\n";
+        if (save_schedule(failure.path, failure.shrink.artifact)) {
+          os << "artifact trial " << trial << ": " << failure.path << "\n";
+        } else {
+          // Losing an artifact must not kill the campaign mid-run; clear
+          // the path so the fallback persist pass gets another chance.
+          os << "warning: cannot save artifact trial " << trial << ": "
+             << failure.path << "\n";
+          failure.path.clear();
+        }
       }
       slot.kind = TrialTally::Outcome::failed;
       slot.failure = std::move(failure);
@@ -566,9 +573,14 @@ std::vector<std::string> persist_failure_artifacts(
     }
     failure.path = fallback_dir + "/fail-" + std::to_string(failure.trial) +
                    ".sched";
-    FTCC_EXPECTS(save_schedule(failure.path, failure.shrink.artifact));
-    lines.push_back("artifact trial " + std::to_string(failure.trial) + ": " +
-                    failure.path);
+    if (save_schedule(failure.path, failure.shrink.artifact)) {
+      lines.push_back("artifact trial " + std::to_string(failure.trial) +
+                      ": " + failure.path);
+    } else {
+      lines.push_back("warning: cannot save artifact trial " +
+                      std::to_string(failure.trial) + ": " + failure.path);
+      failure.path.clear();
+    }
   }
   return lines;
 }

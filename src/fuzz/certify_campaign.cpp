@@ -251,8 +251,15 @@ CertifyCampaignReport run_certify_campaign(
       if (!options.artifact_dir.empty()) {
         failure.path = options.artifact_dir + "/race-" +
                        std::to_string(trial) + ".eventlog";
-        FTCC_EXPECTS(save_event_log(failure.path, failure.artifact));
-        ts << "witness trial " << trial << ": " << failure.path << "\n";
+        if (save_event_log(failure.path, failure.artifact)) {
+          ts << "witness trial " << trial << ": " << failure.path << "\n";
+        } else {
+          // Losing a witness must not kill the campaign mid-run; clear
+          // the path so the fallback persist pass gets another chance.
+          ts << "warning: cannot save witness trial " << trial << ": "
+             << failure.path << "\n";
+          failure.path.clear();
+        }
       }
       if (m.failures) m.failures->inc();
       slot.verdict = Verdict::failed;
@@ -307,9 +314,14 @@ std::vector<std::string> persist_certify_witnesses(
     }
     failure.path = fallback_dir + "/race-" + std::to_string(failure.trial) +
                    ".eventlog";
-    FTCC_EXPECTS(save_event_log(failure.path, failure.artifact));
-    lines.push_back("witness trial " + std::to_string(failure.trial) + ": " +
-                    failure.path);
+    if (save_event_log(failure.path, failure.artifact)) {
+      lines.push_back("witness trial " + std::to_string(failure.trial) +
+                      ": " + failure.path);
+    } else {
+      lines.push_back("warning: cannot save witness trial " +
+                      std::to_string(failure.trial) + ": " + failure.path);
+      failure.path.clear();
+    }
   }
   return lines;
 }

@@ -332,6 +332,58 @@ void check_modelcheck_internal(FileScan& scan) {
   }
 }
 
+// Async-signal-safety audit for src/dist/ (the only subsystem that
+// installs signal handlers).  Convention: handler function names end in
+// `signal_handler` — the scan finds each `signal_handler(` definition,
+// walks its body by brace depth, and flags any call that is not
+// async-signal-safe.  Tokens are split literals so the table does not
+// flag itself.
+constexpr std::array kSignalUnsafeTokens = {
+    "mal" "loc(",  "cal" "loc(",  "real" "loc(",  "free(",
+    "print" "f(",  "fprint" "f(", "sprint" "f(",  "snprint" "f(",
+    "std::" "cout", "std::" "cerr", "std::" "string", "std::" "vector",
+    "mutex", "lock_" "guard", "throw ", "new ",
+};
+
+void check_signal_safety(FileScan& scan) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::string header = code_part(scan.lines[i]);
+    const std::size_t hit = header.find("signal_handler(");
+    if (hit == std::string::npos) continue;
+    // Walk from the name to the end of the function body.  A ';' before
+    // the first '{' means this was a declaration (or a call statement):
+    // nothing to audit.
+    int depth = 0;
+    bool opened = false;
+    bool declaration = false;
+    for (std::size_t j = i; j < scan.lines.size(); ++j) {
+      const std::string body = code_part(scan.lines[j]);
+      if (opened)
+        for (const char* token : kSignalUnsafeTokens)
+          if (has_token(body, token)) {
+            scan.flag(j, "signal-safety",
+                      std::string(token) +
+                          " in a signal handler (async-signal-safe "
+                          "calls only: kill/unlink/write/_exit)");
+            break;
+          }
+      for (std::size_t k = (j == i ? hit : 0); k < body.size(); ++k) {
+        const char c = body[k];
+        if (!opened && c == ';') {
+          declaration = true;
+          break;
+        }
+        if (c == '{') {
+          ++depth;
+          opened = true;
+        }
+        if (c == '}') --depth;
+      }
+      if (declaration || (opened && depth <= 0)) break;
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
@@ -343,6 +395,7 @@ const std::vector<std::string>& rule_ids() {
       "wall-clock",
       "thread-spawn",
       "modelcheck-internal",
+      "signal-safety",
   };
   return ids;
 }
@@ -351,7 +404,8 @@ bool rule_applies(const std::string& rule, const std::string& path) {
   const bool in_src = starts_with(path, "src/");
   const bool in_tools = starts_with(path, "tools/");
   if (rule == "concurrency-primitives")
-    return (in_src || in_tools) && !starts_with(path, "src/runtime/");
+    return (in_src || in_tools) && !starts_with(path, "src/runtime/") &&
+           !starts_with(path, "src/dist/");
   if (rule == "unbounded-spin") return in_src || in_tools;
   if (rule == "nondeterminism")
     return starts_with(path, "src/core/") || starts_with(path, "src/fuzz/");
@@ -363,6 +417,7 @@ bool rule_applies(const std::string& rule, const std::string& path) {
     return (in_src || in_tools) && !starts_with(path, "src/runtime/");
   if (rule == "modelcheck-internal")
     return in_src && !starts_with(path, "src/modelcheck/");
+  if (rule == "signal-safety") return starts_with(path, "src/dist/");
   return false;
 }
 
@@ -381,6 +436,7 @@ std::vector<Finding> check_file(const std::string& path,
   if (rule_applies("thread-spawn", path)) check_thread_spawn(scan);
   if (rule_applies("modelcheck-internal", path))
     check_modelcheck_internal(scan);
+  if (rule_applies("signal-safety", path)) check_signal_safety(scan);
   std::sort(scan.findings.begin(), scan.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

@@ -35,6 +35,13 @@
 //       the reductions through modelcheck/explorer.hpp.  Tests, benches,
 //       and tools are outside this rule's scope so they can probe the
 //       layers directly.
+//   signal-safety — in src/dist/ (the only subsystem that installs
+//       signal handlers), any function whose name ends in
+//       `signal_handler` may call only async-signal-safe primitives:
+//       no allocation (malloc/new/std::string/std::vector), no stdio or
+//       iostreams, no locks, no throw.  A handler interrupting malloc
+//       that then calls malloc deadlocks or corrupts the heap — the
+//       worst kind of flaky, so the discipline is machine-checked.
 //
 // A finding on a line carrying (or directly below) a
 // `// lint:allow(rule-id)` comment is waived in place; anything else must

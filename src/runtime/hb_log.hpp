@@ -12,6 +12,10 @@
 //                  neighbour's cell was never written: ⊥);
 //   read_timeout — the bounded seqlock retry was exhausted and the read
 //                  degraded to ⊥ (only a dead writer can cause this);
+//   revive       — the node was restarted with its private state wiped back
+//                  to init() (the multi-process supervisor's bounded
+//                  restart-with-revival, src/dist/); its next publish heals
+//                  whatever version the crash left behind;
 //   finish       — the node's step() returned an output (its color code).
 //
 // Each node's thread appends only to its own slot, so recording needs no
@@ -36,6 +40,7 @@ enum class HbEventKind : std::uint8_t {
   stall,         ///< writer died mid-publish; version stuck odd
   read,          ///< completed neighbour read (version 0 = ⊥, never written)
   read_timeout,  ///< bounded retry exhausted; degraded to ⊥
+  revive,        ///< restarted with state wiped to init() (src/dist/)
   finish,        ///< step() returned an output
 };
 
@@ -47,6 +52,7 @@ enum class HbEventKind : std::uint8_t {
     case HbEventKind::stall: return "stall";
     case HbEventKind::read: return "read";
     case HbEventKind::read_timeout: return "rdto";
+    case HbEventKind::revive: return "rev";
     case HbEventKind::finish: return "fin";
   }
   return "?";
@@ -60,7 +66,8 @@ struct HbEvent {
   NodeId peer = 0;
   /// publish/adversary: the resulting even seqlock version.  stall: the
   /// odd version left behind.  read: the observed version (0 = ⊥).
-  /// finish: the output's color code.
+  /// revive: the cell's version at restart (odd iff the crash tore a
+  /// publish).  finish: the output's color code.
   std::uint64_t version = 0;
   /// publish/adversary: the payload words stored.  read: the raw words
   /// observed (empty for ⊥).  Other kinds: empty.

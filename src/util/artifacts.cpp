@@ -1,0 +1,46 @@
+#include "util/artifacts.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace ftcc {
+
+std::optional<std::string> probe_file_writable(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(path);
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);
+    if (ec)
+      return "cannot create directory '" + p.parent_path().string() +
+             "': " + ec.message();
+  }
+  const bool existed = fs::exists(p, ec);
+  {
+    // Append mode: an existing file is touched, never truncated.
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+      return "cannot open '" + path + "' for writing";
+  }
+  if (!existed) fs::remove(p, ec);
+  return std::nullopt;
+}
+
+std::optional<std::string> probe_dir_writable(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return "cannot create directory '" + dir + "': " + ec.message();
+  const std::string marker =
+      dir + "/.ftcc-probe-" + std::to_string(::getpid());
+  {
+    std::ofstream probe(marker, std::ios::trunc);
+    if (!probe) return "directory '" + dir + "' is not writable";
+  }
+  fs::remove(marker, ec);
+  return std::nullopt;
+}
+
+}  // namespace ftcc

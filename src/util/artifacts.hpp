@@ -1,0 +1,29 @@
+// Up-front writability probes for artifact destinations.  Tools that
+// run long campaigns (tools/fuzz, tools/mc, tools/dist) take --out /
+// --metrics paths whose first write happens *after* the campaign; a
+// typo'd or read-only destination silently discarding an hour of
+// results is unacceptable, so the tools probe every destination before
+// starting and fail fast (exit 2) with a clear message.
+//
+// Probes are non-destructive: an existing file is opened in append mode
+// (never truncated) and a directory probe creates and removes a
+// throwaway marker file.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ftcc {
+
+/// Can a file be created (or appended) at `path`?  Parent directories
+/// are created as a side effect, matching what the eventual writer
+/// would do.  Returns nullopt on success, else a one-line error.
+[[nodiscard]] std::optional<std::string> probe_file_writable(
+    const std::string& path);
+
+/// Can files be created inside directory `dir` (created if missing)?
+/// Returns nullopt on success, else a one-line error.
+[[nodiscard]] std::optional<std::string> probe_dir_writable(
+    const std::string& dir);
+
+}  // namespace ftcc

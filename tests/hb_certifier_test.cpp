@@ -215,6 +215,70 @@ TEST(HbAnalysis, DetectsVersionProtocolViolations) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Crash/revive protocol (the multi-process backend's kill -9 semantics):
+// a stall is terminal unless a revive follows, a revive needs a crash to
+// revive from, and the revived node's next publish heals the odd version.
+// ---------------------------------------------------------------------------
+
+TEST(HbAnalysis, StallIsTerminalWithoutARevive) {
+  const Graph graph = make_cycle(3);
+  HbLog log(3);
+  log.record(1, {HbEventKind::publish, 0, 1, 2, {7}});
+  log.record(1, {HbEventKind::stall, 1, 1, 3, {}});
+  // A SIGKILLed process cannot publish again; a log claiming it did is
+  // forged (or the supervisor lost a revive event).
+  log.record(1, {HbEventKind::publish, 2, 1, 4, {9}});
+  const HbAnalysis analysis = analyze_hb(log, graph);
+  EXPECT_FALSE(analysis.ok);
+  EXPECT_TRUE(has_kind(analysis.violations, "malformed"))
+      << kinds(analysis.violations);
+}
+
+TEST(HbAnalysis, ReviveRequiresAPrecedingCrash) {
+  const Graph graph = make_cycle(3);
+  HbLog log(3);
+  log.record(1, {HbEventKind::publish, 0, 1, 2, {7}});
+  log.record(1, {HbEventKind::revive, 1, 1, 2, {}});
+  const HbAnalysis analysis = analyze_hb(log, graph);
+  EXPECT_FALSE(analysis.ok);
+  EXPECT_TRUE(has_kind(analysis.violations, "malformed"))
+      << kinds(analysis.violations);
+}
+
+TEST(HbAnalysis, TornKillThenReviveAndHealingPublishIsLegal) {
+  const Graph graph = make_cycle(3);
+  HbLog log(3);
+  // kill -9 mid-publish: version left odd at 3.  The supervisor re-forks
+  // the node; its first publish skips the odd phase (the cell is already
+  // odd) and lands on 4 — exactly detail::publish_words' healing rule.
+  log.record(1, {HbEventKind::publish, 0, 1, 2, {7}});
+  log.record(1, {HbEventKind::stall, 1, 1, 3, {}});
+  log.record(1, {HbEventKind::revive, 1, 1, 3, {}});
+  log.record(1, {HbEventKind::publish, 2, 1, 4, {9}});
+  // A neighbour that hit the torn window exhausts its retry bound (legal
+  // only against a stalled writer), then reads the healed value.
+  log.record(0, {HbEventKind::read_timeout, 0, 1, 0, {}});
+  log.record(0, {HbEventKind::read, 1, 1, 4, {9}});
+  const HbAnalysis analysis = analyze_hb(log, graph);
+  EXPECT_TRUE(analysis.ok) << kinds(analysis.violations);
+}
+
+TEST(HbAnalysis, ReadOfTheTornVersionIsFlagged) {
+  const Graph graph = make_cycle(3);
+  HbLog log(3);
+  log.record(1, {HbEventKind::publish, 0, 1, 2, {7}});
+  log.record(1, {HbEventKind::stall, 1, 1, 3, {}});
+  // The only legal observations of a torn cell are the old even value or
+  // a retry-exhaustion ⊥; returning the odd version means the reader's
+  // seqlock validation is broken.
+  log.record(0, {HbEventKind::read, 0, 1, 3, {7}});
+  const HbAnalysis analysis = analyze_hb(log, graph);
+  EXPECT_FALSE(analysis.ok);
+  EXPECT_TRUE(has_kind(analysis.violations, "overlap"))
+      << kinds(analysis.violations);
+}
+
 TEST(HbAnalysis, DetectsUnlinearizableCycle) {
   const Graph graph = make_cycle(3);
   HbLog log(3);

@@ -343,12 +343,88 @@ TEST(LintModelcheckInternal, FlagsEveryInternalHeader) {
                   .empty());
 }
 
+// ---------------------------------------------------------------------------
+// signal-safety
+// ---------------------------------------------------------------------------
+
+TEST(LintSignalSafety, ConfinedToTheDistBackend) {
+  EXPECT_TRUE(rule_applies("signal-safety", "src/dist/janitor.cpp"));
+  EXPECT_TRUE(rule_applies("signal-safety", "src/dist/supervisor.hpp"));
+  // Nothing outside src/dist/ installs handlers; the rule stays narrow.
+  EXPECT_FALSE(rule_applies("signal-safety", "src/runtime/worker_pool.cpp"));
+  EXPECT_FALSE(rule_applies("signal-safety", "src/core/a.cpp"));
+  EXPECT_FALSE(rule_applies("signal-safety", "tools/dist.cpp"));
+  EXPECT_FALSE(rule_applies("signal-safety", "tests/dist_runtime_test.cpp"));
+}
+
+TEST(LintSignalSafety, FlagsUnsafeCallsInsideHandlerBodies) {
+  const std::string bad =
+      "void fatal_signal_handler(int sig) {\n"
+      "  std::string msg = describe(sig);\n"
+      "  printf(\"dying: %d\\n\", sig);\n"
+      "  char* p = static_cast<char*>(malloc(64));\n"
+      "  _exit(128 + sig);\n"
+      "}\n";
+  const auto findings = check_file("src/dist/bad.cpp", bad);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "signal-safety") << f.message;
+    EXPECT_NE(f.message.find("async-signal-safe"), std::string::npos);
+  }
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+  EXPECT_EQ(findings[2].line, 4u);
+}
+
+TEST(LintSignalSafety, SafeHandlersDeclarationsAndOutsideCodeAreClean) {
+  // kill / unlink / _exit — the janitor's entire vocabulary — pass.
+  EXPECT_TRUE(check_file("src/dist/ok.cpp",
+                         "void fatal_signal_handler(int sig) {\n"
+                         "  kill(pid, SIGKILL);\n"
+                         "  unlink(path);\n"
+                         "  _exit(128 + sig);\n"
+                         "}\n")
+                  .empty());
+  // A declaration has no body to audit.
+  EXPECT_TRUE(check_file("src/dist/decl.hpp",
+                         "extern \"C\" void fatal_signal_handler(int sig);\n")
+                  .empty());
+  // Unsafe calls outside any handler are the other rules' business.
+  EXPECT_TRUE(check_file("src/dist/other.cpp",
+                         "void report() { printf(\"fine here\\n\"); }\n")
+                  .empty());
+  // The audit stops at the handler's closing brace.
+  EXPECT_TRUE(check_file("src/dist/after.cpp",
+                         "void fatal_signal_handler(int sig) {\n"
+                         "  _exit(128 + sig);\n"
+                         "}\n"
+                         "void elsewhere() { std::string s; }\n")
+                  .empty());
+}
+
+TEST(LintSignalSafety, WaiversWorkLikeEveryOtherRule) {
+  EXPECT_TRUE(
+      check_file("src/dist/waived.cpp",
+                 "void fatal_signal_handler(int sig) {\n"
+                 "  // lint:allow(signal-safety): write(2) formatting only\n"
+                 "  snprintf(buf, sizeof(buf), \"%d\", sig);\n"
+                 "}\n")
+          .empty());
+  EXPECT_FALSE(
+      check_file("src/dist/unwaived.cpp",
+                 "void fatal_signal_handler(int sig) {\n"
+                 "  snprintf(buf, sizeof(buf), \"%d\", sig);\n"
+                 "}\n")
+          .empty());
+}
+
 TEST(LintRuleIds, EveryRuleHasAnIdAndAScope) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 7u);
+  ASSERT_EQ(ids.size(), 8u);
   for (const auto& id : ids)
     EXPECT_TRUE(rule_applies(id, "src/core/x.cpp") ||
-                rule_applies(id, "src/runtime/x.cpp"))
+                rule_applies(id, "src/runtime/x.cpp") ||
+                rule_applies(id, "src/dist/x.cpp"))
         << id;
 }
 

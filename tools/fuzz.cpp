@@ -32,6 +32,7 @@
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "runtime/worker_pool.hpp"
+#include "util/artifacts.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -164,6 +165,24 @@ int main(int argc, char** argv) {
   // after the run (write failures are usage errors, not fuzz verdicts).
   const std::string metrics_path = cli.get_string("metrics");
   const std::string trace_path = cli.get_string("trace");
+
+  // Fail fast on unwritable destinations — a campaign whose artifacts,
+  // metrics, or trace cannot land anywhere must not run for an hour
+  // first and lose everything at the final write.
+  const std::string out_dir = cli.get_string("out");
+  if (!out_dir.empty()) {
+    if (const auto error = ftcc::probe_dir_writable(out_dir)) {
+      std::cerr << *error << "\n";
+      return 2;
+    }
+  }
+  for (const std::string& path : {metrics_path, trace_path}) {
+    if (path.empty()) continue;
+    if (const auto error = ftcc::probe_file_writable(path)) {
+      std::cerr << *error << "\n";
+      return 2;
+    }
+  }
   const std::uint64_t jobs_flag = cli.get_u64("jobs");
   const unsigned jobs = jobs_flag == 0
                             ? ftcc::hardware_workers()

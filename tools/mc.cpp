@@ -24,6 +24,7 @@
 #include "modelcheck/explorer.hpp"
 #include "obs/runtime_metrics.hpp"
 #include "obs/sink.hpp"
+#include "util/artifacts.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -164,6 +165,15 @@ int main(int argc, char** argv) {
   } else if (faults != "none") {
     std::cerr << "mc: unknown --faults '" << faults << "'\n";
     return 2;
+  }
+  // Fail fast on an unwritable metrics destination — an exhaustive run
+  // whose numbers cannot land anywhere must not explore for an hour first.
+  const std::string metrics_probe = cli.get_string("metrics");
+  if (!metrics_probe.empty()) {
+    if (const auto error = probe_file_writable(metrics_probe)) {
+      std::cerr << "mc: " << *error << "\n";
+      return 2;
+    }
   }
   req.fault_events = static_cast<std::uint32_t>(cli.get_u64("fault-events"));
   req.jobs = static_cast<unsigned>(cli.get_u64("jobs"));
