@@ -1,0 +1,93 @@
+#include "lint/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "lint/tokenizer.hpp"
+
+namespace ftcc::lint {
+
+FileAnalysis analyze_file(const std::string& path,
+                          const std::string& content) {
+  FileAnalysis out;
+  out.path = path;
+  const std::vector<Token> tokens = tokenize(content);
+  const std::vector<std::string> scrubbed_lines =
+      split_lines(scrub(content, tokens));
+  out.raw_lines = split_lines(content);
+  out.findings = check_file_lines(path, scrubbed_lines, out.raw_lines);
+  assign_fingerprints(out.findings, out.raw_lines);
+  out.includes = extract_includes(tokens);
+  out.functions =
+      extract_functions(path, tokens, scrubbed_lines, out.raw_lines);
+  out.registrations = extract_handler_registrations(tokens);
+  return out;
+}
+
+ProgramAnalysis analyze_program(std::vector<FileAnalysis> files) {
+  IncludeGraph includes;
+  CallGraph calls;
+  std::map<std::string, const FileAnalysis*> by_path;
+  for (FileAnalysis& file : files) {
+    includes.add_file(file.path, file.includes);
+    calls.add_file(file.path, file.functions, file.registrations);
+    by_path[file.path] = &file;
+  }
+
+  std::vector<Finding> program;
+  for (std::vector<Finding> batch :
+       {includes.check(), calls.check_signal_safety(),
+        calls.check_alloc_freedom()})
+    for (Finding& f : batch) program.push_back(std::move(f));
+
+  // Scope + waiver filter for the whole-program findings.  The call-graph
+  // scans already honour waivers on their own body lines; the include
+  // findings have not seen the raw source yet.
+  std::erase_if(program, [&](const Finding& f) {
+    if (!rule_applies(f.rule, f.file)) return true;
+    const auto it = by_path.find(f.file);
+    if (it == by_path.end()) return false;
+    const std::vector<std::string>& raw = it->second->raw_lines;
+    if (f.line >= 1 && f.line <= raw.size() &&
+        line_waives(raw[f.line - 1], f.rule))
+      return true;
+    if (f.line >= 2 && f.line - 1 <= raw.size() &&
+        line_waives(raw[f.line - 2], f.rule))
+      return true;
+    return false;
+  });
+
+  // Fingerprint the whole-program findings per owning file (the per-file
+  // findings were fingerprinted inside analyze_file; the rule sets are
+  // disjoint so occurrence counting cannot interfere).
+  std::map<std::string, std::vector<Finding>> grouped;
+  for (Finding& f : program) grouped[f.file].push_back(std::move(f));
+  static const std::vector<std::string> kNoLines;
+  ProgramAnalysis out;
+  for (auto& [path, batch] : grouped) {
+    const auto it = by_path.find(path);
+    assign_fingerprints(batch, it == by_path.end() ? kNoLines
+                                                   : it->second->raw_lines);
+    for (Finding& f : batch) out.findings.push_back(std::move(f));
+  }
+  for (const FileAnalysis& file : files)
+    for (const Finding& f : file.findings) out.findings.push_back(f);
+
+  std::sort(out.findings.begin(), out.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return out;
+}
+
+ProgramAnalysis analyze_sources(const std::vector<SourceFile>& sources) {
+  std::vector<FileAnalysis> files;
+  files.reserve(sources.size());
+  for (const SourceFile& source : sources)
+    files.push_back(analyze_file(source.path, source.content));
+  return analyze_program(std::move(files));
+}
+
+}  // namespace ftcc::lint

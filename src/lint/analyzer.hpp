@@ -1,0 +1,67 @@
+// The ftcc-analyzer driver: per-file parsing fans out, whole-program
+// checks join (DESIGN.md §13).
+//
+// analyze_file() is the parallel unit of work — it tokenizes one file
+// exactly once and derives everything downstream from that token stream:
+// the scrubbed code view the per-file rules scan, the include directives,
+// and the function model (definitions, call sites, handler
+// registrations).  tools/lint runs one analyze_file per source file on
+// the runtime WorkerPool, each writing into its own indexed slot, so the
+// merge is a deterministic file-ordered concatenation and the output is
+// byte-identical for any --jobs count.
+//
+// analyze_program() is the sequential join: it feeds every file's
+// extract into the include graph and the call graph, runs the
+// whole-program checks (layer-violation, include-cycle, signal-safety,
+// alloc-freedom), applies inline waivers against the raw source lines,
+// fingerprints everything, and returns one globally sorted finding list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/rules.hpp"
+
+namespace ftcc::lint {
+
+/// One source file handed to the analyzer.
+struct SourceFile {
+  std::string path;  ///< repo-relative, forward slashes
+  std::string content;
+};
+
+/// Everything extracted from one file — self-contained, so files can be
+/// analyzed concurrently and joined later.
+struct FileAnalysis {
+  std::string path;
+  std::vector<std::string> raw_lines;
+  std::vector<Finding> findings;  ///< per-file rules, fingerprinted
+  std::vector<IncludeDirective> includes;
+  std::vector<FunctionDef> functions;
+  std::vector<HandlerRegistration> registrations;
+};
+
+/// Parse and per-file-check one file.  Pure: no global state, safe to run
+/// concurrently on distinct files.
+[[nodiscard]] FileAnalysis analyze_file(const std::string& path,
+                                        const std::string& content);
+
+/// The joined whole-program result.
+struct ProgramAnalysis {
+  /// Every finding — per-file and whole-program — fingerprinted, waiver-
+  /// filtered, sorted by (file, line, rule, message).
+  std::vector<Finding> findings;
+};
+
+/// Join per-file extracts: build the include and call graphs, run the
+/// whole-program checks, fingerprint, sort.
+[[nodiscard]] ProgramAnalysis analyze_program(std::vector<FileAnalysis> files);
+
+/// Convenience for tests and sequential callers: analyze_file each source
+/// in order, then analyze_program.
+[[nodiscard]] ProgramAnalysis analyze_sources(
+    const std::vector<SourceFile>& sources);
+
+}  // namespace ftcc::lint

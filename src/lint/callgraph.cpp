@@ -1,0 +1,505 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+#include <tuple>
+
+namespace ftcc::lint {
+
+namespace {
+
+/// Keywords and keyword-like names that can never be a function being
+/// defined or a meaningful call edge.
+bool is_reserved(const std::string& name) {
+  static const std::set<std::string> kReserved = {
+      "if",       "for",      "while",    "switch",   "catch",
+      "return",   "sizeof",   "alignof",  "alignas",  "decltype",
+      "noexcept", "else",     "do",       "new",      "delete",
+      "throw",    "operator", "case",     "goto",     "static_assert",
+      "defined",  "template", "typename", "using",    "class",
+      "struct",   "enum",     "union",    "namespace","const",
+      "constexpr","consteval","constinit","static",   "inline",
+      "void",     "int",      "bool",     "char",     "auto",
+      "double",   "float",    "unsigned", "signed",   "long",
+      "short",    "public",   "private",  "protected","this",
+      "requires", "concept",  "co_await", "co_return","co_yield",
+      "try",      "explicit", "virtual",  "friend",   "typedef",
+      "extern",   "register", "thread_local",         "mutable",
+  };
+  return kReserved.count(name) != 0;
+}
+
+struct Scope {
+  enum class Kind { ns, cls, fn, other };
+  Kind kind = Kind::other;
+  std::string name;
+  std::size_t def_index = 0;  ///< into defs, for fn scopes
+};
+
+/// Slice lines [first, last] (1-based, inclusive) out of `lines`.
+std::vector<std::string> slice_lines(const std::vector<std::string>& lines,
+                                     std::size_t first, std::size_t last) {
+  std::vector<std::string> out;
+  for (std::size_t l = first; l <= last && l <= lines.size(); ++l)
+    out.push_back(lines[l - 1]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<FunctionDef> extract_functions(
+    const std::string& path, const std::vector<Token>& tokens,
+    const std::vector<std::string>& scrubbed_lines,
+    const std::vector<std::string>& raw_lines) {
+  // Code view: comments and preprocessor lines dropped (a macro body is
+  // not a function definition; includes are the include graph's job).
+  std::vector<const Token*> code;
+  code.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::line_comment || t.kind == TokKind::block_comment)
+      continue;
+    if (t.in_directive) continue;
+    code.push_back(&t);
+  }
+
+  const auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < code.size() ? code[i]->text : empty;
+  };
+
+  /// Index of the token matching the `(` at `open`, or npos.
+  const auto match_paren = [&](std::size_t open) -> std::size_t {
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (text(i) == "(") ++depth;
+      if (text(i) == ")" && --depth == 0) return i;
+    }
+    return std::string::npos;
+  };
+  /// Skip a balanced (...) or {...} group starting at `open`; returns the
+  /// index just past the closer (or code.size() when unterminated).
+  const auto skip_group = [&](std::size_t open) -> std::size_t {
+    const std::string& opener = text(open);
+    const std::string closer = opener == "(" ? ")" : "}";
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (text(i) == opener) ++depth;
+      if (text(i) == closer && --depth == 0) return i + 1;
+    }
+    return code.size();
+  };
+
+  std::vector<FunctionDef> defs;
+  std::vector<Scope> scopes;
+  std::vector<std::size_t> open_fns;  ///< def indices, innermost last
+  std::vector<const Token*> recent;   ///< tokens since last ; { } boundary
+
+  const auto record_call = [&](const std::string& name, std::size_t line) {
+    if (is_reserved(name) || open_fns.empty()) return;
+    defs[open_fns.back()].calls.push_back({name, line});
+  };
+
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const Token& t = *code[i];
+    if (t.text == "{") {
+      // A brace the candidate scan below did not consume: classify by the
+      // statement tokens before it (namespace/class headers) and push.
+      Scope scope;
+      for (std::size_t r = 0; r < recent.size(); ++r) {
+        const std::string& w = recent[r]->text;
+        if (w == "namespace") {
+          scope.kind = Scope::Kind::ns;
+          if (r + 1 < recent.size() &&
+              recent[r + 1]->kind == TokKind::identifier)
+            scope.name = recent[r + 1]->text;
+          break;
+        }
+        if (w == "class" || w == "struct" || w == "union") {
+          scope.kind = Scope::Kind::cls;
+          // The name is the last identifier before a base-clause ':' /
+          // 'final' / the brace itself.
+          for (std::size_t n = r + 1; n < recent.size(); ++n) {
+            if (recent[n]->text == ":") break;
+            if (recent[n]->kind == TokKind::identifier &&
+                recent[n]->text != "final" && !is_reserved(recent[n]->text))
+              scope.name = recent[n]->text;
+          }
+          break;
+        }
+      }
+      scopes.push_back(scope);
+      recent.clear();
+      ++i;
+      continue;
+    }
+    if (t.text == "}") {
+      if (!scopes.empty()) {
+        if (scopes.back().kind == Scope::Kind::fn) {
+          defs[scopes.back().def_index].body_end = t.line;
+          if (!open_fns.empty()) open_fns.pop_back();
+        }
+        scopes.pop_back();
+      }
+      recent.clear();
+      ++i;
+      continue;
+    }
+    if (t.text == ";") {
+      recent.clear();
+      ++i;
+      continue;
+    }
+
+    if (t.kind == TokKind::identifier && !is_reserved(t.text) &&
+        text(i + 1) == "(") {
+      // Candidate: signature parens, optional qualifiers / ctor-init
+      // list, then a body brace.  Anything that reveals an expression or
+      // a plain declaration rejects the candidate.
+      const std::size_t close = match_paren(i + 1);
+      bool confirmed = false;
+      std::size_t body_open = std::string::npos;
+      std::vector<CallSite> pending;  ///< calls seen in the init list
+      // Calls nested inside a skipped (...)/{...} group — member
+      // initializers like `pool_(make_pool(jobs))` — still belong to the
+      // function being defined.
+      const auto collect_calls = [&](std::size_t open, std::size_t past) {
+        for (std::size_t j = open + 1; j + 1 < past; ++j)
+          if (code[j]->kind == TokKind::identifier &&
+              !is_reserved(text(j)) && text(j + 1) == "(")
+            pending.push_back({text(j), code[j]->line});
+      };
+      if (close != std::string::npos) {
+        std::size_t k = close + 1;
+        bool in_init_list = false;
+        while (k < code.size()) {
+          const std::string& w = text(k);
+          if (w == "{") {
+            if (!in_init_list) {
+              confirmed = true;
+              body_open = k;
+              break;
+            }
+            // Member brace-init: {expr} group, then ',' or the body.
+            const std::size_t past = skip_group(k);
+            collect_calls(k, past);
+            k = past;
+            if (text(k) == ",") {
+              ++k;
+              continue;
+            }
+            if (text(k) == "{") {
+              confirmed = true;
+              body_open = k;
+            }
+            break;
+          }
+          if (w == "(") {
+            if (code[k - 1]->kind == TokKind::identifier &&
+                !is_reserved(text(k - 1)))
+              pending.push_back({text(k - 1), code[k - 1]->line});
+            const std::size_t past = skip_group(k);
+            if (in_init_list) collect_calls(k, past);
+            k = past;
+            if (in_init_list) {
+              if (text(k) == ",") {
+                ++k;
+                continue;
+              }
+              if (text(k) == "{") {
+                confirmed = true;
+                body_open = k;
+              }
+              break;
+            }
+            continue;
+          }
+          if (w == ":" ) {
+            in_init_list = true;
+            ++k;
+            continue;
+          }
+          if (w == ";" || w == "=" || w == "," || w == ")" || w == "}" ||
+              w == "[")
+            break;
+          ++k;
+        }
+      }
+      if (confirmed) {
+        FunctionDef def;
+        def.name = t.text;
+        def.file = path;
+        def.line = t.line;
+        def.body_begin = code[body_open]->line;
+        // Explicit qualification (Executor::step) wins; otherwise the
+        // enclosing named scopes qualify.
+        std::string prefix;
+        std::size_t back = i;
+        while (back >= 2 && text(back - 1) == "::" &&
+               code[back - 2]->kind == TokKind::identifier) {
+          prefix = text(back - 2) + "::" + prefix;
+          back -= 2;
+        }
+        if (prefix.empty()) {
+          for (const Scope& s : scopes)
+            if ((s.kind == Scope::Kind::ns || s.kind == Scope::Kind::cls) &&
+                !s.name.empty())
+              prefix += s.name + "::";
+        }
+        def.qualified = prefix + def.name;
+        def.calls = std::move(pending);
+        defs.push_back(std::move(def));
+        Scope scope;
+        scope.kind = Scope::Kind::fn;
+        scope.def_index = defs.size() - 1;
+        scopes.push_back(scope);
+        open_fns.push_back(scope.def_index);
+        recent.clear();
+        i = body_open + 1;
+        continue;
+      }
+      // Not a definition: a call site if we are inside a body.
+      record_call(t.text, t.line);
+      recent.push_back(&t);
+      ++i;
+      continue;
+    }
+
+    recent.push_back(&t);
+    if (recent.size() > 64) recent.erase(recent.begin());
+    ++i;
+  }
+
+  // Close any unterminated bodies at EOF and slice the line views.
+  for (FunctionDef& def : defs) {
+    if (def.body_end == 0) def.body_end = raw_lines.size();
+    def.scrubbed_lines = slice_lines(scrubbed_lines, def.line, def.body_end);
+    def.raw_lines = slice_lines(raw_lines, def.line, def.body_end);
+  }
+  return defs;
+}
+
+std::vector<HandlerRegistration> extract_handler_registrations(
+    const std::vector<Token>& tokens) {
+  std::vector<const Token*> code;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::line_comment || t.kind == TokKind::block_comment ||
+        t.in_directive)
+      continue;
+    code.push_back(&t);
+  }
+  const auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < code.size() ? code[i]->text : empty;
+  };
+  const auto is_handler_name = [](const std::string& name) {
+    return name != "SIG_DFL" && name != "SIG_IGN" && name != "nullptr" &&
+           name != "NULL" && !name.empty();
+  };
+
+  std::vector<HandlerRegistration> out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& w = text(i);
+    // sa_handler = f;  /  sa_sigaction = f;  (skipping & and ::)
+    if ((w == "sa_handler" || w == "sa_sigaction") && text(i + 1) == "=") {
+      std::size_t j = i + 2;
+      while (text(j) == "&" || text(j) == "::") ++j;
+      if (j < code.size() && code[j]->kind == TokKind::identifier &&
+          is_handler_name(text(j)))
+        out.push_back({text(j), code[j]->line});
+      continue;
+    }
+    // signal(sig, f) / sigset(sig, f) / bsd_signal(sig, f)
+    if ((w == "signal" || w == "sigset" || w == "bsd_signal") &&
+        text(i + 1) == "(") {
+      int depth = 0;
+      std::size_t comma = std::string::npos;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i + 1; j < code.size(); ++j) {
+        if (text(j) == "(") ++depth;
+        if (text(j) == "," && depth == 1 && comma == std::string::npos)
+          comma = j;
+        if (text(j) == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (comma == std::string::npos || close == std::string::npos) continue;
+      std::size_t j = comma + 1;
+      while (j < close && (text(j) == "&" || text(j) == "::")) ++j;
+      if (j < close && code[j]->kind == TokKind::identifier &&
+          is_handler_name(text(j)))
+        out.push_back({text(j), code[j]->line});
+    }
+  }
+  return out;
+}
+
+void CallGraph::add_file(const std::string& path,
+                         std::vector<FunctionDef> functions,
+                         std::vector<HandlerRegistration> registrations) {
+  (void)path;  // defs carry their file already; kept for call symmetry
+  for (FunctionDef& def : functions) defs_.push_back(std::move(def));
+  for (HandlerRegistration& reg : registrations)
+    registrations_.push_back(std::move(reg));
+  finalized_ = false;
+}
+
+void CallGraph::finalize() {
+  if (finalized_) return;
+  std::sort(defs_.begin(), defs_.end(),
+            [](const FunctionDef& a, const FunctionDef& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  by_name_.clear();
+  for (std::size_t i = 0; i < defs_.size(); ++i)
+    by_name_[defs_[i].name].push_back(i);
+  std::sort(registrations_.begin(), registrations_.end(),
+            [](const HandlerRegistration& a, const HandlerRegistration& b) {
+              return std::tie(a.handler, a.line) < std::tie(b.handler, b.line);
+            });
+  finalized_ = true;
+}
+
+std::vector<const FunctionDef*> CallGraph::definitions_of(
+    const std::string& name) {
+  finalize();
+  std::vector<const FunctionDef*> out;
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return out;
+  for (const std::size_t index : it->second) out.push_back(&defs_[index]);
+  return out;
+}
+
+std::vector<const FunctionDef*> CallGraph::reachable_from(
+    const std::vector<std::string>& roots,
+    std::map<const FunctionDef*, std::string>* chains) {
+  finalize();
+  std::vector<std::string> sorted_roots = roots;
+  std::sort(sorted_roots.begin(), sorted_roots.end());
+  sorted_roots.erase(std::unique(sorted_roots.begin(), sorted_roots.end()),
+                     sorted_roots.end());
+
+  std::map<const FunctionDef*, std::string> chain;
+  std::deque<const FunctionDef*> frontier;
+  for (const std::string& root : sorted_roots)
+    for (const FunctionDef* def : definitions_of(root))
+      if (!chain.count(def)) {
+        chain[def] = def->qualified;
+        frontier.push_back(def);
+      }
+  while (!frontier.empty()) {
+    const FunctionDef* def = frontier.front();
+    frontier.pop_front();
+    for (const CallSite& call : def->calls)
+      for (const FunctionDef* callee : definitions_of(call.name)) {
+        if (callee == def || chain.count(callee)) continue;
+        chain[callee] = chain[def] + " -> " + callee->qualified;
+        frontier.push_back(callee);
+      }
+  }
+
+  std::vector<const FunctionDef*> out;
+  for (const auto& [def, path] : chain) out.push_back(def);
+  std::sort(out.begin(), out.end(),
+            [](const FunctionDef* a, const FunctionDef* b) {
+              return std::tie(a->file, a->line) < std::tie(b->file, b->line);
+            });
+  if (chains) *chains = std::move(chain);
+  return out;
+}
+
+std::vector<std::string> CallGraph::handler_roots() {
+  finalize();
+  std::vector<std::string> roots;
+  for (const HandlerRegistration& reg : registrations_)
+    roots.push_back(reg.handler);
+  static const std::string kSuffix = "signal_handler";
+  for (const FunctionDef& def : defs_)
+    if (def.name.size() >= kSuffix.size() &&
+        def.name.compare(def.name.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) == 0)
+      roots.push_back(def.name);
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots;
+}
+
+namespace {
+
+/// Scan one reachable definition's body for banned token spellings and
+/// emit findings (respecting inline waivers in the raw view).
+void scan_body(const FunctionDef& def, const std::string& rule,
+               const std::vector<std::string>& banned,
+               const std::string& suffix, const std::string& chain,
+               std::vector<Finding>& findings) {
+  // Lines are stored from the signature line; scan from the body.
+  const std::size_t first = def.body_begin - def.line;
+  for (std::size_t k = first; k < def.scrubbed_lines.size(); ++k) {
+    for (const std::string& token : banned) {
+      if (!has_code_token(def.scrubbed_lines[k], token)) continue;
+      const std::size_t line = def.line + k;
+      if (line_waives(def.raw_lines[k], rule)) break;
+      if (k > 0 && line_waives(def.raw_lines[k - 1], rule)) break;
+      std::string spelled = token;
+      while (!spelled.empty() && spelled.back() == ' ') spelled.pop_back();
+      findings.push_back({def.file, line, rule,
+                          spelled + suffix + " (reachable via " + chain + ")",
+                          ""});
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> CallGraph::check_signal_safety() {
+  // The async-signal-unsafe vocabulary, token-aware: allocation, stdio,
+  // iostreams, locks, exceptions.  kill/unlink/write/_exit stay legal.
+  static const std::vector<std::string> kUnsafe = {
+      "malloc(",      "calloc(",     "realloc(",   "free(",
+      "printf(",      "fprintf(",    "sprintf(",   "snprintf(",
+      "puts(",        "fputs(",      "fwrite(",    "fflush(",
+      "exit(",        "std::cout",   "std::cerr",  "std::string",
+      "std::vector",  "mutex",       "lock_guard", "unique_lock",
+      "throw ",       "new ",
+  };
+  std::map<const FunctionDef*, std::string> chains;
+  const auto reachable = reachable_from(handler_roots(), &chains);
+  std::vector<Finding> findings;
+  for (const FunctionDef* def : reachable)
+    scan_body(*def, "signal-safety", kUnsafe,
+              " in code reachable from a signal handler (async-signal-safe "
+              "calls only: kill/unlink/write/_exit)",
+              chains.at(def), findings);
+  return findings;
+}
+
+std::vector<Finding> CallGraph::check_alloc_freedom() {
+  // Direct heap expressions only: the arena discipline's container calls
+  // (push_back onto reserved storage, assign into kept buffers) belong to
+  // the dynamic counting-new test (tests/executor_alloc_test.cpp).
+  static const std::vector<std::string> kAlloc = {
+      "new ",        "new(",        "malloc(",      "calloc(",
+      "realloc(",    "strdup(",     "make_unique",  "make_shared",
+  };
+  finalize();
+  std::vector<std::string> roots;
+  for (const FunctionDef& def : defs_)
+    if (def.file == "src/runtime/executor.hpp" &&
+        (def.name == "step" || def.name == "reset"))
+      roots.push_back(def.name);
+  std::map<const FunctionDef*, std::string> chains;
+  const auto reachable = reachable_from(roots, &chains);
+  std::vector<Finding> findings;
+  for (const FunctionDef* def : reachable)
+    scan_body(*def, "alloc-freedom", kAlloc,
+              " in the executor hot path (Executor::step/reset must not "
+              "allocate; arenas grow only at rearm)",
+              chains.at(def), findings);
+  return findings;
+}
+
+}  // namespace ftcc::lint

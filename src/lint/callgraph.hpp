@@ -1,0 +1,131 @@
+// Per-TU function model + whole-program reachability (DESIGN.md §13).
+//
+// Two of the repo's discipline rules are *transitive* properties no
+// per-line scan can prove:
+//
+//   signal-safety — anything reachable from a registered signal handler
+//       must stay inside the async-signal-safe vocabulary.  The old rule
+//       audited only functions literally named `*signal_handler`; a
+//       handler calling an innocently-named helper that calls malloc
+//       sailed through.  The analyzer finds handler roots by their
+//       *registration* (sa_handler/sa_sigaction assignments, signal()'s
+//       second argument) as well as by the naming convention, walks the
+//       call graph transitively, and flags every unsafe primitive in the
+//       reachable set with the call chain that reaches it.
+//
+//   alloc-freedom — the executor hot path (Executor::step / reset in
+//       src/runtime/executor.hpp) must contain no *direct* heap
+//       expressions (new / make_unique / make_shared / malloc family)
+//       anywhere in its reachable set.  This complements the dynamic
+//       counting-new test (tests/executor_alloc_test.cpp): the dynamic
+//       test certifies the arena discipline on the trials it runs, the
+//       static proof covers every path — including ones no trial takes.
+//       Container growth calls (push_back onto reserved vectors, assign
+//       into kept buffers) are the arena discipline itself and stay in
+//       the dynamic test's jurisdiction.
+//
+// The function model is heuristic by design: definitions are token
+// patterns (identifier, balanced parens, then `{` at file or class
+// scope), call sites are `name(` occurrences inside a body, and calls
+// resolve to every known definition with a matching name — a sound
+// over-approximation for name-distinct codebases like this one (no
+// overload resolution, no type analysis).  Calls with no known
+// definition are external leaves: libc names on the unsafe list flag,
+// everything else passes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/tokenizer.hpp"
+
+namespace ftcc::lint {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string name;      ///< unqualified callee name ("malloc", "helper")
+  std::size_t line = 0;  ///< 1-based line in the defining file
+};
+
+/// One function definition found in a file.
+struct FunctionDef {
+  std::string name;       ///< unqualified name ("step")
+  std::string qualified;  ///< scope-qualified ("Executor::step") best effort
+  std::string file;       ///< repo-relative path
+  std::size_t line = 0;       ///< 1-based line of the name token
+  std::size_t body_begin = 0; ///< 1-based first line of the body
+  std::size_t body_end = 0;   ///< 1-based line of the closing brace
+  std::vector<CallSite> calls;
+  /// Source lines [line, body_end], index 0 = the signature line.  The
+  /// scrubbed view is what the safety scans match against; the raw view
+  /// is only consulted for `lint:allow` waivers.
+  std::vector<std::string> scrubbed_lines;
+  std::vector<std::string> raw_lines;
+};
+
+/// A signal-handler registration discovered in a file: the function name
+/// installed via `sa_handler = f`, `sa_sigaction = f`, or `signal(sig, f)`.
+struct HandlerRegistration {
+  std::string handler;   ///< registered function name
+  std::size_t line = 0;  ///< registration site
+};
+
+/// Extract the function model of one file from its tokens.  The scrubbed
+/// and raw line vectors (tokenizer split_lines of scrub()ed and original
+/// content) are sliced into each definition for the body scans.
+[[nodiscard]] std::vector<FunctionDef> extract_functions(
+    const std::string& path, const std::vector<Token>& tokens,
+    const std::vector<std::string>& scrubbed_lines,
+    const std::vector<std::string>& raw_lines);
+
+/// Find the signal-handler registrations in one file's tokens.
+[[nodiscard]] std::vector<HandlerRegistration> extract_handler_registrations(
+    const std::vector<Token>& tokens);
+
+/// Whole-program call graph over every analyzed file's function model.
+class CallGraph {
+ public:
+  void add_file(const std::string& path, std::vector<FunctionDef> functions,
+                std::vector<HandlerRegistration> registrations);
+
+  /// All definitions with unqualified name `name` (whole-program).
+  [[nodiscard]] std::vector<const FunctionDef*> definitions_of(
+      const std::string& name);
+
+  /// The transitive closure of callees from `roots` (names), following
+  /// every matching definition.  Returned as defs in deterministic
+  /// (file, line) order; the map gives one witness call chain per
+  /// reached definition, e.g. "on_fatal -> flush_buffers".
+  [[nodiscard]] std::vector<const FunctionDef*> reachable_from(
+      const std::vector<std::string>& roots,
+      std::map<const FunctionDef*, std::string>* chains = nullptr);
+
+  /// Signal-handler root names: every registered handler plus every
+  /// definition matching the `*signal_handler` naming convention.
+  [[nodiscard]] std::vector<std::string> handler_roots();
+
+  /// Transitive signal-safety: flag unsafe primitives in every function
+  /// reachable from a handler root.
+  [[nodiscard]] std::vector<Finding> check_signal_safety();
+
+  /// Transitive alloc-freedom for the executor hot path: flag direct
+  /// heap expressions reachable from Executor::step / Executor::reset
+  /// (definitions in src/runtime/executor.hpp).
+  [[nodiscard]] std::vector<Finding> check_alloc_freedom();
+
+ private:
+  // Deterministic containers throughout: findings must be byte-identical
+  // across --jobs counts and runs.  Queries finalize lazily (sort defs
+  // by file/line, rebuild the name index) after the last add_file.
+  std::vector<FunctionDef> defs_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+  std::vector<HandlerRegistration> registrations_;
+  bool finalized_ = false;
+
+  void finalize();
+};
+
+}  // namespace ftcc::lint

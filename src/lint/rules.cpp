@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
-#include <sstream>
+#include <cstdint>
 #include <tuple>
+
+#include "lint/tokenizer.hpp"
 
 namespace ftcc::lint {
 
@@ -18,51 +20,30 @@ bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Word-boundary token search on one line (boundary on the left only —
-/// tokens like "rand(" already pin the right edge).
-bool has_token(const std::string& line, const std::string& token) {
-  std::size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string::npos) {
-    if (pos == 0 || !is_ident(line[pos - 1])) return true;
-    pos += 1;
-  }
-  return false;
-}
-
-/// The code part of a line (before any // comment).  Good enough for this
-/// codebase: no multi-line /* */ blocks in linted code, and a false waiver
-/// inside a string literal would only ever relax, never break the build.
-std::string code_part(const std::string& line) {
-  const std::size_t pos = line.find("//");
-  return pos == std::string::npos ? line : line.substr(0, pos);
-}
-
-bool line_waives(const std::string& line, const std::string& rule) {
-  return line.find("lint:allow(" + rule + ")") != std::string::npos;
-}
-
 struct FileScan {
   const std::string& path;
-  std::vector<std::string> lines;
+  const std::vector<std::string>& lines;  ///< scrubbed: what rules scan
+  const std::vector<std::string>& raw;    ///< original: where waivers live
   std::vector<Finding> findings;
 
   void flag(std::size_t index, const std::string& rule,
             const std::string& message) {
     // Inline waiver: on the offending line or the line directly above.
-    if (line_waives(lines[index], rule)) return;
-    if (index > 0 && line_waives(lines[index - 1], rule)) return;
-    findings.push_back({path, index + 1, rule, message});
+    // Waivers are comments, so they exist only in the raw view.
+    if (index < raw.size() && line_waives(raw[index], rule)) return;
+    if (index > 0 && index - 1 < raw.size() && line_waives(raw[index - 1], rule))
+      return;
+    findings.push_back({path, index + 1, rule, message, ""});
   }
 };
 
-// Spelled as split literals so the table does not trip its own rule
-// (string literals are scanned on purpose: a token smuggled through a
-// macro string must not hide from the lint).
+// The rules scan the scrubbed code view, where string literals are blank —
+// so the tables can finally spell their tokens plainly instead of
+// smuggling them through split literals to avoid flagging themselves.
 constexpr std::array kConcurrencyTokens = {
-    "std::"  "atomic",  "std::"  "thread", "std::"  "jthread",
-    "std::"  "mutex",   "std::"  "shared_mutex", "std::"  "scoped_lock",
-    "std::"  "lock_guard", "std::"  "unique_lock",
-    "std::"  "condition_variable",
+    "std::atomic",     "std::thread",       "std::jthread",
+    "std::mutex",      "std::shared_mutex", "std::scoped_lock",
+    "std::lock_guard", "std::unique_lock",  "std::condition_variable",
 };
 constexpr std::array kConcurrencyIncludes = {
     "<atomic>", "<thread>", "<mutex>", "<shared_mutex>",
@@ -71,9 +52,9 @@ constexpr std::array kConcurrencyIncludes = {
 
 void check_concurrency(FileScan& scan) {
   for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string code = code_part(scan.lines[i]);
+    const std::string& code = scan.lines[i];
     for (const char* token : kConcurrencyTokens)
-      if (has_token(code, token)) {
+      if (has_code_token(code, token)) {
         scan.flag(i, "concurrency-primitives",
                   std::string(token) + " outside src/runtime/");
         break;
@@ -89,24 +70,17 @@ void check_concurrency(FileScan& scan) {
   }
 }
 
-// Thread creation is confined to src/runtime/ (the WorkerPool and the
-// ThreadedExecutor own every fork/join edge); split literals as above so
-// the table does not flag itself.  Narrower than concurrency-primitives:
-// that rule scopes where primitives may *appear*, this one pins where
-// threads may be *born* — which is why it also covers std::async, a
-// spawn that needs no <thread> include.
 constexpr std::array kThreadSpawnTokens = {
-    "std::" "thread",
-    "std::" "jthread",
-    "std::" "async",
-    "pthread_" "create",
+    "std::thread",
+    "std::jthread",
+    "std::async",
+    "pthread_create",
 };
 
 void check_thread_spawn(FileScan& scan) {
   for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string code = code_part(scan.lines[i]);
     for (const char* token : kThreadSpawnTokens)
-      if (has_token(code, token)) {
+      if (has_code_token(scan.lines[i], token)) {
         scan.flag(i, "thread-spawn",
                   std::string(token) +
                       " outside src/runtime/ (spawn threads only through "
@@ -174,7 +148,7 @@ constexpr std::array kBoundTokens = {
 
 void check_unbounded_spin(FileScan& scan) {
   for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string code = code_part(scan.lines[i]);
+    const std::string& code = scan.lines[i];
     std::size_t pos = 0;
     bool flagged = false;
     while (!flagged && pos < code.size()) {
@@ -197,9 +171,9 @@ void check_unbounded_spin(FileScan& scan) {
       int depth = 0;
       bool opened = false;
       for (std::size_t j = i; j < scan.lines.size(); ++j) {
-        const std::string body = code_part(scan.lines[j]);
+        const std::string& body = scan.lines[j];
         for (const char* token : kBoundTokens)
-          if (has_token(body, token)) bounded = true;
+          if (has_code_token(body, token)) bounded = true;
         const std::string scanned =
             j == i ? body.substr(std::min(after, body.size())) : body;
         for (const char c : scanned) {
@@ -222,20 +196,17 @@ void check_unbounded_spin(FileScan& scan) {
   }
 }
 
-// The clock names are split literals like the concurrency table: this
-// file is itself subject to the wall-clock rule below.
 constexpr std::array kNondeterminismTokens = {
-    "rand(",          "srand(",        "std::time",
-    "time(nullptr",   "time(NULL",     "clock(",
-    "random_device",  "system_" "clock",  "steady_" "clock",
-    "high_resolution_" "clock", "getenv",
+    "rand(",         "srand(",        "std::time",
+    "time(nullptr",  "time(NULL",     "clock(",
+    "random_device", "system_clock",  "steady_clock",
+    "high_resolution_clock",          "getenv",
 };
 
 void check_nondeterminism(FileScan& scan) {
   for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string code = code_part(scan.lines[i]);
     for (const char* token : kNondeterminismTokens)
-      if (has_token(code, token)) {
+      if (has_code_token(scan.lines[i], token)) {
         scan.flag(i, "nondeterminism",
                   std::string(token) +
                       " in seed-deterministic code (derive everything "
@@ -253,20 +224,15 @@ void check_nondeterminism(FileScan& scan) {
 // bypasses the kill switches.  bench/ and tools/ are free to time
 // things; the lint only walks src/ for this rule.
 constexpr std::array kWallClockTokens = {
-    "std::" "chrono",
-    "<chro" "no>",
-    "steady_" "clock",
-    "system_" "clock",
-    "high_resolution_" "clock",
-    "clock_" "gettime",
-    "gettimeof" "day",
+    "std::chrono",  "<chrono>",      "steady_clock",
+    "system_clock", "high_resolution_clock",
+    "clock_gettime", "gettimeofday",
 };
 
 void check_wall_clock(FileScan& scan) {
   for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string code = code_part(scan.lines[i]);
     for (const char* token : kWallClockTokens)
-      if (has_token(code, token)) {
+      if (has_code_token(scan.lines[i], token)) {
         scan.flag(i, "wall-clock",
                   std::string(token) +
                       " outside src/obs/ and src/runtime/ (time is read "
@@ -284,7 +250,7 @@ constexpr std::array kExecutorTokens = {
 
 void check_snapshot_discipline(FileScan& scan) {
   for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string code = code_part(scan.lines[i]);
+    const std::string& code = scan.lines[i];
     const std::size_t inc = code.find("#include \"runtime/");
     if (inc != std::string::npos &&
         code.find("runtime/algorithm.hpp") == std::string::npos) {
@@ -294,7 +260,7 @@ void check_snapshot_discipline(FileScan& scan) {
       continue;
     }
     for (const char* token : kExecutorTokens)
-      if (has_token(code, token)) {
+      if (has_code_token(code, token)) {
         scan.flag(i, "snapshot-discipline",
                   std::string(token) +
                       " referenced from algorithm code (neighbour state "
@@ -319,7 +285,7 @@ constexpr std::array kModelcheckInternalHeaders = {
 
 void check_modelcheck_internal(FileScan& scan) {
   for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string code = code_part(scan.lines[i]);
+    const std::string& code = scan.lines[i];
     if (code.find("#include") == std::string::npos) continue;
     for (const char* header : kModelcheckInternalHeaders)
       if (code.find(header) != std::string::npos) {
@@ -329,58 +295,6 @@ void check_modelcheck_internal(FileScan& scan) {
                       "reductions through modelcheck/explorer.hpp)");
         break;
       }
-  }
-}
-
-// Async-signal-safety audit for src/dist/ (the only subsystem that
-// installs signal handlers).  Convention: handler function names end in
-// `signal_handler` — the scan finds each `signal_handler(` definition,
-// walks its body by brace depth, and flags any call that is not
-// async-signal-safe.  Tokens are split literals so the table does not
-// flag itself.
-constexpr std::array kSignalUnsafeTokens = {
-    "mal" "loc(",  "cal" "loc(",  "real" "loc(",  "free(",
-    "print" "f(",  "fprint" "f(", "sprint" "f(",  "snprint" "f(",
-    "std::" "cout", "std::" "cerr", "std::" "string", "std::" "vector",
-    "mutex", "lock_" "guard", "throw ", "new ",
-};
-
-void check_signal_safety(FileScan& scan) {
-  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
-    const std::string header = code_part(scan.lines[i]);
-    const std::size_t hit = header.find("signal_handler(");
-    if (hit == std::string::npos) continue;
-    // Walk from the name to the end of the function body.  A ';' before
-    // the first '{' means this was a declaration (or a call statement):
-    // nothing to audit.
-    int depth = 0;
-    bool opened = false;
-    bool declaration = false;
-    for (std::size_t j = i; j < scan.lines.size(); ++j) {
-      const std::string body = code_part(scan.lines[j]);
-      if (opened)
-        for (const char* token : kSignalUnsafeTokens)
-          if (has_token(body, token)) {
-            scan.flag(j, "signal-safety",
-                      std::string(token) +
-                          " in a signal handler (async-signal-safe "
-                          "calls only: kill/unlink/write/_exit)");
-            break;
-          }
-      for (std::size_t k = (j == i ? hit : 0); k < body.size(); ++k) {
-        const char c = body[k];
-        if (!opened && c == ';') {
-          declaration = true;
-          break;
-        }
-        if (c == '{') {
-          ++depth;
-          opened = true;
-        }
-        if (c == '}') --depth;
-      }
-      if (declaration || (opened && depth <= 0)) break;
-    }
   }
 }
 
@@ -396,8 +310,46 @@ const std::vector<std::string>& rule_ids() {
       "thread-spawn",
       "modelcheck-internal",
       "signal-safety",
+      "alloc-freedom",
+      "layer-violation",
+      "include-cycle",
   };
   return ids;
+}
+
+std::string rule_description(const std::string& rule) {
+  if (rule == "concurrency-primitives")
+    return "Concurrency primitives and their headers are confined to "
+           "src/runtime/.";
+  if (rule == "unbounded-spin")
+    return "Infinite loops must reference a bound or backoff in the body.";
+  if (rule == "nondeterminism")
+    return "Algorithm and fuzz code must be a pure function of the trial "
+           "seed.";
+  if (rule == "snapshot-discipline")
+    return "Algorithm code reaches neighbour state only through the step() "
+           "snapshot.";
+  if (rule == "wall-clock")
+    return "Clocks are read only behind src/obs/ and src/runtime/ timeout "
+           "plumbing.";
+  if (rule == "thread-spawn")
+    return "Threads are born only in src/runtime/ (WorkerPool / "
+           "ThreadedExecutor).";
+  if (rule == "modelcheck-internal")
+    return "Model-checker internals are consumed through "
+           "modelcheck/explorer.hpp.";
+  if (rule == "signal-safety")
+    return "Everything reachable from a registered signal handler stays "
+           "async-signal-safe (transitive call-graph proof).";
+  if (rule == "alloc-freedom")
+    return "No direct heap expression is reachable from Executor::step / "
+           "reset (static arena-discipline proof).";
+  if (rule == "layer-violation")
+    return "Every subsystem include edge must be declared in the layering "
+           "table.";
+  if (rule == "include-cycle")
+    return "The file-level include graph must be a DAG.";
+  return "";
 }
 
 bool rule_applies(const std::string& rule, const std::string& path) {
@@ -417,16 +369,32 @@ bool rule_applies(const std::string& rule, const std::string& path) {
     return (in_src || in_tools) && !starts_with(path, "src/runtime/");
   if (rule == "modelcheck-internal")
     return in_src && !starts_with(path, "src/modelcheck/");
-  if (rule == "signal-safety") return starts_with(path, "src/dist/");
+  // Whole-program rules: findings can land on any analyzed src/ file the
+  // closure reaches (a handler's helper need not live in src/dist/).
+  if (rule == "signal-safety") return in_src;
+  if (rule == "alloc-freedom") return in_src;
+  if (rule == "layer-violation" || rule == "include-cycle")
+    return in_src || in_tools;
   return false;
 }
 
-std::vector<Finding> check_file(const std::string& path,
-                                const std::string& content) {
-  FileScan scan{path, {}, {}};
-  std::istringstream in(content);
-  std::string line;
-  while (std::getline(in, line)) scan.lines.push_back(line);
+bool has_code_token(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    if (pos == 0 || !is_ident(line[pos - 1])) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+bool line_waives(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+std::vector<Finding> check_file_lines(
+    const std::string& path, const std::vector<std::string>& scrubbed_lines,
+    const std::vector<std::string>& raw_lines) {
+  FileScan scan{path, scrubbed_lines, raw_lines, {}};
   if (rule_applies("concurrency-primitives", path)) check_concurrency(scan);
   if (rule_applies("unbounded-spin", path)) check_unbounded_spin(scan);
   if (rule_applies("nondeterminism", path)) check_nondeterminism(scan);
@@ -436,7 +404,6 @@ std::vector<Finding> check_file(const std::string& path,
   if (rule_applies("thread-spawn", path)) check_thread_spawn(scan);
   if (rule_applies("modelcheck-internal", path))
     check_modelcheck_internal(scan);
-  if (rule_applies("signal-safety", path)) check_signal_safety(scan);
   std::sort(scan.findings.begin(), scan.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -444,43 +411,126 @@ std::vector<Finding> check_file(const std::string& path,
   return std::move(scan.findings);
 }
 
+std::vector<Finding> check_file(const std::string& path,
+                                const std::string& content) {
+  const std::vector<Token> tokens = tokenize(content);
+  const std::string scrubbed = scrub(content, tokens);
+  return check_file_lines(path, split_lines(scrubbed), split_lines(content));
+}
+
+std::string normalize_line(const std::string& line) {
+  std::string out;
+  for (const char c : line)
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  return out;
+}
+
+std::string fingerprint_of(const std::string& path, const std::string& rule,
+                           const std::string& normalized_line,
+                           std::size_t occurrence) {
+  // FNV-1a 64 over the finding identity.  The occurrence index separates
+  // two byte-identical offending lines in the same file.
+  std::uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](const std::string& part) {
+    for (const char c : part) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= static_cast<unsigned char>('|');
+    hash *= 1099511628211ull;
+  };
+  mix(path);
+  mix(rule);
+  mix(normalized_line);
+  mix(std::to_string(occurrence));
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+void assign_fingerprints(std::vector<Finding>& findings,
+                         const std::vector<std::string>& raw_lines) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    Finding& f = findings[i];
+    const std::string normalized =
+        f.line >= 1 && f.line <= raw_lines.size()
+            ? normalize_line(raw_lines[f.line - 1])
+            : std::string();
+    std::size_t occurrence = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const Finding& prior = findings[j];
+      if (prior.rule != f.rule || prior.line > raw_lines.size()) continue;
+      if (normalize_line(raw_lines[prior.line - 1]) == normalized)
+        ++occurrence;
+    }
+    f.fingerprint = fingerprint_of(f.file, f.rule, normalized, occurrence);
+  }
+}
+
 bool parse_baseline(const std::string& content,
-                    std::vector<std::pair<std::string, std::string>>& entries,
-                    std::string* error) {
-  std::istringstream in(content);
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
+                    std::vector<BaselineEntry>& entries, std::string* error) {
+  const std::vector<std::string> lines = split_lines(content);
+  for (std::size_t lineno = 1; lineno <= lines.size(); ++lineno) {
+    const std::string& line = lines[lineno - 1];
     const std::size_t first = line.find_first_not_of(" \t");
     if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream ls(line);
-    std::string path, rule, extra;
-    if (!(ls >> path >> rule) || (ls >> extra)) {
+    // Split on runs of whitespace into exactly three fields.
+    std::vector<std::string> fields;
+    std::size_t pos = first;
+    while (pos < line.size()) {
+      const std::size_t end = line.find_first_of(" \t", pos);
+      fields.push_back(line.substr(pos, end - pos));
+      if (end == std::string::npos) break;
+      pos = line.find_first_not_of(" \t", end);
+      if (pos == std::string::npos) break;
+    }
+    if (fields.size() != 3) {
       if (error)
         *error = "baseline line " + std::to_string(lineno) +
-                 ": expected '<path> <rule>'";
+                 ": expected '<path> <rule> <fingerprint>'";
       return false;
     }
-    if (std::find(rule_ids().begin(), rule_ids().end(), rule) ==
+    if (std::find(rule_ids().begin(), rule_ids().end(), fields[1]) ==
         rule_ids().end()) {
       if (error)
         *error = "baseline line " + std::to_string(lineno) +
-                 ": unknown rule '" + rule + "'";
+                 ": unknown rule '" + fields[1] + "'";
       return false;
     }
-    entries.emplace_back(std::move(path), std::move(rule));
+    const std::string& fp = fields[2];
+    const bool hex16 =
+        fp.size() == 16 &&
+        std::all_of(fp.begin(), fp.end(), [](char c) {
+          return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        });
+    if (!hex16) {
+      if (error)
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": fingerprint must be 16 lowercase hex digits";
+      return false;
+    }
+    entries.push_back({fields[0], fields[1], fields[2]});
   }
   return true;
 }
 
-std::vector<Finding> apply_baseline(
-    std::vector<Finding> findings,
-    const std::vector<std::pair<std::string, std::string>>& entries) {
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::vector<BaselineEntry>& entries) {
   std::erase_if(findings, [&](const Finding& f) {
-    return std::any_of(entries.begin(), entries.end(), [&](const auto& e) {
-      return e.first == f.file && e.second == f.rule;
-    });
+    return std::any_of(entries.begin(), entries.end(),
+                       [&](const BaselineEntry& e) {
+                         return e.path == f.file && e.rule == f.rule &&
+                                e.fingerprint == f.fingerprint;
+                       });
   });
   return findings;
 }

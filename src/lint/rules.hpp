@@ -1,7 +1,13 @@
-// Project-discipline lint rules (tools/lint).  These are bespoke,
-// repo-specific invariants that generic clang-tidy checks cannot express;
-// each rule is a cheap line-oriented scan so the whole tree lints in
-// milliseconds and the rules stay unit-testable (tests/lint_test.cpp):
+// Project-discipline lint rules (tools/lint, the ftcc-analyzer).  These
+// are bespoke, repo-specific invariants that generic clang-tidy checks
+// cannot express.  Per-file rules scan the tokenizer's scrubbed "code
+// view" (lint/tokenizer.hpp) so nothing inside a comment or string
+// literal can match; whole-program rules run on the include graph
+// (lint/include_graph.hpp) and the call graph (lint/callgraph.hpp) after
+// every file has been parsed.  The rules stay unit-testable
+// (tests/lint_test.cpp) and the whole tree lints in milliseconds.
+//
+// Per-file rules:
 //
 //   concurrency-primitives — std::atomic / std::thread / std::mutex and
 //       friends (and their headers) may appear only under src/runtime/.
@@ -35,17 +41,30 @@
 //       the reductions through modelcheck/explorer.hpp.  Tests, benches,
 //       and tools are outside this rule's scope so they can probe the
 //       layers directly.
-//   signal-safety — in src/dist/ (the only subsystem that installs
-//       signal handlers), any function whose name ends in
-//       `signal_handler` may call only async-signal-safe primitives:
-//       no allocation (malloc/new/std::string/std::vector), no stdio or
+//
+// Whole-program rules (emitted by analyze_program, not check_file):
+//
+//   signal-safety — everything *reachable* from a registered signal
+//       handler (sa_handler/sa_sigaction assignment, signal()'s second
+//       argument, or the `*signal_handler` naming convention) may call
+//       only async-signal-safe primitives: no allocation, no stdio or
 //       iostreams, no locks, no throw.  A handler interrupting malloc
 //       that then calls malloc deadlocks or corrupts the heap — the
-//       worst kind of flaky, so the discipline is machine-checked.
+//       worst kind of flaky, so the discipline is machine-checked
+//       transitively (lint/callgraph.hpp).
+//   alloc-freedom — no direct heap expression (new / malloc family /
+//       make_unique / make_shared) anywhere reachable from
+//       Executor::step / Executor::reset in src/runtime/executor.hpp.
+//       The static complement of tests/executor_alloc_test.cpp.
+//   layer-violation / include-cycle — the include-DAG layering checks
+//       (lint/include_graph.hpp): every subsystem's include edges must be
+//       declared in the layering table, and the file-level include graph
+//       must be acyclic.
 //
 // A finding on a line carrying (or directly below) a
 // `// lint:allow(rule-id)` comment is waived in place; anything else must
-// be listed in the committed baseline file or the lint fails.
+// be listed in the committed baseline file — by content-hash fingerprint,
+// so baselines survive unrelated line drift — or the lint fails.
 #pragma once
 
 #include <cstddef>
@@ -59,31 +78,84 @@ struct Finding {
   std::size_t line = 0;  ///< 1-based
   std::string rule;
   std::string message;
+  /// Content-hash fingerprint (16 lowercase hex digits): FNV-1a 64 over
+  /// `path|rule|normalized-line|occurrence`.  Stable across line drift;
+  /// changes when the flagged code itself changes.  Assigned by
+  /// assign_fingerprints / analyze_*; empty on findings fresh out of a
+  /// check_* scan.
+  std::string fingerprint;
 };
 
-/// All rule identifiers, for --help and the tests.
+/// All rule identifiers, for --help, SARIF metadata, and the tests.
 [[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// One-line description of a rule, for SARIF rule metadata.
+[[nodiscard]] std::string rule_description(const std::string& rule);
 
 /// True iff `rule` applies to the repo-relative `path` at all (scoping:
 /// see the header comment).
 [[nodiscard]] bool rule_applies(const std::string& rule,
                                 const std::string& path);
 
-/// Scan one file's content; returns findings already filtered by inline
-/// `lint:allow` waivers (but not by the baseline).
+/// Word-boundary token search on one (scrubbed) line: boundary on the
+/// left only — tokens like "rand(" already pin the right edge.
+[[nodiscard]] bool has_code_token(const std::string& line,
+                                  const std::string& token);
+
+/// True iff `raw_line` carries an inline `lint:allow(rule)` waiver.
+/// Waivers are read from the *raw* view — they live in comments, which
+/// the scrubbed view blanks.
+[[nodiscard]] bool line_waives(const std::string& raw_line,
+                               const std::string& rule);
+
+/// Run every applicable per-file rule over the pre-split line views: the
+/// scrubbed lines are scanned, the raw lines consulted for waivers.  The
+/// two vectors must be byte-aligned (same file, same split).  Findings
+/// come back (line, rule)-sorted, waiver-filtered, without fingerprints.
+[[nodiscard]] std::vector<Finding> check_file_lines(
+    const std::string& path, const std::vector<std::string>& scrubbed_lines,
+    const std::vector<std::string>& raw_lines);
+
+/// Convenience wrapper: tokenize + scrub `content`, then check_file_lines.
 [[nodiscard]] std::vector<Finding> check_file(const std::string& path,
                                               const std::string& content);
 
-/// Parse a baseline file: one `path rule` pair per line, `#` comments and
-/// blank lines ignored.  Returns false on malformed lines.
-[[nodiscard]] bool parse_baseline(
-    const std::string& content,
-    std::vector<std::pair<std::string, std::string>>& entries,
-    std::string* error = nullptr);
+/// A line with all whitespace removed — the content a fingerprint hashes,
+/// so reindentation does not invalidate baselines.
+[[nodiscard]] std::string normalize_line(const std::string& line);
 
-/// Drop findings covered by baseline entries.
+/// The 16-hex-digit FNV-1a 64 fingerprint of one finding's identity.
+[[nodiscard]] std::string fingerprint_of(const std::string& path,
+                                         const std::string& rule,
+                                         const std::string& normalized_line,
+                                         std::size_t occurrence);
+
+/// Assign fingerprints to findings that all live in one file, given that
+/// file's raw lines.  The occurrence index counts findings with the same
+/// (rule, normalized line) in line order, so two identical offending
+/// lines get distinct fingerprints.
+void assign_fingerprints(std::vector<Finding>& findings,
+                         const std::vector<std::string>& raw_lines);
+
+/// One committed-baseline entry: a finding identity frozen in place.
+struct BaselineEntry {
+  std::string path;
+  std::string rule;
+  std::string fingerprint;  ///< 16 lowercase hex digits
+};
+
+/// Parse a baseline file: one `path rule fingerprint` triple per line,
+/// `#` comments and blank lines ignored.  Returns false (with *error set)
+/// on malformed lines, unknown rules, or non-16-hex fingerprints.
+[[nodiscard]] bool parse_baseline(const std::string& content,
+                                  std::vector<BaselineEntry>& entries,
+                                  std::string* error = nullptr);
+
+/// Drop findings whose (path, rule, fingerprint) matches a baseline
+/// entry.  Matching is exact: a baselined finding whose code changes gets
+/// a new fingerprint and resurfaces — no more over-masking every finding
+/// of a rule in a file.
 [[nodiscard]] std::vector<Finding> apply_baseline(
-    std::vector<Finding> findings,
-    const std::vector<std::pair<std::string, std::string>>& entries);
+    std::vector<Finding> findings, const std::vector<BaselineEntry>& entries);
 
 }  // namespace ftcc::lint

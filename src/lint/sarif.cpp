@@ -1,0 +1,124 @@
+#include "lint/sarif.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ftcc::lint {
+
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes, control bytes.
+/// Paths and messages here are ASCII by construction.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+}  // namespace
+
+std::string to_sarif(std::vector<Finding> findings) {
+  sort_findings(findings);
+  std::string out;
+  out +=
+      "{\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"ftcc-analyzer\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/ftcc/tools/lint\",\n"
+      "          \"rules\": [\n";
+  const std::vector<std::string>& ids = rule_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out += "            {\n";
+    out += "              \"id\": \"" + json_escape(ids[i]) + "\",\n";
+    out += "              \"shortDescription\": { \"text\": \"" +
+           json_escape(rule_description(ids[i])) + "\" }\n";
+    out += i + 1 < ids.size() ? "            },\n" : "            }\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"columnKind\": \"utf16CodeUnits\",\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(f.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": { \"text\": \"" + json_escape(f.message) +
+           "\" },\n";
+    out +=
+        "          \"locations\": [\n"
+        "            {\n"
+        "              \"physicalLocation\": {\n"
+        "                \"artifactLocation\": { \"uri\": \"" +
+        json_escape(f.file) +
+        "\" },\n"
+        "                \"region\": { \"startLine\": " +
+        std::to_string(f.line) +
+        " }\n"
+        "              }\n"
+        "            }\n"
+        "          ],\n";
+    out += "          \"partialFingerprints\": { \"ftccFingerprint/v1\": \"" +
+           json_escape(f.fingerprint) + "\" }\n";
+    out += i + 1 < findings.size() ? "        },\n" : "        }\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::string to_baseline(std::vector<Finding> findings) {
+  sort_findings(findings);
+  std::string out =
+      "# ftcc-analyzer baseline: one `<path> <rule> <fingerprint>` per "
+      "line.\n"
+      "# The fingerprint is a content hash of the offending line "
+      "(whitespace-\n"
+      "# stripped), so entries survive line drift but expire the moment "
+      "the\n"
+      "# flagged code changes.  Regenerate with tools/lint "
+      "--baseline-out=<path>.\n";
+  for (const Finding& f : findings)
+    out += f.file + " " + f.rule + " " + f.fingerprint + "\n";
+  return out;
+}
+
+}  // namespace ftcc::lint

@@ -1,0 +1,35 @@
+// Deterministic artifact writers for the ftcc-analyzer: SARIF v2.1.0 and
+// the committed-baseline format (DESIGN.md §13).
+//
+// The SARIF document is the interchange surface — CI uploads it as an
+// artifact and code hosts render it inline on diffs.  Determinism is a
+// hard requirement here, not a nicety: the CI determinism gate runs the
+// analyzer twice (--jobs=1 and --jobs=8) and diffs the two documents
+// byte-for-byte, so the writer emits keys in a fixed order, sorts
+// results, and never embeds timestamps, durations, or absolute paths.
+//
+// Fingerprints ride in `partialFingerprints` under the key
+// "ftccFingerprint/v1" — the same content hash the baseline files use,
+// so a SARIF consumer and the baseline mechanism agree about finding
+// identity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace ftcc::lint {
+
+/// Render findings as a SARIF v2.1.0 document (single run, tool driver
+/// "ftcc-analyzer").  Input order does not matter: results are sorted by
+/// (file, line, rule, message) before rendering, rules metadata covers
+/// every known rule id.  Ends with a newline.
+[[nodiscard]] std::string to_sarif(std::vector<Finding> findings);
+
+/// Render findings in the committed-baseline format: a header comment and
+/// one `path rule fingerprint` line per finding, sorted.  What
+/// --baseline-out writes and parse_baseline reads back.
+[[nodiscard]] std::string to_baseline(std::vector<Finding> findings);
+
+}  // namespace ftcc::lint

@@ -1,0 +1,345 @@
+#include "lint/tokenizer.hpp"
+
+#include <cctype>
+
+namespace ftcc::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// A backslash directly before the newline (optionally with trailing
+/// horizontal whitespace, which compilers accept with a warning) splices
+/// the next physical line onto this logical line.
+bool splices_at(const std::string& s, std::size_t i) {
+  if (s[i] != '\\') return false;
+  ++i;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return i < s.size() && s[i] == '\n';
+}
+
+struct Lexer {
+  const std::string& src;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  bool in_directive = false;
+  std::string directive;  ///< name of the current directive, if any
+  bool directive_name_pending = false;
+  std::vector<Token> out;
+
+  explicit Lexer(const std::string& s) : src(s) {}
+
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::size_t start, std::size_t start_line) {
+    Token t;
+    t.kind = kind;
+    t.text = src.substr(start, pos - start);
+    t.line = start_line;
+    t.offset = start;
+    t.in_directive = in_directive;
+    t.directive = in_directive ? directive : std::string();
+    out.push_back(std::move(t));
+  }
+
+  void newline() {
+    ++line;
+    in_directive = false;
+    directive.clear();
+    directive_name_pending = false;
+  }
+
+  /// Consume one character, tracking lines.  Returns the char consumed.
+  char advance() {
+    const char c = src[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+
+  void lex_line_comment() {
+    const std::size_t start = pos;
+    const std::size_t start_line = line;
+    pos += 2;
+    while (pos < src.size()) {
+      if (src[pos] == '\n') break;
+      if (splices_at(src, pos)) {  // comment continues on the next line
+        while (src[pos] != '\n') ++pos;
+        ++pos;
+        ++line;
+        continue;
+      }
+      ++pos;
+    }
+    emit(TokKind::line_comment, start, start_line);
+  }
+
+  void lex_block_comment() {
+    const std::size_t start = pos;
+    const std::size_t start_line = line;
+    pos += 2;
+    while (pos < src.size()) {
+      if (src[pos] == '*' && peek(1) == '/') {
+        pos += 2;
+        emit(TokKind::block_comment, start, start_line);
+        return;
+      }
+      advance();
+    }
+    emit(TokKind::block_comment, start, start_line);  // unterminated: close
+  }
+
+  void lex_raw_string(std::size_t prefix_start) {
+    // pos sits on the R; after R" comes delim( ... )delim".
+    const std::size_t start_line = line;
+    pos += 2;  // R"
+    std::string delim;
+    while (pos < src.size() && src[pos] != '(') delim.push_back(src[pos++]);
+    if (pos < src.size()) ++pos;  // (
+    const std::string closer = ")" + delim + "\"";
+    while (pos < src.size()) {
+      if (src.compare(pos, closer.size(), closer) == 0) {
+        pos += closer.size();
+        break;
+      }
+      advance();
+    }
+    const std::size_t end = pos;
+    pos = end;  // emit() uses pos
+    Token t;
+    t.kind = TokKind::string_lit;
+    t.text = src.substr(prefix_start, end - prefix_start);
+    t.line = start_line;
+    t.offset = prefix_start;
+    t.in_directive = in_directive;
+    t.directive = in_directive ? directive : std::string();
+    out.push_back(std::move(t));
+  }
+
+  void lex_quoted(char quote, std::size_t prefix_start) {
+    const std::size_t start_line = line;
+    ++pos;  // opening quote
+    while (pos < src.size()) {
+      const char c = src[pos];
+      if (c == '\\' && pos + 1 < src.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == quote) {
+        ++pos;
+        break;
+      }
+      if (c == '\n') break;  // unterminated literal: stop at the line end
+      ++pos;
+    }
+    Token t;
+    t.kind = quote == '"' ? TokKind::string_lit : TokKind::char_lit;
+    t.text = src.substr(prefix_start, pos - prefix_start);
+    t.line = start_line;
+    t.offset = prefix_start;
+    t.in_directive = in_directive;
+    t.directive = in_directive ? directive : std::string();
+    out.push_back(std::move(t));
+  }
+
+  void lex_header_name() {
+    const std::size_t start = pos;
+    const std::size_t start_line = line;
+    ++pos;  // <
+    while (pos < src.size() && src[pos] != '>' && src[pos] != '\n') ++pos;
+    if (pos < src.size() && src[pos] == '>') ++pos;
+    emit(TokKind::header_name, start, start_line);
+  }
+
+  void lex_identifier() {
+    const std::size_t start = pos;
+    const std::size_t start_line = line;
+    while (pos < src.size() && is_ident_char(src[pos])) ++pos;
+    // Encoded string/char prefix directly followed by a quote — u8"x",
+    // L'c', R"(x)", uR"(x)" — is one literal token, not ident + literal.
+    const std::string text = src.substr(start, pos - start);
+    if (pos < src.size() && (src[pos] == '"' || src[pos] == '\'') &&
+        (text == "R" || text == "L" || text == "u" || text == "U" ||
+         text == "u8" || text == "LR" || text == "uR" || text == "UR" ||
+         text == "u8R")) {
+      if (text.back() == 'R' && src[pos] == '"') {
+        pos = start;  // rewind so lex_raw_string sees R at pos...
+        // Reposition on the R character (the last char of the prefix).
+        pos = start + text.size() - 1;
+        lex_raw_string(start);
+      } else {
+        lex_quoted(src[pos], start);
+      }
+      return;
+    }
+    emit(TokKind::identifier, start, start_line);
+    if (directive_name_pending) {
+      directive = text;
+      directive_name_pending = false;
+      // Retroactively tag the token (emit saw the empty name).
+      out.back().directive = directive;
+    }
+  }
+
+  void lex_number() {
+    const std::size_t start = pos;
+    const std::size_t start_line = line;
+    while (pos < src.size() &&
+           (is_ident_char(src[pos]) || src[pos] == '\'' ||
+            ((src[pos] == '+' || src[pos] == '-') && pos > start &&
+             (src[pos - 1] == 'e' || src[pos - 1] == 'E' ||
+              src[pos - 1] == 'p' || src[pos - 1] == 'P')))) {
+      if (src[pos] == '\'' && !(pos + 1 < src.size() && is_ident_char(src[pos + 1])))
+        break;  // digit separator needs a digit after it
+      ++pos;
+    }
+    if (pos < src.size() && src[pos] == '.') {
+      ++pos;
+      while (pos < src.size() && is_ident_char(src[pos])) ++pos;
+    }
+    emit(TokKind::number, start, start_line);
+  }
+
+  void run() {
+    while (pos < src.size()) {
+      const char c = src[pos];
+      if (c == '\n') {
+        ++pos;
+        newline();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos;
+        continue;
+      }
+      if (in_directive && splices_at(src, pos)) {
+        // Logical directive line continues: swallow through the newline
+        // without ending the directive.
+        while (src[pos] != '\n') ++pos;
+        ++pos;
+        ++line;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && !in_directive) {
+        in_directive = true;
+        directive.clear();
+        directive_name_pending = true;
+        const std::size_t start = pos++;
+        emit(TokKind::punct, start, line);
+        continue;
+      }
+      if (c == '<' && in_directive && directive == "include") {
+        lex_header_name();
+        continue;
+      }
+      if (c == '"') {
+        lex_quoted('"', pos);
+        continue;
+      }
+      if (c == '\'') {
+        lex_quoted('\'', pos);
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_identifier();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      // Punctuation: longest match for the multichar operators the rules
+      // care about (:: for qualified names, -> for members).
+      const std::size_t start = pos;
+      const std::size_t start_line = line;
+      static const char* kThree[] = {"<<=", ">>=", "...", "->*"};
+      static const char* kTwo[] = {"::", "->", "<<", ">>", "<=", ">=",
+                                   "==", "!=", "&&", "||", "+=", "-=",
+                                   "*=", "/=", "%=", "&=", "|=", "^=",
+                                   "++", "--", "##"};
+      bool matched = false;
+      for (const char* op : kThree)
+        if (src.compare(pos, 3, op) == 0) {
+          pos += 3;
+          matched = true;
+          break;
+        }
+      if (!matched)
+        for (const char* op : kTwo)
+          if (src.compare(pos, 2, op) == 0) {
+            pos += 2;
+            matched = true;
+            break;
+          }
+      if (!matched) ++pos;
+      emit(TokKind::punct, start, start_line);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& content) {
+  Lexer lexer(content);
+  lexer.run();
+  return std::move(lexer.out);
+}
+
+std::string scrub(const std::string& content,
+                  const std::vector<Token>& tokens) {
+  std::string out = content;
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::line_comment && t.kind != TokKind::block_comment &&
+        t.kind != TokKind::string_lit && t.kind != TokKind::char_lit)
+      continue;
+    // A quoted include target ("runtime/executor.hpp") is a header name,
+    // not program text — the include-sensitive rules must still see it.
+    if (t.kind == TokKind::string_lit && t.in_directive &&
+        t.directive == "include")
+      continue;
+    for (std::size_t i = t.offset; i < t.offset + t.text.size(); ++i)
+      if (out[i] != '\n') out[i] = ' ';
+  }
+  return out;
+}
+
+std::string scrub(const std::string& content) {
+  return scrub(content, tokenize(content));
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace ftcc::lint

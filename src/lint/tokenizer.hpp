@@ -1,0 +1,84 @@
+// Comment/string/raw-string-aware C++ tokenizer — the foundation of the
+// ftcc-analyzer (DESIGN.md §13).  Every lint rule used to be a
+// line-oriented regex scan that could not tell code from prose: a doc
+// comment mentioning std::thread tripped the concurrency rule, and rule
+// tables had to smuggle their own tokens through split string literals
+// to avoid flagging themselves.  The tokenizer fixes the class of bug,
+// not the instances: it lexes the file once into classified tokens
+// (identifiers, punctuation, literals, comments, preprocessor
+// directives), and everything downstream — the per-file rules, the
+// include-DAG extractor, the call-graph builder — consumes the token
+// stream instead of raw bytes.
+//
+// The lexer handles exactly the C++ surface the rules need to be sound:
+//   * `//` line comments (including backslash-continued ones) and
+//     `/* ... */` block comments spanning any number of lines;
+//   * narrow/wide/encoded string and char literals with escapes, and raw
+//     strings `R"delim( ... )delim"` whose bodies may span lines and may
+//     contain unbalanced quotes, braces, and comment markers;
+//   * preprocessor directives (tokens carry an `in_directive` flag and
+//     the directive name), with backslash line-splices, and `<header>`
+//     names lexed as single HeaderName tokens inside #include lines;
+//   * identifiers/numbers/punctuation with accurate 1-based line info.
+//
+// It is NOT a full C++ front end — no template disambiguation, no
+// digraphs — and does not need to be: the rules key on token kinds and
+// spellings, never on grammar.
+//
+// scrub() derives the "code view" the migrated line rules scan: the
+// original text with every comment and literal body blanked to spaces
+// (newlines kept), so line/column positions still line up with the file
+// on disk while nothing inside a comment or string can match a rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftcc::lint {
+
+enum class TokKind {
+  identifier,    ///< identifiers and keywords (rules do not distinguish)
+  number,        ///< numeric literals, including 0x / digit separators
+  string_lit,    ///< "...", encoded prefixes, and raw strings
+  char_lit,      ///< '...'
+  line_comment,  ///< // to end of (logical) line
+  block_comment, ///< /* ... */ — one token even across lines
+  header_name,   ///< <...> inside an #include directive
+  punct,         ///< everything else, longest-match on multichar operators
+};
+
+struct Token {
+  TokKind kind = TokKind::punct;
+  std::string text;        ///< exact source spelling (raw strings included)
+  std::size_t line = 0;    ///< 1-based line of the token's first character
+  std::size_t offset = 0;  ///< byte offset of the first character
+  bool in_directive = false;  ///< token belongs to a preprocessor line
+  /// Directive name ("include", "if", "ifdef", ...) for directive tokens,
+  /// empty otherwise.  The `#` and the name token itself carry it too.
+  std::string directive;
+};
+
+/// Lex `content` into tokens.  Never fails: unterminated literals and
+/// comments are closed at end of file (the analyzer lints work-in-progress
+/// trees; clang gets to reject them later).
+[[nodiscard]] std::vector<Token> tokenize(const std::string& content);
+
+/// The code view: `content` with comment and string/char-literal bodies
+/// replaced by spaces, byte-for-byte aligned with the original (newlines
+/// preserved, delimiters blanked too).  Line rules scan this, so nothing
+/// quoted or commented can ever match again.
+[[nodiscard]] std::string scrub(const std::string& content);
+
+/// Same, reusing tokens already produced by tokenize(content) — the
+/// analyzer lexes each file exactly once.  Quoted #include targets are
+/// kept (they are header names, not program text), so the include-
+/// sensitive rules still see them in the code view.
+[[nodiscard]] std::string scrub(const std::string& content,
+                                const std::vector<Token>& tokens);
+
+/// Split any text into lines (no trailing-newline special cases); shared
+/// by the rules and the fingerprint normalizer.
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text);
+
+}  // namespace ftcc::lint

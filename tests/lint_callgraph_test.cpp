@@ -1,0 +1,227 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "lint/tokenizer.hpp"
+
+namespace ftcc::lint {
+namespace {
+
+std::vector<FunctionDef> functions_of(const std::string& path,
+                                      const std::string& content) {
+  const auto tokens = tokenize(content);
+  return extract_functions(path, tokens, split_lines(scrub(content, tokens)),
+                           split_lines(content));
+}
+
+std::vector<std::string> names_of(const std::vector<FunctionDef>& defs) {
+  std::vector<std::string> out;
+  for (const auto& def : defs) out.push_back(def.name);
+  return out;
+}
+
+std::vector<std::string> callees_of(const FunctionDef& def) {
+  std::vector<std::string> out;
+  for (const auto& call : def.calls) out.push_back(call.name);
+  return out;
+}
+
+TEST(LintCallGraphExtract, DefinitionsCallsAndBodies) {
+  const std::string content =
+      "int helper(int x) {\n"
+      "  return x + 1;\n"
+      "}\n"
+      "int caller() {\n"
+      "  int a = helper(1);\n"
+      "  return helper(a) + helper(a);\n"
+      "}\n";
+  const auto defs = functions_of("src/util/a.cpp", content);
+  ASSERT_EQ(names_of(defs), (std::vector<std::string>{"helper", "caller"}));
+  EXPECT_EQ(defs[0].line, 1u);
+  EXPECT_EQ(defs[0].body_begin, 1u);
+  EXPECT_EQ(defs[0].body_end, 3u);
+  EXPECT_TRUE(defs[0].calls.empty());
+  EXPECT_EQ(callees_of(defs[1]),
+            (std::vector<std::string>{"helper", "helper", "helper"}));
+}
+
+TEST(LintCallGraphExtract, DeclarationsAndCallsAreNotDefinitions) {
+  const auto defs = functions_of("src/util/b.cpp",
+                                 "int declared(int x);\n"
+                                 "extern void another(void);\n"
+                                 "int value = compute(7);\n");
+  EXPECT_TRUE(defs.empty());
+}
+
+TEST(LintCallGraphExtract, ScopesQualifyNames) {
+  const std::string content =
+      "namespace ftcc {\n"
+      "struct Executor {\n"
+      "  void step() { helper(); }\n"
+      "};\n"
+      "void Executor::helper() { leaf(); }\n"
+      "}  // namespace ftcc\n";
+  const auto defs = functions_of("src/runtime/executor.hpp", content);
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].qualified, "ftcc::Executor::step");
+  // Explicit qualification wins over the enclosing namespace walk.
+  EXPECT_EQ(defs[1].qualified, "Executor::helper");
+}
+
+TEST(LintCallGraphExtract, ConstructorInitListsConfirmAndRecordCalls) {
+  const std::string content =
+      "struct Pool {\n"
+      "  Pool(unsigned jobs)\n"
+      "      : jobs_(clamp(jobs)),\n"
+      "        slots_{make_slots(jobs)} {\n"
+      "    arm();\n"
+      "  }\n"
+      "};\n";
+  const auto defs = functions_of("src/runtime/pool.hpp", content);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "Pool");
+  const auto callees = callees_of(defs[0]);
+  EXPECT_NE(std::find(callees.begin(), callees.end(), "clamp"),
+            callees.end());
+  EXPECT_NE(std::find(callees.begin(), callees.end(), "arm"), callees.end());
+}
+
+TEST(LintCallGraphExtract, ControlFlowKeywordsAreNotCalls) {
+  const auto defs = functions_of("src/util/c.cpp",
+                                 "void f() {\n"
+                                 "  if (g()) {\n"
+                                 "    for (int i = 0; i < 3; ++i) h(i);\n"
+                                 "  }\n"
+                                 "  while (g()) break;\n"
+                                 "  switch (k()) { default: break; }\n"
+                                 "  return;\n"
+                                 "}\n");
+  ASSERT_EQ(defs.size(), 1u);
+  const auto callees = callees_of(defs[0]);
+  for (const char* keyword : {"if", "for", "while", "switch", "return"})
+    EXPECT_EQ(std::find(callees.begin(), callees.end(), keyword),
+              callees.end())
+        << keyword;
+  for (const char* real : {"g", "h", "k"})
+    EXPECT_NE(std::find(callees.begin(), callees.end(), real), callees.end())
+        << real;
+}
+
+TEST(LintCallGraphExtract, HandlerRegistrations) {
+  const auto regs = extract_handler_registrations(tokenize(
+      "void install() {\n"
+      "  struct sigaction action {};\n"
+      "  action.sa_handler = on_fatal;\n"
+      "  sigaction(SIGTERM, &action, nullptr);\n"
+      "  signal(SIGINT, &handle_interrupt);\n"
+      "  signal(SIGPIPE, SIG_IGN);\n"
+      "  ::signal(SIGHUP, SIG_DFL);\n"
+      "}\n"));
+  ASSERT_EQ(regs.size(), 2u);
+  EXPECT_EQ(regs[0].handler, "on_fatal");
+  EXPECT_EQ(regs[0].line, 3u);
+  EXPECT_EQ(regs[1].handler, "handle_interrupt");
+}
+
+TEST(LintCallGraphExtract, SigactionMemberRegistration) {
+  const auto regs = extract_handler_registrations(
+      tokenize("action.sa_sigaction = ::on_fault_info;\n"));
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_EQ(regs[0].handler, "on_fault_info");
+}
+
+TEST(LintCallGraph, ReachabilityFollowsEveryMatchingDefinition) {
+  CallGraph graph;
+  graph.add_file("src/dist/a.cpp",
+                 functions_of("src/dist/a.cpp",
+                              "void root() { middle(); }\n"
+                              "void middle() { leaf(); }\n"
+                              "void leaf() {}\n"
+                              "void unrelated() { leaf(); }\n"),
+                 {});
+  std::map<const FunctionDef*, std::string> chains;
+  const auto reachable = graph.reachable_from({"root"}, &chains);
+  ASSERT_EQ(reachable.size(), 3u);
+  EXPECT_EQ(names_of({*reachable[0], *reachable[1], *reachable[2]}),
+            (std::vector<std::string>{"root", "middle", "leaf"}));
+  EXPECT_EQ(chains.at(reachable[2]), "root -> middle -> leaf");
+}
+
+TEST(LintCallGraph, RecursionTerminates) {
+  CallGraph graph;
+  graph.add_file("src/dist/r.cpp",
+                 functions_of("src/dist/r.cpp",
+                              "void ping() { pong(); }\n"
+                              "void pong() { ping(); }\n"),
+                 {});
+  EXPECT_EQ(graph.reachable_from({"ping"}).size(), 2u);
+}
+
+TEST(LintCallGraph, HandlerRootsMergeRegistrationsAndNaming) {
+  const std::string content =
+      "void quiet_helper(int sig) {}\n"
+      "void ftcc_fatal_signal_handler(int sig) {}\n"
+      "void install() { signal(SIGTERM, quiet_helper); }\n";
+  CallGraph graph;
+  graph.add_file("src/dist/h.cpp", functions_of("src/dist/h.cpp", content),
+                 extract_handler_registrations(tokenize(content)));
+  EXPECT_EQ(graph.handler_roots(),
+            (std::vector<std::string>{"ftcc_fatal_signal_handler",
+                                      "quiet_helper"}));
+}
+
+TEST(LintCallGraph, SeededTransitiveViolationIsFlagged) {
+  // The acceptance scenario: a registered handler whose name carries no
+  // `signal_handler` suffix calls a helper that mallocs.  The name-based
+  // convention alone finds no root here; the registration does.
+  const std::string content =
+      "void flush_buffers() {\n"
+      "  void* p = malloc(32);\n"
+      "}\n"
+      "void on_fatal(int sig) { flush_buffers(); }\n"
+      "void install() {\n"
+      "  struct sigaction action {};\n"
+      "  action.sa_handler = on_fatal;\n"
+      "}\n";
+  CallGraph graph;
+  graph.add_file("src/dist/seeded.cpp",
+                 functions_of("src/dist/seeded.cpp", content),
+                 extract_handler_registrations(tokenize(content)));
+  const auto findings = graph.check_signal_safety();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "signal-safety");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("on_fatal -> flush_buffers"),
+            std::string::npos);
+}
+
+TEST(LintCallGraph, AllocFreedomSeedsOnlyTheRealExecutor) {
+  const std::string executor =
+      "struct Executor {\n"
+      "  void rearm();\n"
+      "  void reset() { rearm(); }\n"
+      "};\n"
+      "void Executor::rearm() {\n"
+      "  auto owned = std::make_unique<int>(7);\n"
+      "}\n";
+  CallGraph graph;
+  graph.add_file("src/runtime/executor.hpp",
+                 functions_of("src/runtime/executor.hpp", executor), {});
+  const auto findings = graph.check_alloc_freedom();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "alloc-freedom");
+  EXPECT_EQ(findings[0].line, 6u);
+  EXPECT_NE(findings[0].message.find("Executor::reset -> Executor::rearm"),
+            std::string::npos);
+
+  // Identical code elsewhere seeds nothing.
+  CallGraph other;
+  other.add_file("src/runtime/pooled.hpp",
+                 functions_of("src/runtime/pooled.hpp", executor), {});
+  EXPECT_TRUE(other.check_alloc_freedom().empty());
+}
+
+}  // namespace
+}  // namespace ftcc::lint

@@ -1,0 +1,168 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "lint/tokenizer.hpp"
+
+namespace ftcc::lint {
+namespace {
+
+std::vector<IncludeDirective> extract(const std::string& content) {
+  return extract_includes(tokenize(content));
+}
+
+TEST(LintIncludeExtractor, QuotedSystemAndProse) {
+  const auto includes = extract(
+      "#include \"runtime/executor.hpp\"\n"
+      "#include <atomic>\n"
+      "// #include \"faults/crash.hpp\" — disabled for now\n"
+      "const char* doc = \"#include \\\"graph/cycle.hpp\\\"\";\n");
+  ASSERT_EQ(includes.size(), 2u);
+  EXPECT_EQ(includes[0].target, "runtime/executor.hpp");
+  EXPECT_TRUE(includes[0].quoted);
+  EXPECT_EQ(includes[0].line, 1u);
+  EXPECT_EQ(includes[1].target, "atomic");
+  EXPECT_FALSE(includes[1].quoted);
+}
+
+TEST(LintIncludeExtractor, ConditionalIncludesKeepTheirContext) {
+  const auto includes = extract(
+      "#ifdef FTCC_HAVE_SHM\n"
+      "#include \"shm/ring.hpp\"\n"
+      "#endif\n"
+      "#include \"util/bits.hpp\"\n");
+  ASSERT_EQ(includes.size(), 2u);
+  EXPECT_TRUE(includes[0].conditional);
+  EXPECT_FALSE(includes[0].dead);
+  EXPECT_FALSE(includes[1].conditional);
+}
+
+TEST(LintIncludeExtractor, IfZeroBlocksContributeNothingLive) {
+  const auto includes = extract(
+      "#if 0\n"
+      "#include \"runtime/executor.hpp\"\n"
+      "#else\n"
+      "#include \"util/bits.hpp\"\n"
+      "#endif\n"
+      "#if 1\n"
+      "#include \"graph/cycle.hpp\"\n"
+      "#else\n"
+      "#include \"sched/adversary.hpp\"\n"
+      "#endif\n");
+  ASSERT_EQ(includes.size(), 4u);
+  EXPECT_TRUE(includes[0].dead);       // under #if 0
+  EXPECT_FALSE(includes[1].dead);      // #else of #if 0 is taken
+  EXPECT_FALSE(includes[1].conditional);
+  EXPECT_FALSE(includes[2].dead);      // under #if 1
+  EXPECT_TRUE(includes[3].dead);       // #else of #if 1
+}
+
+TEST(LintIncludeExtractor, NestingInsideDeadRegionsStaysDead) {
+  const auto includes = extract(
+      "#if 0\n"
+      "#ifdef ANYTHING\n"
+      "#include \"runtime/executor.hpp\"\n"
+      "#endif\n"
+      "#include \"faults/crash.hpp\"\n"
+      "#endif\n");
+  ASSERT_EQ(includes.size(), 2u);
+  EXPECT_TRUE(includes[0].dead);
+  EXPECT_TRUE(includes[1].dead);
+}
+
+TEST(LintIncludeExtractor, ComputedIncludesAreMarkedNotResolved) {
+  const auto includes = extract(
+      "#define BACKEND_HEADER \"shm/ring.hpp\"\n"
+      "#include BACKEND_HEADER\n");
+  ASSERT_EQ(includes.size(), 1u);
+  EXPECT_TRUE(includes[0].computed);
+  EXPECT_EQ(includes[0].target, "BACKEND_HEADER");
+  // Computed includes never become graph edges (resolution would need
+  // macro expansion); the graph simply ignores them.
+  IncludeGraph graph;
+  graph.add_file("src/shm/a.hpp", includes);
+  EXPECT_TRUE(graph.edges_of("src/shm/a.hpp").empty());
+}
+
+TEST(LintIncludeGraph, SubsystemsAndLayering) {
+  EXPECT_EQ(subsystem_of("src/runtime/executor.hpp"), "runtime");
+  EXPECT_EQ(subsystem_of("tools/lint.cpp"), "tools");
+  EXPECT_EQ(subsystem_of("tests/lint_test.cpp"), "");
+  EXPECT_TRUE(layer_edge_allowed("core", "runtime"));
+  EXPECT_TRUE(layer_edge_allowed("core", "core"));
+  EXPECT_TRUE(layer_edge_allowed("tools", "modelcheck"));
+  EXPECT_FALSE(layer_edge_allowed("util", "runtime"));
+  EXPECT_FALSE(layer_edge_allowed("core", "dist"));
+  // An undeclared subsystem has no rights until the table names it.
+  EXPECT_FALSE(layer_edge_allowed("newthing", "util"));
+}
+
+TEST(LintIncludeGraph, FlagsUndeclaredEdges) {
+  IncludeGraph graph;
+  graph.add_file("src/util/sneaky.hpp",
+                 extract("#include \"runtime/executor.hpp\"\n"));
+  graph.add_file("src/runtime/executor.hpp", {});
+  const auto findings = graph.check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+  EXPECT_EQ(findings[0].file, "src/util/sneaky.hpp");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("src/util/"), std::string::npos);
+}
+
+TEST(LintIncludeGraph, DeadIncludesDoNotCreateEdges) {
+  IncludeGraph graph;
+  graph.add_file("src/util/guarded.hpp",
+                 extract("#if 0\n"
+                         "#include \"runtime/executor.hpp\"\n"
+                         "#endif\n"));
+  graph.add_file("src/runtime/executor.hpp", {});
+  EXPECT_TRUE(graph.check().empty());
+}
+
+TEST(LintIncludeGraph, ConditionalIncludesDoCreateEdges) {
+  // An edge that exists under any configuration is an edge the
+  // architecture must allow.
+  IncludeGraph graph;
+  graph.add_file("src/util/guarded.hpp",
+                 extract("#ifdef FTCC_FAST_PATH\n"
+                         "#include \"runtime/executor.hpp\"\n"
+                         "#endif\n"));
+  graph.add_file("src/runtime/executor.hpp", {});
+  const auto findings = graph.check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+}
+
+TEST(LintIncludeGraph, DetectsFileLevelCycles) {
+  IncludeGraph graph;
+  graph.add_file("src/graph/a.hpp", extract("#include \"graph/b.hpp\"\n"));
+  graph.add_file("src/graph/b.hpp", extract("#include \"graph/c.hpp\"\n"));
+  graph.add_file("src/graph/c.hpp", extract("#include \"graph/a.hpp\"\n"));
+  const auto findings = graph.check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  // Reported once, on the lexicographically smallest member, with the
+  // loop spelled out.
+  EXPECT_EQ(findings[0].file, "src/graph/a.hpp");
+  EXPECT_NE(findings[0].message.find(
+                "src/graph/a.hpp -> src/graph/b.hpp -> src/graph/c.hpp -> "
+                "src/graph/a.hpp"),
+            std::string::npos);
+}
+
+TEST(LintIncludeGraph, SiblingRelativeIncludesResolve) {
+  IncludeGraph graph;
+  graph.add_file("src/dist/supervisor.hpp",
+                 extract("#include \"wire.hpp\"\n"));
+  graph.add_file("src/dist/wire.hpp", {});
+  const auto edges = graph.edges_of("src/dist/supervisor.hpp");
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], "src/dist/wire.hpp");
+  EXPECT_TRUE(graph.check().empty());  // self-edges are always allowed
+}
+
+}  // namespace
+}  // namespace ftcc::lint

@@ -1,0 +1,89 @@
+#include "lint/sarif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lint/analyzer.hpp"
+
+namespace ftcc::lint {
+namespace {
+
+std::vector<Finding> sample() {
+  return {
+      {"src/core/b.cpp", 9, "nondeterminism", "rand() in trial code",
+       "bbbbbbbbbbbbbbbb"},
+      {"src/core/a.cpp", 3, "unbounded-spin", "spin without a bound",
+       "aaaaaaaaaaaaaaaa"},
+  };
+}
+
+TEST(LintSarif, DocumentShapeAndOrdering) {
+  const std::string doc = to_sarif(sample());
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"ftcc-analyzer\""), std::string::npos);
+  // Results are sorted by file regardless of input order.
+  EXPECT_LT(doc.find("src/core/a.cpp"), doc.find("src/core/b.cpp"));
+  EXPECT_NE(doc.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"ftccFingerprint/v1\": \"aaaaaaaaaaaaaaaa\""),
+            std::string::npos);
+  // Every rule id ships metadata, findings or not.
+  for (const std::string& id : rule_ids())
+    EXPECT_NE(doc.find("\"id\": \"" + id + "\""), std::string::npos) << id;
+  EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(LintSarif, DeterministicAcrossCallsAndInputOrder) {
+  const std::string once = to_sarif(sample());
+  EXPECT_EQ(once, to_sarif(sample()));
+  auto reversed = sample();
+  std::swap(reversed[0], reversed[1]);
+  EXPECT_EQ(once, to_sarif(std::move(reversed)));
+}
+
+TEST(LintSarif, EscapesMessages) {
+  const std::string doc = to_sarif(
+      {{"src/core/a.cpp", 1, "nondeterminism", "quote \" slash \\ tab \t",
+        "aaaaaaaaaaaaaaaa"}});
+  EXPECT_NE(doc.find("quote \\\" slash \\\\ tab \\t"), std::string::npos);
+}
+
+TEST(LintSarif, EmptyRunIsStillAValidDocument) {
+  const std::string doc = to_sarif({});
+  EXPECT_NE(doc.find("\"results\": [\n      ]"), std::string::npos);
+}
+
+TEST(LintBaselineFormat, RoundTripsThroughTheParser) {
+  const std::string text = to_baseline(sample());
+  // Sorted, one triple per line, under a comment header.
+  EXPECT_LT(text.find("src/core/a.cpp unbounded-spin aaaaaaaaaaaaaaaa"),
+            text.find("src/core/b.cpp nondeterminism bbbbbbbbbbbbbbbb"));
+  std::vector<BaselineEntry> entries;
+  std::string error;
+  ASSERT_TRUE(parse_baseline(text, entries, &error)) << error;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].path, "src/core/a.cpp");
+  EXPECT_EQ(entries[0].fingerprint, "aaaaaaaaaaaaaaaa");
+  // The frozen findings stay masked; anything else still surfaces.
+  auto findings = sample();
+  findings.push_back({"src/core/c.cpp", 1, "wall-clock", "new finding",
+                      "cccccccccccccccc"});
+  const auto kept = apply_baseline(std::move(findings), entries);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].file, "src/core/c.cpp");
+}
+
+TEST(LintEndToEnd, AnalyzeSourcesMatchesSarifFingerprints) {
+  // The fingerprint in the SARIF output is the same one the baseline
+  // machinery computes — one identity, two surfaces.
+  const auto analysis = analyze_sources(
+      {{"src/core/a.cpp", "int x = rand();\n"}});
+  ASSERT_EQ(analysis.findings.size(), 1u);
+  const std::string& fp = analysis.findings[0].fingerprint;
+  ASSERT_EQ(fp.size(), 16u);
+  EXPECT_NE(to_sarif(analysis.findings)
+                .find("\"ftccFingerprint/v1\": \"" + fp + "\""),
+            std::string::npos);
+  EXPECT_NE(to_baseline(analysis.findings).find(fp), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftcc::lint

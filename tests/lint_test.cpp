@@ -1,8 +1,15 @@
 #include "lint/rules.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
+
+#include "lint/analyzer.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/tokenizer.hpp"
 
 namespace ftcc::lint {
 namespace {
@@ -176,40 +183,75 @@ TEST(LintWaivers, InlineAllowSilencesOnLineAndLineAbove) {
 }
 
 TEST(LintBaseline, ParsesCommentsAndRejectsGarbage) {
-  std::vector<std::pair<std::string, std::string>> entries;
+  std::vector<BaselineEntry> entries;
   std::string error;
-  EXPECT_TRUE(parse_baseline("# comment\n"
-                             "\n"
-                             "src/core/a.cpp nondeterminism\n"
-                             "  src/core/b.cpp unbounded-spin\n",
-                             entries, &error))
+  EXPECT_TRUE(parse_baseline(
+                  "# comment\n"
+                  "\n"
+                  "src/core/a.cpp nondeterminism 0123456789abcdef\n"
+                  "  src/core/b.cpp unbounded-spin fedcba9876543210\n",
+                  entries, &error))
       << error;
   ASSERT_EQ(entries.size(), 2u);
-  EXPECT_EQ(entries[0].first, "src/core/a.cpp");
-  EXPECT_EQ(entries[0].second, "nondeterminism");
+  EXPECT_EQ(entries[0].path, "src/core/a.cpp");
+  EXPECT_EQ(entries[0].rule, "nondeterminism");
+  EXPECT_EQ(entries[0].fingerprint, "0123456789abcdef");
 
   entries.clear();
-  EXPECT_FALSE(parse_baseline("src/core/a.cpp\n", entries, &error));
+  // The pre-fingerprint two-field format is rejected, loudly: stale
+  // baselines must be regenerated, not silently widened.
+  EXPECT_FALSE(
+      parse_baseline("src/core/a.cpp nondeterminism\n", entries, &error));
   EXPECT_NE(error.find("line 1"), std::string::npos);
-  EXPECT_FALSE(
-      parse_baseline("src/core/a.cpp not-a-rule\n", entries, &error));
+  EXPECT_FALSE(parse_baseline("src/core/a.cpp not-a-rule 0123456789abcdef\n",
+                              entries, &error));
   EXPECT_NE(error.find("unknown rule"), std::string::npos);
-  EXPECT_FALSE(
-      parse_baseline("src/core/a.cpp nondeterminism extra\n", entries,
-                     &error));
+  EXPECT_FALSE(parse_baseline("src/core/a.cpp nondeterminism 012345\n",
+                              entries, &error));
+  EXPECT_NE(error.find("16 lowercase hex"), std::string::npos);
+  EXPECT_FALSE(parse_baseline("src/core/a.cpp nondeterminism 0123456789ABCDEF\n",
+                              entries, &error));
 }
 
-TEST(LintBaseline, DropsExactlyTheListedFileRulePairs) {
+TEST(LintBaseline, DropsOnlyExactFingerprintMatches) {
   std::vector<Finding> findings = {
-      {"src/core/a.cpp", 1, "nondeterminism", "m"},
-      {"src/core/a.cpp", 2, "unbounded-spin", "m"},
-      {"src/core/b.cpp", 3, "nondeterminism", "m"},
+      {"src/core/a.cpp", 1, "nondeterminism", "m", "aaaaaaaaaaaaaaaa"},
+      {"src/core/a.cpp", 2, "nondeterminism", "m", "bbbbbbbbbbbbbbbb"},
+      {"src/core/b.cpp", 3, "nondeterminism", "m", "cccccccccccccccc"},
   };
-  const auto kept = apply_baseline(
-      std::move(findings), {{"src/core/a.cpp", "nondeterminism"}});
+  // The old baseline masked every finding of a rule in a file; the
+  // fingerprint baseline drops exactly one finding, so the second
+  // nondeterminism hit in a.cpp — a *new* violation — still fails lint.
+  const auto kept =
+      apply_baseline(std::move(findings),
+                     {{"src/core/a.cpp", "nondeterminism", "aaaaaaaaaaaaaaaa"}});
   ASSERT_EQ(kept.size(), 2u);
-  EXPECT_EQ(kept[0].rule, "unbounded-spin");
+  EXPECT_EQ(kept[0].fingerprint, "bbbbbbbbbbbbbbbb");
   EXPECT_EQ(kept[1].file, "src/core/b.cpp");
+}
+
+TEST(LintFingerprints, StableAcrossLineDriftNotAcrossEdits) {
+  const std::string offending = "int x = rand();\n";
+  const auto fp_of = [&](const std::string& content) {
+    auto findings = check_file("src/core/a.cpp", content);
+    assign_fingerprints(findings, split_lines(content));
+    EXPECT_EQ(findings.size(), 1u);
+    return findings.empty() ? std::string() : findings[0].fingerprint;
+  };
+  const std::string base = fp_of(offending);
+  ASSERT_EQ(base.size(), 16u);
+  // Unrelated lines above move the finding but not its identity.
+  EXPECT_EQ(fp_of("int unrelated;\nint more;\n" + offending), base);
+  // Reindentation is whitespace-only: same normalized content.
+  EXPECT_EQ(fp_of("    int x = rand();\n"), base);
+  // Touching the flagged code itself expires the fingerprint.
+  EXPECT_NE(fp_of("int x = rand() + 1;\n"), base);
+  // A second identical offending line gets its own occurrence index.
+  auto twice = check_file("src/core/a.cpp", offending + offending);
+  assign_fingerprints(twice, split_lines(offending + offending));
+  ASSERT_EQ(twice.size(), 2u);
+  EXPECT_EQ(twice[0].fingerprint, base);
+  EXPECT_NE(twice[1].fingerprint, base);
 }
 
 // ---------------------------------------------------------------------------
@@ -344,15 +386,23 @@ TEST(LintModelcheckInternal, FlagsEveryInternalHeader) {
 }
 
 // ---------------------------------------------------------------------------
-// signal-safety
+// signal-safety (whole-program: lint/callgraph.hpp via analyze_sources)
 // ---------------------------------------------------------------------------
 
-TEST(LintSignalSafety, ConfinedToTheDistBackend) {
+std::vector<Finding> of_rule(const ProgramAnalysis& analysis,
+                             const std::string& rule) {
+  std::vector<Finding> out;
+  for (const auto& f : analysis.findings)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+TEST(LintSignalSafety, AppliesAcrossSrcNotToolsOrTests) {
   EXPECT_TRUE(rule_applies("signal-safety", "src/dist/janitor.cpp"));
   EXPECT_TRUE(rule_applies("signal-safety", "src/dist/supervisor.hpp"));
-  // Nothing outside src/dist/ installs handlers; the rule stays narrow.
-  EXPECT_FALSE(rule_applies("signal-safety", "src/runtime/worker_pool.cpp"));
-  EXPECT_FALSE(rule_applies("signal-safety", "src/core/a.cpp"));
+  // A handler's helper may live anywhere under src/ — the transitive
+  // closure follows it, so the scope is all of src/.
+  EXPECT_TRUE(rule_applies("signal-safety", "src/util/io.cpp"));
   EXPECT_FALSE(rule_applies("signal-safety", "tools/dist.cpp"));
   EXPECT_FALSE(rule_applies("signal-safety", "tests/dist_runtime_test.cpp"));
 }
@@ -365,67 +415,318 @@ TEST(LintSignalSafety, FlagsUnsafeCallsInsideHandlerBodies) {
       "  char* p = static_cast<char*>(malloc(64));\n"
       "  _exit(128 + sig);\n"
       "}\n";
-  const auto findings = check_file("src/dist/bad.cpp", bad);
+  const auto findings =
+      of_rule(analyze_sources({{"src/dist/bad.cpp", bad}}), "signal-safety");
   ASSERT_EQ(findings.size(), 3u);
   for (const auto& f : findings) {
-    EXPECT_EQ(f.rule, "signal-safety") << f.message;
     EXPECT_NE(f.message.find("async-signal-safe"), std::string::npos);
+    EXPECT_FALSE(f.fingerprint.empty());
   }
   EXPECT_EQ(findings[0].line, 2u);
   EXPECT_EQ(findings[1].line, 3u);
   EXPECT_EQ(findings[2].line, 4u);
 }
 
+TEST(LintSignalSafety, TransitiveClosureCatchesWhatNamingMisses) {
+  // The seeded violation the regex-era rule could not see: the handler is
+  // registered via sa_handler under an innocent name, and the allocation
+  // hides one call away in a helper.
+  const std::string seeded =
+      "#include <csignal>\n"
+      "void flush_buffers() {\n"
+      "  void* p = malloc(32);\n"
+      "  (void)p;\n"
+      "}\n"
+      "void on_fatal(int sig) {\n"
+      "  flush_buffers();\n"
+      "  (void)sig;\n"
+      "}\n"
+      "void install() {\n"
+      "  struct sigaction action {};\n"
+      "  action.sa_handler = on_fatal;\n"
+      "  sigaction(SIGTERM, &action, nullptr);\n"
+      "}\n";
+  // The name-based per-file scan (check_file) sees nothing...
+  EXPECT_TRUE(check_file("src/dist/seeded.cpp", seeded).empty());
+  // ... the whole-program analysis flags the malloc, with the chain.
+  const auto findings = of_rule(
+      analyze_sources({{"src/dist/seeded.cpp", seeded}}), "signal-safety");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("on_fatal -> flush_buffers"),
+            std::string::npos);
+}
+
+TEST(LintSignalSafety, FollowsHelpersAcrossFiles) {
+  // Handler in one TU, helper in another: the closure is whole-program.
+  const std::string handler =
+      "void ftcc_dist_fatal_signal_handler(int sig) {\n"
+      "  log_last_words(sig);\n"
+      "}\n";
+  const std::string helper =
+      "void log_last_words(int sig) {\n"
+      "  fprintf(stderr, \"sig %d\\n\", sig);\n"
+      "}\n";
+  const auto findings =
+      of_rule(analyze_sources({{"src/dist/handler.cpp", handler},
+                               {"src/util/last_words.cpp", helper}}),
+              "signal-safety");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/last_words.cpp");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
 TEST(LintSignalSafety, SafeHandlersDeclarationsAndOutsideCodeAreClean) {
   // kill / unlink / _exit — the janitor's entire vocabulary — pass.
-  EXPECT_TRUE(check_file("src/dist/ok.cpp",
-                         "void fatal_signal_handler(int sig) {\n"
-                         "  kill(pid, SIGKILL);\n"
-                         "  unlink(path);\n"
-                         "  _exit(128 + sig);\n"
-                         "}\n")
-                  .empty());
+  EXPECT_TRUE(analyze_sources({{"src/dist/ok.cpp",
+                                "void fatal_signal_handler(int sig) {\n"
+                                "  kill(pid, SIGKILL);\n"
+                                "  unlink(path);\n"
+                                "  _exit(128 + sig);\n"
+                                "}\n"}})
+                  .findings.empty());
   // A declaration has no body to audit.
-  EXPECT_TRUE(check_file("src/dist/decl.hpp",
-                         "extern \"C\" void fatal_signal_handler(int sig);\n")
-                  .empty());
-  // Unsafe calls outside any handler are the other rules' business.
-  EXPECT_TRUE(check_file("src/dist/other.cpp",
-                         "void report() { printf(\"fine here\\n\"); }\n")
-                  .empty());
-  // The audit stops at the handler's closing brace.
-  EXPECT_TRUE(check_file("src/dist/after.cpp",
-                         "void fatal_signal_handler(int sig) {\n"
-                         "  _exit(128 + sig);\n"
-                         "}\n"
-                         "void elsewhere() { std::string s; }\n")
-                  .empty());
+  EXPECT_TRUE(
+      analyze_sources(
+          {{"src/dist/decl.hpp",
+            "extern \"C\" void fatal_signal_handler(int sig);\n"}})
+          .findings.empty());
+  // Unsafe calls outside the closure are the other rules' business.
+  EXPECT_TRUE(analyze_sources({{"src/dist/other.cpp",
+                                "void report() {\n"
+                                "  printf(\"fine here\\n\");\n"
+                                "}\n"}})
+                  .findings.empty());
+  // Re-arming to the default disposition registers no handler root.
+  EXPECT_TRUE(analyze_sources({{"src/dist/rearm.cpp",
+                                "void rearm(int sig) {\n"
+                                "  signal(sig, SIG_DFL);\n"
+                                "}\n"}})
+                  .findings.empty());
 }
 
 TEST(LintSignalSafety, WaiversWorkLikeEveryOtherRule) {
   EXPECT_TRUE(
-      check_file("src/dist/waived.cpp",
-                 "void fatal_signal_handler(int sig) {\n"
-                 "  // lint:allow(signal-safety): write(2) formatting only\n"
-                 "  snprintf(buf, sizeof(buf), \"%d\", sig);\n"
-                 "}\n")
-          .empty());
-  EXPECT_FALSE(
-      check_file("src/dist/unwaived.cpp",
-                 "void fatal_signal_handler(int sig) {\n"
-                 "  snprintf(buf, sizeof(buf), \"%d\", sig);\n"
-                 "}\n")
+      analyze_sources(
+          {{"src/dist/waived.cpp",
+            "void fatal_signal_handler(int sig) {\n"
+            "  // lint:allow(signal-safety): write(2) formatting only\n"
+            "  snprintf(buf, sizeof(buf), \"%d\", sig);\n"
+            "}\n"}})
+          .findings.empty());
+  EXPECT_FALSE(analyze_sources({{"src/dist/unwaived.cpp",
+                                 "void fatal_signal_handler(int sig) {\n"
+                                 "  snprintf(buf, sizeof(buf), \"%d\", sig);\n"
+                                 "}\n"}})
+                   .findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// alloc-freedom (whole-program)
+// ---------------------------------------------------------------------------
+
+TEST(LintAllocFreedom, FlagsDirectHeapExpressionsInTheStepClosure) {
+  const std::string executor =
+      "struct Executor {\n"
+      "  void helper();\n"
+      "  void step() { helper(); }\n"
+      "};\n"
+      "void Executor::helper() {\n"
+      "  int* p = new int[4];\n"
+      "  delete[] p;\n"
+      "}\n";
+  const auto findings =
+      of_rule(analyze_sources({{"src/runtime/executor.hpp", executor}}),
+              "alloc-freedom");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 6u);
+  EXPECT_NE(findings[0].message.find("Executor::step -> Executor::helper"),
+            std::string::npos);
+}
+
+TEST(LintAllocFreedom, RootsArePinnedToTheRealExecutorHeader) {
+  // The same code under a different path seeds no closure: the proof is
+  // about src/runtime/executor.hpp, not every function named step.
+  const std::string executor =
+      "struct Executor {\n"
+      "  void step() { int* p = new int[4]; delete[] p; }\n"
+      "};\n";
+  EXPECT_TRUE(of_rule(analyze_sources({{"src/runtime/other.hpp", executor}}),
+                      "alloc-freedom")
+                  .empty());
+  // Container growth (push_back onto reserved arenas) is the dynamic
+  // counting-new test's jurisdiction, not a direct heap expression.
+  EXPECT_TRUE(
+      of_rule(analyze_sources({{"src/runtime/executor.hpp",
+                                "struct Executor {\n"
+                                "  void step() { arena_.push_back(1); }\n"
+                                "};\n"}}),
+              "alloc-freedom")
           .empty());
 }
 
-TEST(LintRuleIds, EveryRuleHasAnIdAndAScope) {
+TEST(LintRuleIds, EveryRuleHasAnIdAScopeAndADescription) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 8u);
-  for (const auto& id : ids)
+  ASSERT_EQ(ids.size(), 11u);
+  for (const auto& id : ids) {
     EXPECT_TRUE(rule_applies(id, "src/core/x.cpp") ||
                 rule_applies(id, "src/runtime/x.cpp") ||
                 rule_applies(id, "src/dist/x.cpp"))
         << id;
+    EXPECT_FALSE(rule_description(id).empty()) << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token-awareness regressions: the regex era flagged banned identifiers
+// inside comments and string literals.  One commented and one quoted
+// probe per line rule, all clean.
+// ---------------------------------------------------------------------------
+
+TEST(LintTokenAwareness, CommentsAndStringsNeverTrigger) {
+  struct Probe {
+    const char* path;
+    const char* content;
+  };
+  const Probe probes[] = {
+      // concurrency-primitives
+      {"src/core/a.cpp", "// guard with std::mutex? no: see DESIGN.md\n"},
+      {"src/core/b.cpp", "const char* k = \"std::atomic<int> banned\";\n"},
+      {"src/core/c.cpp", "/* std::thread is confined to the runtime */\n"},
+      // unbounded-spin
+      {"src/graph/a.cpp", "// while (true) would livelock here\n"},
+      {"src/graph/b.cpp", "log(\"while (true) { spin(); }\");\n"},
+      // nondeterminism
+      {"src/fuzz/a.cpp", "// rand() is banned; use SplitMix64(seed)\n"},
+      {"src/fuzz/b.cpp", "const char* m = \"rand() leaked into a trial\";\n"},
+      {"src/core/d.cpp", "// std::chrono::steady_clock::now() is banned\n"},
+      // snapshot-discipline
+      {"src/core/e.cpp", "// never name the Executor from an algorithm\n"},
+      {"src/core/f.cpp", "const char* e = \"Scheduler moved the token\";\n"},
+      // wall-clock
+      {"src/analysis/a.cpp", "// timing uses obs::Stopwatch, not <chrono>\n"},
+      {"src/analysis/b.cpp", "warn(\"clock_gettime outside src/obs\");\n"},
+      // thread-spawn
+      {"src/core/g.cpp", "// std::async(run) would bypass the pool\n"},
+      {"src/core/h.cpp", "const char* t = \"pthread_create is confined\";\n"},
+      // modelcheck-internal (a quoted include only counts on an
+      // #include line; in a plain string it is prose)
+      {"src/analysis/c.cpp",
+       "// include modelcheck/state_store.hpp? use explorer.hpp\n"},
+      {"src/analysis/d.cpp",
+       "const char* h = \"modelcheck/symmetry.hpp\";\n"},
+      // raw strings scrub like ordinary strings, across lines
+      {"src/core/i.cpp",
+       "const char* r = R\"(\n"
+       "  std::mutex m; while (true) {} rand();\n"
+       ")\";\n"},
+  };
+  for (const Probe& probe : probes)
+    EXPECT_TRUE(check_file(probe.path, probe.content).empty())
+        << probe.path << ": " << probe.content;
+}
+
+// ---------------------------------------------------------------------------
+// The real tree: the analyzer runs over the live repository (path baked
+// in by CMake) and the subsystem-level include edges are pinned as a
+// golden map.  A new cross-subsystem edge shows up here first — adding
+// one is a reviewed architecture decision, not a lint chore.
+// ---------------------------------------------------------------------------
+
+#ifdef FTCC_REPO_ROOT
+TEST(LintRealTree, AnalyzesCleanAndMatchesTheGoldenLayerMap) {
+  namespace fs = std::filesystem;
+  const fs::path root = FTCC_REPO_ROOT;
+  std::vector<SourceFile> sources;
+  for (const char* top : {"src", "tools"}) {
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root / top)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc")
+        continue;
+      std::ifstream in(entry.path());
+      ASSERT_TRUE(in) << entry.path();
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      sources.push_back({fs::relative(entry.path(), root).generic_string(),
+                         buffer.str()});
+    }
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  ASSERT_GT(sources.size(), 50u);  // the walk found the real tree
+
+  // The whole tree is clean under every rule — zero baseline entries.
+  std::vector<FileAnalysis> files;
+  IncludeGraph graph;
+  for (const SourceFile& source : sources)
+    files.push_back(analyze_file(source.path, source.content));
+  for (const FileAnalysis& file : files)
+    graph.add_file(file.path, file.includes);
+  const auto analysis = analyze_program(std::move(files));
+  for (const auto& f : analysis.findings)
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+
+  // The golden subsystem-edge map.  Every edge the tree actually has,
+  // spelled out: a diff here means the architecture changed.
+  const std::vector<std::string> expected = {
+      "analysis -> faults",    "analysis -> graph",
+      "analysis -> obs",       "analysis -> runtime",
+      "analysis -> sched",     "analysis -> util",
+      "core -> runtime",       "core -> util",
+      "decoupled -> graph",    "decoupled -> localmodel",
+      "decoupled -> runtime",  "decoupled -> util",
+      "dist -> analysis",      "dist -> faults",
+      "dist -> fuzz",          "dist -> graph",
+      "dist -> obs",           "dist -> runtime",
+      "dist -> sched",         "dist -> util",
+      "faults -> graph",       "faults -> runtime",
+      "fuzz -> analysis",      "fuzz -> core",
+      "fuzz -> faults",        "fuzz -> graph",
+      "fuzz -> obs",           "fuzz -> runtime",
+      "fuzz -> sched",         "fuzz -> util",
+      "graph -> util",         "localmodel -> graph",
+      "localmodel -> util",    "mis -> runtime",
+      "modelcheck -> graph",   "modelcheck -> obs",
+      "modelcheck -> runtime", "modelcheck -> util",
+      "obs -> util",           "runtime -> faults",
+      "runtime -> graph",      "runtime -> obs",
+      "runtime -> util",       "sched -> runtime",
+      "sched -> util",         "selfstab -> graph",
+      "selfstab -> util",      "shm -> runtime",
+      "shm -> util",
+  };
+  std::vector<std::string> actual = graph.subsystem_edges();
+  std::erase_if(actual, [](const std::string& edge) {
+    return edge.rfind("tools ", 0) == 0;  // tools fronts everything
+  });
+  EXPECT_EQ(actual, expected);
+
+  // Every present edge must also be *declared* — and the deliberate
+  // runtime <-> faults mutual pair is file-level acyclic (the empty
+  // findings above already proved no include-cycle).
+  for (const std::string& edge : actual) {
+    const std::size_t arrow = edge.find(" -> ");
+    ASSERT_NE(arrow, std::string::npos);
+    EXPECT_TRUE(layer_edge_allowed(edge.substr(0, arrow),
+                                   edge.substr(arrow + 4)))
+        << edge;
+  }
+}
+#endif  // FTCC_REPO_ROOT
+
+TEST(LintTokenAwareness, RealCodeNextToProseStillFlags) {
+  // The scrub must not blind the rules: code outside the comment on the
+  // same line still fires.
+  const auto findings = check_file(
+      "src/core/mixed.cpp", "std::atomic<int> x;  // not a std::mutex\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "concurrency-primitives");
+  EXPECT_NE(findings[0].message.find("std::atomic"), std::string::npos);
 }
 
 }  // namespace

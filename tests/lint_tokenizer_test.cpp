@@ -1,0 +1,147 @@
+#include "lint/tokenizer.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ftcc::lint {
+namespace {
+
+std::vector<Token> of_kind(const std::vector<Token>& tokens, TokKind kind) {
+  std::vector<Token> out;
+  for (const Token& t : tokens)
+    if (t.kind == kind) out.push_back(t);
+  return out;
+}
+
+TEST(LintTokenizer, ClassifiesTheBasicKinds) {
+  const auto tokens = tokenize("int x = 42;  // done\n");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokKind::identifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[2].kind, TokKind::punct);
+  EXPECT_EQ(tokens[3].kind, TokKind::number);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens.back().kind, TokKind::line_comment);
+  EXPECT_EQ(tokens.back().text, "// done");
+  for (const Token& t : tokens) EXPECT_EQ(t.line, 1u);
+}
+
+TEST(LintTokenizer, BlockCommentsSpanLinesAsOneToken) {
+  const auto tokens = tokenize("a /* one\ntwo\nthree */ b\n");
+  const auto comments = of_kind(tokens, TokKind::block_comment);
+  ASSERT_EQ(comments.size(), 1u);
+  EXPECT_EQ(comments[0].line, 1u);
+  // The identifier after the comment knows its real line.
+  ASSERT_EQ(of_kind(tokens, TokKind::identifier).size(), 2u);
+  EXPECT_EQ(of_kind(tokens, TokKind::identifier)[1].line, 3u);
+}
+
+TEST(LintTokenizer, StringsSwallowCommentMarkersAndEscapes) {
+  const auto tokens = tokenize(
+      "const char* a = \"// not a comment\";\n"
+      "const char* b = \"escaped \\\" quote\";\n"
+      "char c = '\\'';\n");
+  EXPECT_TRUE(of_kind(tokens, TokKind::line_comment).empty());
+  ASSERT_EQ(of_kind(tokens, TokKind::string_lit).size(), 2u);
+  ASSERT_EQ(of_kind(tokens, TokKind::char_lit).size(), 1u);
+}
+
+TEST(LintTokenizer, RawStringsHonourTheDelimiter) {
+  // The inner )" does not close the literal; only )ftcc" does.
+  const auto tokens = tokenize(
+      "auto s = R\"ftcc(unbalanced { \" ) and // markers)ftcc\";\n"
+      "next;\n");
+  const auto strings = of_kind(tokens, TokKind::string_lit);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NE(strings[0].text.find("markers"), std::string::npos);
+  EXPECT_TRUE(of_kind(tokens, TokKind::line_comment).empty());
+}
+
+TEST(LintTokenizer, EncodedPrefixesStayOneLiteral) {
+  const auto tokens = tokenize("auto a = u8\"x\"; auto b = L'c';\n");
+  ASSERT_EQ(of_kind(tokens, TokKind::string_lit).size(), 1u);
+  EXPECT_EQ(of_kind(tokens, TokKind::string_lit)[0].text, "u8\"x\"");
+  ASSERT_EQ(of_kind(tokens, TokKind::char_lit).size(), 1u);
+  EXPECT_EQ(of_kind(tokens, TokKind::char_lit)[0].text, "L'c'");
+}
+
+TEST(LintTokenizer, DirectivesTagTheirTokens) {
+  const auto tokens = tokenize(
+      "#include <atomic>\n"
+      "#include \"runtime/executor.hpp\"\n"
+      "int x;\n");
+  const auto headers = of_kind(tokens, TokKind::header_name);
+  ASSERT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers[0].text, "<atomic>");
+  EXPECT_TRUE(headers[0].in_directive);
+  EXPECT_EQ(headers[0].directive, "include");
+  const auto strings = of_kind(tokens, TokKind::string_lit);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].directive, "include");
+  // Ordinary code after the directive line is untagged.
+  EXPECT_FALSE(tokens.back().in_directive);
+}
+
+TEST(LintTokenizer, SplicedDirectivesStayOneLogicalLine) {
+  const auto tokens = tokenize(
+      "#define LONG_MACRO(a, b) \\\n"
+      "  do_something(a, b)\n"
+      "int after;\n");
+  bool saw_spliced_call = false;
+  for (const Token& t : tokens)
+    if (t.text == "do_something") {
+      EXPECT_TRUE(t.in_directive);
+      EXPECT_EQ(t.directive, "define");
+      saw_spliced_call = true;
+    }
+  EXPECT_TRUE(saw_spliced_call);
+  EXPECT_FALSE(tokens.back().in_directive);
+  EXPECT_EQ(tokens.back().line, 3u);
+}
+
+TEST(LintTokenizer, ScrubBlanksProseKeepsCodeAndAlignment) {
+  const std::string content =
+      "std::mutex m;  // std::thread here\n"
+      "const char* s = \"std::atomic\";\n";
+  const std::string scrubbed = scrub(content);
+  ASSERT_EQ(scrubbed.size(), content.size());
+  // Newlines survive, so line splits agree byte-for-byte.
+  EXPECT_EQ(split_lines(scrubbed).size(), split_lines(content).size());
+  EXPECT_NE(scrubbed.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("std::thread"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("std::atomic"), std::string::npos);
+}
+
+TEST(LintTokenizer, ScrubKeepsQuotedIncludeTargets) {
+  const std::string content =
+      "#include \"runtime/executor.hpp\"\n"
+      "const char* s = \"runtime/executor.hpp\";\n";
+  const std::string scrubbed = scrub(content);
+  // The include target is a header name and stays visible to the rules;
+  // the same spelling inside a plain string is prose and goes blank.
+  const auto lines = split_lines(scrubbed);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("runtime/executor.hpp"), std::string::npos);
+  EXPECT_EQ(lines[1].find("runtime/executor.hpp"), std::string::npos);
+}
+
+TEST(LintTokenizer, MultiCharOperatorsLexLongestMatch) {
+  const auto tokens = tokenize("a->b; x::y; s <<= 2;\n");
+  std::vector<std::string> puncts;
+  for (const Token& t : tokens)
+    if (t.kind == TokKind::punct) puncts.push_back(t.text);
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "::"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<<="), puncts.end());
+}
+
+TEST(LintTokenizer, UnterminatedConstructsCloseAtEof) {
+  // Work-in-progress trees must lint, not crash.
+  EXPECT_FALSE(tokenize("/* never closed\nstill open").empty());
+  EXPECT_FALSE(tokenize("auto s = \"no close\n").empty());
+  EXPECT_FALSE(tokenize("auto r = R\"(no close").empty());
+}
+
+}  // namespace
+}  // namespace ftcc::lint

@@ -1,14 +1,21 @@
-// tools/lint — enforce the repo's bespoke discipline rules (src/lint/):
-// concurrency primitives confined to src/runtime/, no unbounded spin
-// loops, no nondeterminism in algorithm/fuzz code, and algorithm code
-// touching neighbour state only via the step() snapshot.
+// tools/lint — the ftcc-analyzer front end (src/lint/, DESIGN.md §13):
+// token-aware discipline rules, the include-layering DAG, and the
+// transitive signal-safety / alloc-freedom proofs over the whole tree.
 //
-//   lint --root=.                 # lint src/ and tools/ (CI invocation)
-//   lint --root=. --rules         # list the rule ids
+//   lint --root=.                     # analyze src/ and tools/ (CI)
+//   lint --root=. --jobs=8            # parse files on 8 workers
+//   lint --root=. --sarif=lint.sarif  # also write a SARIF v2.1.0 report
+//   lint --root=. --baseline-out=lint-baseline.txt   # freeze findings
+//   lint --rules                      # list the rule ids
 //
-// Findings are waived either inline (`// lint:allow(rule-id)` on or above
-// the offending line — preferred, the justification lives next to the
-// code) or via the committed baseline file (one `path rule` per line).
+// Output is byte-identical for any --jobs count: files are analyzed into
+// indexed slots on the runtime WorkerPool and merged in file order (the
+// same merge rule the campaign runners use).  Findings are waived either
+// inline (`// lint:allow(rule-id)` on or above the offending line —
+// preferred, the justification lives next to the code) or via the
+// committed baseline file (one `path rule fingerprint` per line; the
+// fingerprint is a content hash, so baselines survive line drift but
+// expire when the flagged code changes).
 // Exit status: 0 = clean, 1 = findings, 2 = usage/configuration error.
 #include <algorithm>
 #include <filesystem>
@@ -16,7 +23,10 @@
 #include <iostream>
 #include <sstream>
 
-#include "lint/rules.hpp"
+#include "lint/analyzer.hpp"
+#include "lint/sarif.hpp"
+#include "runtime/worker_pool.hpp"
+#include "util/artifacts.hpp"
 #include "util/cli.hpp"
 
 namespace fs = std::filesystem;
@@ -32,6 +42,22 @@ bool read_file(const fs::path& path, std::string& out) {
   return true;
 }
 
+bool write_file(const fs::path& path, const std::string& content,
+                std::string& error) {
+  std::ofstream out(path);
+  if (!out) {
+    error = "cannot open " + path.string() + " for writing";
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    error = "write to " + path.string() + " failed";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,6 +65,12 @@ int main(int argc, char** argv) {
   cli.flag("root", std::string("."), "repository root to lint")
       .flag("baseline", std::string("lint-baseline.txt"),
             "baseline file, relative to --root (missing = empty)")
+      .flag("jobs", std::uint64_t{1},
+            "worker threads for per-file analysis (0 = hardware)")
+      .flag("sarif", std::string(""),
+            "write a SARIF v2.1.0 report to this path")
+      .flag("baseline-out", std::string(""),
+            "write the post-baseline findings as a new baseline file")
       .flag("rules", false, "list rule ids and exit");
   if (!cli.parse(argc, argv)) return 2;
 
@@ -48,8 +80,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Fail fast on unwritable artifact destinations — before minutes of
+  // analysis, not after (same probe discipline as the campaign tools).
+  const std::string sarif_path = cli.get_string("sarif");
+  const std::string baseline_out = cli.get_string("baseline-out");
+  for (const std::string& artifact : {sarif_path, baseline_out}) {
+    if (artifact.empty()) continue;
+    if (const auto error = ftcc::probe_file_writable(artifact)) {
+      std::cerr << "lint: " << *error << "\n";
+      return 2;
+    }
+  }
+
   const fs::path root = cli.get_string("root");
-  std::vector<std::pair<std::string, std::string>> baseline;
+  std::vector<ftcc::lint::BaselineEntry> baseline;
   {
     const fs::path baseline_path = root / cli.get_string("baseline");
     std::string content;
@@ -62,39 +106,67 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<ftcc::lint::Finding> findings;
-  std::size_t files = 0;
+  // Discover the file set up front, sorted: slot order == report order.
+  std::vector<fs::path> paths;
   for (const char* top : {"src", "tools"}) {
     const fs::path dir = root / top;
     if (!fs::exists(dir)) continue;
-    std::vector<fs::path> paths;
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
         paths.push_back(entry.path());
     }
-    std::sort(paths.begin(), paths.end());  // deterministic report order
-    for (const fs::path& path : paths) {
-      std::string content;
-      if (!read_file(path, content)) {
-        std::cerr << "cannot read " << path.string() << "\n";
-        return 2;
-      }
-      ++files;
-      const std::string rel =
-          fs::relative(path, root).generic_string();
-      for (auto& f : ftcc::lint::check_file(rel, content))
-        findings.push_back(std::move(f));
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<ftcc::lint::SourceFile> sources(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    sources[i].path = fs::relative(paths[i], root).generic_string();
+    if (!read_file(paths[i], sources[i].content)) {
+      std::cerr << "cannot read " << paths[i].string() << "\n";
+      return 2;
     }
   }
-  findings = ftcc::lint::apply_baseline(std::move(findings), baseline);
+
+  // Per-file analysis on the pool, one indexed slot per file; the merge
+  // below is a file-ordered concatenation, so any jobs count produces
+  // the same ProgramAnalysis (and therefore the same bytes everywhere).
+  const std::uint64_t jobs_flag = cli.get_u64("jobs");
+  const unsigned jobs = jobs_flag == 0
+                            ? ftcc::hardware_workers()
+                            : static_cast<unsigned>(jobs_flag);
+  std::vector<ftcc::lint::FileAnalysis> slots(sources.size());
+  ftcc::WorkerPool pool(jobs);
+  pool.run(sources.size(), [&](std::size_t index, unsigned) {
+    slots[index] =
+        ftcc::lint::analyze_file(sources[index].path, sources[index].content);
+  });
+  ftcc::lint::ProgramAnalysis analysis =
+      ftcc::lint::analyze_program(std::move(slots));
+
+  const std::size_t total = analysis.findings.size();
+  std::vector<ftcc::lint::Finding> findings =
+      ftcc::lint::apply_baseline(std::move(analysis.findings), baseline);
+  const std::size_t baselined = total - findings.size();
+
+  std::string error;
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path, ftcc::lint::to_sarif(findings), error)) {
+    std::cerr << "lint: " << error << "\n";
+    return 2;
+  }
+  if (!baseline_out.empty() &&
+      !write_file(baseline_out, ftcc::lint::to_baseline(findings), error)) {
+    std::cerr << "lint: " << error << "\n";
+    return 2;
+  }
 
   for (const auto& f : findings)
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
-  std::cout << "lint: " << files << " files, " << findings.size()
+  std::cout << "lint: " << sources.size() << " files, " << findings.size()
             << " finding" << (findings.size() == 1 ? "" : "s") << ", "
-            << baseline.size() << " baselined\n";
+            << baselined << " baselined\n";
   return findings.empty() ? 0 : 1;
 }
