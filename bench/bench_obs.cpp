@@ -5,6 +5,17 @@
 // is <= 5% overhead at every size; detached instrumentation is a no-op by
 // construction (a null-pointer test per step), so only the attached arm
 // is interesting.  Run with --json to get BENCH_obs.json for the CI gate.
+//
+// The second table prices the PR 9 cross-process plane: a dist node's
+// frame loop is a cross-process pipe round-trip per activation, so the
+// bench forks a real echo child and the arm pair is that round-trip
+// bare vs with the child running the per-activation shm telemetry write
+// set (two clock reads, a span, a histogram sample, a counter) into a
+// live ShmMetricsRegion slot.  Same <= 5% bar, same min-over-rounds
+// alternating-arm discipline.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 
@@ -12,6 +23,7 @@
 #include "core/algo1_six_coloring.hpp"
 #include "graph/ids.hpp"
 #include "obs/runtime_metrics.hpp"
+#include "obs/shm_metrics.hpp"
 #include "obs/span.hpp"
 #include "runtime/executor.hpp"
 #include "sched/schedulers.hpp"
@@ -81,5 +93,85 @@ int main(int argc, char** argv) {
   out.table(table, "E22 — metrics overhead, attached vs baseline executor "
                    "(steps checksum " +
                        std::to_string(sink % 997) + ")");
+
+  // ---- the dist node's frame loop, bare vs shm-instrumented ----
+  // A forked echo child stands in for a node process: the parent's
+  // request/ACK round-trip through two pipes is the frame cost that the
+  // telemetry write set rides on.  frame[0] selects the arm per frame.
+  obs::ShmMetricsRegion region(1, 256);
+  Table frames({"frames/round", "min bare us", "min instrumented us",
+                "ns/frame extra", "overhead %"});
+  int to_child[2];
+  int to_parent[2];
+  if (region.ok() && ::pipe(to_child) == 0 && ::pipe(to_parent) == 0) {
+    constexpr std::uint64_t kFrames = 8192;
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(to_child[1]);
+      ::close(to_parent[0]);
+      const obs::ShmSlotView slot = region.slot_view(0);
+      char frame[16];
+      while (::read(to_child[0], frame, sizeof frame) ==
+             static_cast<ssize_t>(sizeof frame)) {
+        if (frame[0] != 0) {
+          // What run_dist_node writes per activation (dist/node.hpp).
+          const std::uint64_t start = obs::slot_now_ns(slot);
+          const std::uint64_t end = obs::slot_now_ns(slot);
+          obs::slot_span_record(slot, obs::kShmSpanActivation, start, end, 0);
+          obs::slot_hist_record(slot, obs::kSlotHistActivationNs, end - start);
+          obs::slot_counter_add(slot, obs::kSlotCtrActivations, 1);
+        }
+        if (::write(to_parent[1], frame, sizeof frame) !=
+            static_cast<ssize_t>(sizeof frame))
+          break;
+      }
+      ::_exit(0);
+    }
+    ::close(to_child[0]);
+    ::close(to_parent[1]);
+    char frame[16] = {0};
+    const auto time_frames = [&](bool instrumented) {
+      frame[0] = instrumented ? 1 : 0;
+      obs::Stopwatch watch;
+      for (std::uint64_t f = 0; f < kFrames; ++f) {
+        sink += static_cast<std::uint64_t>(
+            ::write(to_child[1], frame, sizeof frame));
+        sink += static_cast<std::uint64_t>(
+            ::read(to_parent[0], frame, sizeof frame));
+        frame[0] = instrumented ? 1 : 0;
+      }
+      return watch.elapsed_us();
+    };
+    time_frames(false);  // warm (page in the pipes and the slot)
+    time_frames(true);
+    std::uint64_t bare_us = ~std::uint64_t{0};
+    std::uint64_t inst_us = ~std::uint64_t{0};
+    for (int round = 0; round < 8; ++round) {
+      if (round % 2 == 0) {
+        bare_us = std::min(bare_us, time_frames(false));
+        inst_us = std::min(inst_us, time_frames(true));
+      } else {
+        inst_us = std::min(inst_us, time_frames(true));
+        bare_us = std::min(bare_us, time_frames(false));
+      }
+    }
+    ::close(to_child[1]);
+    ::close(to_parent[0]);
+    ::waitpid(pid, nullptr, 0);
+    const double extra_ns =
+        (static_cast<double>(inst_us) - static_cast<double>(bare_us)) *
+        1000.0 / static_cast<double>(kFrames);
+    const double overhead =
+        bare_us == 0 ? 0.0
+                     : (static_cast<double>(inst_us) -
+                        static_cast<double>(bare_us)) *
+                           100.0 / static_cast<double>(bare_us);
+    frames.add_row({Table::cell(kFrames), Table::cell(bare_us),
+                    Table::cell(inst_us), Table::cell(extra_ns, 1),
+                    Table::cell(overhead, 2)});
+  }
+  out.table(frames,
+            "E22 — shm telemetry write set per dist frame (pipe round-trip "
+            "bare vs instrumented)");
   return out.finish();
 }

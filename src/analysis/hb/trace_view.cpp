@@ -1,0 +1,173 @@
+#include "analysis/hb/trace_view.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftcc {
+
+namespace {
+
+// Synthetic-timeline grain: every event is one 10µs slice with a 2µs
+// gap, starting at t=10 so covering slices can pad without underflow.
+constexpr std::uint64_t kSliceUs = 10;
+constexpr std::uint64_t kGapUs = 2;
+constexpr std::uint64_t kBaseUs = 10;
+constexpr int kMaxPasses = 8;
+
+std::string event_label(const HbEvent& e) {
+  switch (e.kind) {
+    case HbEventKind::publish:
+      return "pub v" + std::to_string(e.version);
+    case HbEventKind::adversary:
+      return "adv v" + std::to_string(e.version);
+    case HbEventKind::stall:
+      return "stall v" + std::to_string(e.version);
+    case HbEventKind::read:
+      return e.version == 0
+                 ? "read n" + std::to_string(e.peer) + " \xe2\x8a\xa5"
+                 : "read n" + std::to_string(e.peer) + " v" +
+                       std::to_string(e.version);
+    case HbEventKind::read_timeout:
+      return "rdto n" + std::to_string(e.peer);
+    case HbEventKind::revive:
+      return "rev v" + std::to_string(e.version);
+    case HbEventKind::finish:
+      return "fin c=" + std::to_string(e.version);
+  }
+  return "?";
+}
+
+std::string event_category(const HbEvent& e) {
+  switch (e.kind) {
+    case HbEventKind::publish: return "hb.pub";
+    case HbEventKind::adversary: return "hb.adv";
+    case HbEventKind::stall: return "hb.fault";
+    case HbEventKind::read: return e.version == 0 ? "hb.bot" : "hb.read";
+    case HbEventKind::read_timeout: return "hb.bot";
+    case HbEventKind::revive: return "hb.fault";
+    case HbEventKind::finish: return "hb.fin";
+  }
+  return "hb";
+}
+
+}  // namespace
+
+std::size_t event_log_to_trace(const EventLogArtifact& artifact,
+                               obs::TraceSink& sink, std::uint64_t pid) {
+  const NodeId n = artifact.log.node_count();
+  sink.process_name(pid, "eventlog algo=" + artifact.algo + " " +
+                             artifact.graph_kind + " n=" +
+                             std::to_string(artifact.n) +
+                             (artifact.verdict.empty() ? "" : " [REJECTED]"));
+  for (NodeId v = 0; v < n; ++v) {
+    std::string name = "node " + std::to_string(v);
+    if (v < artifact.ids.size())
+      name += " id=" + std::to_string(artifact.ids[v]);
+    sink.thread_name(pid, v, name);
+  }
+  if (!artifact.verdict.empty())
+    sink.instant_on(pid, 0, "verdict: " + artifact.verdict, "hb.verdict",
+                    0);
+
+  // Writer-side versions: (node, version) -> flat event handle, so reads
+  // can chase the publish (or adversary republish, or torn stall) they
+  // observed.  Last writer of a version wins, matching seqlock reality.
+  struct Flat {
+    NodeId node = 0;
+    const HbEvent* e = nullptr;
+    std::uint64_t start = 0;
+  };
+  std::vector<Flat> flat;
+  std::vector<std::size_t> lane_begin(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    lane_begin[v] = flat.size();
+    for (const HbEvent& e : artifact.log.events(v))
+      flat.push_back({v, &e, kBaseUs});
+  }
+  lane_begin[n] = flat.size();
+
+  std::map<std::pair<NodeId, std::uint64_t>, std::size_t> writer_of;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const HbEvent& e = *flat[i].e;
+    if (e.kind == HbEventKind::publish || e.kind == HbEventKind::adversary ||
+        e.kind == HbEventKind::stall)
+      writer_of[{flat[i].node, e.version}] = i;
+  }
+
+  // Bounded causal relaxation: program order within a lane, plus each
+  // matched read starts after its publish ends.  Monotone, so a
+  // certifiable log converges; a rejected log may not — the pass bound
+  // terminates it and leaves the offending arrows pointing backwards.
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool changed = false;
+    for (NodeId v = 0; v < n; ++v) {
+      std::uint64_t cursor = kBaseUs;
+      for (std::size_t i = lane_begin[v]; i < lane_begin[v + 1]; ++i) {
+        std::uint64_t start = std::max(flat[i].start, cursor);
+        const HbEvent& e = *flat[i].e;
+        if (e.kind == HbEventKind::read && e.version != 0) {
+          const auto it = writer_of.find({e.peer, e.version});
+          if (it != writer_of.end())
+            start = std::max(start, flat[it->second].start + kSliceUs);
+        }
+        if (start != flat[i].start) changed = true;
+        flat[i].start = start;
+        cursor = start + kSliceUs + kGapUs;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Emit: covering activation slices, event slices, fault instants.
+  for (NodeId v = 0; v < n; ++v) {
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> rounds;
+    for (std::size_t i = lane_begin[v]; i < lane_begin[v + 1]; ++i) {
+      const HbEvent& e = *flat[i].e;
+      sink.complete_on(pid, v, event_label(e), event_category(e),
+                       flat[i].start, kSliceUs);
+      if (e.kind == HbEventKind::stall)
+        sink.instant_on(pid, v, "crash: torn publish", "hb.fault",
+                        flat[i].start + kSliceUs);
+      if (e.kind == HbEventKind::revive)
+        sink.instant_on(pid, v, "revival", "hb.fault", flat[i].start);
+      auto [it, fresh] = rounds.try_emplace(
+          e.round, std::make_pair(flat[i].start, flat[i].start + kSliceUs));
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, flat[i].start);
+        it->second.second =
+            std::max(it->second.second, flat[i].start + kSliceUs);
+      }
+    }
+    for (const auto& [round, window] : rounds)
+      sink.complete_on(pid, v, "activation " + std::to_string(round),
+                       "hb.act", window.first - 1,
+                       window.second - window.first + 2);
+  }
+
+  // HB edges last: one s/f flow pair per read that observed a writer.
+  std::size_t arrows = 0;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const HbEvent& e = *flat[i].e;
+    if (e.kind != HbEventKind::read || e.version == 0) continue;
+    const auto it = writer_of.find({e.peer, e.version});
+    if (it == writer_of.end()) {
+      sink.instant_on(pid, flat[i].node,
+                      "unmatched read v" + std::to_string(e.version),
+                      "hb.verdict", flat[i].start);
+      continue;
+    }
+    const Flat& w = flat[it->second];
+    ++arrows;
+    const std::string name = "v" + std::to_string(e.version);
+    sink.flow_start(arrows, pid, w.node, name, "hb.edge",
+                    w.start + kSliceUs / 2);
+    sink.flow_finish(arrows, pid, flat[i].node, name, "hb.edge",
+                     flat[i].start + kSliceUs / 2);
+  }
+  return arrows;
+}
+
+}  // namespace ftcc

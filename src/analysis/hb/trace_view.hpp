@@ -1,0 +1,34 @@
+// Causal visualization of ftcc-eventlog v1 witnesses (DESIGN.md §14.3):
+// render an EventLogArtifact — threaded or dist, certified or REJECTED —
+// as a Chrome trace so `tools/report trace w.eventlog` turns any witness
+// into a picture chrome://tracing / Perfetto can open.
+//
+// Event logs carry no wall-clock (the executions are adversarial, not
+// timed), so the converter synthesizes a timeline from the causal order
+// itself: every event is a fixed-width slice, program order advances a
+// node's lane cursor, and each read is pushed after the publish it
+// observed (matched by (peer, version), the same linkage the certifier
+// uses).  The relaxation runs a bounded number of passes: on a
+// certifiable log it reaches the fixpoint where every happens-before
+// flow arrow points forward; on a log the certifier rejected the
+// leftover backwards/unmatched arrows ARE the violation, drawn.
+//
+//   lane per node (thread_name "node v id=…")
+//   activation r  — one covering slice per recorded round
+//   pub/adv/read/rdto/fin/stall/rev — one slice each, kind-categorized
+//   publish→read  — ph="s"/"f" flow arrow per observed version
+//   stall/rev     — additional instant fault markers
+//   verdict       — instant at t=0 carrying the certifier's words
+#pragma once
+
+#include "analysis/hb/event_log.hpp"
+#include "obs/span.hpp"
+
+namespace ftcc {
+
+/// Render `artifact` into `sink` under process lane `pid`.  Returns the
+/// number of HB flow arrows drawn (reads that observed a real publish).
+std::size_t event_log_to_trace(const EventLogArtifact& artifact,
+                               obs::TraceSink& sink, std::uint64_t pid = 1);
+
+}  // namespace ftcc

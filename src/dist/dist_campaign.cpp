@@ -10,6 +10,7 @@
 #include "fuzz/dispatch.hpp"
 #include "graph/coloring.hpp"
 #include "graph/ids.hpp"
+#include "obs/shm_metrics.hpp"
 #include "obs/span.hpp"
 #include "sched/schedulers.hpp"
 #include "util/assert.hpp"
@@ -145,6 +146,20 @@ DistTrial generate_dist_trial(const std::vector<std::string>& algos,
   return cfg;
 }
 
+/// Stable per-trial metric prefix: "trial.00042" — zero-padded so the
+/// registry's name-sorted snapshot lists trials in numeric order and
+/// `tools/report diff` lines corresponding trials up across runs.
+std::string trial_key(std::uint64_t trial) {
+  std::string digits = std::to_string(trial);
+  const std::size_t pad = digits.size() < 5 ? 5 - digits.size() : 0;
+  return "trial." + std::string(pad, '0') + digits;
+}
+
+/// Slot-counter names in kSlotCtr* index order (dist.node.<name>).
+constexpr const char* kNodeCounterNames[obs::kSlotCounters] = {
+    "activations", "publishes",  "reads",  "read_retries",
+    "read_timeouts", "finishes", "frames", "delays"};
+
 /// Per-trial decision digest: chained splitmix64 over every node's
 /// (fate, color, activations).  Per-trial digests are XORed into the
 /// campaign digest, so it is independent of trial completion order.
@@ -227,6 +242,7 @@ DistCampaignReport run_dist_campaign(const DistCampaignOptions& options) {
 
   DistCampaignReport report;
   std::uint64_t ok_trials = 0;
+  std::uint64_t crashed_nodes = 0;
   for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
     obs::Stopwatch trial_watch;
     DistTrial cfg = generate_dist_trial(algos, options.n_min, options.n_max,
@@ -239,7 +255,17 @@ DistCampaignReport run_dist_campaign(const DistCampaignOptions& options) {
     dopts.overlap = options.overlap;
     dopts.torn_crash = cfg.torn_crash;
 
+    // Position this trial's harvested spans on the merged timeline:
+    // slot timestamps are ns since the region epoch, and the region is
+    // created (just) inside ex.run, so "sink time at trial start" is
+    // the right additive offset.
+    const std::uint64_t trial_offset_us =
+        options.trace != nullptr ? options.trace->now_us() : 0;
+
     HbLog log;
+    DistTelemetry telemetry;
+    const bool want_telemetry =
+        options.metrics != nullptr || options.trace != nullptr;
     ExecutionResult<std::uint64_t> result;
     std::string runtime_error;
     const CertifyReport verdict = with_campaign_algorithm(
@@ -248,6 +274,7 @@ DistCampaignReport run_dist_campaign(const DistCampaignOptions& options) {
           DistExecutor<decltype(algo)> ex(algo, graph, cfg.ids, cfg.plan,
                                           dopts);
           ex.attach_hb_log(&log);
+          if (want_telemetry) ex.attach_telemetry(&telemetry);
           result = ex.run(*cfg.sched, options.max_steps);
           runtime_error = ex.error();
           return certify_log(algo, graph, cfg.ids, log);
@@ -264,6 +291,7 @@ DistCampaignReport run_dist_campaign(const DistCampaignOptions& options) {
     if (result.completed) ++report.completed;
     if (verdict.ok()) ++report.certified;
     if (!proper) ++report.violations;
+    crashed_nodes += result.fate_count(NodeFate::crashed);
     if (m.trials) {
       m.trials->inc();
       if (result.completed) m.completed->inc();
@@ -273,6 +301,102 @@ DistCampaignReport run_dist_campaign(const DistCampaignOptions& options) {
       m.steps->observe(result.steps);
       m.events->observe(log.total_events());
       m.trial_us->observe(trial_watch.elapsed_us());
+    }
+    if (options.metrics != nullptr) {
+      // Per-trial metric row (gauges share the trial.NNNNN prefix):
+      // enough for `tools/report diff` to localize a regression to one
+      // trial and re-run it by seed.  The 64-bit seed is split into two
+      // 32-bit halves because gauge values are doubles.
+      obs::Registry& reg = *options.metrics;
+      const std::string key = trial_key(trial);
+      reg.gauge(key + ".seed_hi")
+          .set(static_cast<double>(seeds[trial] >> 32));
+      reg.gauge(key + ".seed_lo")
+          .set(static_cast<double>(seeds[trial] & 0xffffffffu));
+      reg.gauge(key + ".n").set(static_cast<double>(cfg.n));
+      reg.gauge(key + ".steps").set(static_cast<double>(result.steps));
+      reg.gauge(key + ".events")
+          .set(static_cast<double>(log.total_events()));
+      reg.gauge(key + ".terminated")
+          .set(static_cast<double>(result.terminated_count()));
+      reg.gauge(key + ".crashed")
+          .set(static_cast<double>(result.fate_count(NodeFate::crashed)));
+      reg.gauge(key + ".completed").set(result.completed ? 1.0 : 0.0);
+      reg.gauge(key + ".certified").set(verdict.ok() ? 1.0 : 0.0);
+      reg.gauge(key + ".proper").set(proper ? 1.0 : 0.0);
+      reg.gauge(key + ".wall_us")
+          .set(static_cast<double>(trial_watch.elapsed_us()));
+    }
+    if (options.metrics != nullptr && telemetry.enabled) {
+      // Post-mortem shm harvest → campaign-wide node aggregates.  The
+      // slots were read AFTER teardown, so SIGKILLed nodes' counts up
+      // to the kill instant are included.
+      obs::Registry& reg = *options.metrics;
+      std::uint64_t dropped = 0;
+      for (const obs::SlotSnapshot& slot : telemetry.slots) {
+        for (std::uint32_t c = 0; c < obs::kSlotCounters; ++c)
+          if (slot.counters[c] != 0)
+            reg.counter(std::string("dist.node.") + kNodeCounterNames[c])
+                .inc(slot.counters[c]);
+        reg.histogram("dist.node.activation_ns")
+            .merge_buckets(slot.hist_buckets[obs::kSlotHistActivationNs],
+                           slot.hist_sums[obs::kSlotHistActivationNs]);
+        reg.histogram("dist.node.read_ns")
+            .merge_buckets(slot.hist_buckets[obs::kSlotHistReadNs],
+                           slot.hist_sums[obs::kSlotHistReadNs]);
+        dropped += slot.spans_written - slot.spans.size();
+      }
+      if (dropped != 0) reg.counter("dist.node.spans_dropped").inc(dropped);
+    }
+    if (options.trace != nullptr && telemetry.enabled) {
+      // Merge this trial's harvested span tracks into the campaign
+      // trace: one process lane per trial, one thread lane per node.
+      obs::TraceSink& sink = *options.trace;
+      const std::uint64_t pid = trial + 1;
+      sink.process_name(
+          pid, "trial " + std::to_string(trial) + " algo=" + cfg.algo + " " +
+                   cfg.graph_kind + " n=" + std::to_string(cfg.n) +
+                   " faults=[" +
+                   (cfg.fault_desc.empty() ? "" : cfg.fault_desc.substr(1)) +
+                   "]");
+      const auto to_us = [&](std::uint64_t ns) {
+        return trial_offset_us + ns / 1000;
+      };
+      for (NodeId v = 0; v < telemetry.slots.size(); ++v) {
+        sink.thread_name(pid, v,
+                         "node " + std::to_string(v) + " id=" +
+                             std::to_string(cfg.ids[v]));
+        for (const obs::ShmSpanRecord& span : telemetry.slots[v].spans) {
+          std::string name;
+          std::string cat;
+          switch (span.kind) {
+            case obs::kShmSpanActivation:
+              name = "activation r" + std::to_string(span.aux);
+              cat = "dist.act";
+              break;
+            case obs::kShmSpanPublish:
+              name = "publish r" + std::to_string(span.aux);
+              cat = "dist.pub";
+              break;
+            case obs::kShmSpanRead:
+              name = "read n" + std::to_string(span.aux);
+              cat = "dist.read";
+              break;
+            default:
+              name = "span kind=" + std::to_string(span.kind);
+              cat = "dist";
+              break;
+          }
+          const std::uint64_t dur_us =
+              span.end_ns > span.start_ns ? (span.end_ns - span.start_ns +
+                                             999) / 1000
+                                          : 1;
+          sink.complete_on(pid, v, name, cat, to_us(span.start_ns), dur_us);
+        }
+      }
+      for (const DistFaultMarker& marker : telemetry.markers)
+        sink.instant_on(pid, marker.node, marker.label, "dist.fault",
+                        to_us(marker.at_ns));
     }
 
     os << "trial " << trial << " algo=" << cfg.algo
@@ -339,10 +463,18 @@ DistCampaignReport run_dist_campaign(const DistCampaignOptions& options) {
            << "\n";
     }
     if (options.on_progress &&
-        ((trial + 1) % progress_every == 0 || trial + 1 == options.trials))
-      options.on_progress({trial + 1, options.trials, ok_trials, 0,
-                           static_cast<std::uint64_t>(
-                               report.failures.size())});
+        ((trial + 1) % progress_every == 0 || trial + 1 == options.trials)) {
+      DistCampaignProgress progress;
+      progress.done = trial + 1;
+      progress.total = options.trials;
+      progress.ok = ok_trials;
+      progress.failures = report.failures.size();
+      progress.completed = report.completed;
+      progress.certified = report.certified;
+      progress.violations = report.violations;
+      progress.crashed_nodes = crashed_nodes;
+      options.on_progress(progress);
+    }
   }
 
   if (m.trials_per_sec) {

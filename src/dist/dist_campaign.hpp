@@ -24,6 +24,7 @@
 #include "fuzz/campaign.hpp"
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace ftcc::dist {
 
@@ -49,6 +50,21 @@ enum class DistFaultMode : std::uint8_t {
 [[nodiscard]] std::optional<DistFaultMode> parse_dist_fault_mode(
     const std::string& name);
 
+/// Running tallies handed to DistCampaignOptions::on_progress: the
+/// generic CampaignProgress fields plus the dist-specific verdict
+/// counters, so `tools/dist --follow` can stream certify pass rates
+/// without waiting for the final report.
+struct DistCampaignProgress {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t completed = 0;      ///< trials where every node resolved
+  std::uint64_t certified = 0;      ///< trials the HB certifier accepted
+  std::uint64_t violations = 0;     ///< improper colorings so far
+  std::uint64_t crashed_nodes = 0;  ///< SIGKILLed node processes so far
+};
+
 struct DistCampaignOptions {
   std::uint64_t seed = 1;
   std::uint64_t trials = 100;
@@ -68,7 +84,11 @@ struct DistCampaignOptions {
   /// but per-trial reports are no longer byte-reproducible).
   bool overlap = false;
   obs::Registry* metrics = nullptr;
-  std::function<void(const CampaignProgress&)> on_progress;
+  /// When set, every trial's crash-surviving shm telemetry (harvested
+  /// from the obs::ShmMetricsRegion after teardown, SIGKILLs included)
+  /// is merged into one Chrome trace: pid = trial + 1, tid = node.
+  obs::TraceSink* trace = nullptr;
+  std::function<void(const DistCampaignProgress&)> on_progress;
   std::uint64_t progress_every = 100;
 };
 

@@ -27,6 +27,7 @@
 #include "dist/wire.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
+#include "obs/shm_metrics.hpp"
 #include "runtime/threaded_executor.hpp"
 
 namespace ftcc::dist {
@@ -34,6 +35,11 @@ namespace ftcc::dist {
 struct NodeConfig {
   NodeId v = 0;
   std::uint64_t max_read_attempts = std::uint64_t{1} << 12;
+  // Telemetry slot in the supervisor's obs::ShmMetricsRegion.  A null
+  // base (the default) turns every slot_* call into a no-op; when set,
+  // the child records counters/histograms/spans that survive SIGKILL
+  // (DESIGN.md §14.1).
+  obs::ShmSlotView slot;
 };
 
 namespace detail {
@@ -79,6 +85,7 @@ template <ThreadSafeAlgorithm A>
   for (;;) {  // lint:allow(unbounded-spin)
     auto frame = read_frame(fd);
     if (!frame || frame->empty()) ::_exit(0);  // supervisor died: fold
+    obs::slot_counter_add(config.slot, obs::kSlotCtrFrames, 1);
     WireReader r(*frame);
     std::uint8_t op = 0;
     if (!r.u8(op)) ::_exit(0);
@@ -86,6 +93,7 @@ template <ThreadSafeAlgorithm A>
     if (op != static_cast<std::uint8_t>(Op::activate)) ::_exit(0);
     const auto msg = decode_activate(r);
     if (!msg) ::_exit(0);
+    const std::uint64_t act_start = obs::slot_now_ns(config.slot);
 
     AckMsg ack;
     std::vector<std::uint64_t> words;
@@ -96,20 +104,31 @@ template <ThreadSafeAlgorithm A>
       // Real torn write: odd version, corrupted first payload word, no
       // closing store — then die for good.  No ACK is ever sent; the
       // supervisor reaps the corpse and synthesises the stall event.
+      const std::uint64_t torn_start = obs::slot_now_ns(config.slot);
       auto version = shm.word(v, 0);
       const std::uint64_t odd = version.load(std::memory_order_relaxed) + 1;
       version.store(odd, std::memory_order_release);
       if (!words.empty())
         shm.word(v, 1).store(~words[0], std::memory_order_relaxed);
+      // Record the torn publish before dying: this span is exactly what
+      // the post-mortem harvest must still see after the SIGKILL.
+      obs::slot_span_record(config.slot, obs::kShmSpanPublish, torn_start,
+                            obs::slot_now_ns(config.slot), msg->round);
+      obs::slot_counter_add(config.slot, obs::kSlotCtrPublishes, 1);
       ::kill(::getpid(), SIGKILL);
       ::_exit(137);  // unreachable; SIGKILL cannot be handled
     }
 
+    const std::uint64_t pub_start = obs::slot_now_ns(config.slot);
     const std::uint64_t version = detail::publish_words(shm, v, words);
+    obs::slot_span_record(config.slot, obs::kShmSpanPublish, pub_start,
+                          obs::slot_now_ns(config.slot), msg->round);
+    obs::slot_counter_add(config.slot, obs::kSlotCtrPublishes, 1);
     ack.events.push_back(
         {HbEventKind::publish, msg->round, v, version, words});
 
     if (msg->delay_us > 0) {
+      obs::slot_counter_add(config.slot, obs::kSlotCtrDelays, 1);
       struct timespec ts;
       ts.tv_sec = msg->delay_us / 1000000;
       ts.tv_nsec = static_cast<long>(msg->delay_us % 1000000) * 1000;
@@ -122,6 +141,7 @@ template <ThreadSafeAlgorithm A>
       // Returns false on retry exhaustion (writer dead mid-publish).
       std::uint64_t observed_version = 0;
       std::vector<std::uint64_t> observed;
+      std::uint64_t retries = 0;
       const auto read_once = [&]() -> bool {
         for (std::uint64_t attempt = 0; attempt < config.max_read_attempts;
              ++attempt) {
@@ -133,7 +153,10 @@ template <ThreadSafeAlgorithm A>
             observed.clear();
             return true;
           }
-          if (v1 % 2 != 0) continue;  // writer in progress (or dead mid-write)
+          if (v1 % 2 != 0) {  // writer in progress (or dead mid-write)
+            ++retries;
+            continue;
+          }
           std::uint64_t raw[8];
           static_assert(A::kRegisterWords <= 8);
           for (std::size_t j = 0; j < A::kRegisterWords; ++j)
@@ -141,13 +164,17 @@ template <ThreadSafeAlgorithm A>
           std::atomic_thread_fence(std::memory_order_acquire);
           const std::uint64_t v2 =
               shm.word(peer, 0).load(std::memory_order_relaxed);
-          if (v1 != v2) continue;
+          if (v1 != v2) {
+            ++retries;
+            continue;
+          }
           observed_version = v1;
           observed.assign(raw, raw + A::kRegisterWords);
           return true;
         }
         return false;
       };
+      const std::uint64_t read_start = obs::slot_now_ns(config.slot);
       bool resolved = read_once();
       if (resolved && (msg->dup_mask >> i & 1u) != 0) {
         // Duplicate delivery of the read request: sample the register a
@@ -156,9 +183,17 @@ template <ThreadSafeAlgorithm A>
         // so the log stays a truthful record of the used observation.
         resolved = read_once();
       }
+      const std::uint64_t read_end = obs::slot_now_ns(config.slot);
+      obs::slot_span_record(config.slot, obs::kShmSpanRead, read_start,
+                            read_end, peer);
+      obs::slot_hist_record(config.slot, obs::kSlotHistReadNs,
+                            read_end - read_start);
+      obs::slot_counter_add(config.slot, obs::kSlotCtrReads, 1);
+      obs::slot_counter_add(config.slot, obs::kSlotCtrReadRetries, retries);
       if (!resolved) {
         // Retry budget exhausted: the writer is dead mid-publish.
         // Degrade to ⊥, exactly like the threaded backend.
+        obs::slot_counter_add(config.slot, obs::kSlotCtrReadTimeouts, 1);
         ack.events.push_back(
             {HbEventKind::read_timeout, msg->round, peer, 0, {}});
         view[i] = std::nullopt;
@@ -177,9 +212,16 @@ template <ThreadSafeAlgorithm A>
     if (out) {
       ack.terminated = true;
       ack.color = A::color_code(*out);
+      obs::slot_counter_add(config.slot, obs::kSlotCtrFinishes, 1);
       ack.events.push_back(
           {HbEventKind::finish, msg->round, v, ack.color, {}});
     }
+    const std::uint64_t act_end = obs::slot_now_ns(config.slot);
+    obs::slot_span_record(config.slot, obs::kShmSpanActivation, act_start,
+                          act_end, msg->round);
+    obs::slot_hist_record(config.slot, obs::kSlotHistActivationNs,
+                          act_end - act_start);
+    obs::slot_counter_add(config.slot, obs::kSlotCtrActivations, 1);
     if (!write_frame(fd, encode_ack(ack))) ::_exit(0);
     if (ack.terminated) ::_exit(0);
   }

@@ -77,6 +77,7 @@
 #include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
+#include "obs/shm_metrics.hpp"
 #include "runtime/hb_log.hpp"
 #include "runtime/result.hpp"
 #include "runtime/scheduler.hpp"
@@ -101,9 +102,31 @@ struct DistOptions {
   /// Per-node crash-stop flavour: nonzero = torn publish. Nodes beyond
   /// the vector (or an empty vector) crash cleanly.
   std::vector<std::uint8_t> torn_crash;
+  /// Span-ring capacity per telemetry slot when a DistTelemetry is
+  /// attached (records beyond it overwrite the oldest).
+  std::uint32_t telemetry_spans = 256;
 };
 
 inline constexpr int kAckTimeoutCapMs = 2000;
+
+/// A supervisor-side OS fault, timestamped on the telemetry clock so it
+/// lands between the victim's own spans in the merged trace.
+struct DistFaultMarker {
+  NodeId node = 0;
+  std::uint64_t at_ns = 0;  ///< ns since the telemetry region's epoch
+  std::string label;        ///< "SIGKILL (torn)", "SIGSTOP", "revival", ...
+};
+
+/// Everything the cross-process observability plane recovers from one
+/// run (DESIGN.md §14.2).  The slots are harvested from shared memory
+/// AFTER every child is dead or detached, so a SIGKILLed node's counters
+/// and spans up to the kill instant are all present.
+struct DistTelemetry {
+  bool enabled = false;  ///< region creation succeeded
+  std::uint64_t epoch_ns = 0;
+  std::vector<obs::SlotSnapshot> slots;  ///< one per node
+  std::vector<DistFaultMarker> markers;
+};
 
 template <ThreadSafeAlgorithm A>
 class DistExecutor {
@@ -125,6 +148,12 @@ class DistExecutor {
   /// synthesised fault events (stall/adversary/revive).
   void attach_hb_log(HbLog* log) { hb_log_ = log; }
 
+  /// Attach a telemetry collector: run() then creates a shared-memory
+  /// metrics region before forking, every node process streams counters
+  /// and spans into its slot, and the supervisor harvests all slots
+  /// post-mortem into `telemetry` (plus its own fault markers).
+  void attach_telemetry(DistTelemetry* telemetry) { telemetry_ = telemetry; }
+
   [[nodiscard]] const std::string& error() const { return error_; }
 
   ExecutionResult<Output> run(Scheduler& sched, std::uint64_t max_steps) {
@@ -140,6 +169,20 @@ class DistExecutor {
       return degraded_result(n);
     }
     shm_ = &shm;
+    // The telemetry region must exist before the first fork so every
+    // child inherits the mapping.  Creation failure degrades to an
+    // uninstrumented run, never to a failed one.
+    std::optional<obs::ShmMetricsRegion> obs_region;
+    if (telemetry_ != nullptr) {
+      *telemetry_ = DistTelemetry{};
+      obs_region.emplace(n, options_.telemetry_spans);
+      if (obs_region->ok()) {
+        obs_region_ = &*obs_region;
+        janitor_add_path(obs_region_->fs_path().c_str());
+      } else {
+        obs_region.reset();
+      }
+    }
     bool forked_all = true;
     for (NodeId v = 0; v < n; ++v)
       if (!fork_node(v)) {
@@ -149,6 +192,7 @@ class DistExecutor {
     if (!forked_all) {
       error_ = "fork/socketpair failed";
       teardown();
+      finish_telemetry(n);
       shm_ = nullptr;
       return degraded_result(n);
     }
@@ -186,6 +230,7 @@ class DistExecutor {
 
     ExecutionResult<Output> result = collect_result(n);
     teardown();
+    finish_telemetry(n);
     shm_ = nullptr;
     return result;
   }
@@ -242,6 +287,7 @@ class DistExecutor {
       NodeConfig config;
       config.v = v;
       config.max_read_attempts = options_.max_read_attempts;
+      if (obs_region_ != nullptr) config.slot = obs_region_->slot_view(v);
       run_dist_node(algo_, *graph_, ids_, *shm_, fds[1], config);
     }
     ::close(fds[1]);
@@ -265,6 +311,7 @@ class DistExecutor {
         p.recovery_applied = true;
         switch (rec->reg) {
           case RecoveredRegister::stale:
+            mark(v, "SIGSTOP");
             ::kill(p.pid, SIGSTOP);
             p.status = Status::paused;
             break;
@@ -280,6 +327,7 @@ class DistExecutor {
             // seqlock protocol, recorded as an adversary write.
             std::vector<std::uint64_t> zeros(A::kRegisterWords, 0);
             const std::uint64_t version = detail::publish_words(*shm_, v, zeros);
+            mark(v, "register zeroed");
             record(v, {HbEventKind::adversary, p.activations, v, version,
                        zeros});
             break;
@@ -289,12 +337,14 @@ class DistExecutor {
       }
       if (p.recovery_applied && t >= rec->revive_step()) {
         if (p.status == Status::paused) {
+          mark(v, "SIGCONT");
           ::kill(p.pid, SIGCONT);
           p.status = Status::working;
         } else if (p.status == Status::down) {
           const std::uint64_t version =
               shm_->word(v, 0).load(std::memory_order_acquire);
           if (fork_node(v)) {
+            mark(v, "revival (re-fork)");
             record(v, {HbEventKind::revive, p.activations, v, version, {}});
           } else {
             p.status = Status::crashed;  // could not revive: stays dead
@@ -330,6 +380,7 @@ class DistExecutor {
   /// intended fault either way.  Records the stall event.
   void kill_node(NodeId v, bool torn) {
     NodeProc& p = nodes_[v];
+    mark(v, torn ? "SIGKILL (torn)" : "SIGKILL");
     bool child_tears = false;
     if (torn) {
       ActivateMsg msg;
@@ -390,6 +441,7 @@ class DistExecutor {
   /// certifier sees the torn state readers will now hit.
   void handle_death(NodeId v) {
     NodeProc& p = nodes_[v];
+    mark(v, "died unexpectedly");
     (void)reap(v, /*force_after_budget=*/false);
     const std::uint64_t version =
         shm_->word(v, 0).load(std::memory_order_acquire);
@@ -473,6 +525,28 @@ class DistExecutor {
     if (hb_log_) hb_log_->record(v, std::move(e));
   }
 
+  /// Timestamp a supervisor-side fault on the telemetry clock.
+  void mark(NodeId v, const char* label) {
+    if (telemetry_ == nullptr || obs_region_ == nullptr) return;
+    telemetry_->markers.push_back(
+        {v, obs::slot_now_ns(obs_region_->slot_view(v)), label});
+  }
+
+  /// Harvest every slot post-mortem (called after teardown, so every
+  /// writer is dead) and release the telemetry region.
+  void finish_telemetry(NodeId n) {
+    if (telemetry_ == nullptr) return;
+    if (obs_region_ != nullptr) {
+      telemetry_->enabled = true;
+      telemetry_->epoch_ns = obs_region_->epoch_ns();
+      telemetry_->slots.reserve(n);
+      for (NodeId v = 0; v < n; ++v)
+        telemetry_->slots.push_back(obs_region_->harvest(v));
+      janitor_remove_path(obs_region_->fs_path().c_str());
+      obs_region_ = nullptr;
+    }
+  }
+
   [[nodiscard]] ExecutionResult<Output> collect_result(NodeId n) const {
     ExecutionResult<Output> result;
     result.activations.resize(n);
@@ -551,6 +625,8 @@ class DistExecutor {
   FaultPlan plan_;
   DistOptions options_;
   HbLog* hb_log_ = nullptr;
+  DistTelemetry* telemetry_ = nullptr;
+  obs::ShmMetricsRegion* obs_region_ = nullptr;
   ShmRegion* shm_ = nullptr;
   std::vector<NodeProc> nodes_;
   std::string error_;

@@ -38,7 +38,7 @@ ProgramAnalysis analyze_program(std::vector<FileAnalysis> files) {
   std::vector<Finding> program;
   for (std::vector<Finding> batch :
        {includes.check(), calls.check_signal_safety(),
-        calls.check_alloc_freedom()})
+        calls.check_alloc_freedom(), calls.check_obs_signal_safety()})
     for (Finding& f : batch) program.push_back(std::move(f));
 
   // Scope + waiver filter for the whole-program findings.  The call-graph

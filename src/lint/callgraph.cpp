@@ -375,8 +375,10 @@ std::vector<const FunctionDef*> CallGraph::definitions_of(
 
 std::vector<const FunctionDef*> CallGraph::reachable_from(
     const std::vector<std::string>& roots,
-    std::map<const FunctionDef*, std::string>* chains) {
+    std::map<const FunctionDef*, std::string>* chains,
+    const std::vector<std::string>& prune) {
   finalize();
+  const std::set<std::string> pruned(prune.begin(), prune.end());
   std::vector<std::string> sorted_roots = roots;
   std::sort(sorted_roots.begin(), sorted_roots.end());
   sorted_roots.erase(std::unique(sorted_roots.begin(), sorted_roots.end()),
@@ -393,12 +395,14 @@ std::vector<const FunctionDef*> CallGraph::reachable_from(
   while (!frontier.empty()) {
     const FunctionDef* def = frontier.front();
     frontier.pop_front();
-    for (const CallSite& call : def->calls)
+    for (const CallSite& call : def->calls) {
+      if (pruned.count(call.name) != 0) continue;
       for (const FunctionDef* callee : definitions_of(call.name)) {
         if (callee == def || chain.count(callee)) continue;
         chain[callee] = chain[def] + " -> " + callee->qualified;
         frontier.push_back(callee);
       }
+    }
   }
 
   std::vector<const FunctionDef*> out;
@@ -498,6 +502,44 @@ std::vector<Finding> CallGraph::check_alloc_freedom() {
     scan_body(*def, "alloc-freedom", kAlloc,
               " in the executor hot path (Executor::step/reset must not "
               "allocate; arenas grow only at rearm)",
+              chains.at(def), findings);
+  return findings;
+}
+
+std::vector<Finding> CallGraph::check_obs_signal_safety() {
+  // The shm telemetry write path must survive a SIGKILL landing between
+  // any two instructions AND be callable from a child that never
+  // returns to a safe point: the union of the signal-unsafe and the
+  // direct-heap vocabularies is banned transitively.
+  static const std::vector<std::string> kBanned = {
+      "malloc(",      "calloc(",     "realloc(",   "free(",
+      "printf(",      "fprintf(",    "sprintf(",   "snprintf(",
+      "puts(",        "fputs(",      "fwrite(",    "fflush(",
+      "exit(",        "std::cout",   "std::cerr",  "std::string",
+      "std::vector",  "mutex",       "lock_guard", "unique_lock",
+      "throw ",       "new ",        "new(",       "strdup(",
+      "make_unique",  "make_shared",
+  };
+  finalize();
+  std::vector<std::string> roots;
+  for (const FunctionDef& def : defs_)
+    if (def.file == "src/obs/shm_metrics.hpp" &&
+        def.name.starts_with("slot_"))
+      roots.push_back(def.name);
+  std::map<const FunctionDef*, std::string> chains;
+  // The slot_* bodies talk to the shared mapping exclusively through
+  // std::atomic_ref members; those spellings must not resolve to the
+  // repo's own like-named definitions (e.g. RegisterFile::store).
+  static const std::vector<std::string> kAtomicMembers = {
+      "store", "load", "fetch_add", "exchange",
+      "compare_exchange_weak", "compare_exchange_strong",
+  };
+  const auto reachable = reachable_from(roots, &chains, kAtomicMembers);
+  std::vector<Finding> findings;
+  for (const FunctionDef* def : reachable)
+    scan_body(*def, "obs-signal-safety", kBanned,
+              " in the shm telemetry write path (slot_* ops must stay "
+              "allocation-free and async-signal-safe)",
               chains.at(def), findings);
   return findings;
 }

@@ -98,10 +98,15 @@ class CallGraph {
   /// The transitive closure of callees from `roots` (names), following
   /// every matching definition.  Returned as defs in deterministic
   /// (file, line) order; the map gives one witness call chain per
-  /// reached definition, e.g. "on_fatal -> flush_buffers".
+  /// reached definition, e.g. "on_fatal -> flush_buffers".  Call-site
+  /// names in `prune` are treated as external leaves and not followed —
+  /// used by checks whose roots speak only through std-member spellings
+  /// ("store", "load") that would otherwise resolve, name-based, to
+  /// unrelated repo definitions.
   [[nodiscard]] std::vector<const FunctionDef*> reachable_from(
       const std::vector<std::string>& roots,
-      std::map<const FunctionDef*, std::string>* chains = nullptr);
+      std::map<const FunctionDef*, std::string>* chains = nullptr,
+      const std::vector<std::string>& prune = {});
 
   /// Signal-handler root names: every registered handler plus every
   /// definition matching the `*signal_handler` naming convention.
@@ -115,6 +120,15 @@ class CallGraph {
   /// heap expressions reachable from Executor::step / Executor::reset
   /// (definitions in src/runtime/executor.hpp).
   [[nodiscard]] std::vector<Finding> check_alloc_freedom();
+
+  /// Transitive safety proof for the crash-surviving telemetry write
+  /// path: every `slot_*` function defined in src/obs/shm_metrics.hpp
+  /// is a root whose reachable set must stay allocation-free AND
+  /// async-signal-safe — a forked node may die by SIGKILL at any
+  /// instruction, so nothing on this path may hold heap or lock state
+  /// (DESIGN.md §14.1).  Banned vocabulary: the signal-safety set plus
+  /// the direct-heap set.
+  [[nodiscard]] std::vector<Finding> check_obs_signal_safety();
 
  private:
   // Deterministic containers throughout: findings must be byte-identical

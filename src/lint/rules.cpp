@@ -311,6 +311,7 @@ const std::vector<std::string>& rule_ids() {
       "modelcheck-internal",
       "signal-safety",
       "alloc-freedom",
+      "obs-signal-safety",
       "layer-violation",
       "include-cycle",
   };
@@ -344,6 +345,9 @@ std::string rule_description(const std::string& rule) {
   if (rule == "alloc-freedom")
     return "No direct heap expression is reachable from Executor::step / "
            "reset (static arena-discipline proof).";
+  if (rule == "obs-signal-safety")
+    return "The shm telemetry write path (obs slot_* ops) stays "
+           "allocation-free and async-signal-safe (transitive proof).";
   if (rule == "layer-violation")
     return "Every subsystem include edge must be declared in the layering "
            "table.";
@@ -373,6 +377,7 @@ bool rule_applies(const std::string& rule, const std::string& path) {
   // closure reaches (a handler's helper need not live in src/dist/).
   if (rule == "signal-safety") return in_src;
   if (rule == "alloc-freedom") return in_src;
+  if (rule == "obs-signal-safety") return in_src;
   if (rule == "layer-violation" || rule == "include-cycle")
     return in_src || in_tools;
   return false;

@@ -93,6 +93,24 @@ bool parse_metric_line(const JsonValue& obj, std::size_t lineno,
 
 }  // namespace
 
+namespace {
+
+// Sort one snapshot block and reject in-block duplicates (an export bug;
+// across blocks the same name is expected and merged).
+bool finalize_block(MetricsFile& block, std::string* error) {
+  std::sort(block.samples.begin(), block.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  for (std::size_t i = 1; i < block.samples.size(); ++i)
+    if (block.samples[i].name == block.samples[i - 1].name)
+      return set_error(error,
+                       "duplicate metric \"" + block.samples[i].name + "\"");
+  return true;
+}
+
+}  // namespace
+
 bool parse_metrics_jsonl(const std::string& text, MetricsFile& out,
                          std::string* error) {
   out = MetricsFile{};
@@ -100,6 +118,12 @@ bool parse_metrics_jsonl(const std::string& text, MetricsFile& out,
   std::string line;
   std::size_t lineno = 0;
   bool saw_meta = false;
+  // An append-mode Sink (obs/sink.hpp) stacks whole snapshot blocks into
+  // one file; every block opens with its own meta line.  Blocks are
+  // parsed separately and merged with the same semantics as merging
+  // separate runs.
+  std::vector<MetricsFile> blocks;
+  MetricsFile cur;
   for (; std::getline(in, line); ) {
     ++lineno;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -110,41 +134,44 @@ bool parse_metrics_jsonl(const std::string& text, MetricsFile& out,
     if (!obj.is_object())
       return line_error(error, lineno, "not a JSON object");
     const JsonValue* kind = obj.find("kind");
-    if (!saw_meta) {
+    const bool is_meta = kind != nullptr && kind->is_string() &&
+                         kind->as_string() == "meta";
+    if (!saw_meta || is_meta) {
       const JsonValue* schema = obj.find("schema");
       if (schema == nullptr || !schema->is_string() ||
           schema->as_string() != kMetricsSchema)
         return line_error(error, lineno,
-                          std::string("first line must declare schema \"") +
+                          std::string("meta line must declare schema \"") +
                               kMetricsSchema + "\"");
-      if (kind == nullptr || !kind->is_string() ||
-          kind->as_string() != "meta")
+      if (!is_meta)
         return line_error(error, lineno, "first line must be the meta line");
+      if (saw_meta) {  // snapshot boundary: close the block
+        if (!finalize_block(cur, error)) return false;
+        blocks.push_back(std::move(cur));
+        cur = MetricsFile{};
+      }
       for (const auto& [k, v] : obj.members()) {
         if (k == "schema" || k == "kind") continue;
         if (!v.is_string())
           return line_error(error, lineno, "meta field \"" + k +
                                                "\" not a string");
-        out.meta[k] = v.as_string();
+        cur.meta[k] = v.as_string();
       }
       saw_meta = true;
       continue;
     }
-    if (kind != nullptr && kind->is_string() && kind->as_string() == "meta")
-      return line_error(error, lineno, "duplicate meta line");
     MetricSample s;
     if (!parse_metric_line(obj, lineno, s, error)) return false;
-    out.samples.push_back(std::move(s));
+    cur.samples.push_back(std::move(s));
   }
   if (!saw_meta) return set_error(error, "empty payload (no meta line)");
-  std::sort(out.samples.begin(), out.samples.end(),
-            [](const MetricSample& a, const MetricSample& b) {
-              return a.name < b.name;
-            });
-  for (std::size_t i = 1; i < out.samples.size(); ++i)
-    if (out.samples[i].name == out.samples[i - 1].name)
-      return set_error(error,
-                       "duplicate metric \"" + out.samples[i].name + "\"");
+  if (!finalize_block(cur, error)) return false;
+  if (blocks.empty()) {
+    out = std::move(cur);
+    return true;
+  }
+  blocks.push_back(std::move(cur));
+  out = merge_metrics(blocks);
   return true;
 }
 
@@ -203,6 +230,19 @@ Table metrics_table(const MetricsFile& file) {
                    Table::cell(s.hist_quantile(0.99), 0)});
         break;
     }
+  }
+  return t;
+}
+
+Table aggregate_table(const MetricsFile& file) {
+  Table t({"metric", "count", "sum", "mean", "p50", "p90", "p99"});
+  for (const MetricSample& s : file.samples) {
+    if (s.kind != MetricKind::histogram) continue;
+    t.add_row({s.name, Table::cell(s.count), Table::cell(s.sum),
+               Table::cell(s.hist_mean()),
+               Table::cell(s.hist_quantile(0.50), 0),
+               Table::cell(s.hist_quantile(0.90), 0),
+               Table::cell(s.hist_quantile(0.99), 0)});
   }
   return t;
 }
@@ -315,10 +355,55 @@ bool check_chrome_trace(const std::string& text, std::string* error) {
   return true;
 }
 
+bool check_follow_jsonl(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t prev_done = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue obj;
+    std::string perr;
+    if (!json_parse(line, obj, &perr)) return line_error(error, lineno, perr);
+    if (!obj.is_object())
+      return line_error(error, lineno, "not a JSON object");
+    const JsonValue* schema = obj.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kMetricsSchema)
+      return line_error(error, lineno,
+                        std::string("every line must declare schema \"") +
+                            kMetricsSchema + "\"");
+    const JsonValue* k = obj.find("kind");
+    if (k == nullptr || !k->is_string() || k->as_string() != "progress")
+      return line_error(error, lineno, "kind must be \"progress\"");
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+    if (!as_u64(obj.find("done"), done) || !as_u64(obj.find("total"), total))
+      return line_error(error, lineno, "missing u64 \"done\"/\"total\"");
+    if (done > total)
+      return line_error(error, lineno, "done exceeds total");
+    if (done < prev_done)
+      return line_error(error, lineno, "\"done\" went backwards");
+    prev_done = done;
+    for (const auto& [key, v] : obj.members()) {
+      if (key == "schema" || key == "kind") continue;
+      std::uint64_t u = 0;
+      if (!v.is_string() && !as_u64(&v, u))
+        return line_error(error, lineno,
+                          "field \"" + key + "\" neither string nor u64");
+    }
+    any = true;
+  }
+  if (!any) return set_error(error, "empty follow stream");
+  return true;
+}
+
 bool check_payload(const std::string& text, std::string* error,
                    std::string* kind) {
-  // The metrics format is JSONL, so sniff its meta line alone; the other
-  // two are single documents.
+  // The metrics and follow formats are JSONL, so sniff the first line
+  // alone; the other two are single documents.
   const std::size_t eol = text.find('\n');
   const std::string first = text.substr(0, eol);
   JsonValue head;
@@ -326,6 +411,11 @@ bool check_payload(const std::string& text, std::string* error,
     const JsonValue* schema = head.find("schema");
     if (schema != nullptr && schema->is_string() &&
         schema->as_string() == kMetricsSchema) {
+      const JsonValue* k = head.find("kind");
+      if (k != nullptr && k->is_string() && k->as_string() == "progress") {
+        if (kind) *kind = "follow";
+        return check_follow_jsonl(text, error);
+      }
       if (kind) *kind = "metrics";
       return check_metrics_jsonl(text, error);
     }
@@ -346,8 +436,8 @@ bool check_payload(const std::string& text, std::string* error,
     }
   }
   return set_error(error,
-                   "unrecognized payload (not metrics JSONL, bench JSON, "
-                   "or a Chrome trace)");
+                   "unrecognized payload (not metrics/follow JSONL, bench "
+                   "JSON, or a Chrome trace)");
 }
 
 }  // namespace ftcc::obs

@@ -38,6 +38,11 @@ struct MetricsFile {
 /// column does not apply to the metric's kind).
 [[nodiscard]] Table metrics_table(const MetricsFile& file);
 
+/// Percentile summary of the histograms alone (`tools/report aggregate`):
+/// metric | count | sum | mean | p50 | p90 | p99, nearest-rank over the
+/// log₂ buckets (each quantile reports its bucket's upper bound).
+[[nodiscard]] Table aggregate_table(const MetricsFile& file);
+
 /// Field-for-field comparison of two runs over the union of metric names
 /// (scalar per metric: counter/gauge value, histogram count).
 [[nodiscard]] Table metrics_diff_table(const MetricsFile& a,
@@ -54,8 +59,13 @@ struct MetricsFile {
 /// {"traceEvents":[...]} with well-formed complete/instant events.
 [[nodiscard]] bool check_chrome_trace(const std::string& text,
                                       std::string* error = nullptr);
-/// Sniff which of the three formats `text` is and validate it as that;
-/// *kind (when non-null) is set to "metrics", "bench", or "trace".
+/// A --follow stream: every line a self-contained kind:"progress" object
+/// under the metrics schema, numeric tallies monotone in "done".
+[[nodiscard]] bool check_follow_jsonl(const std::string& text,
+                                      std::string* error = nullptr);
+/// Sniff which of the four formats `text` is and validate it as that;
+/// *kind (when non-null) is set to "metrics", "follow", "bench", or
+/// "trace".
 [[nodiscard]] bool check_payload(const std::string& text,
                                  std::string* error = nullptr,
                                  std::string* kind = nullptr);

@@ -1,0 +1,110 @@
+#include "obs/shm_metrics.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace ftcc::obs {
+
+namespace {
+// Distinguishes regions of successive campaigns within one process.
+// lint:allow(concurrency-primitives)
+std::atomic<std::uint64_t> g_obs_sequence{0};
+
+std::uint64_t region_epoch_ns() noexcept {
+  struct timespec now = {};
+  ::clock_gettime(CLOCK_MONOTONIC, &now);
+  return static_cast<std::uint64_t>(now.tv_sec) * std::uint64_t{1000000000} +
+         static_cast<std::uint64_t>(now.tv_nsec);
+}
+}  // namespace
+
+ShmMetricsRegion::ShmMetricsRegion(std::uint32_t slots,
+                                   std::uint32_t span_capacity)
+    : slots_(slots), span_capacity_(span_capacity) {
+  const std::uint64_t seq =
+      g_obs_sequence.fetch_add(1, std::memory_order_relaxed);
+  name_ = "/ftcc-obs-" + std::to_string(::getpid()) + "-" + std::to_string(seq);
+  fs_path_ = "/dev/shm" + name_;
+  total_bytes_ = (kRegionHeaderWords +
+                  static_cast<std::size_t>(slots_) *
+                      shm_slot_words(span_capacity_)) *
+                 sizeof(std::uint64_t);
+  const int fd = ::shm_open(name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return;
+  if (::ftruncate(fd, static_cast<off_t>(total_bytes_)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name_.c_str());
+    return;
+  }
+  void* mapped = ::mmap(nullptr, total_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    ::shm_unlink(name_.c_str());
+    return;
+  }
+  base_ = static_cast<std::uint64_t*>(mapped);
+  // ftruncate zero-fills: every counter, bucket, and ring head starts 0.
+  epoch_ns_ = region_epoch_ns();
+  base_[0] = kShmMetricsMagic;
+  base_[1] = kShmMetricsLayoutVersion;
+  base_[2] = slots_;
+  base_[3] = span_capacity_;
+  base_[4] = epoch_ns_;
+}
+
+ShmMetricsRegion::~ShmMetricsRegion() {
+  if (base_ != nullptr) {
+    ::munmap(base_, total_bytes_);
+    ::shm_unlink(name_.c_str());
+    base_ = nullptr;
+  }
+}
+
+ShmSlotView ShmMetricsRegion::slot_view(std::uint32_t index) const {
+  if (base_ == nullptr || index >= slots_) return {};
+  return {base_ + kRegionHeaderWords +
+              static_cast<std::size_t>(index) * shm_slot_words(span_capacity_),
+          span_capacity_, epoch_ns_};
+}
+
+SlotSnapshot ShmMetricsRegion::harvest(std::uint32_t index) const {
+  SlotSnapshot snap;
+  const ShmSlotView view = slot_view(index);
+  if (view.base == nullptr) return snap;
+  const auto word = [&](std::size_t i) {
+    // lint:allow(concurrency-primitives)
+    return std::atomic_ref<std::uint64_t>(view.base[i])
+        .load(std::memory_order_relaxed);
+  };
+  for (std::uint32_t c = 0; c < kSlotCounters; ++c) snap.counters[c] = word(c);
+  for (std::uint32_t h = 0; h < kSlotHists; ++h) {
+    const std::size_t cells = kSlotCounters + h * kSlotHistWords;
+    for (std::size_t b = 0; b < kLog2Buckets; ++b)
+      snap.hist_buckets[h][b] = word(cells + b);
+    snap.hist_sums[h] = word(cells + kLog2Buckets);
+  }
+  // The head gates visibility: acquire pairs with the writer's release,
+  // so every record below the head is fully stored.
+  // lint:allow(concurrency-primitives)
+  snap.spans_written = std::atomic_ref<std::uint64_t>(
+                           view.base[kSlotSpanHeadWord])
+                           .load(std::memory_order_acquire);
+  const std::uint64_t retained =
+      snap.spans_written < span_capacity_ ? snap.spans_written
+                                          : span_capacity_;
+  snap.spans.reserve(retained);
+  for (std::uint64_t i = 0; i < retained; ++i) {
+    // Oldest retained record first: the ring index of record
+    // (spans_written - retained + i).
+    const std::uint64_t seq = snap.spans_written - retained + i;
+    const std::size_t rec =
+        kSlotSpanRingWord + (seq % span_capacity_) * kSpanRecordWords;
+    snap.spans.push_back(
+        {word(rec), word(rec + 1), word(rec + 2), word(rec + 3)});
+  }
+  return snap;
+}
+
+}  // namespace ftcc::obs

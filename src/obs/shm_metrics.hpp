@@ -1,0 +1,229 @@
+// Crash-surviving cross-process metrics (DESIGN.md §14.1).
+//
+// One POSIX shared-memory segment, created and mapped by the supervisor
+// BEFORE it forks, holds a fixed-size telemetry slot per node process:
+//
+//   region = [ header (8 words) | slot 0 | slot 1 | ... | slot S-1 ]
+//   slot   = [ counters (8)
+//            | hist 0 (65 buckets + sum) | hist 1 (65 buckets + sum)
+//            | span head (1) | span ring (capacity × 4 words) ]
+//
+// Every word is a 64-bit cell accessed through std::atomic_ref, so the
+// mapping is valid in every process that inherits it.  A node writes
+// ONLY its own slot; the supervisor reads slots after the child is dead
+// or stopped.  Telemetry therefore survives SIGKILL — it never lived in
+// the killed process, only in the shared mapping — and a kill landing
+// mid-span-write costs at most that one record: ring entries become
+// visible only when the head word is advanced (release) after the
+// record's four words are stored.
+//
+// The child-side write path (the slot_* free functions below) is
+// allocation-free and async-signal-safe by construction — no heap, no
+// locks, no stdio, only atomic_ref stores and clock_gettime — and the
+// `obs-signal-safety` ftcc-analyzer check proves it: every function
+// named slot_* defined in this header is a call-graph root whose
+// reachable set must stay free of allocating/unsafe calls.
+//
+// Layering: src/obs depends only on src/util, so this class does its
+// own shm_open/mmap/shm_unlink and does NOT talk to the dist janitor.
+// It exposes fs_path(); the dist supervisor registers that path for
+// unlink-on-signal, keeping /dev/shm leak-proof (segment name prefix
+// /ftcc-obs-, covered by the CI leak gate next to /ftcc-dist-).
+#pragma once
+
+// lint:allow(concurrency-primitives) — audited cross-process cells.
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <time.h>
+
+#include "util/stats.hpp"
+
+namespace ftcc::obs {
+
+// ---------------------------------------------------------------------------
+// layout constants
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kShmMetricsMagic = 0x6674636365303973ull;
+inline constexpr std::uint64_t kShmMetricsLayoutVersion = 1;
+inline constexpr std::uint32_t kRegionHeaderWords = 8;
+inline constexpr std::uint32_t kSlotCounters = 8;
+inline constexpr std::uint32_t kSlotHists = 2;
+inline constexpr std::uint32_t kSlotHistWords =
+    static_cast<std::uint32_t>(kLog2Buckets) + 1;  // buckets + sum
+inline constexpr std::uint32_t kSpanRecordWords = 4;  // kind,start,end,aux
+inline constexpr std::uint32_t kSlotSpanHeadWord =
+    kSlotCounters + kSlotHists * kSlotHistWords;
+inline constexpr std::uint32_t kSlotSpanRingWord = kSlotSpanHeadWord + 1;
+
+/// Counter indices a dist node writes (harvested into dist.node.*).
+inline constexpr std::uint32_t kSlotCtrActivations = 0;
+inline constexpr std::uint32_t kSlotCtrPublishes = 1;
+inline constexpr std::uint32_t kSlotCtrReads = 2;
+inline constexpr std::uint32_t kSlotCtrReadRetries = 3;
+inline constexpr std::uint32_t kSlotCtrReadTimeouts = 4;
+inline constexpr std::uint32_t kSlotCtrFinishes = 5;
+inline constexpr std::uint32_t kSlotCtrFrames = 6;
+inline constexpr std::uint32_t kSlotCtrDelays = 7;
+
+/// Histogram indices.
+inline constexpr std::uint32_t kSlotHistActivationNs = 0;
+inline constexpr std::uint32_t kSlotHistReadNs = 1;
+
+/// Span-record kinds (word 0 of a ring record).
+inline constexpr std::uint64_t kShmSpanActivation = 1;
+inline constexpr std::uint64_t kShmSpanPublish = 2;
+inline constexpr std::uint64_t kShmSpanRead = 3;
+
+[[nodiscard]] inline constexpr std::uint64_t shm_slot_words(
+    std::uint64_t span_capacity) noexcept {
+  return kSlotSpanRingWord + span_capacity * kSpanRecordWords;
+}
+
+// ---------------------------------------------------------------------------
+// the child-side view + write path (async-signal-safe, allocation-free)
+// ---------------------------------------------------------------------------
+
+/// A process-local view of one slot: raw base pointer into the shared
+/// mapping plus the ring capacity and the region's epoch.  Plain POD —
+/// safe to hold across fork and to use from any execution context.
+struct ShmSlotView {
+  std::uint64_t* base = nullptr;  ///< first word of the slot (null = off)
+  std::uint64_t span_capacity = 0;
+  std::uint64_t epoch_ns = 0;  ///< CLOCK_MONOTONIC at region creation
+};
+
+/// CLOCK_MONOTONIC nanoseconds since the region's epoch (0 when the view
+/// is detached or obs is compiled out).  clock_gettime is on the POSIX
+/// async-signal-safe list; std::chrono is deliberately not used here.
+[[nodiscard]] inline std::uint64_t slot_now_ns(const ShmSlotView& s) noexcept {
+  if (s.base == nullptr) return 0;
+  struct timespec now = {};
+  ::clock_gettime(CLOCK_MONOTONIC, &now);
+  const std::uint64_t ns = static_cast<std::uint64_t>(now.tv_sec) *
+                               std::uint64_t{1000000000} +
+                           static_cast<std::uint64_t>(now.tv_nsec);
+  return ns - s.epoch_ns;
+}
+
+/// counters[counter] += delta (relaxed; single writer per slot).
+inline void slot_counter_add(const ShmSlotView& s, std::uint32_t counter,
+                             std::uint64_t delta) noexcept {
+  if (s.base == nullptr || counter >= kSlotCounters) return;
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t>(s.base[counter])
+      .fetch_add(delta, std::memory_order_relaxed);
+}
+
+/// Observe `value` into slot histogram `hist` (bucket count + sum).
+inline void slot_hist_record(const ShmSlotView& s, std::uint32_t hist,
+                             std::uint64_t value) noexcept {
+  if (s.base == nullptr || hist >= kSlotHists) return;
+  std::uint64_t* cells = s.base + kSlotCounters + hist * kSlotHistWords;
+  const std::size_t bucket = log2_bucket_index(value);
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t>(cells[bucket])
+      .fetch_add(1, std::memory_order_relaxed);
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t>(cells[kLog2Buckets])
+      .fetch_add(value, std::memory_order_relaxed);
+}
+
+/// Append one span record to the slot's ring.  The four record words are
+/// stored first (relaxed), then the head is advanced with a release
+/// store — a SIGKILL between the two leaves the record invisible, never
+/// torn.  Wraps by overwriting the oldest record.
+inline void slot_span_record(const ShmSlotView& s, std::uint64_t kind,
+                             std::uint64_t start_ns, std::uint64_t end_ns,
+                             std::uint64_t aux) noexcept {
+  if (s.base == nullptr || s.span_capacity == 0) return;
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t> head(s.base[kSlotSpanHeadWord]);
+  const std::uint64_t seq = head.load(std::memory_order_relaxed);
+  std::uint64_t* rec =
+      s.base + kSlotSpanRingWord + (seq % s.span_capacity) * kSpanRecordWords;
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t>(rec[0]).store(kind,
+                                               std::memory_order_relaxed);
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t>(rec[1]).store(start_ns,
+                                               std::memory_order_relaxed);
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t>(rec[2]).store(end_ns,
+                                               std::memory_order_relaxed);
+  // lint:allow(concurrency-primitives)
+  std::atomic_ref<std::uint64_t>(rec[3]).store(aux, std::memory_order_relaxed);
+  head.store(seq + 1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// the region (supervisor side: create before fork, harvest post-mortem)
+// ---------------------------------------------------------------------------
+
+/// One retained span record, timestamps in ns since the region epoch.
+struct ShmSpanRecord {
+  std::uint64_t kind = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t aux = 0;
+};
+
+/// Everything harvested from one slot after the writer is dead/stopped.
+struct SlotSnapshot {
+  std::array<std::uint64_t, kSlotCounters> counters{};
+  std::array<std::array<std::uint64_t, kLog2Buckets>, kSlotHists>
+      hist_buckets{};
+  std::array<std::uint64_t, kSlotHists> hist_sums{};
+  std::uint64_t spans_written = 0;  ///< total ever, incl. overwritten
+  std::vector<ShmSpanRecord> spans;  ///< retained tail, oldest first
+};
+
+class ShmMetricsRegion {
+ public:
+  /// Create and map a fresh zero-filled segment of `slots` slots, each
+  /// with a `span_capacity`-record ring.  `ok()` reports success;
+  /// failure (exhausted /dev/shm) degrades callers to a detached view.
+  ShmMetricsRegion(std::uint32_t slots, std::uint32_t span_capacity);
+  ~ShmMetricsRegion();
+
+  ShmMetricsRegion(const ShmMetricsRegion&) = delete;
+  ShmMetricsRegion& operator=(const ShmMetricsRegion&) = delete;
+
+  [[nodiscard]] bool ok() const { return base_ != nullptr; }
+  /// The /dev/shm-relative name ("/ftcc-obs-<pid>-<seq>").
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Full filesystem path — the dist janitor registers this for
+  /// unlink-on-signal (obs itself never touches dist).
+  [[nodiscard]] const std::string& fs_path() const { return fs_path_; }
+  [[nodiscard]] std::uint32_t slots() const { return slots_; }
+  [[nodiscard]] std::uint32_t span_capacity() const { return span_capacity_; }
+  /// CLOCK_MONOTONIC at creation — the zero point of every slot span.
+  [[nodiscard]] std::uint64_t epoch_ns() const { return epoch_ns_; }
+
+  /// The child-side view of slot `index` (detached view when !ok()).
+  [[nodiscard]] ShmSlotView slot_view(std::uint32_t index) const;
+
+  /// Read slot `index` out of the mapping.  Safe while the writer is
+  /// dead, stopped, or never existed; ring records beyond the head are
+  /// ignored, so a mid-write SIGKILL cannot produce a torn span.
+  [[nodiscard]] SlotSnapshot harvest(std::uint32_t index) const;
+
+ private:
+  std::string name_;
+  std::string fs_path_;
+  std::uint32_t slots_ = 0;
+  std::uint32_t span_capacity_ = 0;
+  std::uint64_t epoch_ns_ = 0;
+  std::size_t total_bytes_ = 0;
+  std::uint64_t* base_ = nullptr;
+
+  // lint:allow(concurrency-primitives)
+  static_assert(std::atomic_ref<std::uint64_t>::is_always_lock_free,
+                "cross-process telemetry needs lock-free 64-bit atomics");
+};
+
+}  // namespace ftcc::obs

@@ -61,4 +61,56 @@ bool write_metrics_jsonl(const std::string& path, const Registry& registry,
   return static_cast<bool>(out);
 }
 
+std::string progress_line(const std::map<std::string, std::uint64_t>& counts,
+                          const std::map<std::string, std::string>& labels) {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kMetricsSchema << "\",\"kind\":\"progress\"";
+  for (const auto& [k, v] : labels) {
+    FTCC_EXPECTS(k != "schema" && k != "kind");
+    os << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+  }
+  for (const auto& [k, v] : counts) {
+    FTCC_EXPECTS(k != "schema" && k != "kind");
+    os << ",\"" << json_escape(k) << "\":" << v;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Sink::Sink(std::string path, Mode mode) : path_(std::move(path)) {
+  // Probe (and in truncate mode, reset) the target once up front, then
+  // reopen per write: a held-open descriptor would keep accepting
+  // writes into a directory that no longer exists, so each write
+  // re-resolves the path and the fail-fast latch sees real I/O state.
+  create_parent_dirs(path_);
+  out_.open(path_, mode == Mode::append ? std::ios::app : std::ios::trunc);
+  failed_ = !out_;
+  out_.close();
+  out_.clear();
+}
+
+bool Sink::write_line(const std::string& line) {
+  if (failed_) return false;
+  out_.open(path_, std::ios::app);
+  out_ << line;
+  if (line.empty() || line.back() != '\n') out_ << '\n';
+  out_.flush();
+  failed_ = !out_;
+  out_.close();
+  out_.clear();
+  return !failed_;
+}
+
+bool Sink::write_snapshot(const Registry& registry,
+                          const std::map<std::string, std::string>& meta) {
+  if (failed_) return false;
+  out_.open(path_, std::ios::app);
+  out_ << metrics_to_jsonl(registry.snapshot(), meta);
+  out_.flush();
+  failed_ = !out_;
+  out_.close();
+  out_.clear();
+  return !failed_;
+}
+
 }  // namespace ftcc::obs

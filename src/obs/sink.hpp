@@ -14,8 +14,15 @@
 // Histogram buckets are sparse (index, count) pairs into the log₂ bucket
 // grid of util/stats.hpp.  tools/report parses this format back with
 // obs/report.hpp.
+// Since PR 9 the same schema tag also carries `kind:"progress"` follow
+// streams (tools/dist --follow): one self-contained snapshot object per
+// line, numeric tallies only, so `tail -f | jq` works mid-campaign:
+//
+//   {"schema":"ftcc-metrics-v1","kind":"progress","tool":"dist",
+//    "done":400,"total":1000,"ok":399,"failures":1,"elapsed_us":812345}
 #pragma once
 
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -39,5 +46,43 @@ void create_parent_dirs(const std::string& path);
 /// Snapshot `registry` and write it to `path`; false on I/O failure.
 bool write_metrics_jsonl(const std::string& path, const Registry& registry,
                          const std::map<std::string, std::string>& meta = {});
+
+/// One `kind:"progress"` follow line (newline-terminated).  `counts`
+/// carries the numeric tallies, `labels` free-form strings (tool name);
+/// "schema" and "kind" are reserved, keys emit in sorted map order so
+/// streams diff line-for-line.
+[[nodiscard]] std::string progress_line(
+    const std::map<std::string, std::uint64_t>& counts,
+    const std::map<std::string, std::string>& labels = {});
+
+/// Append-oriented JSONL file sink for long campaigns (DESIGN.md §14.4).
+///
+/// `truncate` replaces an existing target, `append` extends it — so two
+/// campaigns can share one metrics file (tools/report merges the
+/// snapshots).  Writes flush per line and FAIL FAST: the first I/O error
+/// (e.g. the target directory vanished mid-run) latches ok() to false
+/// and every later write becomes a no-op returning false, instead of
+/// silently dropping telemetry for the rest of the campaign.
+class Sink {
+ public:
+  enum class Mode { truncate, append };
+
+  Sink(std::string path, Mode mode = Mode::truncate);
+
+  /// Open succeeded and no write has failed since.
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Write one line (newline appended) and flush; false on failure.
+  bool write_line(const std::string& line);
+  /// Append a full metrics snapshot block (meta line + sorted samples).
+  bool write_snapshot(const Registry& registry,
+                      const std::map<std::string, std::string>& meta = {});
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  bool failed_ = false;
+};
 
 }  // namespace ftcc::obs

@@ -37,11 +37,44 @@ std::uint64_t TraceSink::now_us() const noexcept {
 
 void TraceSink::complete(std::string name, std::string cat,
                          std::uint64_t ts_us, std::uint64_t dur_us) {
-  events_.push_back({std::move(name), std::move(cat), 'X', ts_us, dur_us});
+  complete_on(0, 0, std::move(name), std::move(cat), ts_us, dur_us);
 }
 
 void TraceSink::instant(std::string name, std::string cat) {
-  events_.push_back({std::move(name), std::move(cat), 'i', now_us(), 0});
+  instant_on(0, 0, std::move(name), std::move(cat), now_us());
+}
+
+void TraceSink::complete_on(std::uint64_t pid, std::uint64_t tid,
+                            std::string name, std::string cat,
+                            std::uint64_t ts_us, std::uint64_t dur_us) {
+  push({std::move(name), std::move(cat), 'X', ts_us, dur_us, pid, tid, 0, {}});
+}
+
+void TraceSink::instant_on(std::uint64_t pid, std::uint64_t tid,
+                           std::string name, std::string cat,
+                           std::uint64_t ts_us) {
+  push({std::move(name), std::move(cat), 'i', ts_us, 0, pid, tid, 0, {}});
+}
+
+void TraceSink::process_name(std::uint64_t pid, std::string name) {
+  push({"process_name", "__metadata", 'M', 0, 0, pid, 0, 0, std::move(name)});
+}
+
+void TraceSink::thread_name(std::uint64_t pid, std::uint64_t tid,
+                            std::string name) {
+  push({"thread_name", "__metadata", 'M', 0, 0, pid, tid, 0, std::move(name)});
+}
+
+void TraceSink::flow_start(std::uint64_t id, std::uint64_t pid,
+                           std::uint64_t tid, std::string name,
+                           std::string cat, std::uint64_t ts_us) {
+  push({std::move(name), std::move(cat), 's', ts_us, 0, pid, tid, id, {}});
+}
+
+void TraceSink::flow_finish(std::uint64_t id, std::uint64_t pid,
+                            std::uint64_t tid, std::string name,
+                            std::string cat, std::uint64_t ts_us) {
+  push({std::move(name), std::move(cat), 'f', ts_us, 0, pid, tid, id, {}});
 }
 
 std::string TraceSink::to_json() const {
@@ -53,9 +86,13 @@ std::string TraceSink::to_json() const {
     os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
        << (e.cat.empty() ? "ftcc" : json_escape(e.cat))
        << "\",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us
-       << ",\"pid\":0,\"tid\":0";
+       << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
     if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
     if (e.ph == 'i') os << ",\"s\":\"g\"";
+    if (e.ph == 'M')
+      os << ",\"args\":{\"name\":\"" << json_escape(e.meta_arg) << "\"}";
+    if (e.ph == 's' || e.ph == 'f') os << ",\"id\":" << e.flow_id;
+    if (e.ph == 'f') os << ",\"bp\":\"e\"";  // bind to the enclosing slice
     os << "}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";

@@ -1,4 +1,4 @@
-// RAII tracing spans and the Chrome-trace-event sink (DESIGN.md §9).
+// RAII tracing spans and the Chrome-trace-event sink (DESIGN.md §9, §14).
 //
 // Wall-clock lives HERE by construction: the `wall-clock` lint rule
 // confines std::chrono clocks to src/obs/ and src/runtime/ (plus bench
@@ -8,9 +8,13 @@
 //
 // The sink speaks the Chrome trace-event JSON format ("traceEvents"
 // with ph="X" complete events, microsecond timestamps), which both
-// chrome://tracing and Perfetto load directly.  It is single-threaded
-// on purpose: every current producer (the fuzz loop, the certifier
-// after its joins) runs on the main thread.  When FTCC_OBS_DISABLED is
+// chrome://tracing and Perfetto load directly.  Since PR 9 it is
+// multi-track: every event carries a (pid, tid) lane, ph="M" metadata
+// events name the lanes, and ph="s"/"f" flow pairs draw causal arrows
+// between slices (the HB-edge rendering of tools/report trace).  It is
+// single-threaded on purpose: every current producer (the fuzz loop,
+// the certifier after its joins, the dist supervisor merging harvested
+// child tracks) runs on the main thread.  When FTCC_OBS_DISABLED is
 // set, Stopwatch and Span never touch the clock.
 #pragma once
 
@@ -43,6 +47,25 @@ class TraceSink {
                 std::uint64_t dur_us);
   void instant(std::string name, std::string cat);
 
+  // -- multi-track producers (merged child tracks, eventlog lanes) --
+
+  /// Complete event on an explicit (pid, tid) lane.
+  void complete_on(std::uint64_t pid, std::uint64_t tid, std::string name,
+                   std::string cat, std::uint64_t ts_us, std::uint64_t dur_us);
+  /// Instant marker on an explicit lane (fault markers: kill/pause/revive).
+  void instant_on(std::uint64_t pid, std::uint64_t tid, std::string name,
+                  std::string cat, std::uint64_t ts_us);
+  /// ph="M" metadata naming a process lane ("trial 7") — ts pinned to 0.
+  void process_name(std::uint64_t pid, std::string name);
+  /// ph="M" metadata naming a thread lane ("node 3") — ts pinned to 0.
+  void thread_name(std::uint64_t pid, std::uint64_t tid, std::string name);
+  /// Causal arrow: a ph="s" flow start at (pid,tid,ts) paired by `id`...
+  void flow_start(std::uint64_t id, std::uint64_t pid, std::uint64_t tid,
+                  std::string name, std::string cat, std::uint64_t ts_us);
+  /// ...with a ph="f" (binding point "e": enclosing slice) flow finish.
+  void flow_finish(std::uint64_t id, std::uint64_t pid, std::uint64_t tid,
+                   std::string name, std::string cat, std::uint64_t ts_us);
+
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
 
@@ -57,7 +80,12 @@ class TraceSink {
     char ph = 'X';
     std::uint64_t ts_us = 0;
     std::uint64_t dur_us = 0;
+    std::uint64_t pid = 0;
+    std::uint64_t tid = 0;
+    std::uint64_t flow_id = 0;   ///< pairs ph='s' with ph='f'
+    std::string meta_arg;        ///< args.name payload for ph='M'
   };
+  void push(Event e) { events_.push_back(std::move(e)); }
   std::vector<Event> events_;
   Stopwatch clock_;
 };

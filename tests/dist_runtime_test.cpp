@@ -83,6 +83,54 @@ TEST(DistRuntime, TornKillLeavesAStallAndStillCertifies) {
   EXPECT_FALSE(report.atomic);  // a stall has no atomic-model analogue
 }
 
+TEST(DistRuntime, TelemetrySurvivesTheTornKillAndLeaksNothing) {
+  const Graph graph = make_cycle(4);
+  const IdAssignment ids = sorted_ids(4);
+  SixColoring algo;
+  FaultPlan plan(4);
+  plan.crash_at_step(1, 1);
+  DistOptions options;
+  options.torn_crash.assign(4, 0);
+  options.torn_crash[1] = 1;  // kill -9 mid-publish
+  DistExecutor<SixColoring> ex(algo, graph, ids, plan, options);
+  DistTelemetry telemetry;
+  ex.attach_telemetry(&telemetry);
+  SynchronousScheduler sched;
+  const auto result = ex.run(sched, 1000);
+  ASSERT_TRUE(ex.error().empty()) << ex.error();
+  EXPECT_EQ(result.fates[1], NodeFate::crashed);
+
+  // The harvest happened post-mortem out of shared memory: every node —
+  // the SIGKILLed one included — left counters and spans behind.
+  ASSERT_TRUE(telemetry.enabled);
+  EXPECT_GT(telemetry.epoch_ns, 0u);
+  ASSERT_EQ(telemetry.slots.size(), 4u);
+  for (NodeId v = 0; v < 4; ++v) {
+    const obs::SlotSnapshot& slot = telemetry.slots[v];
+    EXPECT_GT(slot.counters[obs::kSlotCtrFrames], 0u) << "node " << v;
+    EXPECT_GT(slot.counters[obs::kSlotCtrPublishes], 0u) << "node " << v;
+    EXPECT_FALSE(slot.spans.empty()) << "node " << v;
+  }
+  // The victim ACKed a publish frame right before dying: its slot must
+  // show the publish it was killed over, and never a finish.
+  EXPECT_EQ(telemetry.slots[1].counters[obs::kSlotCtrFinishes], 0u);
+  bool victim_published = false;
+  for (const obs::ShmSpanRecord& span : telemetry.slots[1].spans)
+    victim_published |= span.kind == obs::kShmSpanPublish;
+  EXPECT_TRUE(victim_published);
+  // The supervisor's own fault marker is timestamped on the same clock.
+  ASSERT_FALSE(telemetry.markers.empty());
+  bool marked = false;
+  for (const DistFaultMarker& m : telemetry.markers)
+    marked |= m.node == 1 && m.label == "SIGKILL (torn)";
+  EXPECT_TRUE(marked);
+
+  // The telemetry segment is gone: the obs prefix must not leak either.
+  for (const auto& entry : std::filesystem::directory_iterator("/dev/shm"))
+    EXPECT_NE(entry.path().filename().string().rfind("ftcc-obs-", 0), 0u)
+        << entry.path() << " leaked";
+}
+
 TEST(DistRuntime, CleanKillKeepsTheRegisterReadable) {
   const Graph graph = make_cycle(4);
   const IdAssignment ids = sorted_ids(4);

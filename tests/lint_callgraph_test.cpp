@@ -223,5 +223,52 @@ TEST(LintCallGraph, AllocFreedomSeedsOnlyTheRealExecutor) {
   EXPECT_TRUE(other.check_alloc_freedom().empty());
 }
 
+TEST(LintCallGraph, ObsSignalSafetySeedsSlotOpsWithWitnessChain) {
+  // A slot_* op defined in the real header calling an innocently-named
+  // helper that allocates: the transitive proof must flag the helper's
+  // body and name the full chain from the root.
+  const std::string header =
+      "void format_label(char* out) {\n"
+      "  std::string s = \"x\";\n"
+      "}\n"
+      "void slot_counter_add(int c) { format_label(nullptr); }\n";
+  CallGraph graph;
+  graph.add_file("src/obs/shm_metrics.hpp",
+                 functions_of("src/obs/shm_metrics.hpp", header), {});
+  const auto findings = graph.check_obs_signal_safety();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "obs-signal-safety");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("slot_counter_add -> format_label"),
+            std::string::npos);
+
+  // The same code outside src/obs/shm_metrics.hpp seeds nothing...
+  CallGraph other;
+  other.add_file("src/obs/metrics.hpp",
+                 functions_of("src/obs/metrics.hpp", header), {});
+  EXPECT_TRUE(other.check_obs_signal_safety().empty());
+}
+
+TEST(LintCallGraph, ObsSignalSafetyTreatsAtomicMembersAsLeaves) {
+  // slot_* bodies speak to the mapping through std::atomic_ref members;
+  // a repo definition that happens to be named `store` must not be
+  // pulled into the closure by the name-based resolver.
+  CallGraph graph;
+  graph.add_file("src/obs/shm_metrics.hpp",
+                 functions_of("src/obs/shm_metrics.hpp",
+                              "void slot_span_record(int s) {\n"
+                              "  ref.store(1);\n"
+                              "}\n"),
+                 {});
+  graph.add_file(
+      "src/runtime/register_file.hpp",
+      functions_of("src/runtime/register_file.hpp",
+                   "struct RegisterFile {\n"
+                   "  void store(int v) { auto s = std::vector<int>(v); }\n"
+                   "};\n"),
+      {});
+  EXPECT_TRUE(graph.check_obs_signal_safety().empty());
+}
+
 }  // namespace
 }  // namespace ftcc::lint

@@ -567,7 +567,7 @@ TEST(LintAllocFreedom, RootsArePinnedToTheRealExecutorHeader) {
 
 TEST(LintRuleIds, EveryRuleHasAnIdAScopeAndADescription) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 11u);
+  ASSERT_EQ(ids.size(), 12u);
   for (const auto& id : ids) {
     EXPECT_TRUE(rule_applies(id, "src/core/x.cpp") ||
                 rule_applies(id, "src/runtime/x.cpp") ||

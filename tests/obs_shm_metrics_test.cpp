@@ -1,0 +1,135 @@
+// Crash-surviving shm telemetry (obs/shm_metrics.hpp, DESIGN.md §14.1):
+// layout arithmetic, the lock-free slot ops, ring wrap-around, and the
+// acceptance property — a child's counters and spans survive its own
+// SIGKILL because they live in the shared mapping, not the process.
+#include "obs/shm_metrics.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace ftcc::obs {
+namespace {
+
+TEST(ShmMetricsLayout, SlotWordArithmetic) {
+  // header | 8 counters | 2×(buckets+sum) | head | ring
+  EXPECT_EQ(kSlotSpanHeadWord, 8u + 2u * (kLog2Buckets + 1));
+  EXPECT_EQ(kSlotSpanRingWord, kSlotSpanHeadWord + 1);
+  EXPECT_EQ(shm_slot_words(0), kSlotSpanRingWord);
+  EXPECT_EQ(shm_slot_words(16), kSlotSpanRingWord + 16 * kSpanRecordWords);
+}
+
+TEST(ShmMetrics, DetachedViewIsANoOp) {
+  ShmSlotView off;
+  EXPECT_EQ(slot_now_ns(off), 0u);
+  slot_counter_add(off, kSlotCtrReads, 3);       // must not crash
+  slot_hist_record(off, kSlotHistReadNs, 42);    // must not crash
+  slot_span_record(off, kShmSpanRead, 1, 2, 0);  // must not crash
+}
+
+TEST(ShmMetrics, RegionCreatesAndUnlinksItsSegment) {
+  std::string fs_path;
+  {
+    ShmMetricsRegion region(2, 8);
+    ASSERT_TRUE(region.ok());
+    fs_path = region.fs_path();
+    EXPECT_TRUE(region.name().starts_with("/ftcc-obs-"));
+    EXPECT_TRUE(std::filesystem::exists(fs_path));
+    EXPECT_EQ(region.slots(), 2u);
+    EXPECT_EQ(region.span_capacity(), 8u);
+  }
+  EXPECT_FALSE(std::filesystem::exists(fs_path));
+}
+
+TEST(ShmMetrics, CountersAndHistogramsRoundTrip) {
+  ShmMetricsRegion region(2, 4);
+  ASSERT_TRUE(region.ok());
+  const ShmSlotView slot = region.slot_view(1);
+  slot_counter_add(slot, kSlotCtrActivations, 1);
+  slot_counter_add(slot, kSlotCtrActivations, 2);
+  slot_counter_add(slot, kSlotCtrReadTimeouts, 5);
+  slot_hist_record(slot, kSlotHistReadNs, 100);   // bucket 7
+  slot_hist_record(slot, kSlotHistReadNs, 100);
+  slot_hist_record(slot, kSlotHistActivationNs, 1);  // bucket 1
+
+  const SlotSnapshot harvested = region.harvest(1);
+  EXPECT_EQ(harvested.counters[kSlotCtrActivations], 3u);
+  EXPECT_EQ(harvested.counters[kSlotCtrReadTimeouts], 5u);
+  EXPECT_EQ(harvested.counters[kSlotCtrPublishes], 0u);
+  EXPECT_EQ(harvested.hist_buckets[kSlotHistReadNs][7], 2u);
+  EXPECT_EQ(harvested.hist_sums[kSlotHistReadNs], 200u);
+  EXPECT_EQ(harvested.hist_buckets[kSlotHistActivationNs][1], 1u);
+
+  // Slot 0 was never touched: fully zero.
+  const SlotSnapshot untouched = region.harvest(0);
+  for (const std::uint64_t c : untouched.counters) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(untouched.spans_written, 0u);
+  EXPECT_TRUE(untouched.spans.empty());
+}
+
+TEST(ShmMetrics, SpanRingRetainsTheTailOldestFirst) {
+  ShmMetricsRegion region(1, 3);
+  ASSERT_TRUE(region.ok());
+  const ShmSlotView slot = region.slot_view(0);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    slot_span_record(slot, kShmSpanRead, 10 * i, 10 * i + 5, i);
+
+  const SlotSnapshot harvested = region.harvest(0);
+  EXPECT_EQ(harvested.spans_written, 5u);
+  ASSERT_EQ(harvested.spans.size(), 3u);  // records 2, 3, 4 retained
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::uint64_t i = k + 2;
+    EXPECT_EQ(harvested.spans[k].kind, kShmSpanRead);
+    EXPECT_EQ(harvested.spans[k].start_ns, 10 * i);
+    EXPECT_EQ(harvested.spans[k].end_ns, 10 * i + 5);
+    EXPECT_EQ(harvested.spans[k].aux, i);
+  }
+}
+
+TEST(ShmMetrics, SlotClockAdvancesFromTheRegionEpoch) {
+  ShmMetricsRegion region(1, 1);
+  ASSERT_TRUE(region.ok());
+  const ShmSlotView slot = region.slot_view(0);
+  const std::uint64_t a = slot_now_ns(slot);
+  const std::uint64_t b = slot_now_ns(slot);
+  EXPECT_LE(a, b);
+  EXPECT_LT(b, std::uint64_t{60} * 1000 * 1000 * 1000)
+      << "slot time should be relative to the region epoch, not boot";
+}
+
+// The acceptance property: telemetry written by a forked child survives
+// the child's SIGKILL mid-run and is harvested post-mortem.
+TEST(ShmMetrics, TelemetrySurvivesSigkill) {
+  ShmMetricsRegion region(1, 8);
+  ASSERT_TRUE(region.ok());
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const ShmSlotView slot = region.slot_view(0);
+    slot_counter_add(slot, kSlotCtrPublishes, 7);
+    slot_hist_record(slot, kSlotHistActivationNs, 1000);
+    slot_span_record(slot, kShmSpanPublish, 100, 200, 3);
+    ::kill(::getpid(), SIGKILL);  // die without any chance to clean up
+    ::_exit(1);                   // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  const SlotSnapshot harvested = region.harvest(0);
+  EXPECT_EQ(harvested.counters[kSlotCtrPublishes], 7u);
+  EXPECT_EQ(harvested.hist_sums[kSlotHistActivationNs], 1000u);
+  ASSERT_EQ(harvested.spans.size(), 1u);
+  EXPECT_EQ(harvested.spans[0].kind, kShmSpanPublish);
+  EXPECT_EQ(harvested.spans[0].start_ns, 100u);
+  EXPECT_EQ(harvested.spans[0].end_ns, 200u);
+  EXPECT_EQ(harvested.spans[0].aux, 3u);
+}
+
+}  // namespace
+}  // namespace ftcc::obs

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/algo1_six_coloring.hpp"
 #include "fuzz/campaign.hpp"
@@ -204,6 +207,153 @@ TEST(ObsReport, TablesCoverEveryMetricAndDiffSigns) {
   const Table diff = metrics_diff_table(file, other);
   EXPECT_EQ(diff.rows().size(), file.samples.size());
   for (const auto& row : diff.rows()) EXPECT_EQ(row.back(), "0.000");
+}
+
+TEST(ObsReport, AggregateTablePinsPercentilesToBucketUpperBounds) {
+  // 90 × value 1 (bucket 1, upper bound 1) and 10 × value 1000 (bucket
+  // 10: [512,1023]).  Nearest rank over 100 samples: ranks 50 and 90
+  // stay in bucket 1, rank 99 crosses into bucket 10 — so the table must
+  // print exactly p50=1, p90=1, p99=1023.
+  Registry reg;
+  Histogram& h = reg.histogram("pinned_ns");
+  for (int i = 0; i < 90; ++i) h.observe(1);
+  for (int i = 0; i < 10; ++i) h.observe(1000);
+  reg.counter("ignored.by.aggregate").inc(5);
+
+  MetricsFile file;
+  ASSERT_TRUE(parse_metrics_jsonl(metrics_to_jsonl(reg.snapshot()), file));
+  const Table table = aggregate_table(file);
+  ASSERT_EQ(table.headers(),
+            (std::vector<std::string>{"metric", "count", "sum", "mean", "p50",
+                                      "p90", "p99"}));
+  ASSERT_EQ(table.rows().size(), 1u);  // histograms only
+  const auto& row = table.rows()[0];
+  EXPECT_EQ(row[0], "pinned_ns");
+  EXPECT_EQ(row[1], "100");
+  EXPECT_EQ(row[2], "10090");
+  EXPECT_EQ(row[4], "1");
+  EXPECT_EQ(row[5], "1");
+  EXPECT_EQ(row[6], "1023");
+}
+
+// ---------------------------------------------------------------------------
+// the file sink: rotation, append, fail-fast
+// ---------------------------------------------------------------------------
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ObsFileSink, TruncateModeReplacesAnExistingFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ftcc_sink_trunc.jsonl")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "stale previous run\n";
+  }
+  Sink sink(path, Sink::Mode::truncate);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_TRUE(sink.write_line("fresh"));
+  EXPECT_EQ(slurp_file(path), "fresh\n");  // the stale content is gone
+  std::filesystem::remove(path);
+}
+
+TEST(ObsFileSink, AppendModeAccumulatesSnapshotsReportMergesThem) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ftcc_sink_append.jsonl")
+          .string();
+  std::filesystem::remove(path);
+  {
+    Registry reg;
+    reg.counter("runs.trials").inc(10);
+    reg.histogram("runs.us").observe(5);
+    Sink first(path, Sink::Mode::append);
+    ASSERT_TRUE(first.write_snapshot(reg, {{"run", "a"}}));
+  }
+  {
+    Registry reg;
+    reg.counter("runs.trials").inc(7);
+    reg.histogram("runs.us").observe(5);
+    Sink second(path, Sink::Mode::append);
+    ASSERT_TRUE(second.write_snapshot(reg, {{"run", "b"}}));
+  }
+  // The stacked file parses as one run with merge semantics: counters
+  // sum, histograms add, the first snapshot's meta wins.
+  MetricsFile parsed;
+  std::string error;
+  ASSERT_TRUE(parse_metrics_jsonl(slurp_file(path), parsed, &error)) << error;
+  EXPECT_EQ(parsed.meta.at("run"), "a");
+  ASSERT_EQ(parsed.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.samples[0].value, 17.0);
+  EXPECT_EQ(parsed.samples[1].count, 2u);
+  EXPECT_TRUE(check_metrics_jsonl(slurp_file(path), &error)) << error;
+  std::filesystem::remove(path);
+}
+
+TEST(ObsFileSink, VanishedDirectoryLatchesTheFailFast) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ftcc_sink_vanish";
+  std::filesystem::create_directories(dir);
+  Sink sink((dir / "m.jsonl").string(), Sink::Mode::truncate);
+  ASSERT_TRUE(sink.ok());
+  ASSERT_TRUE(sink.write_line("before"));
+  std::filesystem::remove_all(dir);  // the campaign's target dir vanishes
+  EXPECT_FALSE(sink.write_line("after"));  // reopen-per-write notices
+  EXPECT_FALSE(sink.ok());
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(sink.write_line("latched"))
+      << "a failed sink must stay failed, not silently resume";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsFileSink, UnwritablePathFailsAtConstruction) {
+  Sink sink("/proc/ftcc-definitely-not-writable/m.jsonl");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_FALSE(sink.write_line("x"));
+}
+
+// ---------------------------------------------------------------------------
+// follow streams (--follow progress lines)
+// ---------------------------------------------------------------------------
+
+TEST(ObsFollow, ProgressLinesFormAValidStream) {
+  const std::string stream =
+      progress_line({{"done", 5}, {"total", 10}, {"ok", 5}},
+                    {{"tool", "dist"}}) +
+      progress_line({{"done", 10}, {"total", 10}, {"ok", 9}},
+                    {{"tool", "dist"}});
+  std::string error, kind;
+  EXPECT_TRUE(check_follow_jsonl(stream, &error)) << error;
+  // check_payload sniffs the first line's kind and routes to follow.
+  EXPECT_TRUE(check_payload(stream, &error, &kind)) << error;
+  EXPECT_EQ(kind, "follow");
+}
+
+TEST(ObsFollow, RejectsBrokenStreams) {
+  const auto line = [](std::uint64_t done, std::uint64_t total) {
+    return progress_line({{"done", done}, {"total", total}});
+  };
+  std::string error;
+  // done must stay monotone...
+  EXPECT_FALSE(check_follow_jsonl(line(5, 10) + line(4, 10), &error));
+  EXPECT_NE(error.find("backwards"), std::string::npos);
+  // ...and bounded by total.
+  EXPECT_FALSE(check_follow_jsonl(line(11, 10), &error));
+  EXPECT_NE(error.find("exceeds total"), std::string::npos);
+  // Every non-label field must be numeric.
+  EXPECT_FALSE(check_follow_jsonl(
+      "{\"schema\":\"ftcc-metrics-v1\",\"kind\":\"progress\","
+      "\"done\":1,\"total\":2,\"rate\":1.5}\n",
+      &error));
+  // An empty stream means the campaign never reported: fail it.
+  EXPECT_FALSE(check_follow_jsonl("", &error));
+  // A metrics meta line is not a progress line.
+  EXPECT_FALSE(check_follow_jsonl(
+      "{\"schema\":\"ftcc-metrics-v1\",\"kind\":\"meta\"}\n", &error));
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,8 @@
 //   dist --seed=42 --trials=1000 --inject=mixed        # the full zoo
 //   dist --seed=42 --inject=kill --out=artifacts       # SIGKILL only
 //   dist --seed=42 --keep-logs=logs --metrics=m.jsonl  # CI: certify all
+//   dist --seed=42 --inject=mixed --trace=dist.json    # merged Chrome trace
+//   dist --seed=42 --follow | tee progress.jsonl       # live snapshots
 //
 // The report written to stdout is a deterministic function of the flags
 // (activations are serialised by the supervisor, so decisions depend
@@ -17,25 +19,31 @@
 // certification failures, 2 = usage or artifact error.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <map>
 
 #include "dist/dist_campaign.hpp"
 #include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "util/artifacts.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
-void print_progress(const ftcc::CampaignProgress& p) {
+void print_progress(const ftcc::dist::DistCampaignProgress& p) {
   if (p.done == p.total) {
     std::printf("\r\033[2K");
   } else {
-    std::printf("\r[%llu/%llu] ok=%llu failures=%llu",
+    std::printf("\r[%llu/%llu] ok=%llu certified=%llu violations=%llu "
+                "crashed=%llu failures=%llu",
                 static_cast<unsigned long long>(p.done),
                 static_cast<unsigned long long>(p.total),
                 static_cast<unsigned long long>(p.ok),
+                static_cast<unsigned long long>(p.certified),
+                static_cast<unsigned long long>(p.violations),
+                static_cast<unsigned long long>(p.crashed_nodes),
                 static_cast<unsigned long long>(p.failures));
   }
   std::fflush(stdout);
@@ -62,6 +70,14 @@ int main(int argc, char** argv) {
             "(trial-<N>.eventlog; re-certify with tools/race)")
       .flag("metrics", std::string(""),
             "write campaign metrics (ftcc-metrics-v1 JSONL) to this path")
+      .flag("trace", std::string(""),
+            "merge every trial's crash-surviving node telemetry into one "
+            "Chrome trace (load in chrome://tracing or Perfetto) at this "
+            "path; faults appear as instant markers")
+      .flag("follow", false,
+            "stream ftcc-metrics-v1 progress snapshot lines to stdout as "
+            "the campaign runs (machine-readable; validate with "
+            "tools/report --check)")
       .flag("max-steps", std::uint64_t{4096}, "supervisor step budget")
       .flag("max-read-attempts", std::uint64_t{1} << 12,
             "seqlock retry budget per neighbour read in node processes")
@@ -97,6 +113,7 @@ int main(int argc, char** argv) {
   const std::string out_dir = cli.get_string("out");
   const std::string log_dir = cli.get_string("keep-logs");
   const std::string metrics_path = cli.get_string("metrics");
+  const std::string trace_path = cli.get_string("trace");
   for (const std::string& dir : {out_dir, log_dir}) {
     if (dir.empty()) continue;
     if (const auto error = ftcc::probe_dir_writable(dir)) {
@@ -104,14 +121,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!metrics_path.empty()) {
-    if (const auto error = ftcc::probe_file_writable(metrics_path)) {
+  for (const std::string& path : {metrics_path, trace_path}) {
+    if (path.empty()) continue;
+    if (const auto error = ftcc::probe_file_writable(path)) {
       std::cerr << *error << "\n";
       return 2;
     }
   }
 
   ftcc::obs::Registry registry;
+  ftcc::obs::TraceSink trace;
   ftcc::dist::DistCampaignOptions options;
   options.seed = cli.get_u64("seed");
   options.trials = cli.get_u64("trials");
@@ -125,12 +144,37 @@ int main(int argc, char** argv) {
   options.overlap = cli.get_bool("overlap");
   if (algo_flag != "all") options.algos = {algo_flag};
   if (!metrics_path.empty()) options.metrics = &registry;
-  if (cli.get_bool("progress") && isatty(fileno(stdout)) != 0)
+  if (!trace_path.empty()) options.trace = &trace;
+  if (cli.get_bool("follow")) {
+    // Machine-readable live progress: one self-contained ftcc-metrics-v1
+    // snapshot line per callback, dense enough to plot a pass-rate curve.
+    options.progress_every =
+        std::max<std::uint64_t>(std::uint64_t{1}, options.trials / 10);
+    options.on_progress = [&](const ftcc::dist::DistCampaignProgress& p) {
+      std::cout << ftcc::obs::progress_line(
+          {{"done", p.done},
+           {"total", p.total},
+           {"ok", p.ok},
+           {"failures", p.failures},
+           {"completed", p.completed},
+           {"certified", p.certified},
+           {"violations", p.violations},
+           {"crashed_nodes", p.crashed_nodes}},
+          {{"tool", "dist"}, {"seed", std::to_string(options.seed)},
+           {"inject", cli.get_string("inject")}});
+      std::cout.flush();
+    };
+  } else if (cli.get_bool("progress") && isatty(fileno(stdout)) != 0) {
     options.on_progress = print_progress;
+  }
 
   ftcc::dist::DistCampaignReport report =
       ftcc::dist::run_dist_campaign(options);
-  std::cout << report.text;
+  // In --follow mode stdout is a pure ftcc-metrics-v1 stream (so it can
+  // be piped straight into tools/report --check); the human-readable
+  // report moves to stderr.
+  std::ostream& report_out = cli.get_bool("follow") ? std::cerr : std::cout;
+  report_out << report.text;
   if (!report.failures.empty()) {
     std::vector<std::string> lines;
     std::string error;
@@ -139,7 +183,7 @@ int main(int argc, char** argv) {
       std::cerr << "cannot persist witnesses: " << error << "\n";
       return 2;
     }
-    for (const std::string& line : lines) std::cout << line << "\n";
+    for (const std::string& line : lines) report_out << line << "\n";
   }
   if (!metrics_path.empty()) {
     const std::map<std::string, std::string> meta{
@@ -152,6 +196,10 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write metrics file " << metrics_path << "\n";
       return 2;
     }
+  }
+  if (!trace_path.empty() && !trace.write(trace_path)) {
+    std::cerr << "cannot write trace file " << trace_path << "\n";
+    return 2;
   }
   return report.failures.empty() && report.violations == 0 ? 0 : 1;
 }

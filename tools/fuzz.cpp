@@ -87,6 +87,10 @@ int main(int argc, char** argv) {
       .flag("progress", true,
             "overwriting progress line every 500 trials (interactive "
             "stdout only; pipes and CI logs never see it)")
+      .flag("follow", false,
+            "stream ftcc-metrics-v1 progress snapshot lines to stdout as "
+            "the campaign runs (machine-readable; validate with "
+            "tools/report --check)")
       .flag("jobs", std::uint64_t{0},
             "worker threads for the campaign (0 = all hardware cores; "
             "the report is byte-identical for any value)");
@@ -193,8 +197,20 @@ int main(int argc, char** argv) {
               << jobs << "\n";
   ftcc::obs::Registry registry;
   ftcc::obs::TraceSink trace;
+  const bool follow = cli.get_bool("follow");
   const bool show_progress =
-      cli.get_bool("progress") && isatty(fileno(stdout)) != 0;
+      !follow && cli.get_bool("progress") && isatty(fileno(stdout)) != 0;
+  const auto follow_progress = [&](const ftcc::CampaignProgress& p) {
+    std::cout << ftcc::obs::progress_line(
+        {{"done", p.done},
+         {"total", p.total},
+         {"ok", p.ok},
+         {"censored", p.censored},
+         {"failures", p.failures}},
+        {{"tool", "fuzz"}, {"seed", std::to_string(cli.get_u64("seed"))},
+         {"inject", inject_name}});
+    std::cout.flush();
+  };
   const auto write_observability = [&](const char* mode) -> bool {
     if (!metrics_path.empty()) {
       const std::map<std::string, std::string> meta{
@@ -230,13 +246,15 @@ int main(int argc, char** argv) {
     if (algo_flag != "all") options.algos = {algo_flag};
     if (!metrics_path.empty()) options.metrics = &registry;
     if (!trace_path.empty()) options.trace = &trace;
-    if (show_progress) options.on_progress = print_progress;
+    if (follow) options.on_progress = follow_progress;
+    else if (show_progress) options.on_progress = print_progress;
     ftcc::CertifyCampaignReport report = ftcc::run_certify_campaign(options);
-    std::cout << report.text;
+    std::ostream& report_out = follow ? std::cerr : std::cout;
+    report_out << report.text;
     if (!report.failures.empty())
       for (const std::string& line :
            ftcc::persist_certify_witnesses(report, "race-witnesses"))
-        std::cout << line << "\n";
+        report_out << line << "\n";
     if (!write_observability("certify")) return 2;
     return report.failures.empty() ? 0 : 1;
   }
@@ -257,16 +275,20 @@ int main(int argc, char** argv) {
   if (algo_flag != "all") options.algos = {algo_flag};
   if (!metrics_path.empty()) options.metrics = &registry;
   if (!trace_path.empty()) options.trace = &trace;
-  if (show_progress) options.on_progress = print_progress;
+  if (follow) options.on_progress = follow_progress;
+  else if (show_progress) options.on_progress = print_progress;
 
   ftcc::CampaignReport report = ftcc::run_campaign(options);
-  std::cout << report.text;
+  // In --follow mode stdout carries only the ftcc-metrics-v1 stream;
+  // the report moves to stderr (see tools/dist.cpp for the same split).
+  std::ostream& report_out = follow ? std::cerr : std::cout;
+  report_out << report.text;
   // A failing campaign must always name its replay artifacts — also with
   // --raw and no --out (the campaign itself only saves into --out).
   if (!report.failures.empty())
     for (const std::string& line :
          ftcc::persist_failure_artifacts(report, "fuzz-artifacts"))
-      std::cout << line << "\n";
+      report_out << line << "\n";
   if (!write_observability("campaign")) return 2;
   return report.failures.empty() ? 0 : 1;
 }

@@ -4,19 +4,28 @@
 //
 //   report run-a.jsonl                 # one run as a summary table
 //   report run-a.jsonl run-b.jsonl     # merged (counters sum, hists add)
+//   report aggregate run-a.jsonl       # histogram p50/p90/p99 summary
+//   report trace w.eventlog --out=w.json   # eventlog → Chrome trace
 //   report --diff run-a.jsonl run-b.jsonl
 //   report --check run.jsonl BENCH_colorings.json spans.trace.json
 //
-// --check validates any mix of the three formats (metrics JSONL, bench
-// JSON, Chrome trace); format is sniffed per file.  Exit status: 0 = ok,
-// 2 = usage error, unreadable file, or failed validation.
+// `aggregate` reduces every histogram to count/sum/mean/p50/p90/p99.
+// `trace` renders an ftcc-eventlog v1 witness — certified or REJECTED —
+// as a Chrome trace (analysis/hb/trace_view.hpp): one lane per node,
+// HB edges as flow arrows; without --out the JSON goes to stdout.
+// --check validates any mix of the four formats (metrics JSONL, follow
+// snapshots, bench JSON, Chrome trace); format is sniffed per file.
+// Exit status: 0 = ok, 2 = usage error, unreadable file, or failed
+// validation.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/hb/trace_view.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -58,14 +67,69 @@ int main(int argc, char** argv) {
   cli.flag("diff", false,
            "compare exactly two metrics JSONL runs field by field")
       .flag("check", false,
-            "structurally validate each file (metrics JSONL, BENCH_*.json, "
-            "or Chrome trace — format sniffed per file)")
+            "structurally validate each file (metrics JSONL, follow "
+            "snapshots, BENCH_*.json, or Chrome trace — sniffed per file)")
+      .flag("out", std::string(""),
+            "with `trace`: write the Chrome trace here instead of stdout")
       .accept_positionals();
   if (!cli.parse(argc, argv)) return 2;
-  const std::vector<std::string>& paths = cli.positional();
+  std::vector<std::string> paths = cli.positional();
+  std::string command;
+  if (!paths.empty() && (paths[0] == "aggregate" || paths[0] == "trace")) {
+    command = paths[0];
+    paths.erase(paths.begin());
+  }
   if (paths.empty()) {
-    std::cerr << "usage: report [--diff|--check] <file>...\n";
+    std::cerr << "usage: report [aggregate|trace] [--diff|--check] "
+                 "<file>...\n";
     return 2;
+  }
+
+  if (command == "trace") {
+    if (paths.size() != 1) {
+      std::cerr << "trace needs exactly one .eventlog file\n";
+      return 2;
+    }
+    std::string error;
+    const auto artifact = ftcc::load_event_log(paths[0], &error);
+    if (!artifact) {
+      std::cerr << "cannot load " << paths[0] << ": " << error << "\n";
+      return 2;
+    }
+    ftcc::obs::TraceSink sink;
+    const std::size_t arrows = ftcc::event_log_to_trace(*artifact, sink);
+    const std::string out_path = cli.get_string("out");
+    if (out_path.empty()) {
+      std::cout << sink.to_json() << "\n";
+    } else {
+      if (!sink.write(out_path)) {
+        std::cerr << "cannot write trace file " << out_path << "\n";
+        return 2;
+      }
+      std::cout << "trace " << out_path << ": " << sink.size() << " events, "
+                << arrows << " happens-before arrows"
+                << (artifact->verdict.empty()
+                        ? ""
+                        : " (REJECTED: " + artifact->verdict + ")")
+                << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "aggregate") {
+    std::vector<ftcc::obs::MetricsFile> files;
+    for (const std::string& path : paths) {
+      ftcc::obs::MetricsFile file;
+      if (!load_metrics(path, file)) return 2;
+      files.push_back(std::move(file));
+    }
+    const ftcc::obs::MetricsFile merged = ftcc::obs::merge_metrics(files);
+    print_meta(merged);
+    ftcc::obs::aggregate_table(merged).print(
+        paths.size() == 1 ? paths[0] + " (aggregate)"
+                          : std::to_string(paths.size()) +
+                                " runs aggregated");
+    return 0;
   }
 
   if (cli.get_bool("check")) {
