@@ -1,0 +1,215 @@
+// E26 — the million-node campaign engine (DESIGN.md §15, ROADMAP item 2):
+// full Algorithm 4 / SixColoringFast colourings on 10⁴–10⁷-node graphs
+// through the SoA BatchExecutor, reporting sweeps to quiescence,
+// activations/sec, wall time (CSR build and run separately), and
+// bytes/node of executor + graph state.  Every run is checked for actual
+// completion and proper colouring before its row is reported — a
+// throughput number for a broken colouring would be noise.
+//
+// Sizes: n = 10⁴ and 10⁵ random/power-law/torus/cycle rows always run;
+// the 10⁶-node random graph and the 1024x1024 torus run under the default
+// cap; --full extends to n = 10⁷ (documented in EXPERIMENTS.md, not run
+// in CI).  --nmax=N caps rows for smoke jobs (CI uses --nmax=100000).
+//
+// The second table re-measures the E22 instrumentation bar on the batch
+// path: obs::BatchMetrics attached vs detached at the largest size that
+// ran, min-over-rounds with alternating arm order, acceptance <= 5%.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "graph/ids.hpp"
+#include "obs/runtime_metrics.hpp"
+#include "obs/span.hpp"
+#include "scale/batch_executor.hpp"
+#include "scale/graph_gen.hpp"
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcc;
+
+/// Every node terminated and no edge is monochromatic.
+template <typename O>
+bool proper(const Graph& g, const std::vector<std::optional<O>>& outs) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!outs[v]) return false;
+    for (const NodeId u : g.neighbors(v))
+      if (u < v && outs[u] && *outs[u] == *outs[v]) return false;
+  }
+  return true;
+}
+
+struct RowResult {
+  std::uint64_t sweeps = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t run_us = 0;
+  std::size_t exec_bytes = 0;
+  bool ok = false;
+};
+
+/// A fresh executor per row, so bytes/node reports this instance's
+/// footprint rather than capacity carried over from a bigger earlier row.
+template <typename A>
+RowResult run_row(const Graph& g, const IdAssignment& ids) {
+  BatchExecutor<A> ex(g, ids);
+  obs::Stopwatch watch;
+  const auto result = ex.run(std::uint64_t{1} << 20);
+  RowResult r;
+  r.run_us = watch.elapsed_us();
+  r.sweeps = result.steps;
+  r.activations = result.total_activations();
+  r.exec_bytes = ex.heap_bytes();
+  r.ok = result.completed && proper(g, result.outputs);
+  return r;
+}
+
+void add_row(Table& table, const std::string& family, const std::string& algo,
+             const Graph& g, std::uint64_t build_us, const RowResult& r) {
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  const double secs = static_cast<double>(r.run_us) * 1e-6;
+  const double macts =
+      secs == 0.0 ? 0.0 : static_cast<double>(r.activations) / secs / 1e6;
+  const double bytes_per_node =
+      static_cast<double>(r.exec_bytes + g.heap_bytes()) /
+      static_cast<double>(n);
+  table.add_row({family, algo, Table::cell(n),
+                 Table::cell(std::uint64_t(g.max_degree())),
+                 Table::cell(r.sweeps), Table::cell(r.activations),
+                 Table::cell(build_us / 1000), Table::cell(r.run_us / 1000),
+                 Table::cell(macts, 1), Table::cell(bytes_per_node, 1),
+                 r.ok ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftcc::bench::BenchOut out("scale", argc, argv);
+  // 1024*1024 torus must clear the default cap; --full adds the 10^7 rows.
+  std::uint64_t nmax = 1u << 20;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--nmax=", 0) == 0)
+      nmax = std::stoull(arg.substr(7));
+    else if (arg == "--full")
+      full = true;
+  }
+  // 3163^2 = 10'004'569: the torus row sits just above 10^7.
+  if (full) nmax = std::max<std::uint64_t>(nmax, 10'004'569);
+
+  Table table({"graph", "algo", "n", "max deg", "sweeps", "activations",
+               "build ms", "run ms", "Macts/s", "bytes/node", "proper"});
+  bool all_ok = true;
+
+  // Track the largest random instance for the overhead table below.
+  Graph overhead_graph = make_cycle(3);
+  IdAssignment overhead_ids;
+
+  const std::vector<std::uint64_t> sizes = full
+      ? std::vector<std::uint64_t>{10'000, 100'000, 1'000'000, 10'000'000}
+      : std::vector<std::uint64_t>{10'000, 100'000, 1'000'000};
+  for (const std::uint64_t size : sizes) {
+    if (size > nmax) continue;
+    const auto n = static_cast<NodeId>(size);
+    const IdAssignment ids = permutation_ids(n, 1);
+    {
+      obs::Stopwatch watch;
+      const Graph g = make_random_bounded_degree_csr(n, 8, 42);
+      const std::uint64_t build_us = watch.elapsed_us();
+      const RowResult r = run_row<DeltaSquaredColoring>(g, ids);
+      add_row(table, "random d8", "delta2", g, build_us, r);
+      all_ok = all_ok && r.ok;
+      overhead_graph = g;
+      overhead_ids = ids;
+    }
+    {
+      obs::Stopwatch watch;
+      const Graph g = make_power_law_csr(n, 2.5, 64, 42);
+      const std::uint64_t build_us = watch.elapsed_us();
+      const RowResult r = run_row<DeltaSquaredColoring>(g, ids);
+      add_row(table, "power-law", "delta2", g, build_us, r);
+      all_ok = all_ok && r.ok;
+    }
+    {
+      // Degree cap 2 = the pure ring: the cycle at scale without the
+      // edge-list constructor's O(n log n) dedup.
+      obs::Stopwatch watch;
+      const Graph g = make_random_bounded_degree_csr(n, 2, 0);
+      const std::uint64_t build_us = watch.elapsed_us();
+      const RowResult r = run_row<SixColoringFast>(g, ids);
+      add_row(table, "cycle", "fast6", g, build_us, r);
+      all_ok = all_ok && r.ok;
+    }
+  }
+  // Torus rows: the 2D wraparound grid at matching scales.
+  const std::vector<std::pair<NodeId, NodeId>> tori =
+      full ? std::vector<std::pair<NodeId, NodeId>>{
+                 {100, 100}, {316, 316}, {1024, 1024}, {3163, 3163}}
+           : std::vector<std::pair<NodeId, NodeId>>{
+                 {100, 100}, {316, 316}, {1024, 1024}};
+  for (const auto& [rows, cols] : tori) {
+    if (static_cast<std::uint64_t>(rows) * cols > nmax) continue;
+    obs::Stopwatch watch;
+    const Graph g = make_torus_csr(rows, cols);
+    const std::uint64_t build_us = watch.elapsed_us();
+    const IdAssignment ids = permutation_ids(g.node_count(), 1);
+    const RowResult r = run_row<DeltaSquaredColoring>(g, ids);
+    add_row(table, std::to_string(rows) + "x" + std::to_string(cols) + " torus",
+            "delta2", g, build_us, r);
+    all_ok = all_ok && r.ok;
+  }
+  out.table(table, "E26 — batch executor at scale (full colourings)");
+
+  // ---- BatchMetrics overhead at the largest size that ran (the E22
+  // <= 5% bar, re-measured on the batch path) -------------------------
+  obs::Registry registry;
+  const obs::BatchMetrics metrics = obs::BatchMetrics::create(registry);
+  Table overhead({"graph", "n", "rounds", "min detached us", "min attached us",
+                  "overhead %"});
+  {
+    const Graph& g = overhead_graph;
+    const IdAssignment& ids = overhead_ids;
+    BatchExecutor<DeltaSquaredColoring> ex(g, ids);
+    const auto time_arm = [&](const obs::BatchMetrics* arm) {
+      ex.reset(g, ids);
+      if (arm != nullptr) ex.attach_metrics(arm);
+      obs::Stopwatch watch;
+      (void)ex.run(std::uint64_t{1} << 20);
+      return watch.elapsed_us();
+    };
+    // Warm both arms, then min over alternating rounds (bench_obs
+    // discipline: the fastest round is the least OS-disturbed one).
+    time_arm(nullptr);
+    time_arm(&metrics);
+    std::uint64_t detached_us = ~std::uint64_t{0};
+    std::uint64_t attached_us = ~std::uint64_t{0};
+    const int rounds = 6;
+    for (int round = 0; round < rounds; ++round) {
+      if (round % 2 == 0) {
+        detached_us = std::min(detached_us, time_arm(nullptr));
+        attached_us = std::min(attached_us, time_arm(&metrics));
+      } else {
+        attached_us = std::min(attached_us, time_arm(&metrics));
+        detached_us = std::min(detached_us, time_arm(nullptr));
+      }
+    }
+    const double pct = detached_us == 0
+                           ? 0.0
+                           : (static_cast<double>(attached_us) -
+                              static_cast<double>(detached_us)) *
+                                 100.0 / static_cast<double>(detached_us);
+    overhead.add_row({"random d8",
+                      Table::cell(std::uint64_t{g.node_count()}),
+                      Table::cell(std::uint64_t(rounds)),
+                      Table::cell(detached_us), Table::cell(attached_us),
+                      Table::cell(pct, 2)});
+  }
+  out.table(overhead, "E26 — BatchMetrics overhead, attached vs detached");
+
+  return out.finish(all_ok ? 0 : 1);
+}

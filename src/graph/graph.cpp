@@ -34,6 +34,21 @@ Graph::Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges)
   }
 }
 
+Graph Graph::from_csr(NodeId n, std::vector<std::size_t> offsets,
+                      std::vector<NodeId> adjacency) {
+  FTCC_EXPECTS(offsets.size() == static_cast<std::size_t>(n) + 1);
+  FTCC_EXPECTS(offsets.front() == 0 && offsets.back() == adjacency.size());
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  for (NodeId v = 0; v < n; ++v) {
+    FTCC_EXPECTS(g.offsets_[v] <= g.offsets_[v + 1]);
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
   const auto nbrs = neighbors(u);
   return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();

@@ -21,6 +21,19 @@ class Graph {
   /// duplicate edges are rejected.
   Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
 
+  /// Adopt a pre-built CSR pair directly — the single-pass path of the
+  /// scale builders (src/scale/graph_gen.cpp), which construct offsets and
+  /// adjacency exactly once with reserve-exact sizes instead of paying the
+  /// edge-list ctor's set-based dedup (O(m log m) and three copies of every
+  /// edge).  The caller vouches that the arrays describe a simple
+  /// undirected graph: offsets_ monotone with offsets[0]=0 and
+  /// offsets[n]=|adjacency|, every stored arc mirrored, no self-loops.
+  /// Shape is checked here; symmetry is the builder's contract (pinned for
+  /// every scale builder by tests/scale_graph_gen_test.cpp).
+  [[nodiscard]] static Graph from_csr(NodeId n,
+                                      std::vector<std::size_t> offsets,
+                                      std::vector<NodeId> adjacency);
+
   [[nodiscard]] NodeId node_count() const noexcept { return n_; }
   [[nodiscard]] std::size_t edge_count() const noexcept {
     return adjacency_.size() / 2;
@@ -34,9 +47,20 @@ class Graph {
   }
   [[nodiscard]] int max_degree() const noexcept { return max_degree_; }
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+  /// The raw CSR offsets (size n+1), for well-formedness checks and for
+  /// accounting the graph's bytes/node at scale.
+  [[nodiscard]] std::span<const std::size_t> offsets() const noexcept {
+    return offsets_;
+  }
+  /// Heap bytes held by the CSR arrays (capacity, not size).
+  [[nodiscard]] std::size_t heap_bytes() const noexcept {
+    return offsets_.capacity() * sizeof(std::size_t) +
+           adjacency_.capacity() * sizeof(NodeId);
+  }
 
  private:
-  NodeId n_;
+  Graph() = default;  // from_csr fills the members directly
+  NodeId n_ = 0;
   std::vector<std::size_t> offsets_;  // size n_ + 1
   std::vector<NodeId> adjacency_;
   int max_degree_ = 0;

@@ -159,6 +159,10 @@ const std::map<std::string, std::vector<std::string>>& layering_rules() {
                 "obs", "util"}},
       {"dist", {"fuzz", "analysis", "sched", "faults", "runtime", "graph",
                 "obs", "util"}},
+      // The batch engine consumes the algorithms (core) and replays the
+      // sequential executor's contract (runtime, faults); no sched — its
+      // synchronous schedule is implicit in the frontier bitmap.
+      {"scale", {"core", "faults", "runtime", "graph", "obs", "util"}},
       {"lint", {"util"}},
   };
   return rules;

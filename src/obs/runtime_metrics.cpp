@@ -29,6 +29,16 @@ ThreadedMetrics ThreadedMetrics::create(Registry& reg,
   return m;
 }
 
+BatchMetrics BatchMetrics::create(Registry& reg, const std::string& prefix) {
+  BatchMetrics m;
+  m.activations = &reg.counter(prefix + ".activations");
+  m.sweeps = &reg.counter(prefix + ".sweeps");
+  m.crashes = &reg.counter(prefix + ".crashes");
+  m.terminations = &reg.counter(prefix + ".terminations");
+  m.frontier_size = &reg.histogram(prefix + ".frontier_size");
+  return m;
+}
+
 PoolMetrics PoolMetrics::create(Registry& reg, const std::string& prefix) {
   PoolMetrics m;
   m.tasks = &reg.counter(prefix + ".tasks");

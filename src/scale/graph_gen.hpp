@@ -1,0 +1,48 @@
+// Large-graph builders for the batch engine (DESIGN.md §15): every
+// builder here constructs the Graph's CSR arrays directly, in a single
+// reserve-exact pass, instead of routing 10⁶–10⁷ edges through the
+// edge-list constructor's std::set dedup (O(m log m) node allocations and
+// three copies of every edge).  All builders are pure functions of their
+// arguments — same seed, byte-identical adjacency — which is what makes
+// scale campaigns replayable (tests/scale_graph_gen_test.cpp pins this).
+//
+// Every random builder lays a Hamiltonian-cycle backbone first (degree 2
+// everywhere, connected by construction) and adds chords on top under a
+// hard degree cap, so the output always satisfies Algorithm 4's
+// admission checks (1 <= degree <= Δ).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ftcc {
+
+/// Connected random graph with maximum degree <= max_degree, built
+/// straight into CSR: cycle backbone plus uniform random chords from
+/// deterministic Xoshiro256 sampling with eager degree accounting.
+/// Functionally the scale twin of make_random_bounded_degree (same
+/// contract, different edge distribution and O(m log m)-free build);
+/// max_degree must be in [2, 64] so the result is always admissible for
+/// the batch kernels.
+[[nodiscard]] Graph make_random_bounded_degree_csr(NodeId n, int max_degree,
+                                                   std::uint64_t seed);
+
+/// rows x cols torus (4-regular, rows and cols >= 3) written directly
+/// into CSR — each node's row is exactly {left, right, up, down}, so
+/// offsets are the arithmetic sequence 4v and no counting pass is needed.
+/// Same graph family as make_torus, minus the edge-list round trip.
+[[nodiscard]] Graph make_torus_csr(NodeId rows, NodeId cols);
+
+/// Chung–Lu power-law graph with a hard degree cap: node i carries weight
+/// (cap-2) * (i+1)^(-1/(exponent-1)) and chord (u, v) appears with
+/// probability ~ w_u * w_v / Σw, sampled by Miller–Hagberg geometric
+/// skipping (expected O(n + m) draws, no n² pair scan).  A cycle backbone
+/// keeps the graph connected and every degree >= 2; chords that would
+/// push either endpoint past max_degree are dropped, which truncates the
+/// tail exactly where Algorithm 4's Δ <= 64 admission bound sits.
+/// Requires exponent > 2 (finite mean) and max_degree in [3, 64].
+[[nodiscard]] Graph make_power_law_csr(NodeId n, double exponent,
+                                       int max_degree, std::uint64_t seed);
+
+}  // namespace ftcc

@@ -695,7 +695,10 @@ TEST(LintRealTree, AnalyzesCleanAndMatchesTheGoldenLayerMap) {
       "modelcheck -> runtime", "modelcheck -> util",
       "obs -> util",           "runtime -> faults",
       "runtime -> graph",      "runtime -> obs",
-      "runtime -> util",       "sched -> runtime",
+      "runtime -> util",       "scale -> core",
+      "scale -> faults",       "scale -> graph",
+      "scale -> obs",          "scale -> runtime",
+      "scale -> util",         "sched -> runtime",
       "sched -> util",         "selfstab -> graph",
       "selfstab -> util",      "shm -> runtime",
       "shm -> util",

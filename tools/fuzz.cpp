@@ -8,6 +8,7 @@
 //   fuzz --seed=42 --trials=10000 --jobs=8              # parallel campaign
 //   fuzz --certify --seed=42 --trials=2000              # HB-certify threads
 //   fuzz --certify --inject=threaded --trials=2000      # ... with faults
+//   fuzz --batched --trials=300 --nmax=256              # batch vs sequential
 //   fuzz --replay=artifacts/fail-3.sched
 //
 // The schedule-campaign report written to stdout is a deterministic
@@ -32,6 +33,7 @@
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "runtime/worker_pool.hpp"
+#include "scale/batch_campaign.hpp"
 #include "util/artifacts.hpp"
 #include "util/cli.hpp"
 
@@ -76,6 +78,10 @@ int main(int argc, char** argv) {
       .flag("certify", false,
             "run ThreadedExecutor trials and certify each against the "
             "state model via the happens-before log (see tools/race)")
+      .flag("batched", false,
+            "run the batch-vs-sequential differential campaign instead "
+            "(src/scale): BatchExecutor must match Executor field for "
+            "field on every trial")
       .flag("replay", std::string(""),
             "replay a stored .sched artifact instead of fuzzing")
       .flag("metrics", std::string(""),
@@ -231,6 +237,25 @@ int main(int argc, char** argv) {
     }
     return true;
   };
+
+  if (cli.get_bool("batched")) {
+    if (algo_flag != "all" && !ftcc::known_batch_algorithm(algo_flag)) {
+      std::cerr << "--batched supports only delta2 and fast6 (got '"
+                << algo_flag << "')\n";
+      return 2;
+    }
+    ftcc::BatchCampaignOptions options;
+    options.seed = cli.get_u64("seed");
+    options.trials = cli.get_u64("trials");
+    options.n_min = n_min;
+    options.n_max = n_max;
+    if (algo_flag != "all") options.algos = {algo_flag};
+    if (!metrics_path.empty()) options.metrics = &registry;
+    const ftcc::BatchCampaignReport report = ftcc::run_batch_campaign(options);
+    std::cout << report.text;
+    if (!write_observability("batched")) return 2;
+    return report.mismatches.empty() ? 0 : 1;
+  }
 
   if (certify) {
     ftcc::CertifyCampaignOptions options;
